@@ -1,0 +1,282 @@
+// Package mochabench holds the testing.B benchmarks that regenerate the
+// paper's evaluation, one benchmark per table and figure (section 5).
+// They run over an unshaped in-memory network at a small data scale so
+// iterations measure the middleware itself; each reports the volume
+// metrics (cvda/cvdt bytes, cvrf) whose *ratios* are the paper's
+// results. cmd/mocha-bench runs the same experiments over a shaped
+// 10 Mbps link and prints paper-style tables.
+package mochabench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"mocha/internal/bench"
+	"mocha/internal/ops"
+	"mocha/internal/sequoia"
+	"mocha/internal/storage"
+	"mocha/internal/types"
+	"mocha/internal/vm"
+	"mocha/pkg/mocha"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *bench.Env
+	envErr  error
+)
+
+// benchScale keeps iterations fast while preserving the evaluation's
+// volume ratios (raster dimensions scale as √f).
+const benchScale = 0.02
+
+func benchEnv(b *testing.B) *bench.Env {
+	b.Helper()
+	envOnce.Do(func() {
+		envVal, envErr = bench.NewEnv(bench.Options{Scale: benchScale, Unshaped: true})
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return envVal
+}
+
+// runQuery benchmarks one query under one strategy, reporting volumes.
+func runQuery(b *testing.B, sql string, strat mocha.Strategy) {
+	b.Helper()
+	env := benchEnv(b)
+	var last bench.Measurement
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := env.Run(sql, strat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Stats.CVDA), "cvda_bytes")
+	b.ReportMetric(float64(last.Stats.CVDT), "cvdt_bytes")
+	b.ReportMetric(last.Stats.CVRF(), "cvrf")
+	b.ReportMetric(float64(last.Rows), "rows")
+}
+
+var strategies = []struct {
+	name string
+	s    mocha.Strategy
+}{
+	{"CodeShip", mocha.StrategyCodeShip},
+	{"DataShip", mocha.StrategyDataShip},
+}
+
+// BenchmarkTable1Datasets measures Sequoia dataset generation (the
+// substrate behind Table 1).
+func BenchmarkTable1Datasets(b *testing.B) {
+	cfg := sequoia.Scaled(benchScale)
+	for i := 0; i < b.N; i++ {
+		store, err := storage.OpenStore("", 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := sequoia.GenerateAll(store, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Queries measures parse+bind+optimize for every
+// benchmark query (Table 2).
+func BenchmarkTable2Queries(b *testing.B) {
+	env := benchEnv(b)
+	queries := []string{
+		sequoia.Q1, sequoia.Q2(env.Cfg), sequoia.Q3,
+		sequoia.Q4(10, 1e9), sequoia.Q5,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := env.Cluster.Explain(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFig9a: Q1/Q2/Q3 execution time under both strategies.
+func BenchmarkFig9a(b *testing.B) {
+	env := benchEnv(b)
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"Q1_Aggregates", sequoia.Q1},
+		{"Q2_Clip", sequoia.Q2(env.Cfg)},
+		{"Q3_IncrRes", sequoia.Q3},
+	}
+	for _, q := range queries {
+		for _, st := range strategies {
+			b.Run(q.name+"/"+st.name, func(b *testing.B) {
+				runQuery(b, q.sql, st.s)
+			})
+		}
+	}
+}
+
+// BenchmarkFig9b: the volume comparison for the same queries (the
+// cvdt_bytes/cvrf metrics are the figure's y-axis).
+func BenchmarkFig9b(b *testing.B) {
+	env := benchEnv(b)
+	for _, st := range strategies {
+		b.Run("Q2_Clip/"+st.name, func(b *testing.B) {
+			runQuery(b, sequoia.Q2(env.Cfg), st.s)
+		})
+	}
+}
+
+// BenchmarkFig10a: Q4 across predicate selectivities.
+func BenchmarkFig10a(b *testing.B) {
+	env := benchEnv(b)
+	cals, err := sequoia.CalibrateQ4(envStore(b, env), bench.DefaultQ4Selectivities)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cal := range cals {
+		env.Cluster.SetSelectivity("NumVertices", "Graphs", cal.VertSelectivity)
+		env.Cluster.SetSelectivity("TotalLength", "Graphs", cal.LenSelectivity)
+		sql := sequoia.Q4(cal.MaxVerts, cal.MaxLength)
+		for _, st := range strategies {
+			b.Run(fmt.Sprintf("sel%.0f%%/%s", cal.Target*100, st.name), func(b *testing.B) {
+				runQuery(b, sql, st.s)
+			})
+		}
+	}
+}
+
+// BenchmarkFig10b: the transmitted-volume view of the same sweep at its
+// most cited point (50% selectivity).
+func BenchmarkFig10b(b *testing.B) {
+	env := benchEnv(b)
+	cals, err := sequoia.CalibrateQ4(envStore(b, env), []float64{0.5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sql := sequoia.Q4(cals[0].MaxVerts, cals[0].MaxLength)
+	for _, st := range strategies {
+		b.Run("sel50%/"+st.name, func(b *testing.B) {
+			runQuery(b, sql, st.s)
+		})
+	}
+}
+
+// BenchmarkFig11: the distributed join Q5.
+func BenchmarkFig11(b *testing.B) {
+	for _, st := range strategies {
+		b.Run("Q5_Join/"+st.name, func(b *testing.B) {
+			runQuery(b, sequoia.Q5, st.s)
+		})
+	}
+}
+
+// BenchmarkAblationVRFPlanning measures optimizer cost for the paper's
+// hardest query shape (the metric-accuracy ablation itself is reported
+// by cmd/mocha-bench -experiment ablation-vrf).
+func BenchmarkAblationVRFPlanning(b *testing.B) {
+	env := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := env.Cluster.Explain(sequoia.Q5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCodeCache compares repeated execution with the DAP
+// class cache enabled vs disabled (the section 3.6 caching extension).
+func BenchmarkAblationCodeCache(b *testing.B) {
+	sql := "SELECT time, AvgEnergy(image) FROM Rasters"
+	for _, c := range []struct {
+		name    string
+		disable bool
+	}{{"CacheOn", false}, {"CacheOff", true}} {
+		b.Run(c.name, func(b *testing.B) {
+			env, err := bench.NewEnv(bench.Options{
+				Scale: benchScale, Unshaped: true, DisableDAPCodeCache: c.disable,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			// Warm the cache (a no-op when disabled).
+			if _, err := env.Run(sql, mocha.StrategyCodeShip); err != nil {
+				b.Fatal(err)
+			}
+			var shipped int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := env.Run(sql, mocha.StrategyCodeShip)
+				if err != nil {
+					b.Fatal(err)
+				}
+				shipped = m.Stats.CodeClassesShipped
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(shipped), "classes_shipped")
+		})
+	}
+}
+
+// BenchmarkAblationVMNative compares native vs shipped-MVM execution of
+// the operator library — the Go analogue of the paper's section 3.9.1
+// discussion of Java's interpretation overhead.
+func BenchmarkAblationVMNative(b *testing.B) {
+	reg := ops.Builtins()
+	px := make([]byte, 64*64)
+	for i := range px {
+		px[i] = byte(i)
+	}
+	raster := types.NewRaster(64, 64, px)
+	d, _ := reg.Lookup("AvgEnergy")
+
+	b.Run("AvgEnergy/Native", func(b *testing.B) {
+		s, err := ops.NewNativeScalar(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		args := []types.Object{raster}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Call(args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("AvgEnergy/MVM", func(b *testing.B) {
+		s, err := ops.NewVMScalar(vm.New(vm.Limits{}), d.Program(), d.Ret)
+		if err != nil {
+			b.Fatal(err)
+		}
+		args := []types.Object{raster}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Call(args); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func envStore(b *testing.B, env *bench.Env) *storage.Store {
+	b.Helper()
+	// Rebuild a matching store for calibration: the env's own stores are
+	// not exported, and calibration only needs the same deterministic
+	// Graphs data.
+	store, err := storage.OpenStore("", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sequoia.GenerateGraphs(store, env.Cfg); err != nil {
+		b.Fatal(err)
+	}
+	return store
+}

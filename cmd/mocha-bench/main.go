@@ -1,0 +1,61 @@
+// mocha-bench regenerates the paper's evaluation: every table and figure
+// of section 5 plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	mocha-bench [-scale 0.05] [-bandwidth 10e6] [-experiment all|fig9a|...]
+//	mocha-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mocha/internal/bench"
+	"mocha/internal/netsim"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.1, "dataset scale factor (1.0 = the paper's Table 1 sizes)")
+	bandwidth := flag.Float64("bandwidth", 10e6, "modeled link bandwidth in bits/sec (paper: 10 Mbps); 0 disables shaping")
+	experiment := flag.String("experiment", "all", "experiment id, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.AllExperiments {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := bench.Options{Scale: *scale}
+	if *bandwidth <= 0 {
+		opts.Unshaped = true
+	} else {
+		opts.Shaper = &netsim.Shaper{BitsPerSec: *bandwidth, Latency: netsim.Ethernet10Mbps.Latency}
+	}
+	fmt.Printf("mocha-bench: scale=%.3f bandwidth=%.0fbps\n\n", *scale, *bandwidth)
+	env, err := bench.NewEnv(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "setup:", err)
+		os.Exit(1)
+	}
+	defer env.Close()
+
+	ids := bench.AllExperiments
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+	for _, id := range ids {
+		tables, err := env.RunExperiment(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println(t)
+		}
+	}
+}

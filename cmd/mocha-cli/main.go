@@ -1,0 +1,102 @@
+// mocha-cli is the interactive SQL client for a running QPC (the
+// stand-alone application client of section 3.1).
+//
+// Usage:
+//
+//	mocha-cli -qpc localhost:7700 -e "SELECT time FROM Rasters LIMIT 5"
+//	mocha-cli -qpc localhost:7700            # REPL on stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"mocha/pkg/mocha"
+)
+
+func main() {
+	addr := flag.String("qpc", "localhost:7700", "QPC address")
+	exec := flag.String("e", "", "execute one statement and exit")
+	showStats := flag.Bool("stats", true, "print execution statistics after each query")
+	flag.Parse()
+
+	client, err := mocha.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	if *exec != "" {
+		if err := runQuery(client, *exec, *showStats); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("mocha-cli: connected to", *addr, "(end statements with ';', \\q to quit)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("mocha> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == `\q` || trimmed == "quit" || trimmed == "exit" {
+			return
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			sql := strings.TrimSuffix(strings.TrimSpace(buf.String()), ";")
+			buf.Reset()
+			if sql != "" {
+				if err := runQuery(client, sql, *showStats); err != nil {
+					fmt.Println("error:", err)
+				}
+			}
+			fmt.Print("mocha> ")
+			continue
+		}
+		fmt.Print("    -> ")
+	}
+}
+
+func runQuery(client *mocha.Client, sql string, showStats bool) error {
+	rows, err := client.Query(sql)
+	if err != nil {
+		return err
+	}
+	header := make([]string, rows.Schema.Arity())
+	for i, c := range rows.Schema.Columns {
+		header[i] = c.Name
+	}
+	fmt.Println(strings.Join(header, " | "))
+	var n int
+	for {
+		row, err := rows.Next()
+		if err != nil {
+			return err
+		}
+		if row == nil {
+			break
+		}
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, " | "))
+		n++
+	}
+	fmt.Printf("(%d rows)\n", n)
+	if showStats {
+		if s, err := rows.Stats(); err == nil {
+			fmt.Printf("time %.1fms (db %.1f cpu %.1f net %.1f misc %.1f) | moved %d bytes | CVRF %.6f | shipped %d classes\n",
+				s.TotalMS, s.DBMS, s.CPUMS, s.NetMS, s.MiscMS, s.CVDT, s.CVRF(), s.CodeClassesShipped)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,96 @@
+// mocha-datagen generates the Sequoia 2000 benchmark datasets into
+// on-disk stores for two data sites and writes the matching QPC catalog.
+//
+// Usage:
+//
+//	mocha-datagen -out /var/mocha -scale 0.1 \
+//	    -site1 localhost:7701 -site2 localhost:7702
+//
+// Then:
+//
+//	mocha-dap -site site1 -data /var/mocha/site1 -listen :7701
+//	mocha-dap -site site2 -data /var/mocha/site2 -listen :7702
+//	mocha-qpc -catalog /var/mocha/catalog.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"path/filepath"
+
+	"mocha/internal/catalog"
+	"mocha/internal/ops"
+	"mocha/internal/sequoia"
+	"mocha/internal/storage"
+	"mocha/pkg/mocha"
+)
+
+func main() {
+	out := flag.String("out", "mocha-data", "output directory")
+	scale := flag.Float64("scale", 0.1, "dataset scale (1.0 = the paper's Table 1 sizes; 200+ MB)")
+	site1 := flag.String("site1", "localhost:7701", "DAP address for site1 in the catalog")
+	site2 := flag.String("site2", "localhost:7702", "DAP address for site2 in the catalog")
+	seed := flag.Int64("seed", 42, "generator seed")
+	flag.Parse()
+
+	cfg := sequoia.Scaled(*scale)
+	cfg.Seed = *seed
+
+	s1, err := storage.OpenStore(filepath.Join(*out, "site1"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2, err := storage.OpenStore(filepath.Join(*out, "site2"), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generating at scale %.3f (Polygons %d, Graphs %d, Rasters %d×%dpx)...\n",
+		*scale, cfg.PolygonRows, cfg.GraphRows, cfg.RasterRows, cfg.RasterDim)
+	if err := sequoia.GenerateAll(s1, cfg); err != nil {
+		log.Fatal(err)
+	}
+	if err := sequoia.GenerateJoinPair(s1, s2, cfg); err != nil {
+		log.Fatal(err)
+	}
+
+	reg := ops.Builtins()
+	cat := catalog.New(reg, catalog.NewRepositoryFromRegistry(reg))
+	cat.AddSite(&catalog.Site{Name: "site1", Addr: *site1})
+	cat.AddSite(&catalog.Site{Name: "site2", Addr: *site2})
+	register := func(store *storage.Store, site, table string) {
+		tbl, ok := store.Table(table)
+		if !ok {
+			log.Fatalf("missing table %s", table)
+		}
+		stats, err := mocha.ComputeTableStats(tbl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := cat.AddTable(&catalog.TableDef{
+			Name: table, URI: "mocha://" + site + "/" + table,
+			Site: site, Schema: tbl.Schema(), Stats: stats,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %8d rows, %5d avg bytes/row  @ %s\n",
+			table, stats.RowCount, stats.AvgTupleBytes(), site)
+	}
+	for _, tbl := range []string{"Polygons", "Graphs", "Rasters", "Rasters1"} {
+		register(s1, "site1", tbl)
+	}
+	register(s2, "site2", "Rasters2")
+
+	if err := s1.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		log.Fatal(err)
+	}
+	catPath := filepath.Join(*out, "catalog.xml")
+	if err := cat.Save(catPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("catalog written to", catPath)
+}

@@ -1,0 +1,79 @@
+// mocha-qpc runs the Query Processing Coordinator: it loads the catalog
+// (sites, tables, statistics), serves SQL clients, and deploys plan
+// fragments and operator code to the catalog's DAPs over TCP.
+//
+// Usage:
+//
+//	mocha-qpc -catalog catalog.xml -listen :7700 [-strategy auto]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+
+	"mocha/internal/catalog"
+	"mocha/internal/core"
+	"mocha/internal/netsim"
+	"mocha/internal/ops"
+	"mocha/internal/qpc"
+)
+
+func main() {
+	catalogPath := flag.String("catalog", "catalog.xml", "catalog XML file (see mocha-datagen -catalog)")
+	listen := flag.String("listen", ":7700", "TCP listen address for clients")
+	strategy := flag.String("strategy", "auto", "operator placement: auto, code-ship or data-ship")
+	bandwidth := flag.Float64("bandwidth", 0, "model DAP links at this bandwidth in bits/sec (0 = unshaped)")
+	quiet := flag.Bool("quiet", false, "suppress per-query logging")
+	flag.Parse()
+
+	var strat core.Strategy
+	switch *strategy {
+	case "auto":
+		strat = core.StrategyAuto
+	case "code-ship":
+		strat = core.StrategyCodeShip
+	case "data-ship":
+		strat = core.StrategyDataShip
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	reg := ops.Builtins()
+	cat := catalog.New(reg, catalog.NewRepositoryFromRegistry(reg))
+	if err := cat.Load(*catalogPath); err != nil {
+		log.Fatalf("load catalog: %v", err)
+	}
+	fmt.Printf("mocha-qpc: %d tables, %d operators, strategy=%v\n",
+		len(cat.TableNames()), len(reg.Names()), strat)
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	var shaper *netsim.Shaper
+	if *bandwidth > 0 {
+		shaper = &netsim.Shaper{BitsPerSec: *bandwidth}
+	}
+	srv := qpc.New(qpc.Config{
+		Cat: cat,
+		Dial: func(addr string) (net.Conn, error) {
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return netsim.Shape(nc, shaper), nil
+		},
+		Strategy: strat,
+		Logf:     logf,
+	})
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mocha-qpc: listening on %s\n", l.Addr())
+	if err := srv.Serve(l); err != nil {
+		log.Fatal(err)
+	}
+}

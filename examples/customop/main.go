@@ -1,0 +1,177 @@
+// Customop: self-extensibility (section 3.6). A scientist defines a new
+// operator — EnergyHistogramPeak, the most common energy level in a
+// raster — registers it with the middleware at run time, and uses it in
+// the very next query. No software is installed at the data site and
+// nothing restarts: the QPC ships the operator's MVM bytecode to the DAP
+// automatically, and the DAP's code cache keeps it for later queries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mocha/internal/sequoia"
+	"mocha/pkg/mocha"
+)
+
+// peakSrc is the operator implemented in MVM assembly: a 256-bucket
+// histogram over the pixel bytes, returning the fullest bucket's index.
+const peakSrc = `
+program EnergyHistogramPeak version 1.0
+func eval args=1 locals=6
+  ; locals: 0=hist buffer 1=i 2=len 3=best count 4=best value 5=scratch
+  pushi 256
+  bnew
+  store 0
+  pushi 8
+  store 1
+  arg 0
+  blen
+  store 2
+hist:
+  load 1
+  load 2
+  ge
+  jnz scanpeak
+  ; hist[pix]++ — bucket counts saturate at 255, enough to find a peak
+  ; in small tiles; larger tiles would use sti32 buckets.
+  load 0
+  arg 0
+  load 1
+  ldu8
+  ldu8
+  store 5
+  load 5
+  pushi 255
+  ge
+  jnz histnext
+  load 0
+  arg 0
+  load 1
+  ldu8
+  load 5
+  pushi 1
+  addi
+  stu8
+  pop
+histnext:
+  load 1
+  pushi 1
+  addi
+  store 1
+  jmp hist
+scanpeak:
+  pushi 0
+  store 1
+  pushi -1
+  store 3
+loop:
+  load 1
+  pushi 256
+  ge
+  jnz done
+  load 0
+  load 1
+  ldu8
+  load 3
+  gt
+  jz next
+  load 0
+  load 1
+  ldu8
+  store 3
+  load 1
+  store 4
+next:
+  load 1
+  pushi 1
+  addi
+  store 1
+  jmp loop
+done:
+  load 4
+  ret
+end`
+
+func main() {
+	cluster, err := mocha.NewCluster(mocha.ClusterConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	store, err := mocha.NewStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sequoia.Scaled(0.05)
+	if err := sequoia.GenerateRasters(store, cfg); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.AddSite("observatory", store); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.RegisterTable("observatory", "Rasters"); err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1: the operator does not exist yet.
+	if _, err := cluster.Execute("SELECT EnergyHistogramPeak(image) FROM Rasters LIMIT 1"); err != nil {
+		fmt.Println("before registration:", err)
+	}
+
+	// Step 2: register it — one call, middleware-wide.
+	def := &mocha.OperatorDef{
+		Name: "EnergyHistogramPeak",
+		URI:  "mocha://ops/EnergyHistogramPeak#1.0",
+		Args: []mocha.Kind{mocha.KindRaster},
+		Ret:  mocha.KindInt,
+		// 4-byte result from a whole image: strongly data-reducing, so
+		// the optimizer will ship it to the data site.
+		ResultBytes: 4, CPUCostPerByte: 1.2,
+		Native: func(args []mocha.Object) (mocha.Object, error) {
+			r := args[0].(mocha.Raster)
+			var hist [256]int
+			for _, p := range r.Pixels() {
+				if hist[p] < 255 { // match the MVM's saturating buckets
+					hist[p]++
+				}
+			}
+			best, bestVal := -1, 0
+			for v, c := range hist {
+				if c > best {
+					best, bestVal = c, v
+				}
+			}
+			return mocha.Int(int32(bestVal)), nil
+		},
+		Source: peakSrc,
+	}
+	if err := cluster.RegisterOperator(def); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registered EnergyHistogramPeak (compiled to",
+		len(def.Program().Encode()), "bytes of MVM bytecode)")
+
+	// Step 3: use it immediately. The plan's code manifest makes the QPC
+	// ship the class before activation.
+	res, err := cluster.Execute(`SELECT time, EnergyHistogramPeak(image)
+FROM Rasters WHERE band = 0 ORDER BY time LIMIT 10`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nshipped %d class(es), %d bytes of code\n",
+		res.Stats.CodeClassesShipped, res.Stats.CodeBytesShipped)
+	fmt.Println("\nweek  peak energy level")
+	for _, row := range res.Rows {
+		fmt.Printf("%4v  %v\n", row[0], row[1])
+	}
+
+	// Step 4: run it again — the DAP's code cache means zero re-shipping.
+	res2, err := cluster.Execute("SELECT Max(AvgEnergy(image)) FROM Rasters WHERE EnergyHistogramPeak(image) > 10 GROUP BY band")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsecond query shipped %d classes for EnergyHistogramPeak (cache hits: %d)\n",
+		res2.Stats.CodeClassesShipped, res2.Stats.CacheHits)
+}

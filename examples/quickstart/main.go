@@ -1,0 +1,81 @@
+// Quickstart: stand up an embedded MOCHA deployment — one QPC, one
+// DAP-fronted data site — load satellite rasters, and run the paper's
+// motivating query (section 2.2):
+//
+//	SELECT time, location, AvgEnergy(image)
+//	FROM Rasters
+//	WHERE AvgEnergy(image) < 100
+//
+// The middleware ships AvgEnergy's code to the data site, so only
+// 28-byte result rows cross the network instead of megabyte rasters.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mocha/internal/sequoia"
+	"mocha/pkg/mocha"
+)
+
+func main() {
+	// An embedded cluster over an in-memory network shaped like the
+	// paper's 10 Mbps Ethernet testbed.
+	cluster, err := mocha.NewCluster(mocha.ClusterConfig{
+		Shaper: mocha.Ethernet10Mbps(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// One data site with a generated Rasters table (scaled-down Sequoia
+	// 2000 data: 64 small images).
+	store, err := mocha.NewStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := sequoia.Scaled(0.05)
+	if err := sequoia.GenerateRasters(store, cfg); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.AddSite("maryland", store); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.RegisterTable("maryland", "Rasters"); err != nil {
+		log.Fatal(err)
+	}
+
+	sql := `SELECT time, location, AvgEnergy(image) FROM Rasters WHERE AvgEnergy(image) < 100`
+
+	plan, err := cluster.Explain(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== optimizer plan ===")
+	fmt.Print(plan)
+
+	res, err := cluster.Execute(sql)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n=== results ===")
+	fmt.Println(res.Schema)
+	for i, row := range res.Rows {
+		if i >= 8 {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-i)
+			break
+		}
+		fmt.Println(" ", row)
+	}
+
+	s := res.Stats
+	fmt.Println("\n=== execution statistics ===")
+	fmt.Printf("rows: %d (%d bytes)\n", s.ResultTuples, s.ResultBytes)
+	fmt.Printf("time: total %.1fms  (db %.1f, cpu %.1f, net %.1f, misc %.1f)\n",
+		s.TotalMS, s.DBMS, s.CPUMS, s.NetMS, s.MiscMS)
+	fmt.Printf("volume: accessed %d bytes, transmitted %d bytes  →  CVRF %.6f\n",
+		s.CVDA, s.CVDT, s.CVRF())
+	fmt.Printf("code shipping: %d classes, %d bytes\n", s.CodeClassesShipped, s.CodeBytesShipped)
+}

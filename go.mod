@@ -1,0 +1,3 @@
+module mocha
+
+go 1.22

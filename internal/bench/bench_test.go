@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"mocha/pkg/mocha"
+)
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(Options{Scale: 0.01, Unshaped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	return env
+}
+
+func TestEveryExperimentRuns(t *testing.T) {
+	env := testEnv(t)
+	for _, id := range AllExperiments {
+		tables, err := env.RunExperiment(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s produced no tables", id)
+		}
+		for _, tbl := range tables {
+			out := tbl.String()
+			if !strings.Contains(out, "===") || len(tbl.Rows) == 0 {
+				t.Errorf("%s: empty or unformatted output:\n%s", id, out)
+			}
+		}
+	}
+	if _, err := env.RunExperiment("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFig9VolumesShape(t *testing.T) {
+	env := testEnv(t)
+	_, vol, err := env.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows alternate code/data shipping per query; the code-shipping
+	// CVRF must be < 1 for Q1 and Q2 and > 1 for Q3.
+	cvrf := func(row []string) string { return row[len(row)-1] }
+	if !strings.HasPrefix(cvrf(vol.Rows[0]), "0.0") { // Q1 code ship
+		t.Errorf("Q1 code-ship CVRF = %s", cvrf(vol.Rows[0]))
+	}
+	if cvrf(vol.Rows[1]) != "1.000000" { // Q1 data ship
+		t.Errorf("Q1 data-ship CVRF = %s", cvrf(vol.Rows[1]))
+	}
+	if !strings.HasPrefix(cvrf(vol.Rows[4]), "3.9") && !strings.HasPrefix(cvrf(vol.Rows[4]), "4.0") { // Q3 code ship
+		t.Errorf("Q3 code-ship CVRF = %s", cvrf(vol.Rows[4]))
+	}
+}
+
+func TestRunStrategyLabels(t *testing.T) {
+	env := testEnv(t)
+	m, err := env.Run("SELECT time FROM Rasters", mocha.StrategyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Strategy != "auto" || m.Rows == 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tbl := Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"col", "longer header"},
+		Rows:   [][]string{{"a-very-long-cell", "x"}},
+	}
+	out := tbl.String()
+	for _, want := range []string{"=== demo ===", "a note", "longer header", "a-very-long-cell"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and separator lines align.
+	if len(lines) < 5 || len(lines[2]) != len(lines[3]) {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+}

@@ -1,0 +1,97 @@
+package catalog
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"mocha/internal/ops"
+)
+
+// RDF resource descriptions. Each catalog resource (view, type or
+// operator) carries an RDF/XML document describing its behaviour and
+// proper utilization, as in section 3.5 of the paper.
+
+// RDFDocument is a minimal RDF/XML wrapper.
+type RDFDocument struct {
+	XMLName     xml.Name       `xml:"RDF"`
+	XMLNSRDF    string         `xml:"xmlns,attr"`
+	XMLNSMocha  string         `xml:"xmlns-mocha,attr"`
+	Description RDFDescription `xml:"Description"`
+}
+
+// RDFDescription describes one resource.
+type RDFDescription struct {
+	About      string        `xml:"about,attr"`
+	Kind       string        `xml:"kind"` // "operator", "table", "type"
+	Name       string        `xml:"name"`
+	Version    string        `xml:"version,omitempty"`
+	Signature  string        `xml:"signature,omitempty"`
+	Aggregate  bool          `xml:"aggregate,omitempty"`
+	ResultSize string        `xml:"result-size,omitempty"`
+	Site       string        `xml:"site,omitempty"`
+	RowCount   int64         `xml:"row-count,omitempty"`
+	Properties []RDFProperty `xml:"property,omitempty"`
+}
+
+// RDFProperty is a free-form key/value annotation.
+type RDFProperty struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+func newRDF(about string) *RDFDocument {
+	return &RDFDocument{
+		XMLNSRDF:    "http://www.w3.org/1999/02/22-rdf-syntax-ns#",
+		XMLNSMocha:  "mocha://schema/1.0#",
+		Description: RDFDescription{About: about},
+	}
+}
+
+// OperatorRDF builds the RDF description of an operator definition.
+func OperatorRDF(d *ops.Def) ([]byte, error) {
+	doc := newRDF(d.URI)
+	doc.Description.Kind = "operator"
+	doc.Description.Name = d.Name
+	doc.Description.Version = d.Program().Version
+	doc.Description.Aggregate = d.Aggregate
+	sig := "("
+	for i, a := range d.Args {
+		if i > 0 {
+			sig += ", "
+		}
+		sig += a.String()
+	}
+	sig += ") -> " + d.Ret.String()
+	doc.Description.Signature = sig
+	if d.ResultBytes > 0 {
+		doc.Description.ResultSize = fmt.Sprintf("%d bytes", d.ResultBytes)
+	} else {
+		doc.Description.ResultSize = fmt.Sprintf("%.2fx input", d.ResultRatio)
+	}
+	return xml.MarshalIndent(doc, "", "  ")
+}
+
+// TableRDF builds the RDF description of a table definition.
+func TableRDF(t *TableDef) ([]byte, error) {
+	doc := newRDF(t.URI)
+	doc.Description.Kind = "table"
+	doc.Description.Name = t.Name
+	doc.Description.Site = t.Site
+	doc.Description.RowCount = t.Stats.RowCount
+	for _, c := range t.Schema.Columns {
+		doc.Description.Properties = append(doc.Description.Properties, RDFProperty{
+			Key:   "column:" + c.Name,
+			Value: c.Kind.String(),
+		})
+	}
+	return xml.MarshalIndent(doc, "", "  ")
+}
+
+// ParseRDF decodes an RDF document.
+func ParseRDF(data []byte) (*RDFDocument, error) {
+	var doc RDFDocument
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("catalog: parse RDF: %w", err)
+	}
+	return &doc, nil
+}

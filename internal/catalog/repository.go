@@ -1,0 +1,125 @@
+package catalog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mocha/internal/ops"
+	"mocha/internal/vm"
+)
+
+// Class is one deployable unit of middleware code: the MVM analogue of a
+// compiled Java class file stored in the well-known code repository of
+// section 3.6.
+type Class struct {
+	Name     string
+	Version  string
+	Checksum string
+	ModTime  time.Time
+	Blob     []byte // serialized vm.Program
+}
+
+// Repository is the well-known code repository: administrators register
+// classes here once, and the QPC deploys them to remote sites on demand.
+type Repository struct {
+	mu      sync.RWMutex
+	classes map[string]*Class
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{classes: make(map[string]*Class)}
+}
+
+// NewRepositoryFromRegistry registers every operator program of an
+// operator registry — the usual bootstrap for the builtin library.
+func NewRepositoryFromRegistry(reg *ops.Registry) *Repository {
+	r := NewRepository()
+	for _, name := range reg.Names() {
+		d, _ := reg.Lookup(name)
+		r.PutProgram(d.Program())
+	}
+	return r
+}
+
+// PutProgram registers (or upgrades) a compiled program.
+func (r *Repository) PutProgram(p *vm.Program) *Class {
+	cls := &Class{
+		Name:     p.Name,
+		Version:  p.Version,
+		Checksum: p.Checksum(),
+		ModTime:  time.Now(),
+		Blob:     p.Encode(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.classes[strings.ToLower(p.Name)] = cls
+	return cls
+}
+
+// Get resolves a class by name.
+func (r *Repository) Get(name string) (*Class, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c, ok := r.classes[strings.ToLower(name)]
+	return c, ok
+}
+
+// Names lists registered classes, sorted.
+func (r *Repository) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.classes))
+	for _, c := range r.classes {
+		out = append(out, c.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SaveDir writes each class blob as a .mvmc file in dir.
+func (r *Repository) SaveDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, c := range r.classes {
+		path := filepath.Join(dir, c.Name+".mvmc")
+		if err := os.WriteFile(path, c.Blob, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadDir registers every .mvmc file found in dir.
+func (r *Repository) LoadDir(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mvmc") {
+			continue
+		}
+		blob, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return err
+		}
+		p, err := vm.Decode(blob)
+		if err != nil {
+			return fmt.Errorf("catalog: class file %s: %w", e.Name(), err)
+		}
+		if err := vm.Verify(p); err != nil {
+			return fmt.Errorf("catalog: class file %s: %w", e.Name(), err)
+		}
+		r.PutProgram(p)
+	}
+	return nil
+}

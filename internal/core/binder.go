@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mocha/internal/catalog"
+	"mocha/internal/ops"
+	"mocha/internal/sqlparser"
+	"mocha/internal/types"
+)
+
+// opsDef abbreviates the operator definition type in binder signatures.
+type opsDef = *ops.Def
+
+// The binder resolves a parsed SELECT against the catalog into typed plan
+// expressions over a single "global" column space: the concatenation of
+// all referenced tables' schemas. The optimizer later splits this space
+// back into per-fragment inputs.
+
+// BoundTable is one resolved FROM entry.
+type BoundTable struct {
+	Ref    sqlparser.TableRef
+	Def    *catalog.TableDef
+	Offset int // first global column index of this table
+}
+
+// BoundItem is one resolved SELECT output.
+type BoundItem struct {
+	Name string
+	// Exactly one of Expr (scalar output) and Agg (aggregate output) is
+	// set.
+	Expr *PExpr
+	Agg  *AggSpec
+}
+
+// BoundPred is one resolved WHERE conjunct.
+type BoundPred struct {
+	Expr   *PExpr
+	Tables []int // referenced table indexes, sorted
+	// Equality joins (col = col across tables) are recognized for join
+	// planning.
+	EqJoin     bool
+	LTab, RTab int
+	LCol, RCol int // global column indexes
+}
+
+// BoundQuery is the binder's output.
+type BoundQuery struct {
+	SQL          string
+	Tables       []BoundTable
+	GlobalSchema types.Schema
+	Items        []BoundItem
+	Preds        []BoundPred
+	GroupBy      []int // global column indexes
+	OrderBy      []sqlparser.OrderKey
+	Limit        int
+	HasAggregate bool
+}
+
+type binder struct {
+	cat    *catalog.Catalog
+	tables []BoundTable
+	global types.Schema
+}
+
+// Bind resolves sel against the catalog.
+func Bind(sel *sqlparser.Select, cat *catalog.Catalog) (*BoundQuery, error) {
+	b := &binder{cat: cat}
+	for _, ref := range sel.From {
+		def, ok := cat.Table(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown table %q", ref.Name)
+		}
+		b.tables = append(b.tables, BoundTable{Ref: ref, Def: def, Offset: b.global.Arity()})
+		b.global.Columns = append(b.global.Columns, def.Schema.Columns...)
+	}
+
+	q := &BoundQuery{
+		SQL:    sel.String(),
+		Tables: b.tables, GlobalSchema: b.global,
+		OrderBy: sel.OrderBy, Limit: sel.Limit,
+	}
+
+	// GROUP BY columns first, so aggregate validation can use them.
+	groupSet := map[int]bool{}
+	for _, name := range sel.GroupBy {
+		idx, err := b.resolveColumn("", name)
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = append(q.GroupBy, idx)
+		groupSet[idx] = true
+	}
+
+	for _, item := range sel.Items {
+		if item.Star {
+			for gi, col := range b.global.Columns {
+				q.Items = append(q.Items, BoundItem{Name: col.Name, Expr: NewCol(gi, col.Kind)})
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			name = itemName(item.Expr)
+		}
+		// Aggregate at the top level of the item?
+		if call, ok := item.Expr.(*sqlparser.FuncCall); ok {
+			if def, found := cat.Ops().Lookup(call.Name); found && def.Aggregate {
+				agg, err := b.bindAggregate(call, def)
+				if err != nil {
+					return nil, err
+				}
+				agg.Name = name
+				q.Items = append(q.Items, BoundItem{Name: name, Agg: agg})
+				q.HasAggregate = true
+				continue
+			}
+		}
+		e, err := b.bindExpr(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		// Reject nested aggregates anywhere else.
+		var nested error
+		e.Walk(func(x *PExpr) {
+			if x.Kind == ExprCall {
+				if d, found := cat.Ops().Lookup(x.Func); found && d.Aggregate {
+					nested = fmt.Errorf("core: aggregate %s must be the top level of a select item", x.Func)
+				}
+			}
+		})
+		if nested != nil {
+			return nil, nested
+		}
+		q.Items = append(q.Items, BoundItem{Name: name, Expr: e})
+	}
+
+	// With aggregation, plain items must be grouping columns.
+	if q.HasAggregate || len(q.GroupBy) > 0 {
+		for _, it := range q.Items {
+			if it.Agg != nil {
+				continue
+			}
+			if it.Expr.Kind != ExprCol || !groupSet[it.Expr.Col] {
+				return nil, fmt.Errorf("core: output %q must be a GROUP BY column in an aggregate query", it.Name)
+			}
+		}
+		if !q.HasAggregate {
+			return nil, fmt.Errorf("core: GROUP BY without aggregate outputs is not supported")
+		}
+	}
+
+	for _, conj := range sqlparser.SplitConjuncts(sel.Where) {
+		e, err := b.bindExpr(conj)
+		if err != nil {
+			return nil, err
+		}
+		if e.Ret != types.KindBool {
+			return nil, fmt.Errorf("core: WHERE term %s is %v, want BOOL", e, e.Ret)
+		}
+		q.Preds = append(q.Preds, b.analyzePred(e))
+	}
+	return q, nil
+}
+
+func itemName(e sqlparser.Expr) string {
+	if c, ok := e.(*sqlparser.ColumnRef); ok {
+		return c.Name
+	}
+	return e.String()
+}
+
+// analyzePred computes referenced tables and recognizes equality joins.
+func (b *binder) analyzePred(e *PExpr) BoundPred {
+	p := BoundPred{Expr: e}
+	seen := map[int]bool{}
+	e.Walk(func(x *PExpr) {
+		if x.Kind == ExprCol {
+			t := b.tableOfGlobal(x.Col)
+			if !seen[t] {
+				seen[t] = true
+				p.Tables = append(p.Tables, t)
+			}
+		}
+	})
+	sortInts(p.Tables)
+	if e.Kind == ExprBinop && e.Op == "=" &&
+		e.Args[0].Kind == ExprCol && e.Args[1].Kind == ExprCol {
+		lt, rt := b.tableOfGlobal(e.Args[0].Col), b.tableOfGlobal(e.Args[1].Col)
+		if lt != rt {
+			p.EqJoin = true
+			p.LTab, p.RTab = lt, rt
+			p.LCol, p.RCol = e.Args[0].Col, e.Args[1].Col
+			if lt > rt {
+				p.LTab, p.RTab = rt, lt
+				p.LCol, p.RCol = p.RCol, p.LCol
+			}
+		}
+	}
+	return p
+}
+
+func (b *binder) tableOfGlobal(col int) int {
+	for i := len(b.tables) - 1; i >= 0; i-- {
+		if col >= b.tables[i].Offset {
+			return i
+		}
+	}
+	return 0
+}
+
+func (b *binder) resolveColumn(table, name string) (int, error) {
+	if table != "" {
+		for _, t := range b.tables {
+			if strings.EqualFold(t.Ref.Alias, table) || strings.EqualFold(t.Ref.Name, table) {
+				ci := t.Def.Schema.ColumnIndex(name)
+				if ci < 0 {
+					return 0, fmt.Errorf("core: table %s has no column %q", t.Ref.Name, name)
+				}
+				return t.Offset + ci, nil
+			}
+		}
+		return 0, fmt.Errorf("core: unknown table qualifier %q", table)
+	}
+	found := -1
+	for _, t := range b.tables {
+		if ci := t.Def.Schema.ColumnIndex(name); ci >= 0 {
+			if found >= 0 {
+				return 0, fmt.Errorf("core: column %q is ambiguous", name)
+			}
+			found = t.Offset + ci
+		}
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("core: unknown column %q", name)
+	}
+	return found, nil
+}
+
+func (b *binder) bindExpr(e sqlparser.Expr) (*PExpr, error) {
+	switch x := e.(type) {
+	case *sqlparser.ColumnRef:
+		idx, err := b.resolveColumn(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return NewCol(idx, b.global.Columns[idx].Kind), nil
+	case sqlparser.IntLit:
+		if int64(int32(x)) == int64(x) {
+			return NewConst(types.Int(int32(x))), nil
+		}
+		return NewConst(types.Double(float64(x))), nil
+	case sqlparser.FloatLit:
+		return NewConst(types.Double(float64(x))), nil
+	case sqlparser.StringLit:
+		return NewConst(types.String_(string(x))), nil
+	case sqlparser.BoolLit:
+		return NewConst(types.Bool(bool(x))), nil
+	case *sqlparser.FuncCall:
+		def, ok := b.cat.Ops().Lookup(x.Name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown operator %q", x.Name)
+		}
+		if def.Aggregate {
+			return nil, fmt.Errorf("core: aggregate %s used as a scalar", def.Name)
+		}
+		if len(x.Args) != len(def.Args) {
+			return nil, fmt.Errorf("core: %s takes %d arguments, got %d", def.Name, len(def.Args), len(x.Args))
+		}
+		call := &PExpr{Kind: ExprCall, Func: def.Name, Ret: def.Ret}
+		for i, argAST := range x.Args {
+			arg, err := b.bindExpr(argAST)
+			if err != nil {
+				return nil, err
+			}
+			arg, err = coerceArg(def.Name, i, arg, def.Args[i], def.Polymorphic)
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+		}
+		return call, nil
+	case *sqlparser.Binary:
+		l, err := b.bindExpr(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindExpr(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return typeBinop(x.Op, l, r)
+	case *sqlparser.Unary:
+		arg, err := b.bindExpr(x.X)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			if arg.Ret != types.KindBool {
+				return nil, fmt.Errorf("core: NOT on %v", arg.Ret)
+			}
+			return &PExpr{Kind: ExprUnary, Op: "NOT", Ret: types.KindBool, Args: []*PExpr{arg}}, nil
+		case "-":
+			if arg.Ret != types.KindInt && arg.Ret != types.KindDouble {
+				return nil, fmt.Errorf("core: negation of %v", arg.Ret)
+			}
+			return &PExpr{Kind: ExprUnary, Op: "-", Ret: arg.Ret, Args: []*PExpr{arg}}, nil
+		}
+		return nil, fmt.Errorf("core: unknown unary op %q", x.Op)
+	}
+	return nil, fmt.Errorf("core: cannot bind %T", e)
+}
+
+// coerceArg checks (and when possible promotes) an argument against the
+// declared parameter kind.
+func coerceArg(fn string, i int, arg *PExpr, want types.Kind, polymorphic bool) (*PExpr, error) {
+	if polymorphic || arg.Ret == want {
+		return arg, nil
+	}
+	if want == types.KindDouble && arg.Ret == types.KindInt {
+		return &PExpr{Kind: ExprUnary, Op: "F64", Ret: types.KindDouble, Args: []*PExpr{arg}}, nil
+	}
+	return nil, fmt.Errorf("core: %s argument %d is %v, want %v", fn, i+1, arg.Ret, want)
+}
+
+func (b *binder) bindAggregate(call *sqlparser.FuncCall, def opsDef) (*AggSpec, error) {
+	if len(call.Args) != len(def.Args) {
+		return nil, fmt.Errorf("core: %s takes %d arguments, got %d", def.Name, len(def.Args), len(call.Args))
+	}
+	agg := &AggSpec{Func: def.Name, Ret: def.Ret}
+	for i, argAST := range call.Args {
+		arg, err := b.bindExpr(argAST)
+		if err != nil {
+			return nil, err
+		}
+		arg, err = coerceArg(def.Name, i, arg, def.Args[i], def.Polymorphic)
+		if err != nil {
+			return nil, err
+		}
+		agg.Args = append(agg.Args, arg)
+	}
+	return agg, nil
+}
+
+func typeBinop(op string, l, r *PExpr) (*PExpr, error) {
+	numeric := func(k types.Kind) bool { return k == types.KindInt || k == types.KindDouble }
+	e := &PExpr{Kind: ExprBinop, Op: op, Args: []*PExpr{l, r}}
+	switch op {
+	case "+", "-", "*", "/", "%":
+		if !numeric(l.Ret) || !numeric(r.Ret) {
+			return nil, fmt.Errorf("core: %s on %v and %v", op, l.Ret, r.Ret)
+		}
+		if l.Ret == types.KindInt && r.Ret == types.KindInt {
+			e.Ret = types.KindInt
+		} else {
+			if op == "%" {
+				return nil, fmt.Errorf("core: %% needs integer operands")
+			}
+			e.Ret = types.KindDouble
+		}
+	case "=", "<>", "<", "<=", ">", ">=":
+		comparable := l.Ret == r.Ret || (numeric(l.Ret) && numeric(r.Ret))
+		if !comparable {
+			return nil, fmt.Errorf("core: comparison of %v and %v", l.Ret, r.Ret)
+		}
+		if l.Ret.IsLarge() && l.Ret != types.KindString {
+			return nil, fmt.Errorf("core: cannot compare large %v values directly", l.Ret)
+		}
+		e.Ret = types.KindBool
+	case "AND", "OR":
+		if l.Ret != types.KindBool || r.Ret != types.KindBool {
+			return nil, fmt.Errorf("core: %s on %v and %v", op, l.Ret, r.Ret)
+		}
+		e.Ret = types.KindBool
+	default:
+		return nil, fmt.Errorf("core: unknown operator %q", op)
+	}
+	return e, nil
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

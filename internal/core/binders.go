@@ -1,0 +1,36 @@
+package core
+
+import (
+	"fmt"
+
+	"mocha/internal/ops"
+	"mocha/internal/types"
+)
+
+// NativeBinder is the QPC's operator binder: it resolves names against
+// the locally linked operator library's native implementations.
+type NativeBinder struct {
+	Reg *ops.Registry
+}
+
+// BindScalar implements OpBinder.
+func (b NativeBinder) BindScalar(name string, _ types.Kind) (ScalarFn, error) {
+	d, ok := b.Reg.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: operator %q not in library", name)
+	}
+	s, err := ops.NewNativeScalar(d)
+	if err != nil {
+		return nil, err
+	}
+	return s.Call, nil
+}
+
+// BindAggregate implements OpBinder.
+func (b NativeBinder) BindAggregate(name string, _ types.Kind) (AggFn, error) {
+	d, ok := b.Reg.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("core: aggregate %q not in library", name)
+	}
+	return ops.NewNativeAggregate(d)
+}

@@ -1,0 +1,170 @@
+// Package core implements MOCHA's query processing framework (section 4):
+// plan expressions, plan fragments exchanged as XML documents, the Volume
+// Reduction Factor cost model, and the operator-placement optimizer that
+// decides — per user-defined operator — whether to code-ship it to the
+// DAP or evaluate it at the QPC under data shipping.
+package core
+
+import (
+	"encoding/base64"
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"mocha/internal/types"
+)
+
+// ExprKind discriminates plan expression nodes.
+type ExprKind string
+
+// Plan expression node kinds.
+const (
+	ExprCol   ExprKind = "col"   // input column reference
+	ExprConst ExprKind = "const" // literal
+	ExprCall  ExprKind = "call"  // user-defined scalar operator
+	ExprBinop ExprKind = "binop" // arithmetic/comparison/logic
+	ExprUnary ExprKind = "unary" // "-" or "NOT"
+)
+
+// PExpr is a typed, serializable plan expression over some input schema.
+// Fragments carry PExprs to remote DAPs inside XML plan documents.
+type PExpr struct {
+	Kind  ExprKind
+	Col   int
+	Const types.Object
+	Op    string // binop: + - * / % = <> < <= > >= AND OR; unary: - NOT
+	Func  string // call: operator name
+	Ret   types.Kind
+	Args  []*PExpr
+}
+
+// NewCol builds a column reference.
+func NewCol(idx int, ret types.Kind) *PExpr {
+	return &PExpr{Kind: ExprCol, Col: idx, Ret: ret}
+}
+
+// NewConst builds a literal.
+func NewConst(v types.Object) *PExpr {
+	return &PExpr{Kind: ExprConst, Const: v, Ret: v.Kind()}
+}
+
+// String renders the expression for diagnostics.
+func (e *PExpr) String() string {
+	switch e.Kind {
+	case ExprCol:
+		return fmt.Sprintf("$%d", e.Col)
+	case ExprConst:
+		return e.Const.String()
+	case ExprCall:
+		parts := make([]string, len(e.Args))
+		for i, a := range e.Args {
+			parts[i] = a.String()
+		}
+		return e.Func + "(" + strings.Join(parts, ", ") + ")"
+	case ExprBinop:
+		return "(" + e.Args[0].String() + " " + e.Op + " " + e.Args[1].String() + ")"
+	case ExprUnary:
+		return e.Op + " " + e.Args[0].String()
+	}
+	return "?"
+}
+
+// Walk visits e and its sub-expressions pre-order.
+func (e *PExpr) Walk(fn func(*PExpr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	for _, a := range e.Args {
+		a.Walk(fn)
+	}
+}
+
+// Columns returns the distinct input columns the expression reads.
+func (e *PExpr) Columns() []int {
+	seen := map[int]bool{}
+	var out []int
+	e.Walk(func(x *PExpr) {
+		if x.Kind == ExprCol && !seen[x.Col] {
+			seen[x.Col] = true
+			out = append(out, x.Col)
+		}
+	})
+	return out
+}
+
+// Rewrite returns a structurally rewritten copy: fn is applied bottom-up
+// and may return a replacement node.
+func (e *PExpr) Rewrite(fn func(*PExpr) *PExpr) *PExpr {
+	if e == nil {
+		return nil
+	}
+	c := *e
+	if len(e.Args) > 0 {
+		c.Args = make([]*PExpr, len(e.Args))
+		for i, a := range e.Args {
+			c.Args[i] = a.Rewrite(fn)
+		}
+	}
+	return fn(&c)
+}
+
+// exprXML is the wire form of a PExpr.
+type exprXML struct {
+	XMLName   xml.Name  `xml:"expr"`
+	Kind      string    `xml:"kind,attr"`
+	Col       int       `xml:"col,attr"`
+	Op        string    `xml:"op,attr,omitempty"`
+	Func      string    `xml:"func,attr,omitempty"`
+	Ret       string    `xml:"ret,attr"`
+	ConstKind string    `xml:"const-kind,attr,omitempty"`
+	ConstData string    `xml:"const-data,attr,omitempty"`
+	Args      []exprXML `xml:"expr"`
+}
+
+func exprToXML(e *PExpr) exprXML {
+	x := exprXML{Kind: string(e.Kind), Col: e.Col, Op: e.Op, Func: e.Func, Ret: e.Ret.String()}
+	if e.Kind == ExprConst {
+		x.ConstKind = e.Const.Kind().String()
+		x.ConstData = base64.StdEncoding.EncodeToString(e.Const.AppendTo(nil))
+	}
+	for _, a := range e.Args {
+		x.Args = append(x.Args, exprToXML(a))
+	}
+	return x
+}
+
+func exprFromXML(x exprXML) (*PExpr, error) {
+	ret, ok := types.KindByName(x.Ret)
+	if !ok {
+		return nil, fmt.Errorf("core: expr has unknown return kind %q", x.Ret)
+	}
+	e := &PExpr{Kind: ExprKind(x.Kind), Col: x.Col, Op: x.Op, Func: x.Func, Ret: ret}
+	switch e.Kind {
+	case ExprCol, ExprCall, ExprBinop, ExprUnary:
+	case ExprConst:
+		ck, ok := types.KindByName(x.ConstKind)
+		if !ok {
+			return nil, fmt.Errorf("core: const has unknown kind %q", x.ConstKind)
+		}
+		data, err := base64.StdEncoding.DecodeString(x.ConstData)
+		if err != nil {
+			return nil, fmt.Errorf("core: const payload: %w", err)
+		}
+		v, err := types.FromPayload(ck, data)
+		if err != nil {
+			return nil, fmt.Errorf("core: const payload: %w", err)
+		}
+		e.Const = v
+	default:
+		return nil, fmt.Errorf("core: unknown expr kind %q", x.Kind)
+	}
+	for _, ax := range x.Args {
+		a, err := exprFromXML(ax)
+		if err != nil {
+			return nil, err
+		}
+		e.Args = append(e.Args, a)
+	}
+	return e, nil
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"mocha/internal/types"
+)
+
+// countingBinder counts operator invocations, to verify per-tuple
+// common-subexpression sharing.
+type countingBinder struct {
+	calls map[string]*int
+}
+
+func (b *countingBinder) BindScalar(name string, _ types.Kind) (ScalarFn, error) {
+	n := new(int)
+	if b.calls == nil {
+		b.calls = map[string]*int{}
+	}
+	if existing, ok := b.calls[name]; ok {
+		n = existing
+	} else {
+		b.calls[name] = n
+	}
+	return func(args []types.Object) (types.Object, error) {
+		*n++
+		sum := 0.0
+		for _, a := range args {
+			if d, ok := a.(types.Double); ok {
+				sum += float64(d)
+			}
+			if r, ok := a.(types.Raster); ok {
+				sum += r.AvgEnergy()
+			}
+		}
+		return types.Double(sum), nil
+	}, nil
+}
+
+func (b *countingBinder) BindAggregate(string, types.Kind) (AggFn, error) {
+	return nil, nil
+}
+
+func TestMemoSharesCallsWithinTuple(t *testing.T) {
+	// Two expressions both invoking F($0): a predicate-like comparison
+	// and a bare projection.
+	call := &PExpr{Kind: ExprCall, Func: "F", Ret: types.KindDouble,
+		Args: []*PExpr{NewCol(0, types.KindDouble)}}
+	pred := &PExpr{Kind: ExprBinop, Op: "<", Ret: types.KindBool,
+		Args: []*PExpr{call, NewConst(types.Double(100))}}
+
+	b := &countingBinder{}
+	memo := NewMemo()
+	predFn, err := CompileExprMemo(pred, b, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	projFn, err := CompileExprMemo(call, b, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tup := types.Tuple{types.Double(7)}
+	if _, err := predFn(tup); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := projFn(tup); err != nil || v.(types.Double) != 7 {
+		t.Fatalf("proj = %v, %v", v, err)
+	}
+	if got := *b.calls["F"]; got != 1 {
+		t.Errorf("F invoked %d times for one tuple, want 1 (memoized)", got)
+	}
+
+	// Next tuple: the memo resets, F runs again with the new value.
+	memo.Reset()
+	tup2 := types.Tuple{types.Double(9)}
+	if v, _ := projFn(tup2); v.(types.Double) != 9 {
+		t.Errorf("memo leaked a stale value: %v", v)
+	}
+	if got := *b.calls["F"]; got != 2 {
+		t.Errorf("F invoked %d times total, want 2", got)
+	}
+}
+
+func TestMemoLargeArgumentsKeyByIdentity(t *testing.T) {
+	r := types.NewRaster(16, 16, make([]byte, 256))
+	call := &PExpr{Kind: ExprCall, Func: "F", Ret: types.KindDouble,
+		Args: []*PExpr{NewCol(0, types.KindRaster)}}
+	b := &countingBinder{}
+	memo := NewMemo()
+	fn, err := CompileExprMemo(call, b, memo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := types.Tuple{r}
+	fn(tup)
+	fn(tup)
+	if got := *b.calls["F"]; got != 1 {
+		t.Errorf("same raster evaluated %d times, want 1", got)
+	}
+	// A different raster with equal length must NOT hit the cache (keyed
+	// by identity, so a distinct backing slice is a miss).
+	r2 := types.NewRaster(16, 16, make([]byte, 256))
+	fn(types.Tuple{r2})
+	if got := *b.calls["F"]; got != 2 {
+		t.Errorf("distinct raster reused cache entry: %d calls", got)
+	}
+}
+
+func TestMemoNilFallsBackToPlainCompile(t *testing.T) {
+	call := &PExpr{Kind: ExprCall, Func: "F", Ret: types.KindDouble,
+		Args: []*PExpr{NewCol(0, types.KindDouble)}}
+	b := &countingBinder{}
+	fn, err := CompileExprMemo(call, b, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tup := types.Tuple{types.Double(1)}
+	fn(tup)
+	fn(tup)
+	if got := *b.calls["F"]; got != 2 {
+		t.Errorf("nil memo should not cache: %d calls", got)
+	}
+}

@@ -1,0 +1,941 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mocha/internal/catalog"
+	"mocha/internal/types"
+)
+
+// Strategy selects the operator-placement policy. The evaluation of the
+// paper compares forced code shipping against forced data shipping and
+// shows the VRF-based automatic policy always matches the winner.
+type Strategy int
+
+// Placement strategies.
+const (
+	// StrategyAuto places each operator by its VRF: data-reducing
+	// operators go to the DAPs, data-inflating ones stay at the QPC.
+	StrategyAuto Strategy = iota
+	// StrategyCodeShip forces every single-table operator to the DAPs.
+	StrategyCodeShip
+	// StrategyDataShip forces every operator to the QPC; DAPs only
+	// extract attributes (the behaviour of gateway/wrapper middleware).
+	StrategyDataShip
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyAuto:
+		return "auto"
+	case StrategyCodeShip:
+		return "code-shipping"
+	case StrategyDataShip:
+		return "data-shipping"
+	}
+	return "unknown"
+}
+
+// Optimizer builds physical plans from bound queries.
+type Optimizer struct {
+	Cat      *catalog.Catalog
+	Strategy Strategy
+	Model    CostModel
+}
+
+// NewOptimizer returns an optimizer with the default cost model.
+func NewOptimizer(cat *catalog.Catalog) *Optimizer {
+	return &Optimizer{Cat: cat, Model: DefaultCostModel()}
+}
+
+// colInfo describes one column of the planner's extended column space:
+// the global source columns plus "virtual" columns created for operator
+// results pushed to DAPs.
+type colInfo struct {
+	table    int
+	name     string
+	kind     types.Kind
+	avgBytes int
+	virt     *PExpr // nil for source columns; else expr over source space
+}
+
+type planner struct {
+	opt     *Optimizer
+	q       *BoundQuery
+	cols    []colInfo
+	virtKey map[string]int
+
+	// Per-table working state.
+	dapPreds  [][]*PExpr      // predicates placed at each table's DAP
+	dapPlace  [][]OpPlacement // their placement stats (parallel)
+	qpcPreds  []*PExpr        // predicates placed at the QPC (extended space)
+	items     []BoundItem     // rewritten items
+	aggsAtQPC []AggSpec       // aggregation if kept at QPC (extended space)
+	groupBy   []int
+	pushAgg   bool
+}
+
+// Plan builds the physical plan for a bound query.
+func (o *Optimizer) Plan(q *BoundQuery) (*Plan, error) {
+	p := &planner{opt: o, q: q, virtKey: make(map[string]int)}
+	for ti, bt := range q.Tables {
+		for _, col := range bt.Def.Schema.Columns {
+			p.cols = append(p.cols, colInfo{
+				table:    ti,
+				name:     col.Name,
+				kind:     col.Kind,
+				avgBytes: colAvgBytes(col, bt.Def.Stats),
+			})
+		}
+	}
+	p.dapPreds = make([][]*PExpr, len(q.Tables))
+	p.dapPlace = make([][]OpPlacement, len(q.Tables))
+	return p.build()
+}
+
+func (p *planner) tableStats(ti int) catalog.TableStats { return p.q.Tables[ti].Def.Stats }
+
+// statsSchema builds a pseudo-schema over the extended space so the VRF
+// helpers can size expressions; names map virtuals to their own stats.
+func (p *planner) extSchema() types.Schema {
+	s := types.Schema{Columns: make([]types.Column, len(p.cols))}
+	for i, c := range p.cols {
+		s.Columns[i] = types.Column{Name: c.name, Kind: c.kind}
+	}
+	return s
+}
+
+// extStats returns a TableStats covering the extended space for table ti.
+func (p *planner) extStats(ti int) catalog.TableStats {
+	st := catalog.TableStats{RowCount: p.tableStats(ti).RowCount}
+	for _, c := range p.cols {
+		if c.table == ti {
+			st.Columns = append(st.Columns, catalog.ColumnStats{Name: c.name, AvgBytes: c.avgBytes})
+		}
+	}
+	return st
+}
+
+// exprTable returns the single table an expression touches, or -1 when it
+// touches zero or several.
+func (p *planner) exprTable(e *PExpr) int {
+	t := -2
+	for _, c := range e.Columns() {
+		ct := p.cols[c].table
+		if t == -2 {
+			t = ct
+		} else if t != ct {
+			return -1
+		}
+	}
+	if t == -2 {
+		return -1
+	}
+	return t
+}
+
+// inlineVirtuals replaces virtual column references with their defining
+// expressions, yielding an expression purely over source columns.
+func (p *planner) inlineVirtuals(e *PExpr) *PExpr {
+	return e.Rewrite(func(x *PExpr) *PExpr {
+		if x.Kind == ExprCol && p.cols[x.Col].virt != nil {
+			return p.inlineVirtuals(p.cols[x.Col].virt)
+		}
+		return x
+	})
+}
+
+// pushCalls rewrites an expression, replacing each maximal single-table
+// call whose placement policy chooses the DAP with a virtual column
+// reference. This is how AvgEnergy(R1.image) inside a cross-site Diff()
+// gets decomposed: the inner call ships to R1's DAP, the outer Diff stays
+// at the QPC reading the 8-byte virtual column.
+func (p *planner) pushCalls(e *PExpr) *PExpr {
+	return e.Rewrite(func(x *PExpr) *PExpr {
+		if x.Kind != ExprCall {
+			return x
+		}
+		full := p.inlineVirtuals(x)
+		ti := p.exprTable(full)
+		if ti < 0 {
+			return x
+		}
+		if !p.shouldPushCall(full, ti) {
+			return x
+		}
+		return NewCol(p.addVirtual(ti, full), full.Ret)
+	})
+}
+
+func (p *planner) shouldPushCall(call *PExpr, ti int) bool {
+	switch p.opt.Strategy {
+	case StrategyCodeShip:
+		return true
+	case StrategyDataShip:
+		return false
+	}
+	place := projectionPlacement(call, p.extSchema(), p.extStats(ti), p.opt.Cat.Ops())
+	return place.VRF < 1
+}
+
+// addVirtual registers (or reuses) a virtual column for a pushed
+// expression.
+func (p *planner) addVirtual(ti int, expr *PExpr) int {
+	key := fmt.Sprintf("%d|%s", ti, expr.String())
+	if idx, ok := p.virtKey[key]; ok {
+		return idx
+	}
+	argBytes := exprArgBytes(expr, p.extSchema(), p.extStats(ti))
+	resBytes := callResultBytes(expr, p.opt.Cat.Ops(), argBytes)
+	if resBytes <= 0 {
+		resBytes = 8
+	}
+	idx := len(p.cols)
+	p.cols = append(p.cols, colInfo{
+		table:    ti,
+		name:     fmt.Sprintf("_v%d", len(p.virtKey)),
+		kind:     expr.Ret,
+		avgBytes: resBytes,
+		virt:     expr,
+	})
+	p.virtKey[key] = idx
+	return idx
+}
+
+func (p *planner) build() (*Plan, error) {
+	q := p.q
+
+	// Step 1: decide whole-query aggregation placement (section 3.8
+	// aggregates are evaluated wherever the plan puts them; with tables
+	// unpartitioned, a pushed aggregation is complete at the DAP).
+	p.groupBy = q.GroupBy
+	if q.HasAggregate {
+		if len(q.Tables) != 1 {
+			p.pushAgg = false // aggregation over joins runs at the QPC
+		} else {
+			var aggs []AggSpec
+			for _, it := range q.Items {
+				if it.Agg != nil {
+					aggs = append(aggs, *it.Agg)
+				}
+			}
+			var keyBytes int
+			for _, g := range q.GroupBy {
+				keyBytes += p.cols[g].avgBytes
+			}
+			switch p.opt.Strategy {
+			case StrategyCodeShip:
+				p.pushAgg = true
+			case StrategyDataShip:
+				p.pushAgg = false
+			default:
+				place := aggregatePlacement(aggs, keyBytes, p.extSchema(), p.extStats(0), p.opt.Model, p.opt.Cat.Ops())
+				p.pushAgg = place.VRF < 1
+			}
+		}
+	}
+
+	// Step 2: decompose scalar expressions, creating virtual columns for
+	// pushed calls.
+	p.items = make([]BoundItem, len(q.Items))
+	for i, it := range q.Items {
+		p.items[i] = it
+		if it.Expr != nil {
+			p.items[i].Expr = p.pushCalls(it.Expr)
+		}
+		if it.Agg != nil && !p.pushAgg {
+			agg := *it.Agg
+			agg.Args = make([]*PExpr, len(it.Agg.Args))
+			for j, a := range it.Agg.Args {
+				agg.Args[j] = p.pushCalls(a)
+			}
+			p.items[i].Agg = &agg
+			p.aggsAtQPC = append(p.aggsAtQPC, agg)
+		}
+	}
+
+	// Step 3: place predicates.
+	var multiPreds []BoundPred
+	var joinPreds []BoundPred
+	for _, pred := range q.Preds {
+		switch {
+		case pred.EqJoin:
+			joinPreds = append(joinPreds, pred)
+		case len(pred.Tables) == 1:
+			p.placeSingleTablePred(pred)
+		default:
+			multiPreds = append(multiPreds, pred)
+		}
+	}
+	for _, pred := range multiPreds {
+		p.qpcPreds = append(p.qpcPreds, p.pushCalls(pred.Expr))
+	}
+
+	// Step 4: build fragments in join order. Equality predicates not
+	// consumed as join steps (composite keys, redundant equalities)
+	// become ordinary QPC filters.
+	order, steps, leftover, err := p.orderJoins(joinPreds)
+	if err != nil {
+		return nil, err
+	}
+	for _, pred := range leftover {
+		p.qpcPreds = append(p.qpcPreds, p.pushCalls(pred.Expr))
+	}
+	plan := &Plan{SQL: q.SQL, Limit: q.Limit}
+
+	type colMap struct {
+		source map[int]int // extended col idx -> combined idx
+	}
+	combined := colMap{source: map[int]int{}}
+	fragOfTable := make([]int, len(q.Tables))
+
+	semiJoin := p.wantSemiJoin(order, joinPreds)
+
+	for fi, ti := range order {
+		frag, outCols, err := p.buildFragment(ti, semiJoin, joinPreds)
+		if err != nil {
+			return nil, err
+		}
+		fragOfTable[ti] = fi
+		base := plan.CombinedSchema.Arity()
+		for pos, ext := range outCols {
+			if ext >= 0 {
+				combined.source[ext] = base + pos
+			}
+		}
+		plan.CombinedSchema.Columns = append(plan.CombinedSchema.Columns, frag.OutSchema.Columns...)
+		plan.Fragments = append(plan.Fragments, frag)
+	}
+
+	// Join steps: rewrite eq columns into combined/right-fragment space.
+	for _, st := range steps {
+		right := fragOfTable[st.rightTable]
+		lc, ok := combined.source[st.leftCol]
+		if !ok {
+			return nil, fmt.Errorf("core: join column %d not shipped", st.leftCol)
+		}
+		rcCombined, ok := combined.source[st.rightCol]
+		if !ok {
+			return nil, fmt.Errorf("core: join column %d not shipped", st.rightCol)
+		}
+		// Right column is relative to the right fragment's output.
+		rbase := 0
+		for i := 0; i < right; i++ {
+			rbase += plan.Fragments[i].OutSchema.Arity()
+		}
+		plan.Joins = append(plan.Joins, JoinStep{
+			RightFrag: right,
+			LeftCol:   lc,
+			RightCol:  rcCombined - rbase,
+		})
+	}
+
+	remap := func(e *PExpr) (*PExpr, error) {
+		var missing error
+		out := e.Rewrite(func(x *PExpr) *PExpr {
+			if x.Kind == ExprCol {
+				ci, ok := combined.source[x.Col]
+				if !ok {
+					missing = fmt.Errorf("core: column %s not available at QPC", p.cols[x.Col].name)
+					return x
+				}
+				return NewCol(ci, x.Ret)
+			}
+			return x
+		})
+		return out, missing
+	}
+
+	// Step 5: QPC-side predicates.
+	for _, e := range p.qpcPreds {
+		re, err := remap(e)
+		if err != nil {
+			return nil, err
+		}
+		plan.Predicates = append(plan.Predicates, re)
+	}
+
+	// Step 6: QPC-side aggregation.
+	projInput := plan.CombinedSchema
+	if len(p.aggsAtQPC) > 0 {
+		for _, g := range p.groupBy {
+			ci, ok := combined.source[g]
+			if !ok {
+				return nil, fmt.Errorf("core: GROUP BY column not shipped")
+			}
+			plan.GroupBy = append(plan.GroupBy, ci)
+		}
+		for _, a := range p.aggsAtQPC {
+			ra := a
+			ra.Args = make([]*PExpr, len(a.Args))
+			for j, arg := range a.Args {
+				e, err := remap(arg)
+				if err != nil {
+					return nil, err
+				}
+				ra.Args[j] = e
+			}
+			plan.Aggregates = append(plan.Aggregates, ra)
+		}
+		// Aggregation output schema: group columns then aggregates.
+		projInput = types.Schema{}
+		for _, g := range plan.GroupBy {
+			projInput.Columns = append(projInput.Columns, plan.CombinedSchema.Columns[g])
+		}
+		for _, a := range plan.Aggregates {
+			projInput.Columns = append(projInput.Columns, types.Column{Name: a.Name, Kind: a.Ret})
+		}
+	}
+
+	// Step 7: final projections and result schema.
+	aggPos := func(name string) int { return projInput.ColumnIndex(name) }
+	for _, it := range p.items {
+		var out Output
+		switch {
+		case it.Agg != nil && len(p.aggsAtQPC) > 0:
+			idx := aggPos(it.Agg.Name)
+			if idx < 0 {
+				return nil, fmt.Errorf("core: aggregate output %q lost", it.Name)
+			}
+			out = Output{Name: it.Name, Expr: NewCol(idx, it.Agg.Ret)}
+		case it.Agg != nil:
+			// Aggregation pushed: the DAP emits it as a column.
+			ci := projInput.ColumnIndex(it.Name)
+			if ci < 0 {
+				return nil, fmt.Errorf("core: pushed aggregate %q missing from fragment output", it.Name)
+			}
+			out = Output{Name: it.Name, Expr: NewCol(ci, it.Agg.Ret)}
+		default:
+			e := it.Expr
+			if len(p.aggsAtQPC) > 0 {
+				// Input is the aggregated schema: group columns by name.
+				if e.Kind != ExprCol {
+					return nil, fmt.Errorf("core: non-column output %q in aggregate query", it.Name)
+				}
+				ci := projInput.ColumnIndex(p.cols[e.Col].name)
+				if ci < 0 {
+					return nil, fmt.Errorf("core: group column %q lost", it.Name)
+				}
+				out = Output{Name: it.Name, Expr: NewCol(ci, e.Ret)}
+			} else {
+				re, err := remap(e)
+				if err != nil {
+					return nil, err
+				}
+				out = Output{Name: it.Name, Expr: re}
+			}
+		}
+		plan.Projections = append(plan.Projections, out)
+		plan.ResultSchema.Columns = append(plan.ResultSchema.Columns, types.Column{Name: it.Name, Kind: out.Expr.Ret})
+	}
+
+	// Step 8: ORDER BY over the result schema.
+	for _, key := range q.OrderBy {
+		idx := plan.ResultSchema.ColumnIndex(key.Column)
+		if idx < 0 {
+			return nil, fmt.Errorf("core: ORDER BY column %q is not an output", key.Column)
+		}
+		plan.OrderBy = append(plan.OrderBy, OrderSpec{Col: idx, Desc: key.Desc})
+	}
+
+	// LIMIT pushdown: with a single fragment, no QPC-side filtering,
+	// aggregation or ordering, the DAP can stop producing early.
+	if plan.Limit > 0 && len(plan.Fragments) == 1 && len(plan.Joins) == 0 &&
+		len(plan.Predicates) == 0 && len(plan.Aggregates) == 0 &&
+		len(plan.Fragments[0].Aggregates) == 0 && len(plan.OrderBy) == 0 {
+		plan.Fragments[0].Limit = plan.Limit
+	}
+
+	p.estimate(plan, order)
+	return plan, nil
+}
+
+// placeSingleTablePred decides where one single-table predicate runs.
+func (p *planner) placeSingleTablePred(pred BoundPred) {
+	ti := pred.Tables[0]
+	if p.opt.Strategy == StrategyDataShip {
+		p.qpcPreds = append(p.qpcPreds, p.pushCalls(pred.Expr))
+		return
+	}
+	inlined := p.inlineVirtuals(pred.Expr)
+	place := p.predVRF(inlined, ti)
+	if p.opt.Strategy == StrategyCodeShip || place.VRF < 1 {
+		p.dapPreds[ti] = append(p.dapPreds[ti], inlined)
+		p.dapPlace[ti] = append(p.dapPlace[ti], place)
+		return
+	}
+	p.qpcPreds = append(p.qpcPreds, p.pushCalls(pred.Expr))
+}
+
+// predVRF computes the placement stats for a predicate over table ti.
+func (p *planner) predVRF(e *PExpr, ti int) OpPlacement {
+	// Approximate the shipped row as the columns the QPC side currently
+	// needs from this table (raw outputs of the fragment).
+	needed := p.neededAtQPC(ti)
+	var outBytes, argOnly int
+	for col := range needed {
+		outBytes += p.cols[col].avgBytes
+	}
+	for _, col := range e.Columns() {
+		if !needed[col] && p.cols[col].table == ti {
+			argOnly += p.cols[col].avgBytes
+		}
+	}
+	return predicatePlacement(e, p.q.Tables[ti].Def.Name, outBytes, argOnly, p.opt.Cat)
+}
+
+// neededAtQPC returns the extended columns of table ti the QPC stage
+// references (items, QPC preds, QPC agg args, group-bys and join keys).
+func (p *planner) neededAtQPC(ti int) map[int]bool {
+	needed := map[int]bool{}
+	add := func(e *PExpr) {
+		if e == nil {
+			return
+		}
+		for _, c := range e.Columns() {
+			if p.cols[c].table == ti {
+				needed[c] = true
+			}
+		}
+	}
+	for _, it := range p.items {
+		add(it.Expr)
+		if it.Agg != nil && !p.pushAgg {
+			for _, a := range it.Agg.Args {
+				add(a)
+			}
+		}
+	}
+	for _, e := range p.qpcPreds {
+		add(e)
+	}
+	if !p.pushAgg {
+		for _, g := range p.groupBy {
+			if p.cols[g].table == ti {
+				needed[g] = true
+			}
+		}
+	}
+	for _, pred := range p.q.Preds {
+		if pred.EqJoin {
+			if p.cols[pred.LCol].table == ti {
+				needed[pred.LCol] = true
+			}
+			if p.cols[pred.RCol].table == ti {
+				needed[pred.RCol] = true
+			}
+		}
+	}
+	return needed
+}
+
+// buildFragment assembles table ti's fragment. It returns the fragment
+// plus, for each output column, the extended-space column it carries.
+func (p *planner) buildFragment(ti int, semiJoin bool, joinPreds []BoundPred) (*Fragment, []int, error) {
+	bt := p.q.Tables[ti]
+	frag := &Fragment{Site: bt.Def.Site, Table: bt.Def.Name, SemiJoinCol: -1}
+
+	needed := p.neededAtQPC(ti)
+
+	// Columns read at the DAP: QPC-needed raw columns, DAP predicate
+	// inputs, virtual expression inputs, pushed aggregation inputs.
+	read := map[int]bool{}
+	for col := range needed {
+		if p.cols[col].virt == nil {
+			read[col] = true
+		} else {
+			for _, c := range p.inlineVirtuals(p.cols[col].virt).Columns() {
+				read[c] = true
+			}
+		}
+	}
+	for _, e := range p.dapPreds[ti] {
+		for _, c := range e.Columns() {
+			read[c] = true
+		}
+	}
+	if p.pushAgg {
+		for _, g := range p.groupBy {
+			read[g] = true
+		}
+		for _, it := range p.q.Items {
+			if it.Agg != nil {
+				for _, a := range it.Agg.Args {
+					for _, c := range p.inlineVirtuals(a).Columns() {
+						read[c] = true
+					}
+				}
+			}
+		}
+	}
+	var readCols []int
+	for c := range read {
+		if p.cols[c].table != ti || p.cols[c].virt != nil {
+			return nil, nil, fmt.Errorf("core: internal: non-source column %d in read set", c)
+		}
+		readCols = append(readCols, c)
+	}
+	sort.Ints(readCols)
+	if len(readCols) == 0 {
+		// A fragment must extract at least one column to carry row
+		// cardinality.
+		readCols = []int{bt.Offset}
+	}
+
+	local := map[int]int{}
+	for pos, c := range readCols {
+		local[c] = pos
+		frag.Cols = append(frag.Cols, c-bt.Offset)
+		frag.InSchema.Columns = append(frag.InSchema.Columns, types.Column{Name: p.cols[c].name, Kind: p.cols[c].kind})
+	}
+
+	localize := func(e *PExpr) (*PExpr, error) {
+		var missing error
+		out := e.Rewrite(func(x *PExpr) *PExpr {
+			if x.Kind == ExprCol {
+				pos, ok := local[x.Col]
+				if !ok {
+					missing = fmt.Errorf("core: internal: column %d not extracted", x.Col)
+					return x
+				}
+				return NewCol(pos, x.Ret)
+			}
+			return x
+		})
+		return out, missing
+	}
+
+	// Predicates, ordered by rank(p) = (SF-1)/cost ascending.
+	type rankedPred struct {
+		e    *PExpr
+		rank float64
+	}
+	var ranked []rankedPred
+	rowBytes := int64(p.tableStats(ti).AvgTupleBytes())
+	for i, e := range p.dapPreds[ti] {
+		le, err := localize(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		ranked = append(ranked, rankedPred{e: le, rank: p.dapPlace[ti][i].Rank(p.opt.Model, rowBytes)})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].rank < ranked[j].rank })
+	for _, rp := range ranked {
+		frag.Predicates = append(frag.Predicates, rp.e)
+	}
+
+	// Semi-join filtering column (the join key, if participating).
+	if semiJoin {
+		for _, jp := range joinPreds {
+			for _, jc := range []int{jp.LCol, jp.RCol} {
+				if p.cols[jc].table == ti {
+					if pos, ok := local[jc]; ok {
+						frag.SemiJoinCol = pos
+					}
+				}
+			}
+		}
+	}
+
+	var outCols []int
+	if p.pushAgg {
+		for _, g := range p.groupBy {
+			frag.GroupBy = append(frag.GroupBy, local[g])
+			frag.OutSchema.Columns = append(frag.OutSchema.Columns, types.Column{Name: p.cols[g].name, Kind: p.cols[g].kind})
+			outCols = append(outCols, g)
+		}
+		for ii, it := range p.q.Items {
+			if it.Agg == nil {
+				continue
+			}
+			agg := *it.Agg
+			agg.Name = p.items[ii].Name
+			agg.Args = make([]*PExpr, len(it.Agg.Args))
+			for j, a := range it.Agg.Args {
+				la, err := localize(p.inlineVirtuals(a))
+				if err != nil {
+					return nil, nil, err
+				}
+				agg.Args[j] = la
+			}
+			frag.Aggregates = append(frag.Aggregates, agg)
+			frag.OutSchema.Columns = append(frag.OutSchema.Columns, types.Column{Name: agg.Name, Kind: agg.Ret})
+			outCols = append(outCols, -1) // aggregate outputs are addressed by name
+		}
+	} else {
+		// Ship raw needed columns and virtual outputs.
+		var rawOut, virtOut []int
+		for col := range needed {
+			if p.cols[col].virt == nil {
+				rawOut = append(rawOut, col)
+			} else {
+				virtOut = append(virtOut, col)
+			}
+		}
+		sort.Ints(rawOut)
+		sort.Ints(virtOut)
+		for _, col := range rawOut {
+			frag.Projections = append(frag.Projections, Output{
+				Name: p.cols[col].name,
+				Expr: NewCol(local[col], p.cols[col].kind),
+			})
+			frag.OutSchema.Columns = append(frag.OutSchema.Columns, types.Column{Name: p.cols[col].name, Kind: p.cols[col].kind})
+			outCols = append(outCols, col)
+		}
+		for _, col := range virtOut {
+			le, err := localize(p.inlineVirtuals(p.cols[col].virt))
+			if err != nil {
+				return nil, nil, err
+			}
+			frag.Projections = append(frag.Projections, Output{Name: p.cols[col].name, Expr: le})
+			frag.OutSchema.Columns = append(frag.OutSchema.Columns, types.Column{Name: p.cols[col].name, Kind: p.cols[col].kind})
+			outCols = append(outCols, col)
+		}
+	}
+
+	// Code-shipping manifest: every operator the fragment evaluates.
+	if err := p.attachCode(frag); err != nil {
+		return nil, nil, err
+	}
+	return frag, outCols, nil
+}
+
+// attachCode lists the classes the fragment needs from the repository.
+func (p *planner) attachCode(frag *Fragment) error {
+	seen := map[string]bool{}
+	addExpr := func(e *PExpr) {
+		e.Walk(func(x *PExpr) {
+			if x.Kind == ExprCall {
+				seen[x.Func] = true
+			}
+		})
+	}
+	for _, e := range frag.Predicates {
+		addExpr(e)
+	}
+	for _, o := range frag.Projections {
+		addExpr(o.Expr)
+	}
+	for _, a := range frag.Aggregates {
+		seen[a.Func] = true
+		for _, arg := range a.Args {
+			addExpr(arg)
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cls, ok := p.opt.Cat.Repo().Get(n)
+		if !ok {
+			return fmt.Errorf("core: operator %s has no class in the code repository", n)
+		}
+		frag.Code = append(frag.Code, CodeRef{Name: cls.Name, Version: cls.Version, Checksum: cls.Checksum})
+	}
+	return nil
+}
+
+type joinStepInfo struct {
+	rightTable        int
+	leftCol, rightCol int // extended space
+}
+
+// orderJoins picks a left-deep join order (System R style over estimated
+// stream volumes) and returns the table order, the join steps, and any
+// equality predicates not consumed as join steps.
+func (p *planner) orderJoins(joinPreds []BoundPred) ([]int, []joinStepInfo, []BoundPred, error) {
+	n := len(p.q.Tables)
+	if n == 1 {
+		return []int{0}, nil, joinPreds, nil
+	}
+	// Estimate each table's shipped volume; start from the largest
+	// reduction...; order ascending by volume so the build sides of the
+	// hash joins are small.
+	vol := make([]float64, n)
+	for ti := range p.q.Tables {
+		vol[ti] = p.fragVolumeEstimate(ti)
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return vol[order[a]] < vol[order[b]] })
+
+	joined := map[int]bool{order[0]: true}
+	var steps []joinStepInfo
+	used := make([]bool, len(joinPreds))
+	for _, ti := range order[1:] {
+		found := false
+		for pi, jp := range joinPreds {
+			if used[pi] {
+				continue
+			}
+			var lc, rc int
+			switch {
+			case joined[jp.LTab] && jp.RTab == ti:
+				lc, rc = jp.LCol, jp.RCol
+			case joined[jp.RTab] && jp.LTab == ti:
+				lc, rc = jp.RCol, jp.LCol
+			default:
+				continue
+			}
+			steps = append(steps, joinStepInfo{rightTable: ti, leftCol: lc, rightCol: rc})
+			used[pi] = true
+			found = true
+			break
+		}
+		if !found {
+			return nil, nil, nil, fmt.Errorf("core: no join predicate connects table %s (cross products unsupported)", p.q.Tables[ti].Def.Name)
+		}
+		joined[ti] = true
+	}
+	var leftover []BoundPred
+	for pi, jp := range joinPreds {
+		if !used[pi] {
+			leftover = append(leftover, jp)
+		}
+	}
+	return order, steps, leftover, nil
+}
+
+// fragVolumeEstimate predicts the bytes table ti's fragment ships.
+func (p *planner) fragVolumeEstimate(ti int) float64 {
+	stats := p.tableStats(ti)
+	sf := 1.0
+	for i := range p.dapPreds[ti] {
+		sf *= p.dapPlace[ti][i].SF
+	}
+	var rowBytes float64
+	for col := range p.neededAtQPC(ti) {
+		rowBytes += float64(p.cols[col].avgBytes)
+	}
+	return float64(stats.RowCount) * sf * rowBytes
+}
+
+// wantSemiJoin decides whether join fragments filter by key sets first.
+// The 2-way semi-join protocol (section 5.4) coordinates exactly two
+// sites; larger joins fall back to plain hash joins at the QPC.
+func (p *planner) wantSemiJoin(order []int, joinPreds []BoundPred) bool {
+	if len(order) != 2 || len(joinPreds) == 0 {
+		return false
+	}
+	switch p.opt.Strategy {
+	case StrategyDataShip:
+		return false
+	case StrategyCodeShip:
+		return true
+	}
+	// Auto: worthwhile when the shipped volume clearly exceeds the key
+	// exchange volume.
+	var total, keys float64
+	for _, ti := range order {
+		total += p.fragVolumeEstimate(ti)
+	}
+	for _, jp := range joinPreds {
+		keys += float64(p.tableStats(p.cols[jp.LCol].table).RowCount) * float64(p.cols[jp.LCol].avgBytes)
+		keys += float64(p.tableStats(p.cols[jp.RCol].table).RowCount) * float64(p.cols[jp.RCol].avgBytes)
+	}
+	return total > 4*keys
+}
+
+// estimate fills the plan's optimizer predictions.
+func (p *planner) estimate(plan *Plan, order []int) {
+	var cvda, cvdt, selOnly int64
+	var cost float64
+	for fi, ti := range order {
+		frag := plan.Fragments[fi]
+		stats := p.tableStats(ti)
+		var inBytes int64
+		for _, c := range frag.Cols {
+			inBytes += int64(colAvgBytes(p.q.Tables[ti].Def.Schema.Columns[c], stats))
+		}
+		cvda += stats.RowCount * inBytes
+		v := int64(p.fragVolumeEstimate(ti))
+		if p.pushAgg && len(frag.Aggregates) > 0 {
+			g := p.opt.Model.DefaultGroups
+			if g > stats.RowCount {
+				g = stats.RowCount
+			}
+			var outRow int64
+			for _, c := range frag.OutSchema.Columns {
+				if w := c.Kind.FixedWireSize(); w > 0 {
+					outRow += int64(w)
+				} else {
+					outRow += 64
+				}
+			}
+			v = g * outRow
+		}
+		cvdt += v
+		// The selectivity-and-cardinality-only estimate prices the
+		// shipped stream at full tuple width — it cannot see that large
+		// attributes were consumed at the source.
+		sf := 1.0
+		for i := range p.dapPreds[ti] {
+			sf *= p.dapPlace[ti][i].SF
+		}
+		selOnly += int64(sf * float64(stats.RowCount) * float64(stats.AvgTupleBytes()))
+		// Costs: DAP compute (in the MVM) plus transfer.
+		for i := range p.dapPreds[ti] {
+			cost += p.opt.Model.CompMS(stats.RowCount*int64(p.dapPlace[ti][i].ArgBytes), p.dapPlace[ti][i].CompCostPerByte, true)
+		}
+		for _, o := range frag.Projections {
+			if call := firstCall(o.Expr); call != nil {
+				if d, ok := p.opt.Cat.Ops().Lookup(call.Func); ok {
+					argBytes := exprArgBytes(p.inlineVirtuals(o.Expr), p.extSchema(), p.extStats(ti))
+					cost += p.opt.Model.CompMS(stats.RowCount*int64(argBytes), d.CPUCostPerByte, true)
+				}
+			}
+		}
+		cost += p.opt.Model.NetworkMS(v)
+	}
+	plan.Est = PlanEstimates{CVDA: cvda, CVDT: cvdt, CVDTSelOnly: selOnly, Cost: cost}
+}
+
+// Explain renders a human-readable plan summary.
+func Explain(plan *Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan for: %s\n", plan.SQL)
+	for i, f := range plan.Fragments {
+		fmt.Fprintf(&b, "  fragment %d @ %s: table %s extract %v", i, f.Site, f.Table, f.Cols)
+		if f.SemiJoinCol >= 0 {
+			fmt.Fprintf(&b, " semijoin-on $%d", f.SemiJoinCol)
+		}
+		b.WriteByte('\n')
+		for _, p := range f.Predicates {
+			fmt.Fprintf(&b, "    filter %s\n", p)
+		}
+		for _, a := range f.Aggregates {
+			fmt.Fprintf(&b, "    aggregate %s = %s(...)\n", a.Name, a.Func)
+		}
+		for _, o := range f.Projections {
+			fmt.Fprintf(&b, "    project %s = %s\n", o.Name, o.Expr)
+		}
+		if len(f.Code) > 0 {
+			names := make([]string, len(f.Code))
+			for j, c := range f.Code {
+				names[j] = c.Name
+			}
+			fmt.Fprintf(&b, "    ship code: %s\n", strings.Join(names, ", "))
+		}
+	}
+	for _, j := range plan.Joins {
+		fmt.Fprintf(&b, "  hash join: combined[$%d] = frag%d[$%d]\n", j.LeftCol, j.RightFrag, j.RightCol)
+	}
+	for _, pr := range plan.Predicates {
+		fmt.Fprintf(&b, "  qpc filter %s\n", pr)
+	}
+	for _, a := range plan.Aggregates {
+		fmt.Fprintf(&b, "  qpc aggregate %s = %s(...)\n", a.Name, a.Func)
+	}
+	for _, o := range plan.Projections {
+		fmt.Fprintf(&b, "  qpc project %s = %s\n", o.Name, o.Expr)
+	}
+	fmt.Fprintf(&b, "  estimates: CVDA=%d CVDT=%d CVRF=%.6f cost=%.1fms\n",
+		plan.Est.CVDA, plan.Est.CVDT, plan.Est.CVRF(), plan.Est.Cost)
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mocha/internal/types"
+)
+
+// TestPushedCallDeduplication: the same data-reducing call appearing in
+// several outputs becomes ONE fragment projection (one virtual column).
+func TestPushedCallDeduplication(t *testing.T) {
+	cat := sequoiaCatalog(t)
+	plan := planQuery(t, cat, StrategyAuto, `
+SELECT AvgEnergy(image), AvgEnergy(image) / 2.0, time FROM Rasters`)
+	f := plan.Fragments[0]
+	var avgOutputs int
+	for _, o := range f.Projections {
+		if c := firstCall(o.Expr); c != nil && c.Func == "AvgEnergy" {
+			avgOutputs++
+		}
+	}
+	if avgOutputs != 1 {
+		t.Errorf("AvgEnergy pushed %d times, want 1:\n%s", avgOutputs, Explain(plan))
+	}
+	// Both QPC outputs must reference the single shipped column.
+	if plan.Projections[0].Expr.Kind != ExprCol {
+		t.Errorf("first output should be a plain column ref: %s", plan.Projections[0].Expr)
+	}
+}
+
+// TestNestedReducingCallsComposeAtDAP: a reducing call over a reducing
+// call on the same table ships as one composed expression.
+func TestNestedReducingCallsComposeAtDAP(t *testing.T) {
+	cat := sequoiaCatalog(t)
+	// AvgEnergy(Clip(image, …)): Clip reduces 5x, AvgEnergy collapses to
+	// 8 bytes; the whole nest should evaluate at the DAP.
+	plan := planQuery(t, cat, StrategyAuto, `
+SELECT time, AvgEnergy(Clip(image, MakeRect(0.0, 0.0, 100.0, 100.0))) FROM Rasters`)
+	f := plan.Fragments[0]
+	found := false
+	for _, o := range f.Projections {
+		s := o.Expr.String()
+		if strings.Contains(s, "AvgEnergy") && strings.Contains(s, "Clip") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("nested reducing calls not composed at DAP:\n%s", Explain(plan))
+	}
+	// Code manifest carries all three classes.
+	if len(f.Code) != 3 {
+		t.Errorf("code manifest = %v", f.Code)
+	}
+	for _, c := range plan.ResultSchema.Columns {
+		if c.Kind == types.KindRaster {
+			t.Error("raster leaked into result schema")
+		}
+	}
+}
+
+// TestConstantOnlyCallStaysAtQPC: calls over pure constants have no
+// table affinity and evaluate at the coordinator.
+func TestConstantOnlyCallStaysAtQPC(t *testing.T) {
+	cat := sequoiaCatalog(t)
+	plan := planQuery(t, cat, StrategyAuto, `
+SELECT time, Diff(1.0, 2.0) FROM Rasters`)
+	f := plan.Fragments[0]
+	for _, o := range f.Projections {
+		if firstCall(o.Expr) != nil {
+			t.Errorf("constant call pushed to DAP:\n%s", Explain(plan))
+		}
+	}
+	hasDiff := false
+	for _, o := range plan.Projections {
+		if c := firstCall(o.Expr); c != nil && c.Func == "Diff" {
+			hasDiff = true
+		}
+	}
+	if !hasDiff {
+		t.Error("Diff lost")
+	}
+}
+
+// TestJoinOrderPutsSmallerStreamFirst: the left-deep order starts with
+// the cheapest (smallest estimated volume) fragment.
+func TestJoinOrderPutsSmallerStreamFirst(t *testing.T) {
+	cat := sequoiaCatalog(t)
+	// Rasters1/Rasters2 have equal stats; skew them.
+	t1, _ := cat.Table("Rasters1")
+	t1.Stats.RowCount = 10000
+	plan := planQuery(t, cat, StrategyDataShip, `
+SELECT R1.time FROM Rasters1 R1, Rasters2 R2 WHERE R1.location = R2.location`)
+	if plan.Fragments[0].Table != "Rasters2" {
+		t.Errorf("probe side should be the smaller Rasters2:\n%s", Explain(plan))
+	}
+	t1.Stats.RowCount = 120 // restore shared catalog fixture
+}
+
+// TestLimitPushdownRules: pushed only for plain single-fragment scans.
+func TestLimitPushdownRules(t *testing.T) {
+	cat := sequoiaCatalog(t)
+	cases := []struct {
+		sql    string
+		pushed bool
+	}{
+		{"SELECT time FROM Rasters LIMIT 3", true},
+		{"SELECT time, AvgEnergy(image) FROM Rasters WHERE AvgEnergy(image) < 50 LIMIT 3", true},
+		{"SELECT time FROM Rasters ORDER BY time LIMIT 3", false},
+		{"SELECT landuse, TotalArea(polygon) FROM Polygons GROUP BY landuse LIMIT 3", false},
+		{"SELECT R1.time FROM Rasters1 R1, Rasters2 R2 WHERE R1.location = R2.location LIMIT 3", false},
+	}
+	for _, c := range cases {
+		plan := planQuery(t, cat, StrategyAuto, c.sql)
+		got := plan.Fragments[0].Limit > 0
+		if got != c.pushed {
+			t.Errorf("%q: limit pushed = %v, want %v", c.sql, got, c.pushed)
+		}
+	}
+}
+
+// TestRedundantJoinPredicateBecomesFilter: a second equality between the
+// same pair of tables is applied as a QPC filter, not dropped.
+func TestRedundantJoinPredicateBecomesFilter(t *testing.T) {
+	cat := sequoiaCatalog(t)
+	plan := planQuery(t, cat, StrategyDataShip, `
+SELECT R1.time FROM Rasters1 R1, Rasters2 R2
+WHERE R1.location = R2.location AND R1.time = R2.time`)
+	if len(plan.Joins) != 1 {
+		t.Fatalf("joins = %d", len(plan.Joins))
+	}
+	if len(plan.Predicates) != 1 {
+		t.Fatalf("leftover equality not retained as filter:\n%s", Explain(plan))
+	}
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"mocha/internal/types"
+)
+
+// CodeRef names one class a site must hold before executing its plan
+// piece; it drives the code-deployment phase of section 3.6.
+type CodeRef struct {
+	Name     string `xml:"name,attr"`
+	Version  string `xml:"version,attr"`
+	Checksum string `xml:"checksum,attr"`
+}
+
+// Output is one computed output column.
+type Output struct {
+	Name string
+	Expr *PExpr
+}
+
+// AggSpec is one aggregate output: a user-defined aggregate operator
+// applied to argument expressions over the input schema.
+type AggSpec struct {
+	Name string
+	Func string
+	Args []*PExpr
+	Ret  types.Kind
+}
+
+// Fragment is the piece of a query plan executed by one DAP (a "DAP
+// node" in the paper's plan trees). Execution order at the DAP: extract
+// the listed source columns, apply the semi-join filter if any, apply
+// predicates in order, then either group-and-aggregate or project.
+type Fragment struct {
+	Site  string
+	Table string
+	// Cols are the source-table column indexes extracted from the data
+	// server. All fragment expressions index this extracted schema.
+	Cols []int
+	// InSchema is the extracted schema (parallel to Cols).
+	InSchema types.Schema
+	// Predicates filter extracted tuples, ordered by the optimizer's
+	// rank metric.
+	Predicates []*PExpr
+	// SemiJoinCol, when >= 0, filters tuples to those whose value in the
+	// extracted column appears in the key set delivered before
+	// activation (the 2-way semi-join strategy of section 5.4).
+	SemiJoinCol int
+	// GroupBy and Aggregates, when present, make the fragment emit one
+	// row per group; otherwise Projections produce the output.
+	GroupBy     []int
+	Aggregates  []AggSpec
+	Projections []Output
+	// Code lists the classes the DAP must load (code shipping manifest).
+	Code []CodeRef
+	// OutSchema is the schema of emitted tuples.
+	OutSchema types.Schema
+	// Limit, when positive, stops the fragment after emitting that many
+	// tuples (a pushed-down LIMIT).
+	Limit int
+}
+
+// JoinStep joins the accumulated left input with fragment RightFrag's
+// output on an equality of small-object columns.
+type JoinStep struct {
+	RightFrag int
+	// LeftCol indexes the accumulated (already joined) schema; RightCol
+	// indexes the right fragment's OutSchema.
+	LeftCol, RightCol int
+}
+
+// OrderSpec is one ORDER BY key over the result schema.
+type OrderSpec struct {
+	Col  int
+	Desc bool
+}
+
+// Plan is a complete physical plan: per-site fragments plus the work the
+// QPC performs on their combined streams. Plans are encoded as XML
+// documents for distribution, as in the paper.
+type Plan struct {
+	SQL       string
+	Fragments []*Fragment
+	// Joins chain fragments left-deep: start with Fragments[0]'s stream,
+	// then join each step's right fragment.
+	Joins []JoinStep
+	// CombinedSchema is the schema after all joins (concatenated
+	// fragment outputs in join order).
+	CombinedSchema types.Schema
+	// QPC-side operators over the combined schema:
+	Predicates  []*PExpr
+	GroupBy     []int
+	Aggregates  []AggSpec
+	Projections []Output
+	OrderBy     []OrderSpec
+	Limit       int // -1 none
+	// ResultSchema is the schema delivered to the client.
+	ResultSchema types.Schema
+
+	// Estimates recorded by the optimizer for explain output and the
+	// metric-accuracy experiments.
+	Est PlanEstimates
+}
+
+// PlanEstimates carries the optimizer's predictions.
+type PlanEstimates struct {
+	// CVDA is the estimated total data volume accessed at the sources.
+	CVDA int64
+	// CVDT is the VRF-based estimate of the volume transmitted.
+	CVDT int64
+	// CVDTSelOnly estimates transmitted volume using selectivity and
+	// cardinality alone (the baseline metric the paper argues against).
+	CVDTSelOnly int64
+	// Cost is the total estimated cost (comp + network, milliseconds).
+	Cost float64
+}
+
+// CVRF returns the estimated cumulative volume reduction factor.
+func (e PlanEstimates) CVRF() float64 {
+	if e.CVDA == 0 {
+		return 0
+	}
+	return float64(e.CVDT) / float64(e.CVDA)
+}
+
+// ---- XML encoding ----
+
+type outputXML struct {
+	Name string  `xml:"name,attr"`
+	Expr exprXML `xml:"expr"`
+}
+
+type aggXML struct {
+	Name string    `xml:"name,attr"`
+	Func string    `xml:"func,attr"`
+	Ret  string    `xml:"ret,attr"`
+	Args []exprXML `xml:"expr"`
+}
+
+type schemaXML struct {
+	Columns []schemaColXML `xml:"column"`
+}
+
+type schemaColXML struct {
+	Name string `xml:"name,attr"`
+	Kind string `xml:"kind,attr"`
+}
+
+type fragmentXML struct {
+	XMLName     xml.Name    `xml:"fragment"`
+	Site        string      `xml:"site,attr"`
+	Table       string      `xml:"table,attr"`
+	SemiJoinCol int         `xml:"semijoin-col,attr"`
+	Limit       int         `xml:"limit,attr"`
+	Cols        []int       `xml:"extract>col"`
+	InSchema    schemaXML   `xml:"in-schema"`
+	Predicates  []exprXML   `xml:"predicates>expr"`
+	GroupBy     []int       `xml:"group-by>col"`
+	Aggregates  []aggXML    `xml:"aggregates>agg"`
+	Projections []outputXML `xml:"projections>output"`
+	Code        []CodeRef   `xml:"code>class"`
+	OutSchema   schemaXML   `xml:"out-schema"`
+}
+
+type joinXML struct {
+	RightFrag int `xml:"right-frag,attr"`
+	LeftCol   int `xml:"left-col,attr"`
+	RightCol  int `xml:"right-col,attr"`
+}
+
+type orderXML struct {
+	Col  int  `xml:"col,attr"`
+	Desc bool `xml:"desc,attr"`
+}
+
+type planXML struct {
+	XMLName        xml.Name      `xml:"plan"`
+	SQL            string        `xml:"sql"`
+	Fragments      []fragmentXML `xml:"fragment"`
+	Joins          []joinXML     `xml:"join"`
+	CombinedSchema schemaXML     `xml:"combined-schema"`
+	Predicates     []exprXML     `xml:"predicates>expr"`
+	GroupBy        []int         `xml:"group-by>col"`
+	Aggregates     []aggXML      `xml:"aggregates>agg"`
+	Projections    []outputXML   `xml:"projections>output"`
+	OrderBy        []orderXML    `xml:"order-by>key"`
+	Limit          int           `xml:"limit"`
+	ResultSchema   schemaXML     `xml:"result-schema"`
+}
+
+func schemaToXML(s types.Schema) schemaXML {
+	var x schemaXML
+	for _, c := range s.Columns {
+		x.Columns = append(x.Columns, schemaColXML{Name: c.Name, Kind: c.Kind.String()})
+	}
+	return x
+}
+
+func schemaFromXML(x schemaXML) (types.Schema, error) {
+	var s types.Schema
+	for _, c := range x.Columns {
+		k, ok := types.KindByName(c.Kind)
+		if !ok {
+			return types.Schema{}, fmt.Errorf("core: schema column %q has unknown kind %q", c.Name, c.Kind)
+		}
+		s.Columns = append(s.Columns, types.Column{Name: c.Name, Kind: k})
+	}
+	return s, nil
+}
+
+func outputsToXML(outs []Output) []outputXML {
+	x := make([]outputXML, len(outs))
+	for i, o := range outs {
+		x[i] = outputXML{Name: o.Name, Expr: exprToXML(o.Expr)}
+	}
+	return x
+}
+
+func outputsFromXML(xs []outputXML) ([]Output, error) {
+	out := make([]Output, len(xs))
+	for i, x := range xs {
+		e, err := exprFromXML(x.Expr)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = Output{Name: x.Name, Expr: e}
+	}
+	return out, nil
+}
+
+func aggsToXML(aggs []AggSpec) []aggXML {
+	x := make([]aggXML, len(aggs))
+	for i, a := range aggs {
+		x[i] = aggXML{Name: a.Name, Func: a.Func, Ret: a.Ret.String()}
+		for _, arg := range a.Args {
+			x[i].Args = append(x[i].Args, exprToXML(arg))
+		}
+	}
+	return x
+}
+
+func aggsFromXML(xs []aggXML) ([]AggSpec, error) {
+	out := make([]AggSpec, len(xs))
+	for i, x := range xs {
+		ret, ok := types.KindByName(x.Ret)
+		if !ok {
+			return nil, fmt.Errorf("core: aggregate %q has unknown kind %q", x.Name, x.Ret)
+		}
+		a := AggSpec{Name: x.Name, Func: x.Func, Ret: ret}
+		for _, ax := range x.Args {
+			e, err := exprFromXML(ax)
+			if err != nil {
+				return nil, err
+			}
+			a.Args = append(a.Args, e)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+func exprsToXML(es []*PExpr) []exprXML {
+	x := make([]exprXML, len(es))
+	for i, e := range es {
+		x[i] = exprToXML(e)
+	}
+	return x
+}
+
+func exprsFromXML(xs []exprXML) ([]*PExpr, error) {
+	out := make([]*PExpr, len(xs))
+	for i, x := range xs {
+		e, err := exprFromXML(x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+func fragmentToXML(f *Fragment) fragmentXML {
+	return fragmentXML{
+		Site: f.Site, Table: f.Table, SemiJoinCol: f.SemiJoinCol, Limit: f.Limit,
+		Cols: f.Cols, InSchema: schemaToXML(f.InSchema),
+		Predicates: exprsToXML(f.Predicates), GroupBy: f.GroupBy,
+		Aggregates: aggsToXML(f.Aggregates), Projections: outputsToXML(f.Projections),
+		Code: f.Code, OutSchema: schemaToXML(f.OutSchema),
+	}
+}
+
+func fragmentFromXML(x fragmentXML) (*Fragment, error) {
+	in, err := schemaFromXML(x.InSchema)
+	if err != nil {
+		return nil, err
+	}
+	out, err := schemaFromXML(x.OutSchema)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := exprsFromXML(x.Predicates)
+	if err != nil {
+		return nil, err
+	}
+	aggs, err := aggsFromXML(x.Aggregates)
+	if err != nil {
+		return nil, err
+	}
+	projs, err := outputsFromXML(x.Projections)
+	if err != nil {
+		return nil, err
+	}
+	return &Fragment{
+		Site: x.Site, Table: x.Table, SemiJoinCol: x.SemiJoinCol, Limit: x.Limit,
+		Cols: x.Cols, InSchema: in, Predicates: preds, GroupBy: x.GroupBy,
+		Aggregates: aggs, Projections: projs, Code: x.Code, OutSchema: out,
+	}, nil
+}
+
+// EncodeFragment renders a fragment as an XML plan document for
+// transmission to its DAP.
+func EncodeFragment(f *Fragment) ([]byte, error) {
+	return xml.MarshalIndent(fragmentToXML(f), "", "  ")
+}
+
+// DecodeFragment parses a fragment document.
+func DecodeFragment(data []byte) (*Fragment, error) {
+	var x fragmentXML
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("core: parse fragment: %w", err)
+	}
+	return fragmentFromXML(x)
+}
+
+// EncodePlan renders the whole plan as XML (used for explain output and
+// plan archival).
+func EncodePlan(p *Plan) ([]byte, error) {
+	x := planXML{
+		SQL: p.SQL, CombinedSchema: schemaToXML(p.CombinedSchema),
+		Predicates: exprsToXML(p.Predicates), GroupBy: p.GroupBy,
+		Aggregates: aggsToXML(p.Aggregates), Projections: outputsToXML(p.Projections),
+		Limit: p.Limit, ResultSchema: schemaToXML(p.ResultSchema),
+	}
+	for _, f := range p.Fragments {
+		x.Fragments = append(x.Fragments, fragmentToXML(f))
+	}
+	for _, j := range p.Joins {
+		x.Joins = append(x.Joins, joinXML(j))
+	}
+	for _, o := range p.OrderBy {
+		x.OrderBy = append(x.OrderBy, orderXML(o))
+	}
+	return xml.MarshalIndent(x, "", "  ")
+}
+
+// DecodePlan parses a plan document.
+func DecodePlan(data []byte) (*Plan, error) {
+	var x planXML
+	if err := xml.Unmarshal(data, &x); err != nil {
+		return nil, fmt.Errorf("core: parse plan: %w", err)
+	}
+	p := &Plan{SQL: x.SQL, GroupBy: x.GroupBy, Limit: x.Limit}
+	var err error
+	if p.CombinedSchema, err = schemaFromXML(x.CombinedSchema); err != nil {
+		return nil, err
+	}
+	if p.ResultSchema, err = schemaFromXML(x.ResultSchema); err != nil {
+		return nil, err
+	}
+	if p.Predicates, err = exprsFromXML(x.Predicates); err != nil {
+		return nil, err
+	}
+	if p.Aggregates, err = aggsFromXML(x.Aggregates); err != nil {
+		return nil, err
+	}
+	if p.Projections, err = outputsFromXML(x.Projections); err != nil {
+		return nil, err
+	}
+	for _, fx := range x.Fragments {
+		f, err := fragmentFromXML(fx)
+		if err != nil {
+			return nil, err
+		}
+		p.Fragments = append(p.Fragments, f)
+	}
+	for _, j := range x.Joins {
+		p.Joins = append(p.Joins, JoinStep(j))
+	}
+	for _, o := range x.OrderBy {
+		p.OrderBy = append(p.OrderBy, OrderSpec(o))
+	}
+	return p, nil
+}

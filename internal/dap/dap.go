@@ -1,0 +1,174 @@
+// Package dap implements the Data Access Provider (section 3.3): the
+// process running at (or near) each data source. A DAP receives plan
+// fragments and MVM class files from the QPC, loads the code into its
+// extensible execution engine, extracts tuples from its data server,
+// maps them into the middleware schema, applies the shipped operators
+// and streams the filtered results back.
+package dap
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"mocha/internal/core"
+	"mocha/internal/ops"
+	"mocha/internal/types"
+	"mocha/internal/vm"
+)
+
+// AccessDriver abstracts the data server behind the DAP (section 3.4): a
+// full database (internal/storage), a flat-file server or an XML
+// repository all expose table scans in the middleware schema.
+type AccessDriver interface {
+	// TableSchema returns the middleware schema of a table.
+	TableSchema(table string) (types.Schema, error)
+	// Scan calls emit for every tuple of the table. Returned tuples must
+	// be safe to retain.
+	Scan(table string, emit func(types.Tuple) error) error
+}
+
+// Config configures a DAP server.
+type Config struct {
+	// Site is the site name used in stats reports.
+	Site string
+	// Driver provides access to the local data server.
+	Driver AccessDriver
+	// Limits sandbox shipped code; zero fields take MVM defaults.
+	Limits vm.Limits
+	// DisableCodeCache forces classes to be re-shipped on every query
+	// (the ablation baseline for the section 3.6 caching extension).
+	DisableCodeCache bool
+	// Logf, when set, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+// Server is a DAP instance. One Server handles many sequential QPC
+// sessions; concurrent connections each get their own session state.
+type Server struct {
+	cfg   Config
+	cache *codeCache
+}
+
+// New creates a DAP server.
+func New(cfg Config) *Server {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{cfg: cfg, cache: newCodeCache()}
+}
+
+// CacheStats reports cumulative code-cache behaviour.
+func (s *Server) CacheStats() (hits, misses int64) { return s.cache.stats() }
+
+// Serve accepts QPC connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if strings.Contains(err.Error(), "closed") {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			if err := s.HandleConn(conn); err != nil {
+				s.cfg.Logf("dap %s: session ended: %v", s.cfg.Site, err)
+			}
+		}()
+	}
+}
+
+// codeCache holds loaded classes across sessions — the code-caching
+// future-work extension of section 3.6, keyed by class name and
+// validated by checksum.
+type codeCache struct {
+	mu      sync.RWMutex
+	classes map[string]*loadedClass
+	hits    int64
+	misses  int64
+}
+
+type loadedClass struct {
+	prog     *vm.Program
+	checksum string
+}
+
+func newCodeCache() *codeCache {
+	return &codeCache{classes: make(map[string]*loadedClass)}
+}
+
+func (c *codeCache) get(name string) (*loadedClass, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	lc, ok := c.classes[strings.ToLower(name)]
+	return lc, ok
+}
+
+func (c *codeCache) put(p *vm.Program) *loadedClass {
+	lc := &loadedClass{prog: p, checksum: p.Checksum()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.classes[strings.ToLower(p.Name)] = lc
+	return lc
+}
+
+// needs reports whether the named class version must be shipped, and
+// updates hit/miss counters.
+func (c *codeCache) needs(ref core.CodeRef, disabled bool) bool {
+	if disabled {
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lc, ok := c.classes[strings.ToLower(ref.Name)]
+	if ok && lc.checksum == ref.Checksum {
+		c.hits++
+		return false
+	}
+	c.misses++
+	return true
+}
+
+func (c *codeCache) stats() (hits, misses int64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.hits, c.misses
+}
+
+// vmBinder binds plan operators against the DAP's loaded classes. This is
+// the only way a DAP can evaluate user-defined operators: if the class
+// was never shipped, binding fails.
+type vmBinder struct {
+	cache   *codeCache
+	machine *vm.Machine
+	limits  vm.Limits
+}
+
+// BindScalar implements core.OpBinder.
+func (b *vmBinder) BindScalar(name string, ret types.Kind) (core.ScalarFn, error) {
+	lc, ok := b.cache.get(name)
+	if !ok {
+		return nil, fmt.Errorf("dap: class %s not loaded (code shipping required)", name)
+	}
+	s, err := ops.NewVMScalar(b.machine, lc.prog, ret)
+	if err != nil {
+		return nil, err
+	}
+	return s.Call, nil
+}
+
+// BindAggregate implements core.OpBinder.
+func (b *vmBinder) BindAggregate(name string, ret types.Kind) (core.AggFn, error) {
+	lc, ok := b.cache.get(name)
+	if !ok {
+		return nil, fmt.Errorf("dap: class %s not loaded (code shipping required)", name)
+	}
+	// Each aggregate instance gets its own machine so per-group state
+	// and stacks never interleave.
+	return ops.NewVMAggregate(vm.New(b.limits), lc.prog, ret)
+}

@@ -1,0 +1,178 @@
+package dap
+
+import (
+	"fmt"
+	"sort"
+
+	"mocha/internal/core"
+	"mocha/internal/types"
+)
+
+// fragmentExec is the DAP's extensible execution engine for one fragment:
+// compiled predicates and projections (bound to shipped MVM code), or a
+// grouped aggregation pipeline.
+type fragmentExec struct {
+	frag   *core.Fragment
+	binder core.OpBinder
+	memo   *core.Memo
+
+	preds   []core.EvalFn
+	projs   []core.EvalFn
+	aggArgs [][]core.EvalFn // compiled argument expressions per aggregate
+
+	// Grouped aggregation state.
+	groups map[string]*group
+	order  []string
+}
+
+type group struct {
+	keys types.Tuple
+	aggs []core.AggFn
+}
+
+func newFragmentExec(frag *core.Fragment, binder core.OpBinder) (*fragmentExec, error) {
+	ex := &fragmentExec{frag: frag, binder: binder, memo: core.NewMemo()}
+	for _, p := range frag.Predicates {
+		fn, err := core.CompileExprMemo(p, binder, ex.memo)
+		if err != nil {
+			return nil, err
+		}
+		ex.preds = append(ex.preds, fn)
+	}
+	if len(frag.Aggregates) > 0 {
+		ex.groups = make(map[string]*group)
+		for _, spec := range frag.Aggregates {
+			fns := make([]core.EvalFn, len(spec.Args))
+			for j, argExpr := range spec.Args {
+				fn, err := core.CompileExprMemo(argExpr, binder, ex.memo)
+				if err != nil {
+					return nil, err
+				}
+				fns[j] = fn
+			}
+			ex.aggArgs = append(ex.aggArgs, fns)
+		}
+	} else {
+		for _, o := range frag.Projections {
+			fn, err := core.CompileExprMemo(o.Expr, binder, ex.memo)
+			if err != nil {
+				return nil, err
+			}
+			ex.projs = append(ex.projs, fn)
+		}
+	}
+	return ex, nil
+}
+
+// process handles one extracted tuple.
+func (ex *fragmentExec) process(in types.Tuple, semiKeys map[uint64][]types.Object, emit func(types.Tuple) error) error {
+	// Per-tuple operator results are shared between predicates,
+	// projections and aggregate arguments.
+	ex.memo.Reset()
+	// Semi-join filtering first: drop tuples whose key is absent.
+	if ex.frag.SemiJoinCol >= 0 && semiKeys != nil {
+		key, ok := in[ex.frag.SemiJoinCol].(types.Small)
+		if !ok {
+			return fmt.Errorf("dap: semi-join key of kind %v", in[ex.frag.SemiJoinCol].Kind())
+		}
+		if !semiKeyMatch(semiKeys, key) {
+			return nil
+		}
+	}
+	for i, p := range ex.preds {
+		ok, err := core.EvalPredicate(p, in)
+		if err != nil {
+			return fmt.Errorf("dap: predicate %d: %w", i, err)
+		}
+		if !ok {
+			return nil
+		}
+	}
+	if ex.groups != nil {
+		return ex.accumulate(in)
+	}
+	out := make(types.Tuple, len(ex.projs))
+	for i, p := range ex.projs {
+		v, err := p(in)
+		if err != nil {
+			return fmt.Errorf("dap: projection %q: %w", ex.frag.Projections[i].Name, err)
+		}
+		out[i] = v
+	}
+	return emit(out)
+}
+
+func semiKeyMatch(keys map[uint64][]types.Object, k types.Small) bool {
+	for _, cand := range keys[k.Hash()] {
+		if k.Equal(cand) {
+			return true
+		}
+	}
+	return false
+}
+
+// accumulate folds one tuple into its group.
+func (ex *fragmentExec) accumulate(in types.Tuple) error {
+	keys := make(types.Tuple, len(ex.frag.GroupBy))
+	var keyBuf []byte
+	for i, g := range ex.frag.GroupBy {
+		keys[i] = in[g]
+		keyBuf = in[g].AppendTo(keyBuf)
+	}
+	gk := string(keyBuf)
+	grp, ok := ex.groups[gk]
+	if !ok {
+		grp = &group{keys: keys}
+		for _, spec := range ex.frag.Aggregates {
+			agg, err := ex.binder.BindAggregate(spec.Func, spec.Ret)
+			if err != nil {
+				return err
+			}
+			if err := agg.Reset(); err != nil {
+				return err
+			}
+			grp.aggs = append(grp.aggs, agg)
+		}
+		ex.groups[gk] = grp
+		ex.order = append(ex.order, gk)
+	}
+	for i, spec := range ex.frag.Aggregates {
+		args := make([]types.Object, len(spec.Args))
+		for j, fn := range ex.aggArgs[i] {
+			v, err := fn(in)
+			if err != nil {
+				return fmt.Errorf("dap: aggregate %s argument: %w", spec.Func, err)
+			}
+			args[j] = v
+		}
+		if err := grp.aggs[i].Update(args); err != nil {
+			return fmt.Errorf("dap: aggregate %s: %w", spec.Func, err)
+		}
+	}
+	return nil
+}
+
+// finish emits group rows (deterministically sorted by encoded key) for
+// aggregated fragments; it is a no-op otherwise.
+func (ex *fragmentExec) finish(emit func(types.Tuple) error) error {
+	if ex.groups == nil {
+		return nil
+	}
+	sort.Strings(ex.order)
+	for _, gk := range ex.order {
+		grp := ex.groups[gk]
+		out := make(types.Tuple, 0, len(grp.keys)+len(grp.aggs))
+		out = append(out, grp.keys...)
+		for i, agg := range grp.aggs {
+			v, err := agg.Summarize()
+			if err != nil {
+				return fmt.Errorf("dap: aggregate %s summarize: %w", ex.frag.Aggregates[i].Func, err)
+			}
+			out = append(out, v)
+		}
+		if err := emit(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

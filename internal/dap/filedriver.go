@@ -1,0 +1,157 @@
+package dap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"mocha/internal/types"
+)
+
+// FileDriver serves tables from flat files — the paper's file-server
+// data source (sections 3.2 and 3.4): sites that offer no query
+// language, only files, still participate in distributed queries
+// because the DAP maps their contents into the middleware schema.
+//
+// Layout: a directory holding one <table>.mft file per table:
+//
+//	magic "MFT1"
+//	u16 column count, then per column: u16 name length, name bytes,
+//	one kind byte
+//	u32 tuple count, then the schema-encoded tuples
+type FileDriver struct {
+	Dir string
+
+	mu     sync.Mutex
+	tables map[string]*fileTable // lazily loaded
+}
+
+type fileTable struct {
+	schema types.Schema
+	tuples []types.Tuple
+}
+
+const fileTableMagic = "MFT1"
+
+// WriteFileTable serializes a table into dir in FileDriver's format; it
+// is the export path a file-serving site uses to publish data.
+func WriteFileTable(dir, name string, schema types.Schema, tuples []types.Tuple) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, fileTableMagic...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(schema.Arity()))
+	for _, c := range schema.Columns {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(c.Name)))
+		buf = append(buf, c.Name...)
+		buf = append(buf, byte(c.Kind))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(tuples)))
+	for i, t := range tuples {
+		if len(t) != schema.Arity() {
+			return fmt.Errorf("dap: tuple %d arity %d, schema arity %d", i, len(t), schema.Arity())
+		}
+		buf = t.AppendTo(buf)
+	}
+	return os.WriteFile(filepath.Join(dir, name+".mft"), buf, 0o644)
+}
+
+func (d *FileDriver) load(table string) (*fileTable, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.tables == nil {
+		d.tables = make(map[string]*fileTable)
+	}
+	key := strings.ToLower(table)
+	if ft, ok := d.tables[key]; ok {
+		return ft, nil
+	}
+	data, err := os.ReadFile(filepath.Join(d.Dir, table+".mft"))
+	if err != nil {
+		return nil, fmt.Errorf("dap: file source has no table %q: %w", table, err)
+	}
+	ft, err := parseFileTable(data)
+	if err != nil {
+		return nil, fmt.Errorf("dap: table file %s: %w", table, err)
+	}
+	d.tables[key] = ft
+	return ft, nil
+}
+
+func parseFileTable(data []byte) (*fileTable, error) {
+	if len(data) < 6 || string(data[:4]) != fileTableMagic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	off := 4
+	ncols := int(binary.BigEndian.Uint16(data[off:]))
+	off += 2
+	ft := &fileTable{}
+	for i := 0; i < ncols; i++ {
+		if off+2 > len(data) {
+			return nil, fmt.Errorf("truncated column header")
+		}
+		nameLen := int(binary.BigEndian.Uint16(data[off:]))
+		off += 2
+		if off+nameLen+1 > len(data) {
+			return nil, fmt.Errorf("truncated column name")
+		}
+		name := string(data[off : off+nameLen])
+		off += nameLen
+		kind := types.Kind(data[off])
+		off++
+		if !kind.Valid() {
+			return nil, fmt.Errorf("column %q has invalid kind %d", name, kind)
+		}
+		ft.schema.Columns = append(ft.schema.Columns, types.Column{Name: name, Kind: kind})
+	}
+	if off+4 > len(data) {
+		return nil, fmt.Errorf("truncated tuple count")
+	}
+	n := int(binary.BigEndian.Uint32(data[off:]))
+	off += 4
+	for i := 0; i < n; i++ {
+		tup, used, err := types.DecodeTuple(ft.schema, data[off:])
+		if err != nil {
+			return nil, fmt.Errorf("tuple %d: %w", i, err)
+		}
+		ft.tuples = append(ft.tuples, tup)
+		off += used
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%d trailing bytes", len(data)-off)
+	}
+	return ft, nil
+}
+
+// TableSchema implements AccessDriver.
+func (d *FileDriver) TableSchema(table string) (types.Schema, error) {
+	ft, err := d.load(table)
+	if err != nil {
+		return types.Schema{}, err
+	}
+	return ft.schema, nil
+}
+
+// Scan implements AccessDriver.
+func (d *FileDriver) Scan(table string, emit func(types.Tuple) error) error {
+	ft, err := d.load(table)
+	if err != nil {
+		return err
+	}
+	for _, t := range ft.tuples {
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tables lists the .mft files available in the directory, implementing
+// TableLister.
+func (d *FileDriver) Tables() ([]string, error) {
+	return listFilesWithSuffix(d.Dir, ".mft")
+}

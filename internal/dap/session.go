@@ -1,0 +1,274 @@
+package dap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/types"
+	"mocha/internal/vm"
+	"mocha/internal/wire"
+)
+
+// HandleConn runs one QPC session over an accepted connection. The
+// session protocol (section 3.6): HELLO, code-cache validation, class
+// deployment, plan deployment, optional semi-join key delivery, then
+// ACTIVATE which streams results and a final stats report.
+func (s *Server) HandleConn(nc net.Conn) error {
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+	sess := &session{srv: s, conn: conn}
+	for {
+		t, payload, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		if err := sess.handle(t, payload); err != nil {
+			if errors.Is(err, errSessionClosed) {
+				return nil
+			}
+			conn.SendError(err)
+			s.cfg.Logf("dap %s: %v", s.cfg.Site, err)
+		}
+	}
+}
+
+var errSessionClosed = errors.New("session closed")
+
+// errFragmentLimit stops a scan once a pushed-down LIMIT is satisfied.
+var errFragmentLimit = errors.New("fragment limit reached")
+
+// session is per-connection state: the deployed fragment and pending
+// semi-join keys.
+type session struct {
+	srv  *Server
+	conn *wire.Conn
+
+	frag     *core.Fragment
+	semiKeys map[uint64][]types.Object
+	stats    wire.ExecStats
+}
+
+func (ss *session) handle(t wire.MsgType, payload []byte) error {
+	// Control-message handling (code loading, plan decoding, key-set
+	// installation) is initialization work: charge it to Misc time.
+	switch t {
+	case wire.MsgCodeCheck, wire.MsgDeployCode, wire.MsgDeployPlan, wire.MsgSemiJoinKeys:
+		start := time.Now()
+		defer func() {
+			ss.stats.MiscMicros += time.Since(start).Microseconds()
+		}()
+	}
+	switch t {
+	case wire.MsgHello:
+		ss.stats = wire.ExecStats{Site: ss.srv.cfg.Site}
+		ack, err := wire.EncodeXML(&wire.Hello{Role: "dap", Site: ss.srv.cfg.Site})
+		if err != nil {
+			return err
+		}
+		return ss.conn.Send(wire.MsgHelloAck, ack)
+
+	case wire.MsgCodeCheck:
+		var check wire.CodeCheck
+		if err := wire.DecodeXML(payload, &check); err != nil {
+			return err
+		}
+		ack := wire.CodeCheckAck{}
+		for _, item := range check.Classes {
+			ref := core.CodeRef{Name: item.Name, Version: item.Version, Checksum: item.Checksum}
+			if ss.srv.cache.needs(ref, ss.srv.cfg.DisableCodeCache) {
+				ack.Needed = append(ack.Needed, item.Name)
+			} else {
+				ss.stats.CacheHits++
+			}
+		}
+		data, err := wire.EncodeXML(&ack)
+		if err != nil {
+			return err
+		}
+		return ss.conn.Send(wire.MsgCodeCheckAck, data)
+
+	case wire.MsgDeployCode:
+		prog, err := vm.Decode(payload)
+		if err != nil {
+			return fmt.Errorf("deploy code: %w", err)
+		}
+		// The static half of the sandbox: never load unverifiable code.
+		if err := vm.Verify(prog); err != nil {
+			return fmt.Errorf("deploy code: %w", err)
+		}
+		ss.srv.cache.put(prog)
+		ss.stats.CodeClassesLoaded++
+		ss.stats.CodeBytesLoaded += len(payload)
+		ss.srv.cfg.Logf("dap %s: loaded class %s (%d bytes)", ss.srv.cfg.Site, prog.Name, len(payload))
+		return ss.conn.Send(wire.MsgAck, nil)
+
+	case wire.MsgDeployPlan:
+		frag, err := core.DecodeFragment(payload)
+		if err != nil {
+			return err
+		}
+		ss.frag = frag
+		ss.semiKeys = nil
+		return ss.conn.Send(wire.MsgAck, nil)
+
+	case wire.MsgSemiJoinKeys:
+		if ss.frag == nil || ss.frag.SemiJoinCol < 0 {
+			return fmt.Errorf("semi-join keys without a semi-join fragment")
+		}
+		kind := ss.frag.InSchema.Columns[ss.frag.SemiJoinCol].Kind
+		keySchema := types.NewSchema(types.Column{Name: "key", Kind: kind})
+		tuples, err := wire.DecodeBatch(keySchema, payload)
+		if err != nil {
+			return err
+		}
+		ss.semiKeys = make(map[uint64][]types.Object, len(tuples))
+		for _, kt := range tuples {
+			sv, ok := kt[0].(types.Small)
+			if !ok {
+				return fmt.Errorf("semi-join key of kind %v is not hashable", kt[0].Kind())
+			}
+			h := sv.Hash()
+			ss.semiKeys[h] = append(ss.semiKeys[h], kt[0])
+		}
+		return ss.conn.Send(wire.MsgAck, nil)
+
+	case wire.MsgActivate:
+		if ss.frag == nil {
+			return fmt.Errorf("activate without a deployed plan")
+		}
+		err := ss.execute()
+		ss.frag = nil
+		ss.semiKeys = nil
+		return err
+
+	case wire.MsgProcCall:
+		var call wire.ProcCall
+		if err := wire.DecodeXML(payload, &call); err != nil {
+			return err
+		}
+		lines, err := ss.srv.handleProc(call)
+		if err != nil {
+			return err
+		}
+		data, err := wire.EncodeXML(&wire.ProcResult{Lines: lines})
+		if err != nil {
+			return err
+		}
+		return ss.conn.Send(wire.MsgProcResult, data)
+
+	case wire.MsgClose:
+		return errSessionClosed
+
+	default:
+		return fmt.Errorf("unexpected %v message", t)
+	}
+}
+
+// execute runs the deployed fragment and streams its output.
+func (ss *session) execute() error {
+	start := time.Now()
+	frag := ss.frag
+	schema, err := ss.srv.cfg.Driver.TableSchema(frag.Table)
+	if err != nil {
+		return err
+	}
+	for _, c := range frag.Cols {
+		if c < 0 || c >= schema.Arity() {
+			return fmt.Errorf("fragment extracts column %d of %d-column table %s", c, schema.Arity(), frag.Table)
+		}
+	}
+
+	binder := &vmBinder{cache: ss.srv.cache, machine: vm.New(ss.srv.cfg.Limits), limits: ss.srv.cfg.Limits}
+	exec, err := newFragmentExec(frag, binder)
+	if err != nil {
+		return err
+	}
+	ss.stats.MiscMicros += time.Since(start).Microseconds()
+
+	writer := wire.NewBatchWriter(ss.conn)
+	var dbTime, cpuTime, netTime time.Duration
+
+	var emitted int
+	emit := func(out types.Tuple) error {
+		sendStart := time.Now()
+		err := writer.Write(out)
+		netTime += time.Since(sendStart)
+		if err != nil {
+			return err
+		}
+		emitted++
+		if frag.Limit > 0 && emitted >= frag.Limit {
+			return errFragmentLimit
+		}
+		return nil
+	}
+
+	scanStart := time.Now()
+	var lastTick = scanStart
+	usedIndex, scanErr := scanSource(ss.srv.cfg.Driver, frag, func(full types.Tuple) error {
+		now := time.Now()
+		dbTime += now.Sub(lastTick)
+		ss.stats.TuplesRead++
+		// Extract the fragment's columns (the middleware-schema mapping).
+		in := make(types.Tuple, len(frag.Cols))
+		var inBytes int
+		for i, c := range frag.Cols {
+			in[i] = full[c]
+			inBytes += full[c].WireSize()
+		}
+		ss.stats.BytesAccessed += int64(inBytes)
+
+		cpuStart := time.Now()
+		err := exec.process(in, ss.semiKeys, emit)
+		cpuTime += time.Since(cpuStart)
+		lastTick = time.Now()
+		return err
+	})
+	if scanErr != nil && !errors.Is(scanErr, errFragmentLimit) {
+		return scanErr
+	}
+	if usedIndex {
+		ss.srv.cfg.Logf("dap %s: table %s served by index range scan", ss.srv.cfg.Site, frag.Table)
+	}
+
+	// Aggregated fragments emit their group rows at end of scan.
+	cpuStart := time.Now()
+	if err := exec.finish(emit); err != nil {
+		return err
+	}
+	cpuTime += time.Since(cpuStart)
+
+	flushStart := time.Now()
+	if err := writer.Flush(); err != nil {
+		return err
+	}
+	netTime += time.Since(flushStart)
+
+	// The emit path is timed inside the CPU section; subtract it back out.
+	cpuTime -= netTime
+	if cpuTime < 0 {
+		cpuTime = 0
+	}
+
+	ss.stats.DBMicros = dbTime.Microseconds()
+	ss.stats.CPUMicros = cpuTime.Microseconds()
+	ss.stats.NetMicros = netTime.Microseconds()
+	ss.stats.TuplesSent = writer.Tuples
+	ss.stats.BytesSent = writer.DataBytes
+	payload, err := wire.EncodeXML(&ss.stats)
+	if err != nil {
+		return err
+	}
+	// Stats are per-execution: a session running several plans (e.g. the
+	// semi-join key phase then the main fragment) reports each phase
+	// separately.
+	ss.stats = wire.ExecStats{Site: ss.srv.cfg.Site}
+	return ss.conn.Send(wire.MsgEOS, payload)
+}

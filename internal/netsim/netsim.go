@@ -1,0 +1,162 @@
+// Package netsim provides the network substrate for MOCHA experiments.
+//
+// The paper's evaluation ran on a physical 10 Mbps Ethernet chosen for
+// reproducibility; its results hinge on constrained bandwidth making data
+// movement the dominant cost. This package substitutes a bandwidth- and
+// latency-shaped connection wrapper (over real TCP or an in-memory
+// network), so the same cost structure is reproduced on a single machine
+// with configurable link speed.
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Shaper models a network link: available bandwidth and one-way latency.
+// A zero BitsPerSec means unshaped (infinite) bandwidth.
+type Shaper struct {
+	BitsPerSec float64
+	Latency    time.Duration
+}
+
+// Ethernet10Mbps is the paper's testbed link.
+var Ethernet10Mbps = &Shaper{BitsPerSec: 10e6, Latency: 300 * time.Microsecond}
+
+// WAN1Mbps approximates the sub-1 Mbps wide-area links the paper argues
+// are the realistic deployment target.
+var WAN1Mbps = &Shaper{BitsPerSec: 1e6, Latency: 20 * time.Millisecond}
+
+// TransmissionTime returns the modeled time to push n bytes through the
+// link, excluding latency.
+func (s *Shaper) TransmissionTime(n int64) time.Duration {
+	if s == nil || s.BitsPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) * 8 / s.BitsPerSec * float64(time.Second))
+}
+
+// Shape wraps a connection so writes are paced at the link's bandwidth
+// and charged its latency. A nil shaper returns the connection unchanged.
+func Shape(c net.Conn, s *Shaper) net.Conn {
+	if s == nil || (s.BitsPerSec <= 0 && s.Latency == 0) {
+		return c
+	}
+	return &shapedConn{Conn: c, shaper: s}
+}
+
+type shapedConn struct {
+	net.Conn
+	shaper *Shaper
+
+	mu       sync.Mutex
+	nextFree time.Time
+}
+
+// Write paces the payload at the link bandwidth: the sender blocks for
+// the modeled transmission time (store-and-forward), keeping a per-
+// connection schedule so concurrent writers share the link fairly.
+func (c *shapedConn) Write(p []byte) (int, error) {
+	wait := c.reserve(len(p))
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	return c.Conn.Write(p)
+}
+
+func (c *shapedConn) reserve(n int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	if c.nextFree.Before(now) {
+		c.nextFree = now
+	}
+	c.nextFree = c.nextFree.Add(c.shaper.TransmissionTime(int64(n)) + c.shaper.Latency)
+	return c.nextFree.Sub(now)
+}
+
+// Network is an in-memory multi-site network: named listeners connected
+// by synchronous pipes, with an optional shaper applied to every link.
+// It lets a full QPC + DAPs deployment run inside one process, which is
+// how the test suite and benchmark harness wire the system together.
+type Network struct {
+	shaper *Shaper
+
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewNetwork returns a network whose links are shaped by s (nil for
+// unshaped links).
+func NewNetwork(s *Shaper) *Network {
+	return &Network{shaper: s, listeners: make(map[string]*memListener)}
+}
+
+// Listen binds a named site address.
+func (n *Network) Listen(addr string) (net.Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, taken := n.listeners[addr]; taken {
+		return nil, fmt.Errorf("netsim: address %q already in use", addr)
+	}
+	l := &memListener{addr: addr, accept: make(chan net.Conn, 16), closed: make(chan struct{}), network: n}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a named site. Both directions of the resulting
+// connection are shaped.
+func (n *Network) Dial(addr string) (net.Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("netsim: no listener at %q", addr)
+	}
+	client, server := net.Pipe()
+	select {
+	case l.accept <- Shape(server, n.shaper):
+		return Shape(client, n.shaper), nil
+	case <-l.closed:
+		return nil, fmt.Errorf("netsim: %q is closed", addr)
+	}
+}
+
+type memListener struct {
+	addr    string
+	accept  chan net.Conn
+	closed  chan struct{}
+	once    sync.Once
+	network *Network
+}
+
+// Accept implements net.Listener.
+func (l *memListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.closed:
+		return nil, fmt.Errorf("netsim: listener %q closed", l.addr)
+	}
+}
+
+// Close implements net.Listener.
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.closed)
+		l.network.mu.Lock()
+		delete(l.network.listeners, l.addr)
+		l.network.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *memListener) Addr() net.Addr { return memAddr(l.addr) }
+
+type memAddr string
+
+func (a memAddr) Network() string { return "mocha-mem" }
+func (a memAddr) String() string  { return string(a) }

@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNetworkConnectivity(t *testing.T) {
+	n := NewNetwork(nil)
+	l, err := n.Listen("site1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		buf := make([]byte, 5)
+		if _, err := io.ReadFull(c, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		c.Write([]byte("pong:"))
+		c.Write(buf)
+	}()
+	c, err := n.Dial("site1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("hello"))
+	buf := make([]byte, 10)
+	if _, err := io.ReadFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "pong:hello" {
+		t.Errorf("got %q", buf)
+	}
+	wg.Wait()
+}
+
+func TestDialUnknownAddress(t *testing.T) {
+	n := NewNetwork(nil)
+	if _, err := n.Dial("nowhere"); err == nil {
+		t.Error("dial to unknown address should fail")
+	}
+}
+
+func TestDuplicateListen(t *testing.T) {
+	n := NewNetwork(nil)
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen("a"); err == nil {
+		t.Error("duplicate listen accepted")
+	}
+}
+
+func TestClosedListener(t *testing.T) {
+	n := NewNetwork(nil)
+	l, _ := n.Listen("a")
+	l.Close()
+	if _, err := l.Accept(); err == nil {
+		t.Error("accept on closed listener should fail")
+	}
+	if _, err := n.Dial("a"); err == nil {
+		t.Error("dial to closed listener should fail")
+	}
+	// Address is reusable after close.
+	if _, err := n.Listen("a"); err != nil {
+		t.Errorf("re-listen after close: %v", err)
+	}
+	// Double close is fine.
+	if err := l.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestListenerAddr(t *testing.T) {
+	n := NewNetwork(nil)
+	l, _ := n.Listen("qpc")
+	if l.Addr().String() != "qpc" || l.Addr().Network() != "mocha-mem" {
+		t.Errorf("addr = %v/%v", l.Addr().Network(), l.Addr().String())
+	}
+}
+
+func TestTransmissionTime(t *testing.T) {
+	s := &Shaper{BitsPerSec: 10e6}
+	// 1.25 MB at 10 Mbps = 1 second.
+	if got := s.TransmissionTime(1_250_000); got != time.Second {
+		t.Errorf("transmission time = %v, want 1s", got)
+	}
+	var nilShaper *Shaper
+	if nilShaper.TransmissionTime(1000) != 0 {
+		t.Error("nil shaper should cost nothing")
+	}
+}
+
+func TestShapedThroughput(t *testing.T) {
+	// 100 KB at 8 Mbps ≈ 100 ms. Assert the shaped transfer takes at
+	// least 80% of the modeled time and the unshaped one is far faster.
+	n := NewNetwork(&Shaper{BitsPerSec: 8e6})
+	l, _ := n.Listen("s")
+	const size = 100_000
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(io.Discard, c)
+	}()
+	c, err := n.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, size)
+	start := time.Now()
+	// Write in chunks as a framed sender would.
+	for off := 0; off < size; off += 8192 {
+		end := min(off+8192, size)
+		if _, err := c.Write(payload[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+	c.Close()
+	want := 100 * time.Millisecond
+	if elapsed < want*8/10 {
+		t.Errorf("shaped transfer took %v, want >= %v", elapsed, want*8/10)
+	}
+}
+
+func TestShapeNilPassthrough(t *testing.T) {
+	n := NewNetwork(nil)
+	l, _ := n.Listen("x")
+	go func() {
+		c, _ := l.Accept()
+		if c != nil {
+			io.Copy(io.Discard, c)
+		}
+	}()
+	c, _ := n.Dial("x")
+	start := time.Now()
+	c.Write(make([]byte, 1<<20))
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("unshaped write took %v", elapsed)
+	}
+	c.Close()
+}

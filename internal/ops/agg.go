@@ -1,0 +1,318 @@
+package ops
+
+import (
+	"fmt"
+
+	"mocha/internal/types"
+)
+
+// Aggregate operator definitions (section 3.8): the Sequoia-specific
+// TotalArea and TotalPerimeter used by Q1, plus the standard SQL
+// aggregates. Each follows the Reset/Update/Summarize protocol with
+// aggregate state held in MVM globals.
+
+var totalAreaSrc = `
+program TotalArea version 1.0
+globals 1
+const zero float 0
+const half float 0.5
+` + areaFuncText("areaof") + `
+func reset args=0 locals=0
+  const zero
+  gstore 0
+  ret
+end
+func update args=1 locals=0
+  gload 0
+  arg 0
+  call areaof
+  addf
+  gstore 0
+  ret
+end
+func summarize args=0 locals=0
+  gload 0
+  ret
+end`
+
+var totalPerimeterSrc = `
+program TotalPerimeter version 1.0
+globals 1
+const zero float 0
+` + perimeterFuncText("perimof") + `
+func reset args=0 locals=0
+  const zero
+  gstore 0
+  ret
+end
+func update args=1 locals=0
+  gload 0
+  arg 0
+  call perimof
+  addf
+  gstore 0
+  ret
+end
+func summarize args=0 locals=0
+  gload 0
+  ret
+end`
+
+const countSrc = `
+program Count version 1.0
+globals 1
+func reset args=0 locals=0
+  pushi 0
+  gstore 0
+  ret
+end
+func update args=1 locals=0
+  gload 0
+  pushi 1
+  addi
+  gstore 0
+  ret
+end
+func summarize args=0 locals=0
+  gload 0
+  ret
+end`
+
+const sumSrc = `
+program Sum version 1.0
+globals 1
+const zero float 0
+func reset args=0 locals=0
+  const zero
+  gstore 0
+  ret
+end
+func update args=1 locals=0
+  gload 0
+  arg 0
+  addf
+  gstore 0
+  ret
+end
+func summarize args=0 locals=0
+  gload 0
+  ret
+end`
+
+const avgSrc = `
+program Avg version 1.0
+globals 2
+const zero float 0
+func reset args=0 locals=0
+  const zero
+  gstore 0
+  pushi 0
+  gstore 1
+  ret
+end
+func update args=1 locals=0
+  gload 0
+  arg 0
+  addf
+  gstore 0
+  gload 1
+  pushi 1
+  addi
+  gstore 1
+  ret
+end
+func summarize args=0 locals=0
+  gload 1
+  pushi 0
+  eq
+  jnz empty
+  gload 0
+  gload 1
+  i2f
+  divf
+  ret
+empty:
+  const zero
+  ret
+end`
+
+// minMaxSrc builds Min or Max: globals[0] holds the extreme so far,
+// globals[1] whether any value has been seen.
+func minMaxSrc(name, cmp string) string {
+	return `
+program ` + name + ` version 1.0
+globals 2
+const zero float 0
+func reset args=0 locals=0
+  const zero
+  gstore 0
+  pushi 0
+  gstore 1
+  ret
+end
+func update args=1 locals=0
+  gload 1
+  pushi 0
+  eq
+  jnz take
+  arg 0
+  gload 0
+  ` + cmp + `
+  jnz take
+  ret
+take:
+  arg 0
+  gstore 0
+  pushi 1
+  gstore 1
+  ret
+end
+func summarize args=0 locals=0
+  gload 0
+  ret
+end`
+}
+
+type nativeSumAgg struct{ sum float64 }
+
+func (a *nativeSumAgg) Reset() { a.sum = 0 }
+func (a *nativeSumAgg) Update(args []types.Object) error {
+	d, ok := args[0].(types.Double)
+	if !ok {
+		return fmt.Errorf("ops: Sum: argument is %v, want DOUBLE", args[0].Kind())
+	}
+	a.sum += float64(d)
+	return nil
+}
+func (a *nativeSumAgg) Summarize() (types.Object, error) { return types.Double(a.sum), nil }
+
+type nativeCountAgg struct{ n int64 }
+
+func (a *nativeCountAgg) Reset() { a.n = 0 }
+func (a *nativeCountAgg) Update(args []types.Object) error {
+	a.n++
+	return nil
+}
+func (a *nativeCountAgg) Summarize() (types.Object, error) { return types.Int(int32(a.n)), nil }
+
+type nativeAvgAgg struct {
+	sum float64
+	n   int64
+}
+
+func (a *nativeAvgAgg) Reset() { a.sum, a.n = 0, 0 }
+func (a *nativeAvgAgg) Update(args []types.Object) error {
+	d, ok := args[0].(types.Double)
+	if !ok {
+		return fmt.Errorf("ops: Avg: argument is %v, want DOUBLE", args[0].Kind())
+	}
+	a.sum += float64(d)
+	a.n++
+	return nil
+}
+func (a *nativeAvgAgg) Summarize() (types.Object, error) {
+	if a.n == 0 {
+		return types.Double(0), nil
+	}
+	return types.Double(a.sum / float64(a.n)), nil
+}
+
+type nativeMinMaxAgg struct {
+	max  bool
+	seen bool
+	val  float64
+}
+
+func (a *nativeMinMaxAgg) Reset() { a.seen, a.val = false, 0 }
+func (a *nativeMinMaxAgg) Update(args []types.Object) error {
+	d, ok := args[0].(types.Double)
+	if !ok {
+		return fmt.Errorf("ops: Min/Max: argument is %v, want DOUBLE", args[0].Kind())
+	}
+	v := float64(d)
+	if !a.seen || (a.max && v > a.val) || (!a.max && v < a.val) {
+		a.val, a.seen = v, true
+	}
+	return nil
+}
+func (a *nativeMinMaxAgg) Summarize() (types.Object, error) { return types.Double(a.val), nil }
+
+type nativeTotalAreaAgg struct{ sum float64 }
+
+func (a *nativeTotalAreaAgg) Reset() { a.sum = 0 }
+func (a *nativeTotalAreaAgg) Update(args []types.Object) error {
+	p, ok := args[0].(types.Polygon)
+	if !ok {
+		return fmt.Errorf("ops: TotalArea: argument is %v, want POLYGON", args[0].Kind())
+	}
+	a.sum += p.Area()
+	return nil
+}
+func (a *nativeTotalAreaAgg) Summarize() (types.Object, error) { return types.Double(a.sum), nil }
+
+type nativeTotalPerimeterAgg struct{ sum float64 }
+
+func (a *nativeTotalPerimeterAgg) Reset() { a.sum = 0 }
+func (a *nativeTotalPerimeterAgg) Update(args []types.Object) error {
+	p, ok := args[0].(types.Polygon)
+	if !ok {
+		return fmt.Errorf("ops: TotalPerimeter: argument is %v, want POLYGON", args[0].Kind())
+	}
+	a.sum += p.Perimeter()
+	return nil
+}
+func (a *nativeTotalPerimeterAgg) Summarize() (types.Object, error) { return types.Double(a.sum), nil }
+
+func aggDefs() []*Def {
+	return []*Def{
+		{
+			Name: "TotalArea", URI: "mocha://ops/TotalArea#1.0",
+			Args: []types.Kind{types.KindPolygon}, Ret: types.KindDouble, Aggregate: true,
+			ResultBytes: 8, CPUCostPerByte: 0.5,
+			NewNativeAgg: func() NativeAggregate { return &nativeTotalAreaAgg{} },
+			Source:       totalAreaSrc,
+		},
+		{
+			Name: "TotalPerimeter", URI: "mocha://ops/TotalPerimeter#1.0",
+			Args: []types.Kind{types.KindPolygon}, Ret: types.KindDouble, Aggregate: true,
+			ResultBytes: 8, CPUCostPerByte: 0.8,
+			NewNativeAgg: func() NativeAggregate { return &nativeTotalPerimeterAgg{} },
+			Source:       totalPerimeterSrc,
+		},
+		{
+			Name: "Count", URI: "mocha://ops/Count#1.0",
+			Args: []types.Kind{types.KindDouble}, Ret: types.KindInt, Aggregate: true, Polymorphic: true,
+			ResultBytes: 4, CPUCostPerByte: 0.01,
+			NewNativeAgg: func() NativeAggregate { return &nativeCountAgg{} },
+			Source:       countSrc,
+		},
+		{
+			Name: "Sum", URI: "mocha://ops/Sum#1.0",
+			Args: []types.Kind{types.KindDouble}, Ret: types.KindDouble, Aggregate: true,
+			ResultBytes: 8, CPUCostPerByte: 0.05,
+			NewNativeAgg: func() NativeAggregate { return &nativeSumAgg{} },
+			Source:       sumSrc,
+		},
+		{
+			Name: "Avg", URI: "mocha://ops/Avg#1.0",
+			Args: []types.Kind{types.KindDouble}, Ret: types.KindDouble, Aggregate: true,
+			ResultBytes: 8, CPUCostPerByte: 0.05,
+			NewNativeAgg: func() NativeAggregate { return &nativeAvgAgg{} },
+			Source:       avgSrc,
+		},
+		{
+			Name: "Min", URI: "mocha://ops/Min#1.0",
+			Args: []types.Kind{types.KindDouble}, Ret: types.KindDouble, Aggregate: true,
+			ResultBytes: 8, CPUCostPerByte: 0.05,
+			NewNativeAgg: func() NativeAggregate { return &nativeMinMaxAgg{} },
+			Source:       minMaxSrc("Min", "lt"),
+		},
+		{
+			Name: "Max", URI: "mocha://ops/Max#1.0",
+			Args: []types.Kind{types.KindDouble}, Ret: types.KindDouble, Aggregate: true,
+			ResultBytes: 8, CPUCostPerByte: 0.05,
+			NewNativeAgg: func() NativeAggregate { return &nativeMinMaxAgg{max: true} },
+			Source:       minMaxSrc("Max", "gt"),
+		},
+	}
+}

@@ -1,0 +1,182 @@
+package ops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mocha/internal/types"
+	"mocha/internal/vm"
+)
+
+// aggBoth builds native and shipped (encode→decode→verify) instances of
+// an aggregate definition.
+func aggBoth(t *testing.T, d *Def) (*Aggregate, *Aggregate) {
+	t.Helper()
+	na, err := NewNativeAggregate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := vm.Decode(d.Program().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Verify(prog); err != nil {
+		t.Fatal(err)
+	}
+	va, err := NewVMAggregate(vm.New(vm.Limits{}), prog, d.Ret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return na, va
+}
+
+func runAgg(t *testing.T, a *Aggregate, rows [][]types.Object) types.Object {
+	t.Helper()
+	if err := a.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows {
+		if err := a.Update(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := a.Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestSumAvgMinMaxCount(t *testing.T) {
+	vals := []float64{3, -1.5, 10, 0, 7.25}
+	rows := make([][]types.Object, len(vals))
+	for i, v := range vals {
+		rows[i] = []types.Object{types.Double(v)}
+	}
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"Sum", 18.75}, {"Avg", 3.75}, {"Min", -1.5}, {"Max", 10},
+	}
+	for _, c := range cases {
+		na, va := aggBoth(t, builtin(t, c.name))
+		for _, a := range []*Aggregate{na, va} {
+			got := runAgg(t, a, rows)
+			if math.Abs(float64(got.(types.Double))-c.want) > 1e-12 {
+				t.Errorf("%s = %v, want %g", c.name, got, c.want)
+			}
+		}
+	}
+	na, va := aggBoth(t, builtin(t, "Count"))
+	for _, a := range []*Aggregate{na, va} {
+		if got := runAgg(t, a, rows); got.(types.Int) != 5 {
+			t.Errorf("Count = %v, want 5", got)
+		}
+	}
+}
+
+func TestAggregatesOnEmptyInput(t *testing.T) {
+	for _, name := range []string{"Sum", "Avg", "Min", "Max"} {
+		na, va := aggBoth(t, builtin(t, name))
+		for _, a := range []*Aggregate{na, va} {
+			got := runAgg(t, a, nil)
+			if float64(got.(types.Double)) != 0 {
+				t.Errorf("%s over empty input = %v, want 0", name, got)
+			}
+		}
+	}
+	na, va := aggBoth(t, builtin(t, "Count"))
+	for _, a := range []*Aggregate{na, va} {
+		if got := runAgg(t, a, nil); got.(types.Int) != 0 {
+			t.Errorf("Count over empty = %v", got)
+		}
+	}
+}
+
+func TestTotalAreaPerimeterEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rows := make([][]types.Object, 10)
+	var wantArea, wantPerim float64
+	for i := range rows {
+		p := randPolygon(rng, 20)
+		rows[i] = []types.Object{p}
+		wantArea += p.Area()
+		wantPerim += p.Perimeter()
+	}
+	na, va := aggBoth(t, builtin(t, "TotalArea"))
+	for _, a := range []*Aggregate{na, va} {
+		got := float64(runAgg(t, a, rows).(types.Double))
+		if math.Abs(got-wantArea) > 1e-4*(1+wantArea) {
+			t.Errorf("TotalArea = %g, want %g", got, wantArea)
+		}
+	}
+	na, va = aggBoth(t, builtin(t, "TotalPerimeter"))
+	for _, a := range []*Aggregate{na, va} {
+		got := float64(runAgg(t, a, rows).(types.Double))
+		if math.Abs(got-wantPerim) > 1e-4*(1+wantPerim) {
+			t.Errorf("TotalPerimeter = %g, want %g", got, wantPerim)
+		}
+	}
+}
+
+func TestAggregateResetBetweenGroups(t *testing.T) {
+	_, va := aggBoth(t, builtin(t, "Sum"))
+	g1 := runAgg(t, va, [][]types.Object{{types.Double(5)}, {types.Double(5)}})
+	g2 := runAgg(t, va, [][]types.Object{{types.Double(1)}})
+	if g1.(types.Double) != 10 || g2.(types.Double) != 1 {
+		t.Errorf("groups leaked state: g1=%v g2=%v", g1, g2)
+	}
+}
+
+func TestVMAggregateRejectsScalarProgram(t *testing.T) {
+	d := builtin(t, "AvgEnergy")
+	if _, err := NewVMAggregate(vm.New(vm.Limits{}), d.Program(), d.Ret); err == nil {
+		t.Error("scalar program accepted as aggregate")
+	}
+	if _, err := NewNativeAggregate(d); err == nil {
+		t.Error("scalar def accepted as native aggregate")
+	}
+}
+
+func TestVMScalarRejectsMissingEval(t *testing.T) {
+	d := builtin(t, "Sum")
+	if _, err := NewVMScalar(vm.New(vm.Limits{}), d.Program(), d.Ret); err == nil {
+		t.Error("aggregate program accepted as scalar")
+	}
+}
+
+func TestBridgeConversions(t *testing.T) {
+	// Round-trip each kind through the VM boundary.
+	objs := []types.Object{
+		types.Int(42), types.Double(2.5), types.Bool(true),
+		types.String_("hi"), types.Bytes{1, 2}, types.NewRaster(2, 1, []byte{9, 8}),
+	}
+	for _, o := range objs {
+		v := ToVM(o)
+		back, err := FromVM(v, o.Kind())
+		if err != nil {
+			t.Fatalf("FromVM(%v): %v", o, err)
+		}
+		if back.Kind() != o.Kind() {
+			t.Errorf("round trip changed kind: %v -> %v", o.Kind(), back.Kind())
+		}
+	}
+	// Kind mismatches are errors, not panics.
+	if _, err := FromVM(vm.StrVal("x"), types.KindInt); err == nil {
+		t.Error("string-as-int accepted")
+	}
+	if _, err := FromVM(vm.IntVal(1), types.KindRaster); err == nil {
+		t.Error("int-as-raster accepted")
+	}
+	// Int promotes to double (arithmetic convenience).
+	d, err := FromVM(vm.IntVal(3), types.KindDouble)
+	if err != nil || d.(types.Double) != 3 {
+		t.Errorf("int->double promotion failed: %v %v", d, err)
+	}
+	// Corrupt payload for a structured kind is an error.
+	if _, err := FromVM(vm.BytesVal([]byte{1, 2, 3}), types.KindRaster); err == nil {
+		t.Error("corrupt raster payload accepted")
+	}
+}

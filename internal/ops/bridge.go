@@ -1,0 +1,205 @@
+package ops
+
+import (
+	"fmt"
+
+	"mocha/internal/types"
+	"mocha/internal/vm"
+)
+
+// ToVM converts a middleware object into an MVM value. Scalars map to VM
+// scalars; spatial and large objects enter the VM as their raw wire
+// payload bytes, which is exactly what the byte-level MVM instructions
+// operate on.
+func ToVM(o types.Object) vm.Value {
+	switch v := o.(type) {
+	case types.Null:
+		return vm.IntVal(0)
+	case types.Bool:
+		return vm.BoolVal(bool(v))
+	case types.Int:
+		return vm.IntVal(int64(v))
+	case types.Double:
+		return vm.FloatVal(float64(v))
+	case types.String_:
+		return vm.StrVal(string(v))
+	case types.Bytes:
+		return vm.BytesVal(v)
+	case types.Large:
+		return vm.BytesVal(v.Payload())
+	default:
+		// Point and Rectangle are small but byte-addressable in the VM.
+		return vm.BytesVal(o.AppendTo(nil))
+	}
+}
+
+// FromVM converts an MVM result value back into a middleware object of
+// the declared kind.
+func FromVM(v vm.Value, k types.Kind) (types.Object, error) {
+	switch k {
+	case types.KindBool:
+		if v.K != vm.VBool {
+			return nil, fmt.Errorf("ops: operator returned %v, want bool", v.K)
+		}
+		return types.Bool(v.Bool()), nil
+	case types.KindInt:
+		if v.K != vm.VInt {
+			return nil, fmt.Errorf("ops: operator returned %v, want int", v.K)
+		}
+		return types.Int(int32(v.I)), nil
+	case types.KindDouble:
+		switch v.K {
+		case vm.VFloat:
+			return types.Double(v.F), nil
+		case vm.VInt:
+			return types.Double(v.I), nil
+		}
+		return nil, fmt.Errorf("ops: operator returned %v, want double", v.K)
+	case types.KindString:
+		if v.K != vm.VStr {
+			return nil, fmt.Errorf("ops: operator returned %v, want string", v.K)
+		}
+		return types.String_(v.S), nil
+	case types.KindBytes:
+		if v.K != vm.VBytes {
+			return nil, fmt.Errorf("ops: operator returned %v, want bytes", v.K)
+		}
+		return types.Bytes(v.B), nil
+	case types.KindPoint, types.KindRectangle, types.KindPolygon, types.KindGraph, types.KindRaster:
+		if v.K != vm.VBytes {
+			return nil, fmt.Errorf("ops: operator returned %v, want %v payload", v.K, k)
+		}
+		return types.FromPayload(k, v.B)
+	}
+	return nil, fmt.Errorf("ops: cannot convert VM result to %v", k)
+}
+
+// Scalar is an executable scalar operator instance bound to either its
+// native implementation or a loaded MVM program. A DAP, which only has
+// the shipped bytecode, always uses the VM path; a QPC holding the full
+// library may use either.
+type Scalar struct {
+	name    string
+	ret     types.Kind
+	native  NativeFunc
+	machine *vm.Machine
+	prog    *vm.Program
+	evalIdx int
+}
+
+// NewNativeScalar binds a definition's native implementation.
+func NewNativeScalar(d *Def) (*Scalar, error) {
+	if d.Native == nil {
+		return nil, fmt.Errorf("ops: operator %s has no native implementation", d.Name)
+	}
+	return &Scalar{name: d.Name, ret: d.Ret, native: d.Native}, nil
+}
+
+// NewVMScalar binds a (possibly remotely received) MVM program as a
+// scalar operator returning values of kind ret. The program must already
+// be verified.
+func NewVMScalar(m *vm.Machine, p *vm.Program, ret types.Kind) (*Scalar, error) {
+	idx := p.FuncIndex("eval")
+	if idx < 0 {
+		return nil, fmt.Errorf("ops: program %s has no eval function", p.Name)
+	}
+	return &Scalar{name: p.Name, ret: ret, machine: m, prog: p, evalIdx: idx}, nil
+}
+
+// Name returns the operator name.
+func (s *Scalar) Name() string { return s.name }
+
+// Call evaluates the operator on one tuple's argument values.
+func (s *Scalar) Call(args []types.Object) (types.Object, error) {
+	if s.native != nil {
+		return s.native(args)
+	}
+	vargs := make([]vm.Value, len(args))
+	for i, a := range args {
+		vargs[i] = ToVM(a)
+	}
+	var globals []vm.Value
+	if s.prog.NGlobals > 0 {
+		globals = make([]vm.Value, s.prog.NGlobals)
+	}
+	v, err := s.machine.Run(s.prog, s.evalIdx, globals, vargs)
+	if err != nil {
+		return nil, fmt.Errorf("ops: %s: %w", s.name, err)
+	}
+	return FromVM(v, s.ret)
+}
+
+// Aggregate is an executable aggregate operator instance. Each group in a
+// GROUP BY gets its own instance (or a Reset between groups).
+type Aggregate struct {
+	name   string
+	ret    types.Kind
+	native NativeAggregate
+
+	machine                           *vm.Machine
+	prog                              *vm.Program
+	globals                           []vm.Value
+	resetIdx, updateIdx, summarizeIdx int
+}
+
+// NewNativeAggregate binds a definition's native aggregate.
+func NewNativeAggregate(d *Def) (*Aggregate, error) {
+	if d.NewNativeAgg == nil {
+		return nil, fmt.Errorf("ops: aggregate %s has no native implementation", d.Name)
+	}
+	return &Aggregate{name: d.Name, ret: d.Ret, native: d.NewNativeAgg()}, nil
+}
+
+// NewVMAggregate binds a (possibly remotely received) MVM program as an
+// aggregate. The program must already be verified.
+func NewVMAggregate(m *vm.Machine, p *vm.Program, ret types.Kind) (*Aggregate, error) {
+	a := &Aggregate{
+		name: p.Name, ret: ret, machine: m, prog: p,
+		resetIdx:     p.FuncIndex("reset"),
+		updateIdx:    p.FuncIndex("update"),
+		summarizeIdx: p.FuncIndex("summarize"),
+		globals:      make([]vm.Value, p.NGlobals),
+	}
+	if a.resetIdx < 0 || a.updateIdx < 0 || a.summarizeIdx < 0 {
+		return nil, fmt.Errorf("ops: program %s does not implement the aggregate protocol", p.Name)
+	}
+	return a, nil
+}
+
+// Name returns the aggregate name.
+func (a *Aggregate) Name() string { return a.name }
+
+// Reset clears accumulated state.
+func (a *Aggregate) Reset() error {
+	if a.native != nil {
+		a.native.Reset()
+		return nil
+	}
+	_, err := a.machine.Run(a.prog, a.resetIdx, a.globals, nil)
+	return err
+}
+
+// Update folds one tuple's argument values into the state.
+func (a *Aggregate) Update(args []types.Object) error {
+	if a.native != nil {
+		return a.native.Update(args)
+	}
+	vargs := make([]vm.Value, len(args))
+	for i, x := range args {
+		vargs[i] = ToVM(x)
+	}
+	_, err := a.machine.Run(a.prog, a.updateIdx, a.globals, vargs)
+	return err
+}
+
+// Summarize produces the aggregate value.
+func (a *Aggregate) Summarize() (types.Object, error) {
+	if a.native != nil {
+		return a.native.Summarize()
+	}
+	v, err := a.machine.Run(a.prog, a.summarizeIdx, a.globals, nil)
+	if err != nil {
+		return nil, err
+	}
+	return FromVM(v, a.ret)
+}

@@ -1,0 +1,20 @@
+package ops
+
+// Builtins returns a registry populated with the full middleware operator
+// library: the Sequoia 2000 raster, geometry, graph and aggregate
+// operators. In a deployed system this is the content of the well-known
+// code repository of section 3.6; sites that lack an operator receive its
+// compiled form from here via code shipping.
+func Builtins() *Registry {
+	r := NewRegistry()
+	for _, group := range [][]*Def{rasterDefs(), geomDefs(), geom2Defs(), graphDefs(), aggDefs()} {
+		for _, d := range group {
+			if err := r.Register(d); err != nil {
+				// Builtin sources are static; failure to compile is a
+				// programming error caught by any test run.
+				panic(err)
+			}
+		}
+	}
+	return r
+}

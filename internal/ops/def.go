@@ -1,0 +1,164 @@
+// Package ops implements MOCHA's user-defined operator library: the
+// complex projections, predicates and aggregates of section 3.8. Every
+// operator is registered with two interchangeable implementations:
+//
+//   - a native Go function, the fast path used by whichever site already
+//     links the library (in the paper's terms: functionality installed
+//     a priori), and
+//   - MVM assembly, compiled to shippable bytecode — the form in which
+//     MOCHA deploys the operator to remote DAPs that lack it.
+//
+// Operator definitions also carry the placement statistics the catalog
+// needs (result sizes, relative compute cost) from which the optimizer
+// derives each operator's Volume Reduction Factor.
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"mocha/internal/types"
+	"mocha/internal/vm"
+)
+
+// NativeFunc is a natively implemented scalar operator.
+type NativeFunc func(args []types.Object) (types.Object, error)
+
+// NativeAggregate is a natively implemented aggregate following the
+// Reset/Update/Summarize protocol of section 3.8.
+type NativeAggregate interface {
+	Reset()
+	Update(args []types.Object) error
+	Summarize() (types.Object, error)
+}
+
+// Def describes one registered middleware operator — the catalog-visible
+// metadata plus both implementations.
+type Def struct {
+	// Name is the operator's SQL-visible name (case-insensitive).
+	Name string
+	// URI uniquely identifies the operator as a middleware resource
+	// (section 3.5).
+	URI string
+	// Args are the expected argument kinds.
+	Args []types.Kind
+	// Ret is the result kind.
+	Ret types.Kind
+	// Aggregate marks Reset/Update/Summarize operators.
+	Aggregate bool
+	// Polymorphic relaxes argument type checking (e.g. Count accepts any
+	// kind); Args then only fixes the argument count.
+	Polymorphic bool
+
+	// ResultBytes estimates the wire size of one result value when the
+	// size is (roughly) fixed; 0 means "use ResultRatio".
+	ResultBytes int
+	// ResultRatio estimates result bytes as a fraction of argument bytes
+	// for size-proportional operators (Clip ≈ 0.2, IncrRes = 4.0).
+	ResultRatio float64
+	// CPUCostPerByte is the relative compute cost per input byte, used by
+	// the optimizer's CompCost term and predicate ranking.
+	CPUCostPerByte float64
+
+	// Native is the scalar fast path (nil for aggregates).
+	Native NativeFunc
+	// NewNativeAgg builds a native aggregate instance (nil for scalars).
+	NewNativeAgg func() NativeAggregate
+	// Source is the operator's MVM assembly; it is compiled at
+	// registration time and shipped as bytecode.
+	Source string
+
+	prog *vm.Program
+}
+
+// Program returns the operator's compiled MVM program.
+func (d *Def) Program() *vm.Program { return d.prog }
+
+// EstimateResultBytes predicts the wire size of one result given the wire
+// size of the arguments.
+func (d *Def) EstimateResultBytes(argBytes int) int {
+	if d.ResultBytes > 0 {
+		return d.ResultBytes
+	}
+	return int(float64(argBytes) * d.ResultRatio)
+}
+
+// compile validates the definition and assembles its MVM source.
+func (d *Def) compile() error {
+	if d.Name == "" {
+		return fmt.Errorf("ops: operator has no name")
+	}
+	if d.Source == "" {
+		return fmt.Errorf("ops: operator %s has no MVM source", d.Name)
+	}
+	p, err := vm.Assemble(d.Source)
+	if err != nil {
+		return fmt.Errorf("ops: operator %s: %w", d.Name, err)
+	}
+	if d.Aggregate {
+		for _, fn := range []string{"reset", "update", "summarize"} {
+			if p.FuncIndex(fn) < 0 {
+				return fmt.Errorf("ops: aggregate %s missing %q function", d.Name, fn)
+			}
+		}
+		if got := p.Funcs[p.FuncIndex("update")].NArgs; got != len(d.Args) {
+			return fmt.Errorf("ops: aggregate %s update takes %d args, def declares %d", d.Name, got, len(d.Args))
+		}
+	} else {
+		i := p.FuncIndex("eval")
+		if i < 0 {
+			return fmt.Errorf("ops: scalar %s missing %q function", d.Name, "eval")
+		}
+		if got := p.Funcs[i].NArgs; got != len(d.Args) {
+			return fmt.Errorf("ops: scalar %s eval takes %d args, def declares %d", d.Name, got, len(d.Args))
+		}
+	}
+	d.prog = p
+	return nil
+}
+
+// Registry holds operator definitions by case-insensitive name. It is
+// safe for concurrent use.
+type Registry struct {
+	mu   sync.RWMutex
+	defs map[string]*Def
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{defs: make(map[string]*Def)}
+}
+
+// Register compiles and adds a definition. Registering a name twice
+// replaces the previous definition (operator upgrade, section 2.1).
+func (r *Registry) Register(d *Def) error {
+	if err := d.compile(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.defs[strings.ToLower(d.Name)] = d
+	return nil
+}
+
+// Lookup finds a definition by name.
+func (r *Registry) Lookup(name string) (*Def, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.defs[strings.ToLower(name)]
+	return d, ok
+}
+
+// Names returns all registered operator names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.defs))
+	for _, d := range r.defs {
+		names = append(names, d.Name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,349 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"mocha/internal/types"
+)
+
+// Geometry operator definitions over the Sequoia polygon data: Area and
+// Perimeter (the scalar halves of Q1's aggregates), Overlaps (a spatial
+// predicate) and Diff (the projection used by the distributed join Q5).
+
+// areaFuncText returns the shoelace-area MVM function under the given
+// name, so the same code serves both the scalar Area operator and the
+// TotalArea aggregate's helper. It expects program constants "zero" and
+// "half".
+func areaFuncText(name string) string {
+	return `
+func ` + name + ` args=1 locals=5
+  ; shoelace formula over the closed vertex ring
+  ; locals: 0=n 1=i 2=sum 3=prevoff 4=curoff
+  arg 0
+  pushi 0
+  ldi32
+  store 0
+  load 0
+  pushi 3
+  lt
+  jnz empty
+  const zero
+  store 2
+  load 0
+  pushi 1
+  subi
+  pushi 8
+  muli
+  pushi 4
+  addi
+  store 3
+  pushi 0
+  store 1
+loop:
+  load 1
+  load 0
+  ge
+  jnz done
+  pushi 4
+  load 1
+  pushi 8
+  muli
+  addi
+  store 4
+  ; sum += prev.x*cur.y - cur.x*prev.y
+  arg 0
+  load 3
+  ldf32
+  arg 0
+  load 4
+  pushi 4
+  addi
+  ldf32
+  mulf
+  arg 0
+  load 4
+  ldf32
+  arg 0
+  load 3
+  pushi 4
+  addi
+  ldf32
+  mulf
+  subf
+  load 2
+  addf
+  store 2
+  load 4
+  store 3
+  load 1
+  pushi 1
+  addi
+  store 1
+  jmp loop
+done:
+  load 2
+  host absf
+  const half
+  mulf
+  ret
+empty:
+  const zero
+  ret
+end`
+}
+
+var areaSrc = "program Area version 1.0\nconst zero float 0\nconst half float 0.5\n" + areaFuncText("eval")
+
+// perimeterFuncText returns the ring-perimeter MVM function under the
+// given name. It expects a program constant "zero".
+func perimeterFuncText(name string) string {
+	return `
+func ` + name + ` args=1 locals=5
+  ; locals: 0=n 1=i 2=sum 3=prevoff 4=curoff
+  arg 0
+  pushi 0
+  ldi32
+  store 0
+  load 0
+  pushi 2
+  lt
+  jnz empty
+  const zero
+  store 2
+  load 0
+  pushi 1
+  subi
+  pushi 8
+  muli
+  pushi 4
+  addi
+  store 3
+  pushi 0
+  store 1
+loop:
+  load 1
+  load 0
+  ge
+  jnz done
+  pushi 4
+  load 1
+  pushi 8
+  muli
+  addi
+  store 4
+  ; sum += sqrt((cur.x-prev.x)^2 + (cur.y-prev.y)^2)
+  arg 0
+  load 4
+  ldf32
+  arg 0
+  load 3
+  ldf32
+  subf
+  dup
+  mulf
+  arg 0
+  load 4
+  pushi 4
+  addi
+  ldf32
+  arg 0
+  load 3
+  pushi 4
+  addi
+  ldf32
+  subf
+  dup
+  mulf
+  addf
+  host sqrt
+  load 2
+  addf
+  store 2
+  load 4
+  store 3
+  load 1
+  pushi 1
+  addi
+  store 1
+  jmp loop
+done:
+  load 2
+  ret
+empty:
+  const zero
+  ret
+end`
+}
+
+var perimeterSrc = "program Perimeter version 1.0\nconst zero float 0\n" + perimeterFuncText("eval")
+
+const overlapsSrc = `
+program Overlaps version 1.0
+func eval args=2 locals=0
+  ; rectangles overlap iff a.xmin<=b.xmax and b.xmin<=a.xmax
+  ;                    and a.ymin<=b.ymax and b.ymin<=a.ymax
+  arg 0
+  pushi 0
+  ldf32
+  arg 1
+  pushi 8
+  ldf32
+  le
+  arg 1
+  pushi 0
+  ldf32
+  arg 0
+  pushi 8
+  ldf32
+  le
+  and
+  arg 0
+  pushi 4
+  ldf32
+  arg 1
+  pushi 12
+  ldf32
+  le
+  and
+  arg 1
+  pushi 4
+  ldf32
+  arg 0
+  pushi 12
+  ldf32
+  le
+  and
+  ret
+end`
+
+const diffSrc = `
+program Diff version 1.0
+func eval args=2 locals=0
+  arg 0
+  arg 1
+  subf
+  host absf
+  ret
+end`
+
+const makeRectSrc = `
+program MakeRect version 1.0
+func eval args=4 locals=1
+  pushi 16
+  bnew
+  store 0
+  load 0
+  pushi 0
+  arg 0
+  stf32
+  pop
+  load 0
+  pushi 4
+  arg 1
+  stf32
+  pop
+  load 0
+  pushi 8
+  arg 2
+  stf32
+  pop
+  load 0
+  pushi 12
+  arg 3
+  stf32
+  pop
+  load 0
+  ret
+end`
+
+func polygonArg(args []types.Object, i int, op string) (types.Polygon, error) {
+	p, ok := args[i].(types.Polygon)
+	if !ok {
+		return types.Polygon{}, fmt.Errorf("ops: %s: argument %d is %v, want POLYGON", op, i, args[i].Kind())
+	}
+	return p, nil
+}
+
+func nativeArea(args []types.Object) (types.Object, error) {
+	p, err := polygonArg(args, 0, "Area")
+	if err != nil {
+		return nil, err
+	}
+	return types.Double(p.Area()), nil
+}
+
+func nativePerimeter(args []types.Object) (types.Object, error) {
+	p, err := polygonArg(args, 0, "Perimeter")
+	if err != nil {
+		return nil, err
+	}
+	return types.Double(p.Perimeter()), nil
+}
+
+func nativeOverlaps(args []types.Object) (types.Object, error) {
+	a, aok := args[0].(types.Rectangle)
+	b, bok := args[1].(types.Rectangle)
+	if !aok || !bok {
+		return nil, fmt.Errorf("ops: Overlaps: wants two RECTANGLE arguments")
+	}
+	overlap := a.XMin <= b.XMax && b.XMin <= a.XMax && a.YMin <= b.YMax && b.YMin <= a.YMax
+	return types.Bool(overlap), nil
+}
+
+func nativeMakeRect(args []types.Object) (types.Object, error) {
+	vals := make([]float32, 4)
+	for i, a := range args {
+		d, ok := a.(types.Double)
+		if !ok {
+			return nil, fmt.Errorf("ops: MakeRect: argument %d is %v, want DOUBLE", i, a.Kind())
+		}
+		vals[i] = float32(d)
+	}
+	return types.Rectangle{XMin: vals[0], YMin: vals[1], XMax: vals[2], YMax: vals[3]}, nil
+}
+
+func nativeDiff(args []types.Object) (types.Object, error) {
+	a, aok := args[0].(types.Double)
+	b, bok := args[1].(types.Double)
+	if !aok || !bok {
+		return nil, fmt.Errorf("ops: Diff: wants two DOUBLE arguments")
+	}
+	return types.Double(math.Abs(float64(a) - float64(b))), nil
+}
+
+func geomDefs() []*Def {
+	return []*Def{
+		{
+			Name: "Area", URI: "mocha://ops/Area#1.0",
+			Args: []types.Kind{types.KindPolygon}, Ret: types.KindDouble,
+			ResultBytes: 8, CPUCostPerByte: 0.5,
+			Native: nativeArea, Source: areaSrc,
+		},
+		{
+			Name: "Perimeter", URI: "mocha://ops/Perimeter#1.0",
+			Args: []types.Kind{types.KindPolygon}, Ret: types.KindDouble,
+			ResultBytes: 8, CPUCostPerByte: 0.8,
+			Native: nativePerimeter, Source: perimeterSrc,
+		},
+		{
+			Name: "Overlaps", URI: "mocha://ops/Overlaps#1.0",
+			Args: []types.Kind{types.KindRectangle, types.KindRectangle}, Ret: types.KindBool,
+			ResultBytes: 1, CPUCostPerByte: 0.1,
+			Native: nativeOverlaps, Source: overlapsSrc,
+		},
+		{
+			Name: "MakeRect", URI: "mocha://ops/MakeRect#1.0",
+			Args:        []types.Kind{types.KindDouble, types.KindDouble, types.KindDouble, types.KindDouble},
+			Ret:         types.KindRectangle,
+			ResultBytes: 16, CPUCostPerByte: 0.05,
+			Native: nativeMakeRect, Source: makeRectSrc,
+		},
+		{
+			Name: "Diff", URI: "mocha://ops/Diff#1.0",
+			Args: []types.Kind{types.KindDouble, types.KindDouble}, Ret: types.KindDouble,
+			ResultBytes: 8, CPUCostPerByte: 0.1,
+			Native: nativeDiff, Source: diffSrc,
+		},
+	}
+}

@@ -1,0 +1,273 @@
+package ops
+
+import (
+	"fmt"
+
+	"mocha/internal/types"
+)
+
+// Additional spatial operators: Centroid and BoundingBox over polygons,
+// NumEdges over drainage networks. Like the rest of the library, each is
+// implemented natively and in shippable MVM assembly.
+
+const centroidSrc = `
+program Centroid version 1.0
+const zero float 0
+func eval args=1 locals=5
+  ; vertex-average centroid; locals: 0=n 1=i 2=sumx 3=sumy 4=out
+  arg 0
+  pushi 0
+  ldi32
+  store 0
+  const zero
+  store 2
+  const zero
+  store 3
+  pushi 0
+  store 1
+loop:
+  load 1
+  load 0
+  ge
+  jnz done
+  load 2
+  arg 0
+  pushi 4
+  load 1
+  pushi 8
+  muli
+  addi
+  ldf32
+  addf
+  store 2
+  load 3
+  arg 0
+  pushi 8
+  load 1
+  pushi 8
+  muli
+  addi
+  ldf32
+  addf
+  store 3
+  load 1
+  pushi 1
+  addi
+  store 1
+  jmp loop
+done:
+  pushi 8
+  bnew
+  store 4
+  load 0
+  pushi 0
+  eq
+  jnz empty
+  load 4
+  pushi 0
+  load 2
+  load 0
+  i2f
+  divf
+  stf32
+  pop
+  load 4
+  pushi 4
+  load 3
+  load 0
+  i2f
+  divf
+  stf32
+  pop
+empty:
+  load 4
+  ret
+end`
+
+const boundingBoxSrc = `
+program BoundingBox version 1.0
+func eval args=1 locals=7
+  ; locals: 0=n 1=i 2=minx 3=miny 4=maxx 5=maxy 6=out
+  arg 0
+  pushi 0
+  ldi32
+  store 0
+  load 0
+  pushi 0
+  eq
+  jnz empty
+  ; seed with vertex 0
+  arg 0
+  pushi 4
+  ldf32
+  store 2
+  arg 0
+  pushi 8
+  ldf32
+  store 3
+  load 2
+  store 4
+  load 3
+  store 5
+  pushi 1
+  store 1
+loop:
+  load 1
+  load 0
+  ge
+  jnz done
+  ; x = v[i].x
+  arg 0
+  pushi 4
+  load 1
+  pushi 8
+  muli
+  addi
+  ldf32
+  dup
+  load 2
+  lt
+  jz notminx
+  dup
+  store 2
+notminx:
+  dup
+  load 4
+  gt
+  jz notmaxx
+  dup
+  store 4
+notmaxx:
+  pop
+  ; y = v[i].y
+  arg 0
+  pushi 8
+  load 1
+  pushi 8
+  muli
+  addi
+  ldf32
+  dup
+  load 3
+  lt
+  jz notminy
+  dup
+  store 3
+notminy:
+  dup
+  load 5
+  gt
+  jz notmaxy
+  dup
+  store 5
+notmaxy:
+  pop
+  load 1
+  pushi 1
+  addi
+  store 1
+  jmp loop
+done:
+  pushi 16
+  bnew
+  store 6
+  load 6
+  pushi 0
+  load 2
+  stf32
+  pop
+  load 6
+  pushi 4
+  load 3
+  stf32
+  pop
+  load 6
+  pushi 8
+  load 4
+  stf32
+  pop
+  load 6
+  pushi 12
+  load 5
+  stf32
+  pop
+  load 6
+  ret
+empty:
+  pushi 16
+  bnew
+  ret
+end`
+
+const numEdgesSrc = `
+program NumEdges version 1.0
+func eval args=1 locals=0
+  ; edge count sits after the vertex array: offset 4 + 8*nv
+  arg 0
+  arg 0
+  pushi 0
+  ldi32
+  pushi 8
+  muli
+  pushi 4
+  addi
+  ldi32
+  ret
+end`
+
+func nativeCentroid(args []types.Object) (types.Object, error) {
+	p, err := polygonArg(args, 0, "Centroid")
+	if err != nil {
+		return nil, err
+	}
+	n := p.NumVertices()
+	if n == 0 {
+		return types.Point{}, nil
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		v := p.Vertex(i)
+		sx += float64(v.X)
+		sy += float64(v.Y)
+	}
+	return types.Point{X: float32(sx / float64(n)), Y: float32(sy / float64(n))}, nil
+}
+
+func nativeBoundingBox(args []types.Object) (types.Object, error) {
+	p, err := polygonArg(args, 0, "BoundingBox")
+	if err != nil {
+		return nil, err
+	}
+	return p.BoundingBox(), nil
+}
+
+func nativeNumEdges(args []types.Object) (types.Object, error) {
+	g, ok := args[0].(types.Graph)
+	if !ok {
+		return nil, fmt.Errorf("ops: NumEdges: argument is %v, want GRAPH", args[0].Kind())
+	}
+	return types.Int(int32(g.NumEdges())), nil
+}
+
+func geom2Defs() []*Def {
+	return []*Def{
+		{
+			Name: "Centroid", URI: "mocha://ops/Centroid#1.0",
+			Args: []types.Kind{types.KindPolygon}, Ret: types.KindPoint,
+			ResultBytes: 8, CPUCostPerByte: 0.3,
+			Native: nativeCentroid, Source: centroidSrc,
+		},
+		{
+			Name: "BoundingBox", URI: "mocha://ops/BoundingBox#1.0",
+			Args: []types.Kind{types.KindPolygon}, Ret: types.KindRectangle,
+			ResultBytes: 16, CPUCostPerByte: 0.3,
+			Native: nativeBoundingBox, Source: boundingBoxSrc,
+		},
+		{
+			Name: "NumEdges", URI: "mocha://ops/NumEdges#1.0",
+			Args: []types.Kind{types.KindGraph}, Ret: types.KindInt,
+			ResultBytes: 4, CPUCostPerByte: 0.01,
+			Native: nativeNumEdges, Source: numEdgesSrc,
+		},
+	}
+}

@@ -1,0 +1,337 @@
+package ops
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mocha/internal/types"
+	"mocha/internal/vm"
+)
+
+func builtin(t *testing.T, name string) *Def {
+	t.Helper()
+	d, ok := Builtins().Lookup(name)
+	if !ok {
+		t.Fatalf("builtin %s not registered", name)
+	}
+	return d
+}
+
+// callBoth runs an operator natively and through the MVM (via its
+// serialized, re-decoded, re-verified program — the exact path a shipped
+// operator takes) and requires both to succeed.
+func callBoth(t *testing.T, d *Def, args []types.Object) (native, shipped types.Object) {
+	t.Helper()
+	ns, err := NewNativeScalar(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err = ns.Call(args)
+	if err != nil {
+		t.Fatalf("%s native: %v", d.Name, err)
+	}
+	// Ship the program: encode, decode, verify, load.
+	prog, err := vm.Decode(d.Program().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.Verify(prog); err != nil {
+		t.Fatal(err)
+	}
+	vs, err := NewVMScalar(vm.New(vm.Limits{}), prog, d.Ret)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shipped, err = vs.Call(args)
+	if err != nil {
+		t.Fatalf("%s shipped: %v", d.Name, err)
+	}
+	return native, shipped
+}
+
+func wantClose(t *testing.T, name string, a, b types.Object, tol float64) {
+	t.Helper()
+	da, aok := a.(types.Double)
+	db, bok := b.(types.Double)
+	if !aok || !bok {
+		t.Fatalf("%s: expected doubles, got %T and %T", name, a, b)
+	}
+	if math.Abs(float64(da)-float64(db)) > tol {
+		t.Errorf("%s: native=%v shipped=%v differ beyond %g", name, da, db, tol)
+	}
+}
+
+func randRaster(rng *rand.Rand, maxDim int) types.Raster {
+	w, h := rng.Intn(maxDim)+1, rng.Intn(maxDim)+1
+	px := make([]byte, w*h)
+	rng.Read(px)
+	return types.NewRaster(w, h, px)
+}
+
+func randPolygon(rng *rand.Rand, maxVerts int) types.Polygon {
+	n := rng.Intn(maxVerts) + 3
+	pts := make([]types.Point, n)
+	for i := range pts {
+		pts[i] = types.Point{X: rng.Float32() * 100, Y: rng.Float32() * 100}
+	}
+	return types.NewPolygon(pts)
+}
+
+func randGraph(rng *rand.Rand, maxVerts int) types.Graph {
+	nv := rng.Intn(maxVerts) + 2
+	verts := make([]types.Point, nv)
+	for i := range verts {
+		verts[i] = types.Point{X: rng.Float32() * 1000, Y: rng.Float32() * 1000}
+	}
+	ne := rng.Intn(2 * nv)
+	edges := make([]types.GraphEdge, ne)
+	for i := range edges {
+		edges[i] = types.GraphEdge{A: int32(rng.Intn(nv)), B: int32(rng.Intn(nv))}
+	}
+	return types.NewGraph(verts, edges)
+}
+
+func TestAvgEnergyEquivalence(t *testing.T) {
+	d := builtin(t, "AvgEnergy")
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 25; i++ {
+		r := randRaster(rng, 40)
+		native, shipped := callBoth(t, d, []types.Object{r})
+		wantClose(t, "AvgEnergy", native, shipped, 1e-9)
+		if got := float64(native.(types.Double)); math.Abs(got-r.AvgEnergy()) > 1e-9 {
+			t.Fatalf("native AvgEnergy=%g, types=%g", got, r.AvgEnergy())
+		}
+	}
+}
+
+func TestAvgEnergyEmptyRaster(t *testing.T) {
+	d := builtin(t, "AvgEnergy")
+	native, shipped := callBoth(t, d, []types.Object{types.NewRaster(0, 0, nil)})
+	wantClose(t, "AvgEnergy(empty)", native, shipped, 0)
+}
+
+func TestClipEquivalence(t *testing.T) {
+	d := builtin(t, "Clip")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 25; i++ {
+		r := randRaster(rng, 30)
+		win := types.Rectangle{
+			XMin: float32(rng.Intn(40) - 5), YMin: float32(rng.Intn(40) - 5),
+			XMax: float32(rng.Intn(40) - 5), YMax: float32(rng.Intn(40) - 5),
+		}
+		if win.XMax < win.XMin {
+			win.XMin, win.XMax = win.XMax, win.XMin
+		}
+		if win.YMax < win.YMin {
+			win.YMin, win.YMax = win.YMax, win.YMin
+		}
+		native, shipped := callBoth(t, d, []types.Object{r, win})
+		nr, sr := native.(types.Raster), shipped.(types.Raster)
+		if nr.Width() != sr.Width() || nr.Height() != sr.Height() {
+			t.Fatalf("clip dims differ: native %dx%d shipped %dx%d", nr.Width(), nr.Height(), sr.Width(), sr.Height())
+		}
+		if string(nr.Pixels()) != string(sr.Pixels()) {
+			t.Fatal("clip pixels differ between native and shipped")
+		}
+	}
+}
+
+func TestIncrResEquivalence(t *testing.T) {
+	d := builtin(t, "IncrRes")
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 15; i++ {
+		r := randRaster(rng, 16)
+		k := types.Int(rng.Intn(4)) // includes 0 → clamped to 1
+		native, shipped := callBoth(t, d, []types.Object{r, k})
+		nr, sr := native.(types.Raster), shipped.(types.Raster)
+		if string(nr.Payload()) != string(sr.Payload()) {
+			t.Fatalf("IncrRes output differs for k=%d", k)
+		}
+		kk := max(int(k), 1)
+		if nr.Width() != r.Width()*kk || len(nr.Pixels()) != kk*kk*len(r.Pixels()) {
+			t.Fatalf("IncrRes(%d) wrong inflation: %dx%d from %dx%d", kk, nr.Width(), nr.Height(), r.Width(), r.Height())
+		}
+	}
+}
+
+func TestRotate90Equivalence(t *testing.T) {
+	d := builtin(t, "Rotate90")
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 15; i++ {
+		r := randRaster(rng, 20)
+		native, shipped := callBoth(t, d, []types.Object{r})
+		if string(native.(types.Raster).Payload()) != string(shipped.(types.Raster).Payload()) {
+			t.Fatal("Rotate90 output differs")
+		}
+	}
+}
+
+func TestAreaPerimeterEquivalence(t *testing.T) {
+	da, dp := builtin(t, "Area"), builtin(t, "Perimeter")
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 25; i++ {
+		p := randPolygon(rng, 30)
+		native, shipped := callBoth(t, da, []types.Object{p})
+		wantClose(t, "Area", native, shipped, 1e-6*(1+p.Area()))
+		native, shipped = callBoth(t, dp, []types.Object{p})
+		wantClose(t, "Perimeter", native, shipped, 1e-6*(1+p.Perimeter()))
+	}
+}
+
+func TestGraphOpsEquivalence(t *testing.T) {
+	dn, dl := builtin(t, "NumVertices"), builtin(t, "TotalLength")
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 25; i++ {
+		g := randGraph(rng, 40)
+		native, shipped := callBoth(t, dn, []types.Object{g})
+		if native.(types.Int) != shipped.(types.Int) || int(native.(types.Int)) != g.NumVertices() {
+			t.Fatalf("NumVertices: native=%v shipped=%v want=%d", native, shipped, g.NumVertices())
+		}
+		native, shipped = callBoth(t, dl, []types.Object{g})
+		wantClose(t, "TotalLength", native, shipped, 1e-6*(1+g.TotalLength()))
+	}
+}
+
+func TestOverlapsEquivalence(t *testing.T) {
+	d := builtin(t, "Overlaps")
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		mk := func() types.Rectangle {
+			x, y := rng.Float32()*10, rng.Float32()*10
+			return types.Rectangle{XMin: x, YMin: y, XMax: x + rng.Float32()*5, YMax: y + rng.Float32()*5}
+		}
+		a, b := mk(), mk()
+		native, shipped := callBoth(t, d, []types.Object{a, b})
+		if native.(types.Bool) != shipped.(types.Bool) {
+			t.Fatalf("Overlaps(%v, %v): native=%v shipped=%v", a, b, native, shipped)
+		}
+	}
+}
+
+func TestDiffEquivalence(t *testing.T) {
+	d := builtin(t, "Diff")
+	native, shipped := callBoth(t, d, []types.Object{types.Double(3.5), types.Double(10)})
+	wantClose(t, "Diff", native, shipped, 0)
+	if native.(types.Double) != 6.5 {
+		t.Errorf("Diff(3.5,10) = %v, want 6.5", native)
+	}
+}
+
+func TestNativeTypeErrors(t *testing.T) {
+	for _, name := range []string{"AvgEnergy", "Area", "NumVertices", "TotalLength"} {
+		d := builtin(t, name)
+		s, err := NewNativeScalar(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Call([]types.Object{types.Int(1)}); err == nil {
+			t.Errorf("%s accepted INT argument", name)
+		}
+	}
+}
+
+func TestRegistryBasics(t *testing.T) {
+	r := Builtins()
+	names := r.Names()
+	if len(names) < 13 {
+		t.Fatalf("expected at least 13 builtin operators, got %d: %v", len(names), names)
+	}
+	if _, ok := r.Lookup("avgenergy"); !ok {
+		t.Error("lookup should be case-insensitive")
+	}
+	if _, ok := r.Lookup("NoSuchOp"); ok {
+		t.Error("lookup invented an operator")
+	}
+	// Re-registration replaces (operator upgrade).
+	d, _ := r.Lookup("Diff")
+	upgraded := *d
+	upgraded.URI = "mocha://ops/Diff#2.0"
+	if err := r.Register(&upgraded); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := r.Lookup("Diff")
+	if got.URI != "mocha://ops/Diff#2.0" {
+		t.Error("upgrade did not replace definition")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&Def{Name: "", Source: "x"}); err == nil {
+		t.Error("nameless def accepted")
+	}
+	if err := r.Register(&Def{Name: "X"}); err == nil {
+		t.Error("sourceless def accepted")
+	}
+	if err := r.Register(&Def{Name: "X", Source: "garbage"}); err == nil {
+		t.Error("unassemblable source accepted")
+	}
+	// Scalar source missing eval.
+	if err := r.Register(&Def{Name: "X", Source: "program X\nfunc other args=0 locals=0\nret\nend"}); err == nil {
+		t.Error("missing eval accepted")
+	}
+	// Aggregate source missing protocol functions.
+	if err := r.Register(&Def{Name: "X", Aggregate: true, Source: "program X\nfunc eval args=0 locals=0\nret\nend"}); err == nil {
+		t.Error("aggregate without protocol accepted")
+	}
+	// Arg count mismatch between def and source.
+	if err := r.Register(&Def{
+		Name: "X", Args: []types.Kind{types.KindInt, types.KindInt},
+		Source: "program X\nfunc eval args=1 locals=0\narg 0\nret\nend",
+	}); err == nil {
+		t.Error("arg count mismatch accepted")
+	}
+}
+
+func TestProgramChecksumStable(t *testing.T) {
+	a := builtin(t, "AvgEnergy").Program().Checksum()
+	b := builtin(t, "AvgEnergy").Program().Checksum()
+	if a != b {
+		t.Error("checksum of identical builtins differs across registries")
+	}
+	if a == builtin(t, "Clip").Program().Checksum() {
+		t.Error("different programs share a checksum")
+	}
+}
+
+func TestGeom2Equivalence(t *testing.T) {
+	dc, db2, de := builtin(t, "Centroid"), builtin(t, "BoundingBox"), builtin(t, "NumEdges")
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 25; i++ {
+		p := randPolygon(rng, 25)
+		native, shipped := callBoth(t, dc, []types.Object{p})
+		np, sp := native.(types.Point), shipped.(types.Point)
+		if math.Abs(float64(np.X-sp.X)) > 1e-3 || math.Abs(float64(np.Y-sp.Y)) > 1e-3 {
+			t.Fatalf("Centroid: native %v shipped %v", np, sp)
+		}
+		native, shipped = callBoth(t, db2, []types.Object{p})
+		if native.(types.Rectangle) != shipped.(types.Rectangle) {
+			t.Fatalf("BoundingBox: native %v shipped %v", native, shipped)
+		}
+		if native.(types.Rectangle) != p.BoundingBox() {
+			t.Fatalf("BoundingBox wrong: %v vs %v", native, p.BoundingBox())
+		}
+		g := randGraph(rng, 20)
+		native, shipped = callBoth(t, de, []types.Object{g})
+		if native.(types.Int) != shipped.(types.Int) || int(native.(types.Int)) != g.NumEdges() {
+			t.Fatalf("NumEdges: native %v shipped %v want %d", native, shipped, g.NumEdges())
+		}
+	}
+	// Degenerate polygon.
+	empty := types.NewPolygon(nil)
+	native, shipped := callBoth(t, dc, []types.Object{empty})
+	if native.(types.Point) != (types.Point{}) || shipped.(types.Point) != (types.Point{}) {
+		t.Errorf("empty centroid: %v %v", native, shipped)
+	}
+}
+
+func TestMakeRectEquivalence(t *testing.T) {
+	d := builtin(t, "MakeRect")
+	args := []types.Object{types.Double(1.5), types.Double(-2), types.Double(3), types.Double(4.25)}
+	native, shipped := callBoth(t, d, args)
+	want := types.Rectangle{XMin: 1.5, YMin: -2, XMax: 3, YMax: 4.25}
+	if native.(types.Rectangle) != want || shipped.(types.Rectangle) != want {
+		t.Errorf("MakeRect: native %v shipped %v want %v", native, shipped, want)
+	}
+}

@@ -1,0 +1,244 @@
+package qpc
+
+import (
+	"fmt"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/types"
+	"mocha/internal/wire"
+)
+
+// dapSession is one QPC↔DAP connection executing fragments of the
+// current query.
+type dapSession struct {
+	site string
+	conn *wire.Conn
+}
+
+// openSession dials a DAP and completes the HELLO handshake.
+func (s *Server) openSession(site string) (*dapSession, error) {
+	def, ok := s.cfg.Cat.SiteByName(site)
+	if !ok {
+		return nil, fmt.Errorf("qpc: unknown site %q", site)
+	}
+	nc, err := s.cfg.Dial(def.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("qpc: dial %s: %w", def.Addr, err)
+	}
+	conn := wire.NewConn(nc)
+	hello, err := wire.EncodeXML(&wire.Hello{Role: "qpc", Site: "qpc"})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if err := conn.Send(wire.MsgHello, hello); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := conn.Expect(wire.MsgHelloAck); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return &dapSession{site: site, conn: conn}, nil
+}
+
+func (ds *dapSession) close() {
+	_ = ds.conn.Send(wire.MsgClose, nil)
+	ds.conn.Close()
+}
+
+// deployCode runs the code-deployment phase (section 3.6) for a
+// fragment: validate the DAP's cache, then ship only the classes it
+// needs, fetched from the well-known repository.
+func (s *Server) deployCode(ds *dapSession, refs []core.CodeRef, stats *QueryStats) error {
+	if len(refs) == 0 {
+		return nil
+	}
+	check := wire.CodeCheck{}
+	for _, r := range refs {
+		check.Classes = append(check.Classes, wire.CodeCheckItem{
+			Name: r.Name, Version: r.Version, Checksum: r.Checksum,
+		})
+	}
+	payload, err := wire.EncodeXML(&check)
+	if err != nil {
+		return err
+	}
+	if err := ds.conn.Send(wire.MsgCodeCheck, payload); err != nil {
+		return err
+	}
+	ackData, err := ds.conn.Expect(wire.MsgCodeCheckAck)
+	if err != nil {
+		return err
+	}
+	var ack wire.CodeCheckAck
+	if err := wire.DecodeXML(ackData, &ack); err != nil {
+		return err
+	}
+	stats.CacheHits += len(refs) - len(ack.Needed)
+	for _, name := range ack.Needed {
+		cls, ok := s.cfg.Cat.Repo().Get(name)
+		if !ok {
+			return fmt.Errorf("qpc: class %s vanished from the repository", name)
+		}
+		if err := ds.conn.Send(wire.MsgDeployCode, cls.Blob); err != nil {
+			return err
+		}
+		if _, err := ds.conn.Expect(wire.MsgAck); err != nil {
+			return fmt.Errorf("qpc: deploying %s to %s: %w", name, ds.site, err)
+		}
+		stats.CodeClassesShipped++
+		stats.CodeBytesShipped += len(cls.Blob)
+		s.cfg.Logf("qpc: shipped %s (%d bytes) to %s", name, len(cls.Blob), ds.site)
+	}
+	return nil
+}
+
+// deployPlan ships a fragment document.
+func (ds *dapSession) deployPlan(frag *core.Fragment) error {
+	data, err := core.EncodeFragment(frag)
+	if err != nil {
+		return err
+	}
+	if err := ds.conn.Send(wire.MsgDeployPlan, data); err != nil {
+		return err
+	}
+	_, err = ds.conn.Expect(wire.MsgAck)
+	return err
+}
+
+// sendSemiJoinKeys delivers the key set for semi-join filtering.
+func (ds *dapSession) sendSemiJoinKeys(keys []types.Tuple, stats *QueryStats) error {
+	payload := wire.EncodeBatch(keys)
+	if err := ds.conn.Send(wire.MsgSemiJoinKeys, payload); err != nil {
+		return err
+	}
+	// Key delivery is real data movement: count it into CVDT.
+	for _, k := range keys {
+		stats.CVDT += int64(k.WireSize())
+	}
+	if _, err := ds.conn.Expect(wire.MsgAck); err != nil {
+		return err
+	}
+	return nil
+}
+
+// activate starts fragment execution and returns a batch reader over its
+// output stream.
+func (ds *dapSession) activate(out types.Schema) (*wire.BatchReader, error) {
+	if err := ds.conn.Send(wire.MsgActivate, nil); err != nil {
+		return nil, err
+	}
+	return wire.NewBatchReader(ds.conn, out), nil
+}
+
+// drainStats decodes the DAP's EOS stats report and folds it into the
+// query stats. countVolumes controls whether the fragment's byte counts
+// enter CVDA/CVDT (the semi-join key phase contributes time but its
+// accesses are bookkeeping, not the experiment's logical volumes).
+func drainStats(r *wire.BatchReader, stats *QueryStats, countVolumes bool) error {
+	if r.EOSPayload == nil {
+		return fmt.Errorf("qpc: fragment stream ended without stats")
+	}
+	var es wire.ExecStats
+	if err := wire.DecodeXML(r.EOSPayload, &es); err != nil {
+		return err
+	}
+	stats.DBMS += float64(es.DBMicros) / 1000
+	stats.CPUMS += float64(es.CPUMicros) / 1000
+	stats.NetMS += float64(es.NetMicros) / 1000
+	stats.MiscMS += float64(es.MiscMicros) / 1000
+	if countVolumes {
+		stats.CVDA += es.BytesAccessed
+		stats.CVDT += es.BytesSent
+	} else {
+		stats.CVDT += es.BytesSent // keys really cross the network
+	}
+	return nil
+}
+
+// runKeyPhase executes a key-projection fragment and returns the key set.
+func (s *Server) runKeyPhase(ds *dapSession, main *core.Fragment, stats *QueryStats) ([]types.Tuple, error) {
+	keyCol := main.SemiJoinCol
+	keyFrag := &core.Fragment{
+		Site:        main.Site,
+		Table:       main.Table,
+		Cols:        main.Cols,
+		InSchema:    main.InSchema,
+		Predicates:  main.Predicates,
+		SemiJoinCol: -1,
+		Projections: []core.Output{{
+			Name: "key",
+			Expr: core.NewCol(keyCol, main.InSchema.Columns[keyCol].Kind),
+		}},
+		Code:      main.Code,
+		OutSchema: types.NewSchema(types.Column{Name: "key", Kind: main.InSchema.Columns[keyCol].Kind}),
+	}
+	if err := ds.deployPlan(keyFrag); err != nil {
+		return nil, err
+	}
+	reader, err := ds.activate(keyFrag.OutSchema)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[uint64][]types.Object{}
+	var keys []types.Tuple
+	for {
+		tup, err := reader.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tup == nil {
+			break
+		}
+		k, ok := tup[0].(types.Small)
+		if !ok {
+			return nil, fmt.Errorf("qpc: semi-join key of kind %v", tup[0].Kind())
+		}
+		h := k.Hash()
+		dup := false
+		for _, c := range seen[h] {
+			if k.Equal(c) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen[h] = append(seen[h], tup[0])
+			keys = append(keys, tup)
+		}
+	}
+	if err := drainStats(reader, stats, false); err != nil {
+		return nil, err
+	}
+	return keys, nil
+}
+
+// intersectKeys returns the tuples of a whose key appears in b.
+func intersectKeys(a, b []types.Tuple) []types.Tuple {
+	index := map[uint64][]types.Object{}
+	for _, t := range b {
+		k := t[0].(types.Small)
+		index[k.Hash()] = append(index[k.Hash()], t[0])
+	}
+	var out []types.Tuple
+	for _, t := range a {
+		k := t[0].(types.Small)
+		for _, c := range index[k.Hash()] {
+			if k.Equal(c) {
+				out = append(out, t)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// timedPhase measures a deployment step into DeployMS.
+func timedPhase(stats *QueryStats, fn func() error) error {
+	start := time.Now()
+	err := fn()
+	stats.DeployMS += float64(time.Since(start).Microseconds()) / 1000
+	return err
+}

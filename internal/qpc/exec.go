@@ -1,0 +1,414 @@
+package qpc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/types"
+	"mocha/internal/wire"
+)
+
+// planExec drives one query execution: fragment deployment, the optional
+// semi-join key exchange, remote streams, QPC-side joins and operators.
+type planExec struct {
+	srv   *Server
+	plan  *core.Plan
+	stats *QueryStats
+
+	sessions []*dapSession
+	readers  []*wire.BatchReader
+}
+
+// errLimitReached aborts the pipeline once LIMIT rows were produced.
+var errLimitReached = fmt.Errorf("qpc: limit reached")
+
+func (e *planExec) run(emit func(types.Tuple) error) error {
+	defer func() {
+		for _, ds := range e.sessions {
+			if ds != nil {
+				ds.close()
+			}
+		}
+	}()
+
+	// Phase 1: open sessions, validate code caches and ship classes to
+	// all sites concurrently (all Misc/Deploy time).
+	err := timedPhase(e.stats, func() error {
+		e.sessions = make([]*dapSession, len(e.plan.Fragments))
+		partials := make([]QueryStats, len(e.plan.Fragments))
+		errs := make([]error, len(e.plan.Fragments))
+		var wg sync.WaitGroup
+		for i := range e.plan.Fragments {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				frag := e.plan.Fragments[i]
+				ds, err := e.srv.openSession(frag.Site)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				e.sessions[i] = ds
+				errs[i] = e.srv.deployCode(ds, frag.Code, &partials[i])
+			}(i)
+		}
+		wg.Wait()
+		for i := range errs {
+			e.stats.mergeCodeShipping(&partials[i])
+			if errs[i] != nil {
+				return errs[i]
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Phase 2: semi-join key exchange (section 5.4's 2-way semi-join).
+	semiFrags := 0
+	for _, f := range e.plan.Fragments {
+		if f.SemiJoinCol >= 0 {
+			semiFrags++
+		}
+	}
+	if semiFrags > 0 {
+		if semiFrags != 2 || len(e.plan.Fragments) != 2 {
+			return fmt.Errorf("qpc: semi-join requires exactly two participating fragments")
+		}
+		// Both key projections run concurrently, one per site.
+		var keySets [2][]types.Tuple
+		var keyStats [2]QueryStats
+		var keyErrs [2]error
+		var kwg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			kwg.Add(1)
+			go func(i int) {
+				defer kwg.Done()
+				keySets[i], keyErrs[i] = e.srv.runKeyPhase(e.sessions[i], e.plan.Fragments[i], &keyStats[i])
+			}(i)
+		}
+		kwg.Wait()
+		for i := 0; i < 2; i++ {
+			e.stats.mergeTimesAndVolumes(&keyStats[i])
+			if keyErrs[i] != nil {
+				return fmt.Errorf("qpc: key phase at %s: %w", e.plan.Fragments[i].Site, keyErrs[i])
+			}
+		}
+		keys0, keys1 := keySets[0], keySets[1]
+		common := intersectKeys(keys0, keys1)
+		e.srv.cfg.Logf("qpc: semi-join keys: %d ∩ %d = %d", len(keys0), len(keys1), len(common))
+		for i, ds := range e.sessions {
+			if err := ds.deployPlan(e.plan.Fragments[i]); err != nil {
+				return err
+			}
+			if err := ds.sendSemiJoinKeys(common, e.stats); err != nil {
+				return err
+			}
+		}
+	} else {
+		err := timedPhase(e.stats, func() error {
+			for i, ds := range e.sessions {
+				if err := ds.deployPlan(e.plan.Fragments[i]); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 3: activate every fragment; streams begin.
+	for i, ds := range e.sessions {
+		r, err := ds.activate(e.plan.Fragments[i].OutSchema)
+		if err != nil {
+			return err
+		}
+		e.readers = append(e.readers, r)
+	}
+
+	// Phase 4: QPC pipeline.
+	if err := e.pipeline(emit); err != nil && err != errLimitReached {
+		return err
+	}
+
+	// Phase 5: drain stats from every fragment stream.
+	for i, r := range e.readers {
+		// Under LIMIT the stream may not be fully consumed; skip stats
+		// for unfinished readers rather than block.
+		if r.EOSPayload == nil {
+			for {
+				tup, err := r.Next()
+				if err != nil {
+					return err
+				}
+				if tup == nil {
+					break
+				}
+			}
+		}
+		if err := drainStats(r, e.stats, true); err != nil {
+			return fmt.Errorf("qpc: stats from fragment %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// pipeline consumes the remote streams and applies QPC-side operators.
+func (e *planExec) pipeline(emit func(types.Tuple) error) error {
+	binder := core.NativeBinder{Reg: e.srv.cfg.Cat.Ops()}
+	memo := core.NewMemo()
+
+	preds := make([]core.EvalFn, len(e.plan.Predicates))
+	for i, p := range e.plan.Predicates {
+		fn, err := core.CompileExprMemo(p, binder, memo)
+		if err != nil {
+			return err
+		}
+		preds[i] = fn
+	}
+	projs := make([]core.EvalFn, len(e.plan.Projections))
+	for i, o := range e.plan.Projections {
+		fn, err := core.CompileExprMemo(o.Expr, binder, memo)
+		if err != nil {
+			return err
+		}
+		projs[i] = fn
+	}
+
+	// Build hash tables for all join steps (right sides materialized).
+	type hashTable struct {
+		rightCol int
+		rows     map[uint64][]types.Tuple
+	}
+	tables := make([]hashTable, len(e.plan.Joins))
+	for i, step := range e.plan.Joins {
+		buildStart := time.Now()
+		ht := hashTable{rightCol: step.RightCol, rows: map[uint64][]types.Tuple{}}
+		r := e.readers[step.RightFrag]
+		waitBefore := r.RecvWait
+		for {
+			tup, err := r.Next()
+			if err != nil {
+				return err
+			}
+			if tup == nil {
+				break
+			}
+			k, ok := tup[step.RightCol].(types.Small)
+			if !ok {
+				return fmt.Errorf("qpc: join key of kind %v", tup[step.RightCol].Kind())
+			}
+			ht.rows[k.Hash()] = append(ht.rows[k.Hash()], tup)
+		}
+		tables[i] = ht
+		// Build time excludes time blocked on the network (that wall
+		// time is already reported as the DAP's send time).
+		build := time.Since(buildStart) - (r.RecvWait - waitBefore)
+		if build > 0 {
+			e.stats.JoinMS += float64(build.Microseconds()) / 1000
+		}
+	}
+
+	// Aggregation state (when aggregation runs at the QPC).
+	type qpcGroup struct {
+		keys types.Tuple
+		aggs []core.AggFn
+	}
+	var (
+		groups   map[string]*qpcGroup
+		groupOrd []string
+		aggArgs  [][]core.EvalFn
+	)
+	if len(e.plan.Aggregates) > 0 {
+		groups = map[string]*qpcGroup{}
+		for _, spec := range e.plan.Aggregates {
+			fns := make([]core.EvalFn, len(spec.Args))
+			for j, a := range spec.Args {
+				fn, err := core.CompileExprMemo(a, binder, memo)
+				if err != nil {
+					return err
+				}
+				fns[j] = fn
+			}
+			aggArgs = append(aggArgs, fns)
+		}
+	}
+
+	var ordered []types.Tuple
+	emitted := int64(0)
+	needSort := len(e.plan.OrderBy) > 0
+
+	project := func(in types.Tuple) error {
+		if groups != nil {
+			// Aggregated rows are fresh inputs; per-tuple sharing from
+			// the probe phase no longer applies.
+			memo.Reset()
+		}
+		out := make(types.Tuple, len(projs))
+		for i, p := range projs {
+			v, err := p(in)
+			if err != nil {
+				return fmt.Errorf("qpc: projection %q: %w", e.plan.Projections[i].Name, err)
+			}
+			out[i] = v
+		}
+		if needSort {
+			ordered = append(ordered, out)
+			return nil
+		}
+		e.stats.ResultTuples++
+		e.stats.ResultBytes += int64(out.WireSize())
+		if err := emit(out); err != nil {
+			return err
+		}
+		emitted++
+		if e.plan.Limit >= 0 && emitted >= int64(e.plan.Limit) {
+			return errLimitReached
+		}
+		return nil
+	}
+
+	// consume processes one combined row through filter → aggregate or
+	// project.
+	consume := func(row types.Tuple) error {
+		memo.Reset()
+		cpuStart := time.Now()
+		defer func() {
+			e.stats.CPUMS += float64(time.Since(cpuStart).Microseconds()) / 1000
+		}()
+		for _, p := range preds {
+			ok, err := core.EvalPredicate(p, row)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		if groups != nil {
+			keys := make(types.Tuple, len(e.plan.GroupBy))
+			var keyBuf []byte
+			for i, g := range e.plan.GroupBy {
+				keys[i] = row[g]
+				keyBuf = row[g].AppendTo(keyBuf)
+			}
+			gk := string(keyBuf)
+			grp, ok := groups[gk]
+			if !ok {
+				grp = &qpcGroup{keys: keys}
+				for _, spec := range e.plan.Aggregates {
+					agg, err := binder.BindAggregate(spec.Func, spec.Ret)
+					if err != nil {
+						return err
+					}
+					if err := agg.Reset(); err != nil {
+						return err
+					}
+					grp.aggs = append(grp.aggs, agg)
+				}
+				groups[gk] = grp
+				groupOrd = append(groupOrd, gk)
+			}
+			for i := range e.plan.Aggregates {
+				args := make([]types.Object, len(aggArgs[i]))
+				for j, fn := range aggArgs[i] {
+					v, err := fn(row)
+					if err != nil {
+						return err
+					}
+					args[j] = v
+				}
+				if err := grp.aggs[i].Update(args); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return project(row)
+	}
+
+	// Probe pipeline: fragment 0's stream joined through each hash table.
+	left := e.readers[0]
+	for {
+		tup, err := left.Next()
+		if err != nil {
+			return err
+		}
+		if tup == nil {
+			break
+		}
+		rows := []types.Tuple{tup}
+		for i, step := range e.plan.Joins {
+			probeStart := time.Now()
+			var next []types.Tuple
+			for _, lrow := range rows {
+				k, ok := lrow[step.LeftCol].(types.Small)
+				if !ok {
+					return fmt.Errorf("qpc: join key of kind %v", lrow[step.LeftCol].Kind())
+				}
+				for _, rrow := range tables[i].rows[k.Hash()] {
+					if k.Equal(rrow[tables[i].rightCol]) {
+						joined := make(types.Tuple, 0, len(lrow)+len(rrow))
+						joined = append(joined, lrow...)
+						joined = append(joined, rrow...)
+						next = append(next, joined)
+					}
+				}
+			}
+			rows = next
+			e.stats.JoinMS += float64(time.Since(probeStart).Microseconds()) / 1000
+			if len(rows) == 0 {
+				break
+			}
+		}
+		for _, row := range rows {
+			if err := consume(row); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Emit aggregation results.
+	if groups != nil {
+		sort.Strings(groupOrd)
+		for _, gk := range groupOrd {
+			grp := groups[gk]
+			row := make(types.Tuple, 0, len(grp.keys)+len(grp.aggs))
+			row = append(row, grp.keys...)
+			for _, agg := range grp.aggs {
+				v, err := agg.Summarize()
+				if err != nil {
+					return err
+				}
+				row = append(row, v)
+			}
+			if err := project(row); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Ordered output.
+	if needSort {
+		if err := sortRows(ordered, e.plan.OrderBy); err != nil {
+			return err
+		}
+		if e.plan.Limit >= 0 && len(ordered) > e.plan.Limit {
+			ordered = ordered[:e.plan.Limit]
+		}
+		for _, row := range ordered {
+			e.stats.ResultTuples++
+			e.stats.ResultBytes += int64(row.WireSize())
+			if err := emit(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

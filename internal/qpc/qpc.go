@@ -1,0 +1,212 @@
+// Package qpc implements the Query Processing Coordinator (section 3.2):
+// the middle-tier component that parses and optimizes queries, deploys
+// plan fragments and operator code to the DAPs, coordinates distributed
+// execution (including 2-way semi-joins), evaluates the QPC-side
+// operators, and streams results to clients.
+package qpc
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"mocha/internal/catalog"
+	"mocha/internal/core"
+	"mocha/internal/sqlparser"
+	"mocha/internal/types"
+)
+
+// Config configures a QPC.
+type Config struct {
+	// Cat is the metadata catalog (tables, sites, operators, code repo).
+	Cat *catalog.Catalog
+	// Dial connects to a DAP address (netsim or TCP).
+	Dial func(addr string) (net.Conn, error)
+	// Strategy is the operator-placement policy.
+	Strategy core.Strategy
+	// Model is the optimizer's cost model; zero value takes defaults.
+	Model core.CostModel
+	// Logf, when set, receives diagnostic output.
+	Logf func(format string, args ...any)
+}
+
+// Server is a QPC instance.
+type Server struct {
+	cfg Config
+	opt *core.Optimizer
+}
+
+// New creates a QPC.
+func New(cfg Config) *Server {
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	opt := core.NewOptimizer(cfg.Cat)
+	opt.Strategy = cfg.Strategy
+	if cfg.Model != (core.CostModel{}) {
+		opt.Model = cfg.Model
+	}
+	return &Server{cfg: cfg, opt: opt}
+}
+
+// QueryStats is the measured execution breakdown, mirroring section 5.2:
+// DB, CPU, Net and Misc time components plus the volume measurements
+// (CVDA, CVDT, CVRF) used throughout the evaluation.
+type QueryStats struct {
+	XMLName struct{} `xml:"query-stats"`
+
+	// Time components (milliseconds).
+	PlanMS   float64 `xml:"plan-ms"`   // parse + optimize (counted into Misc)
+	DeployMS float64 `xml:"deploy-ms"` // code + plan deployment (counted into Misc)
+	DBMS     float64 `xml:"db-ms"`     // DAP time reading from data servers
+	CPUMS    float64 `xml:"cpu-ms"`    // operator evaluation (DAPs + QPC)
+	NetMS    float64 `xml:"net-ms"`    // time blocked sending data over the network
+	JoinMS   float64 `xml:"join-ms"`   // QPC hash join build+probe time
+	MiscMS   float64 `xml:"misc-ms"`   // initialization and cleanup
+	TotalMS  float64 `xml:"total-ms"`  // wall clock for the whole query
+
+	// Volumes (bytes).
+	CVDA        int64 `xml:"cvda"` // data volume accessed at the sources
+	CVDT        int64 `xml:"cvdt"` // data volume transmitted over the network
+	ResultBytes int64 `xml:"result-bytes"`
+
+	ResultTuples int64 `xml:"result-tuples"`
+
+	// Code shipping work.
+	CodeClassesShipped int `xml:"code-classes-shipped"`
+	CodeBytesShipped   int `xml:"code-bytes-shipped"`
+	CacheHits          int `xml:"cache-hits"`
+}
+
+// CVRF returns the measured cumulative volume reduction factor.
+func (qs QueryStats) CVRF() float64 {
+	if qs.CVDA == 0 {
+		return 0
+	}
+	return float64(qs.CVDT) / float64(qs.CVDA)
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Schema types.Schema
+	Rows   []types.Tuple
+	Stats  QueryStats
+	Plan   *core.Plan
+}
+
+// Query is a prepared (parsed, bound, optimized) query.
+type Query struct {
+	srv  *Server
+	Plan *core.Plan
+	// Schema is the result schema delivered to the client.
+	Schema types.Schema
+	planMS float64
+}
+
+// Prepare parses, binds and optimizes a SQL query.
+func (s *Server) Prepare(sql string) (*Query, error) {
+	start := time.Now()
+	sel, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := core.Bind(sel, s.cfg.Cat)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := s.opt.Plan(bound)
+	if err != nil {
+		return nil, err
+	}
+	return &Query{
+		srv:    s,
+		Plan:   plan,
+		Schema: plan.ResultSchema,
+		planMS: float64(time.Since(start).Microseconds()) / 1000,
+	}, nil
+}
+
+// Execute prepares and runs a query, materializing all rows.
+func (s *Server) Execute(sql string) (*Result, error) {
+	q, err := s.Prepare(sql)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Schema: q.Schema, Plan: q.Plan}
+	stats, err := q.Run(func(t types.Tuple) error {
+		res.Rows = append(res.Rows, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = *stats
+	return res, nil
+}
+
+// Explain returns the optimizer's plan rendering.
+func (s *Server) Explain(sql string) (string, error) {
+	q, err := s.Prepare(sql)
+	if err != nil {
+		return "", err
+	}
+	return core.Explain(q.Plan), nil
+}
+
+// Run executes the prepared query, calling emit for each result row in
+// order.
+func (q *Query) Run(emit func(types.Tuple) error) (*QueryStats, error) {
+	start := time.Now()
+	stats := &QueryStats{PlanMS: q.planMS}
+	exec := &planExec{srv: q.srv, plan: q.Plan, stats: stats}
+	if err := exec.run(emit); err != nil {
+		return nil, err
+	}
+	stats.TotalMS = float64(time.Since(start).Microseconds())/1000 + q.planMS
+	stats.MiscMS += q.planMS + stats.DeployMS
+	return stats, nil
+}
+
+// sortRows orders materialized rows by the plan's ORDER BY keys.
+func sortRows(rows []types.Tuple, keys []core.OrderSpec) error {
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			a, b := rows[i][k.Col], rows[j][k.Col]
+			as, ok := a.(types.Small)
+			if !ok {
+				sortErr = fmt.Errorf("qpc: cannot order by %v values", a.Kind())
+				return false
+			}
+			if as.Equal(b) {
+				continue
+			}
+			less := as.Less(b)
+			if k.Desc {
+				return !less
+			}
+			return less
+		}
+		return false
+	})
+	return sortErr
+}
+
+// mergeCodeShipping folds a concurrent deployment's counters in.
+func (qs *QueryStats) mergeCodeShipping(o *QueryStats) {
+	qs.CodeClassesShipped += o.CodeClassesShipped
+	qs.CodeBytesShipped += o.CodeBytesShipped
+	qs.CacheHits += o.CacheHits
+}
+
+// mergeTimesAndVolumes folds a concurrent phase's full measurements in.
+func (qs *QueryStats) mergeTimesAndVolumes(o *QueryStats) {
+	qs.DBMS += o.DBMS
+	qs.CPUMS += o.CPUMS
+	qs.NetMS += o.NetMS
+	qs.MiscMS += o.MiscMS
+	qs.CVDA += o.CVDA
+	qs.CVDT += o.CVDT
+	qs.mergeCodeShipping(o)
+}

@@ -1,0 +1,163 @@
+package qpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+
+	"mocha/internal/catalog"
+	"mocha/internal/types"
+	"mocha/internal/wire"
+)
+
+// Serve accepts client connections on l until the listener closes. Each
+// client session handles MsgQuery requests: the QPC responds with the
+// result schema, streams tuple batches, and finishes with an EOS frame
+// carrying the query stats.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		nc, err := l.Accept()
+		if err != nil {
+			if strings.Contains(err.Error(), "closed") {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			if err := s.handleClient(nc); err != nil {
+				s.cfg.Logf("qpc: client session: %v", err)
+			}
+		}()
+	}
+}
+
+func (s *Server) handleClient(nc net.Conn) error {
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+	for {
+		t, payload, err := conn.Recv()
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		switch t {
+		case wire.MsgHello:
+			ack, err := wire.EncodeXML(&wire.Hello{Role: "qpc", Site: "qpc"})
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(wire.MsgHelloAck, ack); err != nil {
+				return err
+			}
+		case wire.MsgQuery:
+			if err := s.serveQuery(conn, string(payload)); err != nil {
+				conn.SendError(err)
+			}
+		case wire.MsgClose:
+			return nil
+		default:
+			conn.SendError(errors.New("qpc: unexpected " + t.String()))
+		}
+	}
+}
+
+func (s *Server) serveQuery(conn *wire.Conn, sql string) error {
+	// EXPLAIN <query> returns the optimizer's plan rendering as a
+	// one-column result instead of executing.
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "EXPLAIN "); ok {
+		return s.serveExplain(conn, rest)
+	}
+	// DESCRIBE <resource> returns the catalog's RDF document for a table
+	// or operator (section 3.5's (URI, RDF) resource descriptions).
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "DESCRIBE "); ok {
+		return s.serveDescribe(conn, strings.TrimSpace(rest))
+	}
+	// SHOW TABLES lists the catalog's registered relations.
+	if strings.EqualFold(strings.TrimSpace(sql), "SHOW TABLES") {
+		return s.sendTextResult(conn, "table", strings.Join(s.cfg.Cat.TableNames(), "\n"))
+	}
+	q, err := s.Prepare(sql)
+	if err != nil {
+		return err
+	}
+	schemaMsg := wire.SchemaToMsg(q.Schema)
+	data, err := wire.EncodeXML(&schemaMsg)
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(wire.MsgResultSchema, data); err != nil {
+		return err
+	}
+	w := wire.NewBatchWriter(conn)
+	stats, err := q.Run(w.Write)
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	statsData, err := wire.EncodeXML(stats)
+	if err != nil {
+		return err
+	}
+	return conn.Send(wire.MsgEOS, statsData)
+}
+
+func (s *Server) serveDescribe(conn *wire.Conn, name string) error {
+	var doc []byte
+	if tbl, ok := s.cfg.Cat.Table(name); ok {
+		d, err := catalog.TableRDF(tbl)
+		if err != nil {
+			return err
+		}
+		doc = d
+	} else if op, ok := s.cfg.Cat.Ops().Lookup(name); ok {
+		d, err := catalog.OperatorRDF(op)
+		if err != nil {
+			return err
+		}
+		doc = d
+	} else {
+		return fmt.Errorf("qpc: no catalog resource named %q", name)
+	}
+	return s.sendTextResult(conn, "rdf", string(doc))
+}
+
+func (s *Server) serveExplain(conn *wire.Conn, sql string) error {
+	text, err := s.Explain(sql)
+	if err != nil {
+		return err
+	}
+	return s.sendTextResult(conn, "plan", text)
+}
+
+// sendTextResult streams a multi-line string as a one-column result.
+func (s *Server) sendTextResult(conn *wire.Conn, column, text string) error {
+	schema := types.NewSchema(types.Column{Name: column, Kind: types.KindString})
+	msg := wire.SchemaToMsg(schema)
+	data, err := wire.EncodeXML(&msg)
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(wire.MsgResultSchema, data); err != nil {
+		return err
+	}
+	w := wire.NewBatchWriter(conn)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if err := w.Write(types.Tuple{types.String_(line)}); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	statsData, err := wire.EncodeXML(&QueryStats{})
+	if err != nil {
+		return err
+	}
+	return conn.Send(wire.MsgEOS, statsData)
+}

@@ -1,0 +1,173 @@
+package sequoia
+
+import (
+	"fmt"
+	"sort"
+
+	"mocha/internal/storage"
+	"mocha/internal/types"
+)
+
+// The benchmark queries of Table 2, derived from Sequoia 2000 by adding
+// complex operators.
+
+// Q1 computes total area and perimeter of the polygons covering each
+// land-use type (aggregation query).
+const Q1 = `SELECT landuse, TotalArea(polygon), TotalPerimeter(polygon)
+FROM Polygons GROUP BY landuse`
+
+// Q2 clips every raster to a window one fifth of its size
+// (data-reducing projection).
+func Q2(cfg Config) string {
+	// Full width, one fifth of the height ⇒ one fifth of the pixels.
+	return fmt.Sprintf(`SELECT time, location, Clip(image, MakeRect(0.0, 0.0, %d.0, %d.0))
+FROM Rasters`, cfg.RasterDim, cfg.RasterDim/5)
+}
+
+// Q3 doubles every raster's resolution, quadrupling its size
+// (data-inflating projection).
+const Q3 = `SELECT time, location, IncrRes(image, 2) FROM Rasters`
+
+// Q4 filters drainage networks by vertex count and total length
+// (complex conjunctive predicates) and projects the name plus the
+// network's total length.
+func Q4(maxVerts int, maxLength float64) string {
+	return fmt.Sprintf(`SELECT name, TotalLength(graph)
+FROM Graphs
+WHERE NumVertices(graph) < %d AND TotalLength(graph) < %g`, maxVerts, maxLength)
+}
+
+// Q5 is the distributed join: readings of the same region from two
+// sites, projecting the difference of their average energies.
+const Q5 = `SELECT R1.time, R1.location, Diff(AvgEnergy(R1.image), AvgEnergy(R2.image))
+FROM Rasters1 AS R1, Rasters2 AS R2
+WHERE R1.location = R2.location`
+
+// Q4Calibration holds thresholds achieving a target selectivity.
+type Q4Calibration struct {
+	Target    float64
+	MaxVerts  int
+	MaxLength float64
+	// Actual is the measured joint selectivity of the two predicates.
+	Actual float64
+	// VertSelectivity and LenSelectivity are the marginal selectivities,
+	// for seeding the catalog.
+	VertSelectivity float64
+	LenSelectivity  float64
+}
+
+// CalibrateQ4 scans the Graphs table and derives predicate constants
+// whose joint selectivity approximates each target (the x-axis of
+// Figures 10(a) and 10(b)).
+func CalibrateQ4(store *storage.Store, targets []float64) ([]Q4Calibration, error) {
+	tbl, ok := store.Table("Graphs")
+	if !ok {
+		return nil, fmt.Errorf("sequoia: no Graphs table")
+	}
+	it, err := tbl.Scan()
+	if err != nil {
+		return nil, err
+	}
+	var verts []int
+	var lengths []float64
+	for {
+		tup, _, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tup == nil {
+			break
+		}
+		g := tup[1].(types.Graph)
+		verts = append(verts, g.NumVertices())
+		lengths = append(lengths, g.TotalLength())
+	}
+	if len(verts) == 0 {
+		return nil, fmt.Errorf("sequoia: Graphs table is empty")
+	}
+	sortedV := append([]int(nil), verts...)
+	sort.Ints(sortedV)
+	sortedL := append([]float64(nil), lengths...)
+	sort.Float64s(sortedL)
+
+	out := make([]Q4Calibration, 0, len(targets))
+	for _, target := range targets {
+		cal := Q4Calibration{Target: target}
+		if target >= 1 {
+			cal.MaxVerts = sortedV[len(sortedV)-1] + 1
+			cal.MaxLength = sortedL[len(sortedL)-1] + 1
+		} else {
+			// The vertex-count domain is small and discrete, so pick the
+			// smallest vertex threshold whose marginal selectivity still
+			// admits the target, then dial the (continuous) length
+			// threshold within that subset to land the joint
+			// selectivity exactly.
+			cal.MaxVerts = sortedV[len(sortedV)-1] + 1
+			for _, c1 := range distinctThresholds(sortedV) {
+				var kept int
+				for _, v := range verts {
+					if v < c1 {
+						kept++
+					}
+				}
+				if float64(kept)/float64(len(verts)) >= target {
+					cal.MaxVerts = c1
+					break
+				}
+			}
+			var subset []float64
+			for i, v := range verts {
+				if v < cal.MaxVerts {
+					subset = append(subset, lengths[i])
+				}
+			}
+			sort.Float64s(subset)
+			sfV := float64(len(subset)) / float64(len(verts))
+			want := target / sfV
+			cal.MaxLength = subset[quantileIndex(len(subset), want)]
+		}
+		var pass, passV, passL int
+		for i := range verts {
+			v := verts[i] < cal.MaxVerts
+			l := lengths[i] < cal.MaxLength
+			if v {
+				passV++
+			}
+			if l {
+				passL++
+			}
+			if v && l {
+				pass++
+			}
+		}
+		n := float64(len(verts))
+		cal.Actual = float64(pass) / n
+		cal.VertSelectivity = float64(passV) / n
+		cal.LenSelectivity = float64(passL) / n
+		out = append(out, cal)
+	}
+	return out, nil
+}
+
+// distinctThresholds returns each distinct value +1 in ascending order:
+// the useful "< c" cut points over a discrete domain.
+func distinctThresholds(sorted []int) []int {
+	var out []int
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v+1)
+		}
+	}
+	return out
+}
+
+func quantileIndex(n int, q float64) int {
+	i := int(q * float64(n))
+	if i >= n {
+		i = n - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}

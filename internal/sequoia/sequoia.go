@@ -1,0 +1,292 @@
+// Package sequoia generates the benchmark substrate of section 5: the
+// Sequoia 2000 regional datasets (Table 1) and the derived queries Q1–Q5
+// (Table 2). The paper's physical data is not distributable, so the
+// generator synthesizes datasets with the same schemas, cardinalities
+// and byte volumes; a scale factor shrinks them proportionally for tests
+// and laptop-scale benchmarks.
+package sequoia
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mocha/internal/storage"
+	"mocha/internal/types"
+)
+
+// Config sizes the generated datasets. PaperScale() reproduces Table 1.
+type Config struct {
+	Seed int64
+
+	// Polygons: land-use regions.
+	PolygonRows     int
+	PolygonMinVerts int
+	PolygonMaxVerts int
+	LanduseKinds    int
+
+	// Graphs: water drainage networks.
+	GraphRows     int
+	GraphMinVerts int
+	GraphMaxVerts int
+
+	// Rasters: weekly satellite energy readings.
+	RasterRows int
+	RasterDim  int // square images, RasterDim² pixels
+	Bands      int
+
+	// Rasters1/Rasters2: the distributed-join pair of section 5.4.
+	JoinRows            int
+	JoinDim             int
+	JoinCommonLocations int
+	JoinTuplesPerLoc    int
+}
+
+// PaperScale reproduces Table 1: Polygons 77,643 rows / 18.8 MB, Graphs
+// 201,650 rows / 31 MB, Rasters 200 rows / 200 MB, and the 128 KB-image
+// join tables of section 5.4.
+func PaperScale() Config {
+	return Config{
+		Seed:            42,
+		PolygonRows:     77643,
+		PolygonMinVerts: 10, PolygonMaxVerts: 46, // avg 28 verts ≈ 242 B/row
+		LanduseKinds:  12,
+		GraphRows:     201650,
+		GraphMinVerts: 3, GraphMaxVerts: 15, // avg ≈ 150 B/row
+		RasterRows:          200,
+		RasterDim:           1024, // 1 MB images
+		Bands:               5,
+		JoinRows:            120,
+		JoinDim:             362, // ≈128 KB images
+		JoinCommonLocations: 3,
+		JoinTuplesPerLoc:    3,
+	}
+}
+
+// Scaled shrinks the paper configuration by factor f in (0, 1]: row
+// counts scale by f and image dimensions by √f (so image bytes also
+// scale ≈f), preserving the evaluation's volume ratios at small scales.
+func Scaled(f float64) Config {
+	c := PaperScale()
+	scaleInt := func(n int, factor float64, lo int) int {
+		v := int(float64(n) * factor)
+		if v < lo {
+			v = lo
+		}
+		return v
+	}
+	root := math.Sqrt(f)
+	c.PolygonRows = scaleInt(c.PolygonRows, f, 50)
+	c.GraphRows = scaleInt(c.GraphRows, f, 100)
+	c.RasterRows = scaleInt(c.RasterRows, f, 8)
+	c.RasterDim = scaleInt(c.RasterDim, root, 32)
+	c.JoinRows = scaleInt(c.JoinRows, f, 9)
+	c.JoinDim = scaleInt(c.JoinDim, root, 24)
+	return c
+}
+
+// TestScale is small enough for unit tests.
+func TestScale() Config { return Scaled(0.02) }
+
+// Landuse categories for the Polygons table.
+var landuses = []string{
+	"forest", "urban", "water", "wetland", "cropland", "pasture",
+	"barren", "tundra", "shrubland", "orchard", "residential", "industrial",
+}
+
+// PolygonsSchema is the Polygons table schema.
+func PolygonsSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "landuse", Kind: types.KindString},
+		types.Column{Name: "polygon", Kind: types.KindPolygon},
+	)
+}
+
+// GraphsSchema is the Graphs table schema.
+func GraphsSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "name", Kind: types.KindString},
+		types.Column{Name: "graph", Kind: types.KindGraph},
+	)
+}
+
+// RastersSchema is the Rasters table schema (also used by Rasters1/2).
+func RastersSchema() types.Schema {
+	return types.NewSchema(
+		types.Column{Name: "time", Kind: types.KindInt},
+		types.Column{Name: "band", Kind: types.KindInt},
+		types.Column{Name: "location", Kind: types.KindRectangle},
+		types.Column{Name: "image", Kind: types.KindRaster},
+	)
+}
+
+// GeneratePolygons creates and fills the Polygons table.
+func GeneratePolygons(store *storage.Store, cfg Config) error {
+	tbl, err := store.Create("Polygons", PolygonsSchema())
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	kinds := cfg.LanduseKinds
+	if kinds > len(landuses) {
+		kinds = len(landuses)
+	}
+	for i := 0; i < cfg.PolygonRows; i++ {
+		n := cfg.PolygonMinVerts + rng.Intn(cfg.PolygonMaxVerts-cfg.PolygonMinVerts+1)
+		cx, cy := rng.Float64()*1000, rng.Float64()*1000
+		radius := 1 + rng.Float64()*20
+		pts := make([]types.Point, n)
+		for j := range pts {
+			// A star-shaped ring around the centroid: valid simple
+			// polygon with controllable size.
+			angle := 2 * math.Pi * float64(j) / float64(n)
+			r := radius * (0.6 + 0.4*rng.Float64())
+			pts[j] = types.Point{
+				X: float32(cx + r*math.Cos(angle)),
+				Y: float32(cy + r*math.Sin(angle)),
+			}
+		}
+		tup := types.Tuple{
+			types.String_(landuses[rng.Intn(kinds)]),
+			types.NewPolygon(pts),
+		}
+		if _, err := tbl.Insert(tup); err != nil {
+			return fmt.Errorf("sequoia: polygons row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// GenerateGraphs creates and fills the Graphs table. Vertex counts are
+// uniform in [GraphMinVerts, GraphMaxVerts], so predicate selectivities
+// over NumVertices can be dialed exactly (the Q4 experiment).
+func GenerateGraphs(store *storage.Store, cfg Config) error {
+	tbl, err := store.Create("Graphs", GraphsSchema())
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	for i := 0; i < cfg.GraphRows; i++ {
+		nv := cfg.GraphMinVerts + rng.Intn(cfg.GraphMaxVerts-cfg.GraphMinVerts+1)
+		verts := make([]types.Point, nv)
+		x, y := rng.Float64()*10000, rng.Float64()*10000
+		for j := range verts {
+			// A meandering drainage path.
+			x += rng.Float64()*40 - 20
+			y += rng.Float64() * 30
+			verts[j] = types.Point{X: float32(x), Y: float32(y)}
+		}
+		edges := make([]types.GraphEdge, nv-1)
+		for j := range edges {
+			edges[j] = types.GraphEdge{A: int32(j), B: int32(j + 1)}
+		}
+		tup := types.Tuple{
+			types.String_(fmt.Sprintf("basin-%06d", i)),
+			types.NewGraph(verts, edges),
+		}
+		if _, err := tbl.Insert(tup); err != nil {
+			return fmt.Errorf("sequoia: graphs row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// GenerateRasters creates and fills the Rasters table.
+func GenerateRasters(store *storage.Store, cfg Config) error {
+	tbl, err := store.Create("Rasters", RastersSchema())
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 2))
+	for i := 0; i < cfg.RasterRows; i++ {
+		tup := types.Tuple{
+			types.Int(int32(i / cfg.Bands)), // week number
+			types.Int(int32(i % cfg.Bands)), // energy band
+			regionRect(rng),
+			synthRaster(rng, cfg.RasterDim, i),
+		}
+		if _, err := tbl.Insert(tup); err != nil {
+			return fmt.Errorf("sequoia: rasters row %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// GenerateJoinPair fills Rasters1 in store1 and Rasters2 in store2 with
+// exactly JoinCommonLocations locations present in both (each location
+// used by JoinTuplesPerLoc tuples), as in the Q5 setup.
+func GenerateJoinPair(store1, store2 *storage.Store, cfg Config) error {
+	rng := rand.New(rand.NewSource(cfg.Seed + 3))
+	common := make([]types.Rectangle, cfg.JoinCommonLocations)
+	for i := range common {
+		common[i] = regionRect(rng)
+	}
+	fill := func(store *storage.Store, name string, seedOff int64) error {
+		tbl, err := store.Create(name, RastersSchema())
+		if err != nil {
+			return err
+		}
+		r := rand.New(rand.NewSource(cfg.Seed + seedOff))
+		for i := 0; i < cfg.JoinRows; i++ {
+			var loc types.Rectangle
+			commonSlots := cfg.JoinCommonLocations * cfg.JoinTuplesPerLoc
+			if i < commonSlots {
+				loc = common[i%cfg.JoinCommonLocations]
+			} else {
+				loc = regionRect(r)
+			}
+			tup := types.Tuple{
+				types.Int(int32(i)),
+				types.Int(int32(i % cfg.Bands)),
+				loc,
+				synthRaster(r, cfg.JoinDim, i),
+			}
+			if _, err := tbl.Insert(tup); err != nil {
+				return fmt.Errorf("sequoia: %s row %d: %w", name, i, err)
+			}
+		}
+		return nil
+	}
+	if err := fill(store1, "Rasters1", 4); err != nil {
+		return err
+	}
+	return fill(store2, "Rasters2", 5)
+}
+
+// GenerateAll fills one store with Polygons, Graphs and Rasters.
+func GenerateAll(store *storage.Store, cfg Config) error {
+	if err := GeneratePolygons(store, cfg); err != nil {
+		return err
+	}
+	if err := GenerateGraphs(store, cfg); err != nil {
+		return err
+	}
+	return GenerateRasters(store, cfg)
+}
+
+func regionRect(rng *rand.Rand) types.Rectangle {
+	x, y := float32(rng.Float64()*1000), float32(rng.Float64()*1000)
+	return types.Rectangle{XMin: x, YMin: y, XMax: x + 50, YMax: y + 50}
+}
+
+// synthRaster builds a plausible energy image: smooth gradients plus
+// noise, cheap to generate at megabyte sizes.
+func synthRaster(rng *rand.Rand, dim, seed int) types.Raster {
+	px := make([]byte, dim*dim)
+	base := byte(40 + seed%120)
+	phase := rng.Float64() * math.Pi
+	for y := 0; y < dim; y++ {
+		rowWave := math.Sin(phase + float64(y)/17)
+		for x := 0; x < dim; x++ {
+			v := float64(base) + 50*rowWave + 30*math.Sin(float64(x)/23) + float64(rng.Intn(16))
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			px[y*dim+x] = byte(v)
+		}
+	}
+	return types.NewRaster(dim, dim, px)
+}

@@ -1,0 +1,209 @@
+package sequoia
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mocha/internal/storage"
+	"mocha/internal/types"
+)
+
+func TestPaperScaleMatchesTable1(t *testing.T) {
+	cfg := PaperScale()
+	if cfg.PolygonRows != 77643 || cfg.GraphRows != 201650 || cfg.RasterRows != 200 {
+		t.Errorf("cardinalities diverge from Table 1: %+v", cfg)
+	}
+	// 1024² = 1 MB rasters → 200 MB table.
+	if cfg.RasterDim*cfg.RasterDim != 1<<20 {
+		t.Errorf("raster pixels = %d, want 1MB", cfg.RasterDim*cfg.RasterDim)
+	}
+	// Join images ≈ 128 KB.
+	px := cfg.JoinDim * cfg.JoinDim
+	if px < 120<<10 || px > 136<<10 {
+		t.Errorf("join image pixels = %d, want ≈128K", px)
+	}
+}
+
+func TestScaledBounds(t *testing.T) {
+	c := Scaled(0.0001)
+	if c.PolygonRows < 50 || c.RasterDim < 32 {
+		t.Errorf("minimums not enforced: %+v", c)
+	}
+	full := Scaled(1)
+	if full.PolygonRows != PaperScale().PolygonRows {
+		t.Error("Scaled(1) should equal PaperScale")
+	}
+}
+
+func TestGenerateAllShapes(t *testing.T) {
+	store, _ := storage.OpenStore("", 64)
+	cfg := TestScale()
+	if err := GenerateAll(store, cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Polygons.
+	pt, _ := store.Table("Polygons")
+	n, _ := pt.Count()
+	if int(n) != cfg.PolygonRows {
+		t.Errorf("polygons = %d", n)
+	}
+	it, _ := pt.Scan()
+	landuses := map[string]bool{}
+	for {
+		tup, _, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tup == nil {
+			break
+		}
+		landuses[string(tup[0].(types.String_))] = true
+		p := tup[1].(types.Polygon)
+		if p.NumVertices() < cfg.PolygonMinVerts || p.NumVertices() > cfg.PolygonMaxVerts {
+			t.Fatalf("polygon has %d vertices", p.NumVertices())
+		}
+		if p.Area() <= 0 {
+			t.Fatal("degenerate polygon")
+		}
+	}
+	if len(landuses) < 2 {
+		t.Error("too few landuse categories")
+	}
+	// Graphs: vertex counts uniform in range, connected paths.
+	gt, _ := store.Table("Graphs")
+	git, _ := gt.Scan()
+	for {
+		tup, _, err := git.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tup == nil {
+			break
+		}
+		g := tup[1].(types.Graph)
+		if g.NumVertices() < cfg.GraphMinVerts || g.NumVertices() > cfg.GraphMaxVerts {
+			t.Fatalf("graph has %d vertices", g.NumVertices())
+		}
+		if g.NumEdges() != g.NumVertices()-1 {
+			t.Fatalf("graph edges = %d for %d vertices", g.NumEdges(), g.NumVertices())
+		}
+		if g.TotalLength() <= 0 {
+			t.Fatal("zero-length network")
+		}
+	}
+	// Rasters.
+	rt, _ := store.Table("Rasters")
+	rit, _ := rt.Scan()
+	tup, _, err := rit.Next()
+	if err != nil || tup == nil {
+		t.Fatal(err)
+	}
+	r := tup[3].(types.Raster)
+	if r.Width() != cfg.RasterDim || r.AvgEnergy() <= 0 {
+		t.Errorf("raster %dx%d avg=%g", r.Width(), r.Height(), r.AvgEnergy())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := TestScale()
+	mk := func() types.Raster {
+		store, _ := storage.OpenStore("", 16)
+		if err := GenerateRasters(store, cfg); err != nil {
+			t.Fatal(err)
+		}
+		tbl, _ := store.Table("Rasters")
+		it, _ := tbl.Scan()
+		tup, _, _ := it.Next()
+		return tup[3].(types.Raster)
+	}
+	a, b := mk(), mk()
+	if string(a.Payload()) != string(b.Payload()) {
+		t.Error("generation is not deterministic for a fixed seed")
+	}
+}
+
+func TestJoinPairCommonLocations(t *testing.T) {
+	cfg := TestScale()
+	s1, _ := storage.OpenStore("", 32)
+	s2, _ := storage.OpenStore("", 32)
+	if err := GenerateJoinPair(s1, s2, cfg); err != nil {
+		t.Fatal(err)
+	}
+	locs := func(store *storage.Store, name string) map[types.Rectangle]int {
+		tbl, ok := store.Table(name)
+		if !ok {
+			t.Fatalf("missing %s", name)
+		}
+		it, _ := tbl.Scan()
+		out := map[types.Rectangle]int{}
+		for {
+			tup, _, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tup == nil {
+				return out
+			}
+			out[tup[2].(types.Rectangle)]++
+		}
+	}
+	l1, l2 := locs(s1, "Rasters1"), locs(s2, "Rasters2")
+	var common int
+	for loc := range l1 {
+		if _, ok := l2[loc]; ok {
+			common++
+			if l1[loc] != cfg.JoinTuplesPerLoc || l2[loc] != cfg.JoinTuplesPerLoc {
+				t.Errorf("shared location multiplicity %d/%d", l1[loc], l2[loc])
+			}
+		}
+	}
+	if common != cfg.JoinCommonLocations {
+		t.Errorf("common locations = %d, want %d", common, cfg.JoinCommonLocations)
+	}
+}
+
+func TestCalibrateQ4(t *testing.T) {
+	store, _ := storage.OpenStore("", 32)
+	cfg := TestScale()
+	if err := GenerateGraphs(store, cfg); err != nil {
+		t.Fatal(err)
+	}
+	targets := []float64{0.1, 0.3, 0.5, 0.7, 1.0}
+	cals, err := CalibrateQ4(store, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cal := range cals {
+		if math.Abs(cal.Actual-targets[i]) > 0.15 {
+			t.Errorf("target %.1f: actual %.3f too far off", targets[i], cal.Actual)
+		}
+		if cal.VertSelectivity <= 0 || cal.VertSelectivity > 1 {
+			t.Errorf("bad marginal selectivity %g", cal.VertSelectivity)
+		}
+	}
+	if cals[len(cals)-1].Actual != 1 {
+		t.Errorf("target 1.0 should pass everything, got %g", cals[len(cals)-1].Actual)
+	}
+	// Errors on missing/empty tables.
+	empty, _ := storage.OpenStore("", 8)
+	if _, err := CalibrateQ4(empty, targets); err == nil {
+		t.Error("missing Graphs accepted")
+	}
+}
+
+func TestQueryTexts(t *testing.T) {
+	cfg := TestScale()
+	if Q2(cfg) == "" || Q4(10, 100) == "" {
+		t.Fatal("empty query text")
+	}
+	// The texts must at least mention their operators.
+	for q, op := range map[string]string{
+		Q1: "TotalArea", Q2(cfg): "Clip", Q3: "IncrRes",
+		Q4(10, 100): "NumVertices", Q5: "Diff",
+	} {
+		if !strings.Contains(q, op) {
+			t.Errorf("query %q missing operator %s", q, op)
+		}
+	}
+}

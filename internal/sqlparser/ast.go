@@ -1,0 +1,219 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a SQL expression node.
+type Expr interface {
+	fmt.Stringer
+	exprNode()
+}
+
+// ColumnRef names a column, optionally table-qualified.
+type ColumnRef struct {
+	Table string
+	Name  string
+}
+
+func (*ColumnRef) exprNode() {}
+
+func (c *ColumnRef) String() string {
+	if c.Table != "" {
+		return c.Table + "." + c.Name
+	}
+	return c.Name
+}
+
+// IntLit is an integer literal.
+type IntLit int64
+
+func (IntLit) exprNode()        {}
+func (l IntLit) String() string { return fmt.Sprintf("%d", int64(l)) }
+
+// FloatLit is a floating-point literal.
+type FloatLit float64
+
+func (FloatLit) exprNode()        {}
+func (l FloatLit) String() string { return fmt.Sprintf("%g", float64(l)) }
+
+// StringLit is a string literal.
+type StringLit string
+
+func (StringLit) exprNode()        {}
+func (l StringLit) String() string { return "'" + strings.ReplaceAll(string(l), "'", "''") + "'" }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit bool
+
+func (BoolLit) exprNode() {}
+func (l BoolLit) String() string {
+	if l {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+// FuncCall applies a (possibly user-defined) operator.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+func (*FuncCall) exprNode() {}
+
+func (f *FuncCall) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return f.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Binary is a binary operation: comparison, arithmetic, AND or OR.
+type Binary struct {
+	Op   string // "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "%", "AND", "OR"
+	L, R Expr
+}
+
+func (*Binary) exprNode() {}
+
+func (b *Binary) String() string {
+	return "(" + b.L.String() + " " + b.Op + " " + b.R.String() + ")"
+}
+
+// Unary is negation or NOT.
+type Unary struct {
+	Op string // "-" or "NOT"
+	X  Expr
+}
+
+func (*Unary) exprNode() {}
+
+func (u *Unary) String() string {
+	if u.Op == "NOT" {
+		return "NOT " + u.X.String()
+	}
+	return "-" + u.X.String()
+}
+
+// SelectItem is one output of the SELECT list.
+type SelectItem struct {
+	// Star marks "SELECT *".
+	Star  bool
+	Expr  Expr
+	Alias string
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	out := s.Expr.String()
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// TableRef names a source relation.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+func (t TableRef) String() string {
+	if t.Alias != "" {
+		return t.Name + " " + t.Alias
+	}
+	return t.Name
+}
+
+// OrderKey is one ORDER BY key.
+type OrderKey struct {
+	Column string
+	Desc   bool
+}
+
+// Select is a parsed query.
+type Select struct {
+	Items   []SelectItem
+	From    []TableRef
+	Where   Expr // nil when absent
+	GroupBy []string
+	OrderBy []OrderKey
+	Limit   int // -1 when absent
+}
+
+// String reconstructs SQL text (normalized) from the AST.
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.String())
+	}
+	b.WriteString(" FROM ")
+	for i, t := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(s.GroupBy, ", "))
+	}
+	for i, k := range s.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(k.Column)
+		if k.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}
+
+// WalkExpr calls fn on e and every sub-expression, pre-order.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *Binary:
+		WalkExpr(x.L, fn)
+		WalkExpr(x.R, fn)
+	case *Unary:
+		WalkExpr(x.X, fn)
+	case *FuncCall:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	}
+}
+
+// SplitConjuncts flattens a WHERE clause into its top-level AND factors.
+func SplitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(SplitConjuncts(b.L), SplitConjuncts(b.R)...)
+	}
+	return []Expr{e}
+}

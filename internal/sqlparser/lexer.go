@@ -1,0 +1,164 @@
+// Package sqlparser implements the SQL front end of the QPC (section
+// 3.2): a lexer and recursive-descent parser for the query subset MOCHA
+// supports — SELECT with complex projections and aggregates, WHERE with
+// complex predicates, multi-source FROM (distributed joins), GROUP BY,
+// ORDER BY and LIMIT.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // comparison and arithmetic operators
+	tokPunct // ( ) , . *
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "TRUE": true, "FALSE": true, "ASC": true, "DESC": true,
+	"NULL": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			word := l.src[start:l.pos]
+			up := strings.ToUpper(word)
+			if keywords[up] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		case c >= '0' && c <= '9':
+			seenDot, seenExp := false, false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == '.' && !seenDot && !seenExp {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				// Scientific notation: 1e9, 2.5E-3, 1e+09.
+				if (ch == 'e' || ch == 'E') && !seenExp && l.pos+1 < len(l.src) {
+					next := l.src[l.pos+1]
+					if next >= '0' && next <= '9' {
+						seenExp = true
+						l.pos += 2
+						continue
+					}
+					if (next == '+' || next == '-') && l.pos+2 < len(l.src) &&
+						l.src[l.pos+2] >= '0' && l.src[l.pos+2] <= '9' {
+						seenExp = true
+						l.pos += 3
+						continue
+					}
+					break
+				}
+				if ch < '0' || ch > '9' {
+					break
+				}
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+				}
+				ch := l.src[l.pos]
+				if ch == '\'' {
+					if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(ch)
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		case strings.ContainsRune("<>=!", rune(c)):
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '=' || (c == '<' && l.src[l.pos] == '>')) {
+				l.pos++
+			}
+			op := l.src[start:l.pos]
+			if op == "!" {
+				return nil, fmt.Errorf("sql: stray '!' at offset %d", start)
+			}
+			l.toks = append(l.toks, token{kind: tokOp, text: op, pos: start})
+		case strings.ContainsRune("+-/%", rune(c)):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: start})
+		case strings.ContainsRune("(),.*", rune(c)):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokPunct, text: string(c), pos: start})
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			// SQL line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,402 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one SELECT statement.
+func Parse(sql string) (*Select, error) {
+	toks, err := lex(sql)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("trailing input starting with %q", p.peek().text)
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: at offset %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.kind == tokKeyword && t.text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, got %q", kw, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) acceptPunct(s string) bool {
+	if t := p.peek(); t.kind == tokPunct && t.text == s {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.acceptPunct(s) {
+		return p.errorf("expected %q, got %q", s, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected identifier, got %q", t.text)
+	}
+	p.pos++
+	return t.text, nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+
+	for {
+		if p.acceptPunct("*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				alias, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = alias
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Name: name}
+		if p.acceptKeyword("AS") {
+			if ref.Alias, err = p.expectIdent(); err != nil {
+				return nil, err
+			}
+		} else if p.peek().kind == tokIdent {
+			ref.Alias = p.next().text
+		}
+		sel.From = append(sel.From, ref)
+		if !p.acceptPunct(",") {
+			break
+		}
+	}
+
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, col)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			key := OrderKey{Column: col}
+			if p.acceptKeyword("DESC") {
+				key.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, key)
+			if !p.acceptPunct(",") {
+				break
+			}
+		}
+	}
+
+	if p.acceptKeyword("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber || strings.ContainsAny(t.text, ".eE") {
+			return nil, p.errorf("LIMIT needs an integer, got %q", t.text)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+// OR, AND, NOT, comparison, additive, multiplicative, unary minus.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokOp {
+		switch t.text {
+		case "=", "<>", "!=", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			op := t.text
+			if op == "!=" {
+				op = "<>"
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		isMul := (t.kind == tokOp && (t.text == "/" || t.text == "%")) ||
+			(t.kind == tokPunct && t.text == "*")
+		if !isMul {
+			return l, nil
+		}
+		op := t.text
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if t := p.peek(); t.kind == tokOp && t.text == "-" {
+		p.pos++
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negation of literals.
+		switch lit := x.(type) {
+		case IntLit:
+			return IntLit(-int64(lit)), nil
+		case FloatLit:
+			return FloatLit(-float64(lit)), nil
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad number %q", t.text)
+			}
+			return FloatLit(f), nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return IntLit(n), nil
+	case tokString:
+		p.pos++
+		return StringLit(t.text), nil
+	case tokKeyword:
+		switch t.text {
+		case "TRUE":
+			p.pos++
+			return BoolLit(true), nil
+		case "FALSE":
+			p.pos++
+			return BoolLit(false), nil
+		}
+		return nil, p.errorf("unexpected keyword %q in expression", t.text)
+	case tokIdent:
+		p.pos++
+		name := t.text
+		if p.acceptPunct("(") {
+			call := &FuncCall{Name: name}
+			if !p.acceptPunct(")") {
+				for {
+					arg, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, arg)
+					if p.acceptPunct(")") {
+						break
+					}
+					if err := p.expectPunct(","); err != nil {
+						return nil, err
+					}
+				}
+			}
+			return call, nil
+		}
+		if p.acceptPunct(".") {
+			col, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: name, Name: col}, nil
+		}
+		return &ColumnRef{Name: name}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("unexpected %q in expression", t.text)
+}

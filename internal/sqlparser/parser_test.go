@@ -1,0 +1,239 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func parse(t *testing.T, sql string) *Select {
+	t.Helper()
+	s, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return s
+}
+
+func TestParsePaperQueries(t *testing.T) {
+	// The motivating query of section 2.2.
+	s := parse(t, `SELECT time, location, AvgEnergy(image)
+FROM Rasters
+WHERE AvgEnergy(image) < 100`)
+	if len(s.Items) != 3 || len(s.From) != 1 || s.Where == nil {
+		t.Fatalf("parsed: %v", s)
+	}
+	call, ok := s.Items[2].Expr.(*FuncCall)
+	if !ok || call.Name != "AvgEnergy" || len(call.Args) != 1 {
+		t.Errorf("item 2 = %v", s.Items[2])
+	}
+	cmp, ok := s.Where.(*Binary)
+	if !ok || cmp.Op != "<" {
+		t.Fatalf("where = %v", s.Where)
+	}
+	if lit, ok := cmp.R.(IntLit); !ok || lit != 100 {
+		t.Errorf("comparison constant = %v", cmp.R)
+	}
+
+	// Q1: aggregates with GROUP BY.
+	s = parse(t, `SELECT landuse, TotalArea(polygon), TotalPerimeter(polygon)
+FROM Polygons GROUP BY landuse`)
+	if len(s.GroupBy) != 1 || s.GroupBy[0] != "landuse" {
+		t.Errorf("group by = %v", s.GroupBy)
+	}
+
+	// Q4: conjunctive complex predicates.
+	s = parse(t, `SELECT name FROM Graphs
+WHERE NumVertices(graph) < 300 AND TotalLength(graph) < 10000.5`)
+	conj := SplitConjuncts(s.Where)
+	if len(conj) != 2 {
+		t.Fatalf("conjuncts = %v", conj)
+	}
+
+	// Q5: distributed join with qualified columns.
+	s = parse(t, `SELECT R1.time, R1.location, Diff(AvgEnergy(R1.image), AvgEnergy(R2.image))
+FROM Rasters1 AS R1, Rasters2 AS R2
+WHERE R1.location = R2.location`)
+	if len(s.From) != 2 || s.From[0].Alias != "R1" || s.From[1].Alias != "R2" {
+		t.Fatalf("from = %v", s.From)
+	}
+	nested, ok := s.Items[2].Expr.(*FuncCall)
+	if !ok || nested.Name != "Diff" {
+		t.Fatal("nested call lost")
+	}
+	inner, ok := nested.Args[0].(*FuncCall)
+	if !ok || inner.Name != "AvgEnergy" {
+		t.Fatal("inner call lost")
+	}
+	if ref, ok := inner.Args[0].(*ColumnRef); !ok || ref.Table != "R1" || ref.Name != "image" {
+		t.Fatalf("qualified ref lost: %v", inner.Args[0])
+	}
+}
+
+func TestParseStarAliasOrderLimit(t *testing.T) {
+	s := parse(t, "SELECT *, time AS t FROM Rasters ORDER BY time DESC, band LIMIT 10")
+	if !s.Items[0].Star || s.Items[1].Alias != "t" {
+		t.Errorf("items = %v", s.Items)
+	}
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Errorf("order by = %v", s.OrderBy)
+	}
+	if s.Limit != 10 {
+		t.Errorf("limit = %d", s.Limit)
+	}
+	// Implicit alias without AS.
+	s = parse(t, "SELECT r.x FROM Rasters r")
+	if s.From[0].Alias != "r" {
+		t.Errorf("implicit alias = %v", s.From[0])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := parse(t, "SELECT a FROM t WHERE a + 2 * 3 < 10 AND b = 1 OR c = 2")
+	// OR binds loosest.
+	or, ok := s.Where.(*Binary)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %v", s.Where)
+	}
+	and, ok := or.L.(*Binary)
+	if !ok || and.Op != "AND" {
+		t.Fatalf("left of OR = %v", or.L)
+	}
+	lt, ok := and.L.(*Binary)
+	if !ok || lt.Op != "<" {
+		t.Fatalf("left of AND = %v", and.L)
+	}
+	plus, ok := lt.L.(*Binary)
+	if !ok || plus.Op != "+" {
+		t.Fatalf("comparison LHS = %v", lt.L)
+	}
+	if mul, ok := plus.R.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("* should bind tighter than +: %v", plus.R)
+	}
+	// Parentheses override.
+	s = parse(t, "SELECT a FROM t WHERE (a + 2) * 3 < 10")
+	lt = s.Where.(*Binary)
+	if mul, ok := lt.L.(*Binary); !ok || mul.Op != "*" {
+		t.Fatalf("paren grouping lost: %v", lt.L)
+	}
+}
+
+func TestParseLiteralsAndNot(t *testing.T) {
+	s := parse(t, "SELECT a FROM t WHERE NOT (flag = TRUE) AND s = 'it''s' AND x = -4.5")
+	conj := SplitConjuncts(s.Where)
+	if len(conj) != 3 {
+		t.Fatalf("conjuncts = %d", len(conj))
+	}
+	if _, ok := conj[0].(*Unary); !ok {
+		t.Errorf("NOT lost: %v", conj[0])
+	}
+	eq := conj[1].(*Binary)
+	if lit, ok := eq.R.(StringLit); !ok || string(lit) != "it's" {
+		t.Errorf("string literal = %v", eq.R)
+	}
+	eq = conj[2].(*Binary)
+	if lit, ok := eq.R.(FloatLit); !ok || lit != -4.5 {
+		t.Errorf("negative float = %v", eq.R)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	s := parse(t, "SELECT a -- output column\nFROM t -- the table\n")
+	if len(s.Items) != 1 || s.From[0].Name != "t" {
+		t.Errorf("comment handling broke parse: %v", s)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"UPDATE t SET a = 1",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT 1.5",
+		"SELECT a FROM t WHERE a <",
+		"SELECT f( FROM t",
+		"SELECT a FROM t trailing garbage ( )",
+		"SELECT 'unterminated FROM t",
+		"SELECT a FROM t WHERE a ! b",
+		"SELECT a FROM t WHERE a = @",
+		"SELECT a. FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q) should fail", sql)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	queries := []string{
+		"SELECT time, location, AvgEnergy(image) FROM Rasters WHERE AvgEnergy(image) < 100",
+		"SELECT landuse, TotalArea(polygon) FROM Polygons GROUP BY landuse",
+		"SELECT * FROM t LIMIT 5",
+		"SELECT a FROM t ORDER BY a DESC",
+		"SELECT Diff(AvgEnergy(a.x), AvgEnergy(b.x)) FROM A a, B b WHERE a.k = b.k",
+	}
+	for _, q := range queries {
+		s1 := parse(t, q)
+		s2 := parse(t, s1.String())
+		if s1.String() != s2.String() {
+			t.Errorf("unstable round trip:\n%s\n%s", s1, s2)
+		}
+	}
+}
+
+func TestQuickLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	// Some adversarial fragments.
+	for _, s := range []string{"SELECT ''''''", "SELECT ((((", "SELECT 1.2.3 FROM t", strings.Repeat("(", 5000)} {
+		_, _ = Parse(s)
+	}
+}
+
+func TestWalkExpr(t *testing.T) {
+	s := parse(t, "SELECT f(a + b, g(c)) FROM t")
+	var cols []string
+	WalkExpr(s.Items[0].Expr, func(e Expr) {
+		if c, ok := e.(*ColumnRef); ok {
+			cols = append(cols, c.Name)
+		}
+	})
+	if len(cols) != 3 || cols[0] != "a" || cols[1] != "b" || cols[2] != "c" {
+		t.Errorf("walked columns = %v", cols)
+	}
+}
+
+func TestScientificNotation(t *testing.T) {
+	s := parse(t, "SELECT a FROM t WHERE x < 1e9 AND y > 2.5E-3 AND z = 1e+09")
+	conj := SplitConjuncts(s.Where)
+	if lit, ok := conj[0].(*Binary).R.(FloatLit); !ok || float64(lit) != 1e9 {
+		t.Errorf("1e9 parsed as %v", conj[0].(*Binary).R)
+	}
+	if lit, ok := conj[1].(*Binary).R.(FloatLit); !ok || float64(lit) != 2.5e-3 {
+		t.Errorf("2.5E-3 parsed as %v", conj[1].(*Binary).R)
+	}
+	if lit, ok := conj[2].(*Binary).R.(FloatLit); !ok || float64(lit) != 1e9 {
+		t.Errorf("1e+09 parsed as %v", conj[2].(*Binary).R)
+	}
+	// 'e' not followed by digits is an identifier boundary, not part of
+	// the number.
+	s = parse(t, "SELECT a FROM t WHERE x < 1 AND e > 2")
+	if len(SplitConjuncts(s.Where)) != 2 {
+		t.Error("identifier after number misparsed")
+	}
+	// LIMIT rejects exponent forms.
+	if _, err := Parse("SELECT a FROM t LIMIT 1e2"); err == nil {
+		t.Error("LIMIT 1e2 accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkHeapInsertSmall(b *testing.B) {
+	h, _ := CreateHeapFile(NewBufferPool(NewMemDisk(), 256))
+	rec := make([]byte, 128)
+	b.SetBytes(128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapInsertOverflow(b *testing.B) {
+	h, _ := CreateHeapFile(NewBufferPool(NewMemDisk(), 256))
+	rec := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapScan(b *testing.B) {
+	h, _ := CreateHeapFile(NewBufferPool(NewMemDisk(), 256))
+	for i := 0; i < 10000; i++ {
+		h.Insert([]byte(fmt.Sprintf("record-%08d-with-some-payload", i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		it, _ := h.Scan()
+		var n int
+		for {
+			rec, _, err := it.Next()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rec == nil {
+				break
+			}
+			n++
+		}
+		if n != 10000 {
+			b.Fatalf("scanned %d", n)
+		}
+	}
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	bt, _ := CreateBTree(NewBufferPool(NewMemDisk(), 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bt.Insert(int64(i*2654435761)%1_000_000, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	bt, _ := CreateBTree(NewBufferPool(NewMemDisk(), 1024))
+	for i := 0; i < 100000; i++ {
+		bt.Insert(int64(i), uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bt.Search(int64(i % 100000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,457 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+)
+
+// Heap file layout.
+//
+// Page 0 is the header:
+//
+//	[0:4]   magic "MHF1"
+//	[4:8]   first data page
+//	[8:12]  last data page
+//	[12:16] head of the free-page list
+//	[16:24] tuple count
+//
+// Data pages are slotted:
+//
+//	[0:4] next data page
+//	[4:6] slot count
+//	[6:8] freeEnd (records grow down from PageSize toward the slot array)
+//	slot i at [8+4i]: record offset u16, record length u16
+//	                  (length 0xFFFF marks a tombstone)
+//
+// A stored record starts with a type byte: 0x00 inline (payload follows),
+// 0x01 overflow pointer ([first overflow page u32][total length u32]).
+// Overflow pages are [next u32][chunk length u32][data]; they carry the
+// megabyte-scale raster attributes that cannot fit in a slotted page.
+const (
+	heapMagic       = "MHF1"
+	pageHdrSize     = 8
+	slotSize        = 4
+	tombstone       = 0xFFFF
+	recInline       = 0x00
+	recOverflow     = 0x01
+	overflowHdrSize = 8
+	overflowCap     = PageSize - overflowHdrSize
+	// inlineThreshold is the largest payload stored inline; larger
+	// records go to an overflow chain.
+	inlineThreshold = 4000
+)
+
+// RID addresses a record within a heap file.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// String renders the RID for diagnostics.
+func (r RID) String() string { return fmt.Sprintf("(%d,%d)", r.Page, r.Slot) }
+
+// HeapFile is a record file with page-chained storage and overflow
+// support. It is safe for concurrent use; writers are serialized.
+type HeapFile struct {
+	bp *BufferPool
+	mu sync.Mutex
+}
+
+// CreateHeapFile initializes a new heap file on an empty disk.
+func CreateHeapFile(bp *BufferPool) (*HeapFile, error) {
+	if bp.disk.NumPages() != 0 {
+		return nil, fmt.Errorf("storage: create heap file on non-empty disk")
+	}
+	hdr, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	defer hdr.Release()
+	first, err := bp.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	defer first.Release()
+	initDataPage(first.Data())
+	first.MarkDirty()
+
+	d := hdr.Data()
+	copy(d[0:4], heapMagic)
+	putPageID(d[4:], first.ID())
+	putPageID(d[8:], first.ID())
+	putPageID(d[12:], InvalidPageID)
+	binary.BigEndian.PutUint64(d[16:], 0)
+	hdr.MarkDirty()
+	return &HeapFile{bp: bp}, nil
+}
+
+// OpenHeapFile opens an existing heap file.
+func OpenHeapFile(bp *BufferPool) (*HeapFile, error) {
+	hdr, err := bp.Fetch(0)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open heap file: %w", err)
+	}
+	defer hdr.Release()
+	if string(hdr.Data()[0:4]) != heapMagic {
+		return nil, fmt.Errorf("storage: not a heap file (bad magic)")
+	}
+	return &HeapFile{bp: bp}, nil
+}
+
+func initDataPage(d []byte) {
+	putPageID(d[0:], InvalidPageID)
+	binary.BigEndian.PutUint16(d[4:], 0)
+	binary.BigEndian.PutUint16(d[6:], PageSize)
+}
+
+func putPageID(d []byte, id PageID) { binary.BigEndian.PutUint32(d, uint32(id)) }
+func getPageID(d []byte) PageID     { return PageID(binary.BigEndian.Uint32(d)) }
+
+func pageFreeSpace(d []byte) int {
+	nslots := int(binary.BigEndian.Uint16(d[4:]))
+	freeEnd := int(binary.BigEndian.Uint16(d[6:]))
+	return freeEnd - (pageHdrSize + slotSize*nslots)
+}
+
+// allocPage takes a page from the free list or grows the file. Caller
+// holds h.mu.
+func (h *HeapFile) allocPage() (*Frame, error) {
+	hdr, err := h.bp.Fetch(0)
+	if err != nil {
+		return nil, err
+	}
+	freeHead := getPageID(hdr.Data()[12:])
+	if freeHead == InvalidPageID {
+		hdr.Release()
+		return h.bp.NewPage()
+	}
+	f, err := h.bp.Fetch(freeHead)
+	if err != nil {
+		hdr.Release()
+		return nil, err
+	}
+	putPageID(hdr.Data()[12:], getPageID(f.Data()[0:]))
+	hdr.MarkDirty()
+	hdr.Release()
+	for i := range f.data {
+		f.data[i] = 0
+	}
+	f.MarkDirty()
+	return f, nil
+}
+
+// freePage pushes a page onto the free list. Caller holds h.mu.
+func (h *HeapFile) freePage(id PageID) error {
+	hdr, err := h.bp.Fetch(0)
+	if err != nil {
+		return err
+	}
+	defer hdr.Release()
+	f, err := h.bp.Fetch(id)
+	if err != nil {
+		return err
+	}
+	defer f.Release()
+	putPageID(f.Data()[0:], getPageID(hdr.Data()[12:]))
+	f.MarkDirty()
+	putPageID(hdr.Data()[12:], id)
+	hdr.MarkDirty()
+	return nil
+}
+
+// Insert stores a record and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+
+	stored := make([]byte, 0, min(len(rec)+1, 16))
+	if len(rec) <= inlineThreshold {
+		stored = append(stored, recInline)
+		stored = append(stored, rec...)
+	} else {
+		first, err := h.writeOverflow(rec)
+		if err != nil {
+			return RID{}, err
+		}
+		stored = append(stored, recOverflow)
+		stored = binary.BigEndian.AppendUint32(stored, uint32(first))
+		stored = binary.BigEndian.AppendUint32(stored, uint32(len(rec)))
+	}
+
+	hdr, err := h.bp.Fetch(0)
+	if err != nil {
+		return RID{}, err
+	}
+	last := getPageID(hdr.Data()[8:])
+	f, err := h.bp.Fetch(last)
+	if err != nil {
+		hdr.Release()
+		return RID{}, err
+	}
+	need := len(stored) + slotSize
+	if pageFreeSpace(f.Data()) < need {
+		// Chain a fresh data page.
+		nf, err := h.allocPage()
+		if err != nil {
+			f.Release()
+			hdr.Release()
+			return RID{}, err
+		}
+		initDataPage(nf.Data())
+		nf.MarkDirty()
+		putPageID(f.Data()[0:], nf.ID())
+		f.MarkDirty()
+		f.Release()
+		putPageID(hdr.Data()[8:], nf.ID())
+		hdr.MarkDirty()
+		f = nf
+	}
+
+	d := f.Data()
+	nslots := binary.BigEndian.Uint16(d[4:])
+	freeEnd := binary.BigEndian.Uint16(d[6:])
+	off := int(freeEnd) - len(stored)
+	copy(d[off:], stored)
+	binary.BigEndian.PutUint16(d[6:], uint16(off))
+	slotOff := pageHdrSize + slotSize*int(nslots)
+	binary.BigEndian.PutUint16(d[slotOff:], uint16(off))
+	binary.BigEndian.PutUint16(d[slotOff+2:], uint16(len(stored)))
+	binary.BigEndian.PutUint16(d[4:], nslots+1)
+	f.MarkDirty()
+	rid := RID{Page: f.ID(), Slot: nslots}
+	f.Release()
+
+	count := binary.BigEndian.Uint64(hdr.Data()[16:])
+	binary.BigEndian.PutUint64(hdr.Data()[16:], count+1)
+	hdr.MarkDirty()
+	hdr.Release()
+	return rid, nil
+}
+
+// writeOverflow stores rec across a chain of overflow pages, returning
+// the first page. Caller holds h.mu.
+func (h *HeapFile) writeOverflow(rec []byte) (PageID, error) {
+	first := InvalidPageID
+	var prev *Frame
+	for off := 0; off < len(rec); off += overflowCap {
+		f, err := h.allocPage()
+		if err != nil {
+			if prev != nil {
+				prev.Release()
+			}
+			return 0, err
+		}
+		end := min(off+overflowCap, len(rec))
+		d := f.Data()
+		putPageID(d[0:], InvalidPageID)
+		binary.BigEndian.PutUint32(d[4:], uint32(end-off))
+		copy(d[overflowHdrSize:], rec[off:end])
+		f.MarkDirty()
+		if prev != nil {
+			putPageID(prev.Data()[0:], f.ID())
+			prev.MarkDirty()
+			prev.Release()
+		} else {
+			first = f.ID()
+		}
+		prev = f
+	}
+	if prev != nil {
+		prev.Release()
+	}
+	return first, nil
+}
+
+// readStored resolves a stored record (inline or overflow) into its
+// payload bytes.
+func (h *HeapFile) readStored(stored []byte) ([]byte, error) {
+	if len(stored) == 0 {
+		return nil, fmt.Errorf("storage: empty stored record")
+	}
+	switch stored[0] {
+	case recInline:
+		out := make([]byte, len(stored)-1)
+		copy(out, stored[1:])
+		return out, nil
+	case recOverflow:
+		if len(stored) != 9 {
+			return nil, fmt.Errorf("storage: malformed overflow pointer")
+		}
+		page := getPageID(stored[1:])
+		total := int(binary.BigEndian.Uint32(stored[5:]))
+		out := make([]byte, 0, total)
+		for page != InvalidPageID {
+			f, err := h.bp.Fetch(page)
+			if err != nil {
+				return nil, err
+			}
+			d := f.Data()
+			next := getPageID(d[0:])
+			n := int(binary.BigEndian.Uint32(d[4:]))
+			if n > overflowCap {
+				f.Release()
+				return nil, fmt.Errorf("storage: corrupt overflow page %d", page)
+			}
+			out = append(out, d[overflowHdrSize:overflowHdrSize+n]...)
+			f.Release()
+			page = next
+		}
+		if len(out) != total {
+			return nil, fmt.Errorf("storage: overflow chain has %d bytes, expected %d", len(out), total)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("storage: unknown record type %d", stored[0])
+}
+
+// Get returns the record at rid.
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.getLocked(rid)
+}
+
+func (h *HeapFile) getLocked(rid RID) ([]byte, error) {
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Release()
+	d := f.Data()
+	nslots := binary.BigEndian.Uint16(d[4:])
+	if rid.Slot >= nslots {
+		return nil, fmt.Errorf("storage: no slot %d on page %d", rid.Slot, rid.Page)
+	}
+	slotOff := pageHdrSize + slotSize*int(rid.Slot)
+	off := binary.BigEndian.Uint16(d[slotOff:])
+	length := binary.BigEndian.Uint16(d[slotOff+2:])
+	if length == tombstone {
+		return nil, fmt.Errorf("storage: record %v is deleted", rid)
+	}
+	return h.readStored(d[off : off+length])
+}
+
+// Delete tombstones the record at rid, returning its overflow pages (if
+// any) to the free list.
+func (h *HeapFile) Delete(rid RID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f, err := h.bp.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	d := f.Data()
+	nslots := binary.BigEndian.Uint16(d[4:])
+	if rid.Slot >= nslots {
+		f.Release()
+		return fmt.Errorf("storage: no slot %d on page %d", rid.Slot, rid.Page)
+	}
+	slotOff := pageHdrSize + slotSize*int(rid.Slot)
+	off := binary.BigEndian.Uint16(d[slotOff:])
+	length := binary.BigEndian.Uint16(d[slotOff+2:])
+	if length == tombstone {
+		f.Release()
+		return fmt.Errorf("storage: record %v already deleted", rid)
+	}
+	stored := make([]byte, length)
+	copy(stored, d[off:off+length])
+	binary.BigEndian.PutUint16(d[slotOff+2:], tombstone)
+	f.MarkDirty()
+	f.Release()
+
+	if stored[0] == recOverflow {
+		page := getPageID(stored[1:])
+		for page != InvalidPageID {
+			of, err := h.bp.Fetch(page)
+			if err != nil {
+				return err
+			}
+			next := getPageID(of.Data()[0:])
+			of.Release()
+			if err := h.freePage(page); err != nil {
+				return err
+			}
+			page = next
+		}
+	}
+
+	hdr, err := h.bp.Fetch(0)
+	if err != nil {
+		return err
+	}
+	count := binary.BigEndian.Uint64(hdr.Data()[16:])
+	binary.BigEndian.PutUint64(hdr.Data()[16:], count-1)
+	hdr.MarkDirty()
+	hdr.Release()
+	return nil
+}
+
+// Count returns the live record count.
+func (h *HeapFile) Count() (uint64, error) {
+	hdr, err := h.bp.Fetch(0)
+	if err != nil {
+		return 0, err
+	}
+	defer hdr.Release()
+	return binary.BigEndian.Uint64(hdr.Data()[16:]), nil
+}
+
+// Iterator walks all live records in storage order.
+type Iterator struct {
+	h    *HeapFile
+	page PageID
+	slot uint16
+	err  error
+}
+
+// Scan returns an iterator positioned before the first record.
+func (h *HeapFile) Scan() (*Iterator, error) {
+	hdr, err := h.bp.Fetch(0)
+	if err != nil {
+		return nil, err
+	}
+	first := getPageID(hdr.Data()[4:])
+	hdr.Release()
+	return &Iterator{h: h, page: first}, nil
+}
+
+// Next returns the next record and its RID, or nil at end of file.
+func (it *Iterator) Next() ([]byte, RID, error) {
+	if it.err != nil {
+		return nil, RID{}, it.err
+	}
+	it.h.mu.Lock()
+	defer it.h.mu.Unlock()
+	for it.page != InvalidPageID {
+		f, err := it.h.bp.Fetch(it.page)
+		if err != nil {
+			it.err = err
+			return nil, RID{}, err
+		}
+		d := f.Data()
+		nslots := binary.BigEndian.Uint16(d[4:])
+		for it.slot < nslots {
+			slot := it.slot
+			it.slot++
+			slotOff := pageHdrSize + slotSize*int(slot)
+			length := binary.BigEndian.Uint16(d[slotOff+2:])
+			if length == tombstone {
+				continue
+			}
+			off := binary.BigEndian.Uint16(d[slotOff:])
+			rec, err := it.h.readStored(d[off : off+length])
+			f.Release()
+			if err != nil {
+				it.err = err
+				return nil, RID{}, err
+			}
+			return rec, RID{Page: it.page, Slot: slot}, nil
+		}
+		next := getPageID(d[0:])
+		f.Release()
+		it.page = next
+		it.slot = 0
+	}
+	return nil, RID{}, nil
+}

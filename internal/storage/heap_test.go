@@ -1,0 +1,292 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newHeap(t *testing.T, frames int) *HeapFile {
+	t.Helper()
+	h, err := CreateHeapFile(NewBufferPool(NewMemDisk(), frames))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHeapInsertGet(t *testing.T) {
+	h := newHeap(t, 16)
+	recs := [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{7}, 100),
+	}
+	rids := make([]RID, len(recs))
+	for i, r := range recs {
+		rid, err := h.Insert(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	for i, rid := range rids {
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, recs[i]) {
+			t.Errorf("record %d: got %v want %v", i, got, recs[i])
+		}
+	}
+	if n, _ := h.Count(); n != 3 {
+		t.Errorf("count = %d", n)
+	}
+}
+
+func TestHeapOverflowRecords(t *testing.T) {
+	h := newHeap(t, 16)
+	// A 1 MB record exercises a ~128-page overflow chain, the raster case.
+	big := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(big)
+	rid, err := h.Insert(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("overflow record corrupted")
+	}
+	// Boundary sizes around the inline threshold and overflow page size.
+	for _, size := range []int{inlineThreshold - 1, inlineThreshold, inlineThreshold + 1, overflowCap, overflowCap + 1, 2*overflowCap - 1, 2 * overflowCap} {
+		rec := bytes.Repeat([]byte{byte(size)}, size)
+		rid, err := h.Insert(rec)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		got, err := h.Get(rid)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if !bytes.Equal(got, rec) {
+			t.Fatalf("size %d: corrupted", size)
+		}
+	}
+}
+
+func TestHeapDeleteAndFreeList(t *testing.T) {
+	h := newHeap(t, 16)
+	big := bytes.Repeat([]byte{1}, 100_000)
+	rid, err := h.Insert(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pagesBefore := h.bp.disk.NumPages()
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); err == nil {
+		t.Error("deleted record still readable")
+	}
+	if err := h.Delete(rid); err == nil {
+		t.Error("double delete accepted")
+	}
+	// Re-inserting an equally large record should reuse freed pages.
+	if _, err := h.Insert(big); err != nil {
+		t.Fatal(err)
+	}
+	if after := h.bp.disk.NumPages(); after > pagesBefore+1 {
+		t.Errorf("free list not reused: %d pages before, %d after", pagesBefore, after)
+	}
+	if n, _ := h.Count(); n != 1 {
+		t.Errorf("count after delete+insert = %d", n)
+	}
+}
+
+func TestHeapScan(t *testing.T) {
+	h := newHeap(t, 16)
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert([]byte(fmt.Sprintf("record-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := h.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int
+	for {
+		rec, _, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil {
+			break
+		}
+		if want := fmt.Sprintf("record-%04d", count); string(rec) != want {
+			t.Fatalf("tuple %d = %q, want %q", count, rec, want)
+		}
+		count++
+	}
+	if count != n {
+		t.Errorf("scanned %d records, want %d", count, n)
+	}
+}
+
+func TestHeapScanSkipsTombstones(t *testing.T) {
+	h := newHeap(t, 16)
+	var rids []RID
+	for i := 0; i < 10; i++ {
+		rid, _ := h.Insert([]byte{byte(i)})
+		rids = append(rids, rid)
+	}
+	for i := 0; i < 10; i += 2 {
+		if err := h.Delete(rids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, _ := h.Scan()
+	var got []byte
+	for {
+		rec, _, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec == nil {
+			break
+		}
+		got = append(got, rec[0])
+	}
+	if !bytes.Equal(got, []byte{1, 3, 5, 7, 9}) {
+		t.Errorf("scan after deletes = %v", got)
+	}
+}
+
+func TestHeapBadRIDs(t *testing.T) {
+	h := newHeap(t, 16)
+	rid, _ := h.Insert([]byte("x"))
+	if _, err := h.Get(RID{Page: rid.Page, Slot: 99}); err == nil {
+		t.Error("bad slot accepted")
+	}
+	if _, err := h.Get(RID{Page: 9999, Slot: 0}); err == nil {
+		t.Error("bad page accepted")
+	}
+}
+
+func TestHeapPersistence(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := OpenFileDisk(dir + "/t.heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp := NewBufferPool(disk, 8)
+	h, err := CreateHeapFile(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := h.Insert(bytes.Repeat([]byte{42}, 50_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	disk.Close()
+
+	disk2, err := OpenFileDisk(dir + "/t.heap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disk2.Close()
+	h2, err := OpenHeapFile(NewBufferPool(disk2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h2.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 50_000 || got[0] != 42 {
+		t.Error("record lost across reopen")
+	}
+}
+
+func TestOpenHeapFileRejectsGarbage(t *testing.T) {
+	disk := NewMemDisk()
+	disk.AllocatePage()
+	if _, err := OpenHeapFile(NewBufferPool(disk, 4)); err == nil {
+		t.Error("garbage accepted as heap file")
+	}
+}
+
+func TestBufferPoolEviction(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 4)
+	// Create 20 pages, writing a marker into each.
+	for i := 0; i < 20; i++ {
+		f, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Data()[0] = byte(i)
+		f.MarkDirty()
+		f.Release()
+	}
+	// Read them all back; evictions must have preserved content.
+	for i := 0; i < 20; i++ {
+		f, err := bp.Fetch(PageID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Data()[0] != byte(i) {
+			t.Errorf("page %d lost its content", i)
+		}
+		f.Release()
+	}
+	if bp.Evictions == 0 {
+		t.Error("expected evictions with 4 frames and 20 pages")
+	}
+	if bp.Hits == 0 && bp.Misses == 0 {
+		t.Error("stats not collected")
+	}
+}
+
+func TestBufferPoolExhaustion(t *testing.T) {
+	bp := NewBufferPool(NewMemDisk(), 2)
+	f1, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bp.NewPage(); err == nil {
+		t.Error("third pin should fail with 2 frames")
+	}
+	f1.Release()
+	f3, err := bp.NewPage()
+	if err != nil {
+		t.Fatalf("after release, allocation should succeed: %v", err)
+	}
+	f3.Release()
+	f2.Release()
+}
+
+func TestBufferPoolFetchUnallocated(t *testing.T) {
+	bp := NewBufferPool(NewMemDisk(), 2)
+	if _, err := bp.Fetch(5); err == nil {
+		t.Error("fetch of unallocated page accepted")
+	}
+	// The failed fetch must not leak the frame.
+	f, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Release()
+}

@@ -1,0 +1,175 @@
+package types
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Raster is the large object type for satellite raster images: a
+// width×height grid of one-byte energy samples. Wire format: 4-byte
+// width, 4-byte height, then width*height pixel bytes — so a 1024×1024
+// raster occupies 1 MB plus an 8-byte header, matching the paper's
+// Rasters table.
+type Raster struct {
+	payload []byte
+}
+
+// NewRaster builds a raster from dimensions and pixel data. It panics if
+// len(pixels) != w*h, which always indicates a programming error.
+func NewRaster(w, h int, pixels []byte) Raster {
+	if len(pixels) != w*h {
+		panic(fmt.Sprintf("types.NewRaster: %dx%d raster needs %d pixels, got %d", w, h, w*h, len(pixels)))
+	}
+	buf := make([]byte, 0, 8+len(pixels))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(w))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(h))
+	buf = append(buf, pixels...)
+	return Raster{payload: buf}
+}
+
+// RasterFromPayload wraps an already-encoded raster payload, validating
+// its header against its length.
+func RasterFromPayload(payload []byte) (Raster, error) {
+	if len(payload) < 8 {
+		return Raster{}, fmt.Errorf("raster payload too short: %d bytes", len(payload))
+	}
+	w := int(binary.BigEndian.Uint32(payload))
+	h := int(binary.BigEndian.Uint32(payload[4:]))
+	if len(payload) != 8+w*h {
+		return Raster{}, fmt.Errorf("raster payload: declared %dx%d, have %d bytes", w, h, len(payload))
+	}
+	return Raster{payload: payload}, nil
+}
+
+// Kind implements Object.
+func (Raster) Kind() Kind { return KindRaster }
+
+// WireSize implements Object.
+func (r Raster) WireSize() int { return len(r.payload) }
+
+// AppendTo implements Object.
+func (r Raster) AppendTo(buf []byte) []byte { return append(buf, r.payload...) }
+
+// String implements Object.
+func (r Raster) String() string {
+	return fmt.Sprintf("RASTER[%dx%d]", r.Width(), r.Height())
+}
+
+// Payload implements Large.
+func (r Raster) Payload() []byte { return r.payload }
+
+// Width returns the raster width in pixels.
+func (r Raster) Width() int {
+	if len(r.payload) < 4 {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(r.payload))
+}
+
+// Height returns the raster height in pixels.
+func (r Raster) Height() int {
+	if len(r.payload) < 8 {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(r.payload[4:]))
+}
+
+// Pixels returns the raw pixel bytes in row-major order. The slice must
+// not be modified.
+func (r Raster) Pixels() []byte { return r.payload[8:] }
+
+// At returns the pixel at column x, row y.
+func (r Raster) At(x, y int) byte { return r.payload[8+y*r.Width()+x] }
+
+// AvgEnergy returns the mean pixel value — the paper's running example of
+// a data-reducing projection (1 MB image → 8-byte double).
+func (r Raster) AvgEnergy() float64 {
+	px := r.Pixels()
+	if len(px) == 0 {
+		return 0
+	}
+	var sum uint64
+	for _, p := range px {
+		sum += uint64(p)
+	}
+	return float64(sum) / float64(len(px))
+}
+
+// Clip returns the sub-raster covered by the pixel-space clipping window
+// [x0, x0+w) × [y0, y0+h), the paper's Q2 operator. The window is clamped
+// to the raster bounds.
+func (r Raster) Clip(x0, y0, w, h int) Raster {
+	rw, rh := r.Width(), r.Height()
+	x0 = clampInt(x0, 0, rw)
+	y0 = clampInt(y0, 0, rh)
+	w = clampInt(w, 0, rw-x0)
+	h = clampInt(h, 0, rh-y0)
+	out := make([]byte, 0, w*h)
+	for y := y0; y < y0+h; y++ {
+		row := r.payload[8+y*rw+x0 : 8+y*rw+x0+w]
+		out = append(out, row...)
+	}
+	return NewRaster(w, h, out)
+}
+
+// IncrRes returns a raster whose resolution is increased by the integer
+// factor k using bilinear interpolation — the paper's Q3 data-inflating
+// operator (k=2 quadruples the byte size).
+func (r Raster) IncrRes(k int) Raster {
+	if k < 1 {
+		k = 1
+	}
+	w, h := r.Width(), r.Height()
+	nw, nh := w*k, h*k
+	out := make([]byte, nw*nh)
+	for y := 0; y < nh; y++ {
+		// Source coordinates in fixed-point: sy = y/k.
+		sy := y / k
+		fy := y % k
+		sy2 := sy + 1
+		if sy2 >= h {
+			sy2 = h - 1
+		}
+		for x := 0; x < nw; x++ {
+			sx := x / k
+			fx := x % k
+			sx2 := sx + 1
+			if sx2 >= w {
+				sx2 = w - 1
+			}
+			p00 := int(r.At(sx, sy))
+			p10 := int(r.At(sx2, sy))
+			p01 := int(r.At(sx, sy2))
+			p11 := int(r.At(sx2, sy2))
+			top := p00*(k-fx) + p10*fx
+			bot := p01*(k-fx) + p11*fx
+			out[y*nw+x] = byte((top*(k-fy) + bot*fy) / (k * k))
+		}
+	}
+	return NewRaster(nw, nh, out)
+}
+
+// Rotate90 returns the raster rotated 90 degrees clockwise — an example of
+// a visualization-oriented data-inflating style operator from section 4
+// (same size, repeatedly applied near the client).
+func (r Raster) Rotate90() Raster {
+	w, h := r.Width(), r.Height()
+	out := make([]byte, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// (x, y) in source maps to (h-1-y, x) in destination.
+			out[x*h+(h-1-y)] = r.At(x, y)
+		}
+	}
+	return NewRaster(h, w, out)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,322 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates MVM assembly text into a Program. The middleware
+// operator library (internal/ops) authors every shippable operator in
+// this language; the assembled bytecode is what travels to remote DAPs.
+//
+// Source format (one statement per line, ';' starts a comment):
+//
+//	program AvgEnergy version 1.0
+//	globals 2
+//	const half float 0.5
+//	func eval args=1 locals=2
+//	  arg 0
+//	  blen
+//	loop:
+//	  ...
+//	  jmp loop
+//	  ret
+//	end
+//
+// Instruction operands may be integer literals, label names (jumps),
+// constant names (const), function names (call) or host intrinsic names
+// (host).
+func Assemble(src string) (*Program, error) {
+	p := &Program{Version: "1"}
+	constIdx := map[string]int{}
+	type pendingFunc struct {
+		fn    *Func
+		lines []asmLine
+	}
+	var funcs []pendingFunc
+	var cur *pendingFunc
+
+	lines := strings.Split(src, "\n")
+	for lineno, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		errAt := func(format string, args ...any) error {
+			return fmt.Errorf("asm line %d: %s", lineno+1, fmt.Sprintf(format, args...))
+		}
+
+		// Directives are only recognized outside a func body, so that
+		// instruction mnemonics (notably "const") are never shadowed.
+		directive := fields[0]
+		if cur != nil && directive != "end" {
+			directive = ""
+		}
+		switch directive {
+		case "program":
+			if len(fields) < 2 {
+				return nil, errAt("program needs a name")
+			}
+			p.Name = fields[1]
+			if len(fields) >= 4 && fields[2] == "version" {
+				p.Version = fields[3]
+			}
+			continue
+		case "globals":
+			if len(fields) != 2 {
+				return nil, errAt("globals needs a count")
+			}
+			n, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, errAt("bad globals count %q", fields[1])
+			}
+			p.NGlobals = n
+			continue
+		case "const":
+			if len(fields) < 4 {
+				return nil, errAt("const needs: const <name> <int|float|str> <value>")
+			}
+			name, kind := fields[1], fields[2]
+			rest := strings.Join(fields[3:], " ")
+			var v Value
+			switch kind {
+			case "int":
+				i, err := strconv.ParseInt(rest, 0, 64)
+				if err != nil {
+					return nil, errAt("bad int constant %q", rest)
+				}
+				v = IntVal(i)
+			case "float":
+				f, err := strconv.ParseFloat(rest, 64)
+				if err != nil {
+					return nil, errAt("bad float constant %q", rest)
+				}
+				v = FloatVal(f)
+			case "str":
+				s, err := strconv.Unquote(rest)
+				if err != nil {
+					return nil, errAt("bad string constant %s (must be quoted)", rest)
+				}
+				v = StrVal(s)
+			default:
+				return nil, errAt("unknown constant kind %q", kind)
+			}
+			if _, dup := constIdx[name]; dup {
+				return nil, errAt("duplicate constant %q", name)
+			}
+			constIdx[name] = len(p.Consts)
+			p.Consts = append(p.Consts, v)
+			continue
+		case "func":
+			if cur != nil {
+				return nil, errAt("nested func (missing end?)")
+			}
+			if len(fields) < 2 {
+				return nil, errAt("func needs a name")
+			}
+			fn := Func{Name: fields[1]}
+			for _, f := range fields[2:] {
+				switch {
+				case strings.HasPrefix(f, "args="):
+					n, err := strconv.Atoi(f[5:])
+					if err != nil {
+						return nil, errAt("bad args count %q", f)
+					}
+					fn.NArgs = n
+				case strings.HasPrefix(f, "locals="):
+					n, err := strconv.Atoi(f[7:])
+					if err != nil {
+						return nil, errAt("bad locals count %q", f)
+					}
+					fn.NLocals = n
+				default:
+					return nil, errAt("unknown func attribute %q", f)
+				}
+			}
+			funcs = append(funcs, pendingFunc{fn: &Func{Name: fn.Name, NArgs: fn.NArgs, NLocals: fn.NLocals}})
+			cur = &funcs[len(funcs)-1]
+			continue
+		case "end":
+			if cur == nil {
+				return nil, errAt("end outside func")
+			}
+			cur = nil
+			continue
+		}
+
+		if cur == nil {
+			return nil, errAt("instruction %q outside func", fields[0])
+		}
+		// Label?
+		if strings.HasSuffix(fields[0], ":") && len(fields) == 1 {
+			cur.lines = append(cur.lines, asmLine{label: strings.TrimSuffix(fields[0], ":"), lineno: lineno + 1})
+			continue
+		}
+		op, ok := OpByName(fields[0])
+		if !ok {
+			return nil, errAt("unknown instruction %q", fields[0])
+		}
+		l := asmLine{op: op, lineno: lineno + 1}
+		if op.HasOperand() {
+			if len(fields) != 2 {
+				return nil, errAt("%v needs exactly one operand", op)
+			}
+			l.operand = fields[1]
+		} else if len(fields) != 1 {
+			return nil, errAt("%v takes no operand", op)
+		}
+		cur.lines = append(cur.lines, l)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("asm: unterminated func %q", cur.fn.Name)
+	}
+
+	// Build the function name table before resolving call operands.
+	fnIdx := map[string]int{}
+	for i, pf := range funcs {
+		if _, dup := fnIdx[pf.fn.Name]; dup {
+			return nil, fmt.Errorf("asm: duplicate func %q", pf.fn.Name)
+		}
+		fnIdx[pf.fn.Name] = i
+	}
+
+	for _, pf := range funcs {
+		code, err := assembleFunc(p, pf.lines, constIdx, fnIdx)
+		if err != nil {
+			return nil, fmt.Errorf("asm: func %q: %w", pf.fn.Name, err)
+		}
+		pf.fn.Code = code
+		p.Funcs = append(p.Funcs, *pf.fn)
+	}
+	if err := Verify(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+type asmLine struct {
+	label   string
+	op      Op
+	operand string
+	lineno  int
+}
+
+func assembleFunc(p *Program, lines []asmLine, constIdx, fnIdx map[string]int) ([]byte, error) {
+	// Pass 1: compute label offsets.
+	labels := map[string]int{}
+	off := 0
+	for _, l := range lines {
+		if l.label != "" {
+			if _, dup := labels[l.label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", l.lineno, l.label)
+			}
+			labels[l.label] = off
+			continue
+		}
+		off++
+		if l.op.HasOperand() {
+			off += 4
+		}
+	}
+	// Pass 2: emit.
+	code := make([]byte, 0, off)
+	for _, l := range lines {
+		if l.label != "" {
+			continue
+		}
+		code = append(code, byte(l.op))
+		if !l.op.HasOperand() {
+			continue
+		}
+		var operand int
+		switch l.op {
+		case OpJmp, OpJz, OpJnz:
+			target, ok := labels[l.operand]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown label %q", l.lineno, l.operand)
+			}
+			operand = target
+		case OpConst:
+			idx, ok := constIdx[l.operand]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown constant %q", l.lineno, l.operand)
+			}
+			operand = idx
+		case OpCall:
+			idx, ok := fnIdx[l.operand]
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown function %q", l.lineno, l.operand)
+			}
+			operand = idx
+		case OpHost:
+			id, ok := HostByName(l.operand)
+			if !ok {
+				return nil, fmt.Errorf("line %d: unknown host intrinsic %q", l.lineno, l.operand)
+			}
+			operand = id
+		default:
+			n, err := strconv.ParseInt(l.operand, 0, 32)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad operand %q for %v", l.lineno, l.operand, l.op)
+			}
+			operand = int(n)
+		}
+		code = binary.BigEndian.AppendUint32(code, uint32(int32(operand)))
+	}
+	return code, nil
+}
+
+// MustAssemble assembles src and panics on error; for statically known
+// operator sources registered at init time.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Disassemble renders a program back to readable assembly, primarily for
+// debugging and for the distributed-software-debugging workflows that
+// section 3.1 envisions for stand-alone admin clients.
+func Disassemble(p *Program) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "program %s version %s\n", p.Name, p.Version)
+	if p.NGlobals > 0 {
+		fmt.Fprintf(&b, "globals %d\n", p.NGlobals)
+	}
+	for i, c := range p.Consts {
+		fmt.Fprintf(&b, "; const[%d] = %s\n", i, c.String())
+	}
+	for fi := range p.Funcs {
+		f := &p.Funcs[fi]
+		fmt.Fprintf(&b, "func %s args=%d locals=%d\n", f.Name, f.NArgs, f.NLocals)
+		off := 0
+		for off < len(f.Code) {
+			op := Op(f.Code[off])
+			if op.HasOperand() && off+5 <= len(f.Code) {
+				operand := int32(binary.BigEndian.Uint32(f.Code[off+1:]))
+				if op == OpHost {
+					fmt.Fprintf(&b, "  %4d: %s %s\n", off, op, HostName(int(operand)))
+				} else if op == OpCall && int(operand) < len(p.Funcs) {
+					fmt.Fprintf(&b, "  %4d: %s %s\n", off, op, p.Funcs[operand].Name)
+				} else {
+					fmt.Fprintf(&b, "  %4d: %s %d\n", off, op, operand)
+				}
+				off += 5
+			} else {
+				fmt.Fprintf(&b, "  %4d: %s\n", off, op)
+				off++
+			}
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}

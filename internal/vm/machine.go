@@ -1,0 +1,618 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Limits bounds one MVM invocation. Together with Verify, these are the
+// MVM's analogue of the Java SecurityManager policies of section 3.9.3:
+// shipped code cannot touch the file system or network (no such opcodes
+// exist), cannot run forever (fuel), cannot blow the stack (depth limits)
+// and cannot exhaust memory (allocation budget).
+type Limits struct {
+	// MaxFuel is the maximum number of instructions per invocation.
+	MaxFuel int64
+	// MaxStack is the maximum operand stack depth.
+	MaxStack int
+	// MaxCallDepth is the maximum function call nesting.
+	MaxCallDepth int
+	// MaxAlloc is the maximum bytes allocatable via bnew per invocation.
+	MaxAlloc int64
+}
+
+// DefaultLimits are generous enough for per-tuple operators over megabyte
+// rasters while still bounding runaway code.
+var DefaultLimits = Limits{
+	MaxFuel:      4_000_000_000,
+	MaxStack:     4096,
+	MaxCallDepth: 64,
+	MaxAlloc:     256 << 20,
+}
+
+// Trap is a runtime fault raised by executing MVM code.
+type Trap struct {
+	Func string
+	PC   int
+	Msg  string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("vm trap in %s at pc=%d: %s", t.Func, t.PC, t.Msg)
+}
+
+// Machine executes verified MVM programs. A Machine is not safe for
+// concurrent use; each executor goroutine owns one.
+type Machine struct {
+	limits Limits
+	stack  []Value
+	// FuelUsed accumulates instructions executed across invocations, for
+	// CPU-cost reporting.
+	FuelUsed int64
+}
+
+// New returns a machine with the given limits. Zero-valued limit fields
+// are replaced by DefaultLimits.
+func New(limits Limits) *Machine {
+	if limits.MaxFuel == 0 {
+		limits.MaxFuel = DefaultLimits.MaxFuel
+	}
+	if limits.MaxStack == 0 {
+		limits.MaxStack = DefaultLimits.MaxStack
+	}
+	if limits.MaxCallDepth == 0 {
+		limits.MaxCallDepth = DefaultLimits.MaxCallDepth
+	}
+	if limits.MaxAlloc == 0 {
+		limits.MaxAlloc = DefaultLimits.MaxAlloc
+	}
+	return &Machine{limits: limits, stack: make([]Value, 0, 64)}
+}
+
+type frame struct {
+	fn     *Func
+	pc     int
+	base   int // operand stack base for this frame
+	locals []Value
+	args   []Value
+}
+
+// Run executes function fnIdx of the (verified) program with the given
+// arguments. globals carries aggregate state across invocations; pass nil
+// for stateless scalar functions. It returns the function's result value.
+func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Value, error) {
+	if fnIdx < 0 || fnIdx >= len(p.Funcs) {
+		return Value{}, fmt.Errorf("vm: function index %d out of range", fnIdx)
+	}
+	entry := &p.Funcs[fnIdx]
+	if len(args) != entry.NArgs {
+		return Value{}, fmt.Errorf("vm: %s.%s expects %d args, got %d", p.Name, entry.Name, entry.NArgs, len(args))
+	}
+	if p.NGlobals > 0 && len(globals) != p.NGlobals {
+		return Value{}, fmt.Errorf("vm: %s needs %d globals, got %d", p.Name, p.NGlobals, len(globals))
+	}
+
+	fuel := m.limits.MaxFuel
+	var allocUsed int64
+	m.stack = m.stack[:0]
+	frames := make([]frame, 1, 8)
+	frames[0] = frame{fn: entry, locals: make([]Value, entry.NLocals), args: args}
+
+	trap := func(msg string) (Value, error) {
+		f := &frames[len(frames)-1]
+		return Value{}, &Trap{Func: f.fn.Name, PC: f.pc, Msg: msg}
+	}
+
+	push := func(v Value) bool {
+		if len(m.stack) >= m.limits.MaxStack {
+			return false
+		}
+		m.stack = append(m.stack, v)
+		return true
+	}
+
+	for {
+		f := &frames[len(frames)-1]
+		code := f.fn.Code
+		if f.pc >= len(code) {
+			return trap("fell off end of code")
+		}
+		if fuel--; fuel < 0 {
+			m.FuelUsed += m.limits.MaxFuel
+			return trap("fuel exhausted")
+		}
+		op := Op(code[f.pc])
+		var operand int
+		npc := f.pc + 1
+		if op.HasOperand() {
+			operand = int(int32(binary.BigEndian.Uint32(code[f.pc+1:])))
+			npc = f.pc + 5
+		}
+		sp := len(m.stack)
+
+		switch op {
+		case OpNop:
+
+		case OpRet:
+			var ret Value
+			if sp > f.base {
+				ret = m.stack[sp-1]
+			}
+			m.stack = m.stack[:f.base]
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				m.FuelUsed += m.limits.MaxFuel - fuel
+				return ret, nil
+			}
+			if !push(ret) {
+				return trap("stack overflow on return")
+			}
+			continue
+
+		case OpPop:
+			if sp < 1 {
+				return trap("pop on empty stack")
+			}
+			m.stack = m.stack[:sp-1]
+
+		case OpDup:
+			if sp < 1 {
+				return trap("dup on empty stack")
+			}
+			if !push(m.stack[sp-1]) {
+				return trap("stack overflow")
+			}
+
+		case OpSwap:
+			if sp < 2 {
+				return trap("swap needs two values")
+			}
+			m.stack[sp-1], m.stack[sp-2] = m.stack[sp-2], m.stack[sp-1]
+
+		case OpConst:
+			if !push(p.Consts[operand]) {
+				return trap("stack overflow")
+			}
+
+		case OpPushI:
+			if !push(IntVal(int64(operand))) {
+				return trap("stack overflow")
+			}
+
+		case OpArg:
+			if !push(f.args[operand]) {
+				return trap("stack overflow")
+			}
+
+		case OpLoad:
+			if !push(f.locals[operand]) {
+				return trap("stack overflow")
+			}
+
+		case OpStore:
+			if sp < 1 {
+				return trap("store on empty stack")
+			}
+			f.locals[operand] = m.stack[sp-1]
+			m.stack = m.stack[:sp-1]
+
+		case OpGLoad:
+			if !push(globals[operand]) {
+				return trap("stack overflow")
+			}
+
+		case OpGStore:
+			if sp < 1 {
+				return trap("gstore on empty stack")
+			}
+			globals[operand] = m.stack[sp-1]
+			m.stack = m.stack[:sp-1]
+
+		case OpAddI, OpSubI, OpMulI, OpDivI, OpModI:
+			if sp < 2 {
+				return trap("integer op needs two values")
+			}
+			a, b := m.stack[sp-2], m.stack[sp-1]
+			if a.K != VInt || b.K != VInt {
+				return trap(fmt.Sprintf("%v needs ints, got %v and %v", op, a.K, b.K))
+			}
+			var r int64
+			switch op {
+			case OpAddI:
+				r = a.I + b.I
+			case OpSubI:
+				r = a.I - b.I
+			case OpMulI:
+				r = a.I * b.I
+			case OpDivI:
+				if b.I == 0 {
+					return trap("integer divide by zero")
+				}
+				r = a.I / b.I
+			case OpModI:
+				if b.I == 0 {
+					return trap("integer modulo by zero")
+				}
+				r = a.I % b.I
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = IntVal(r)
+
+		case OpNegI:
+			if sp < 1 || m.stack[sp-1].K != VInt {
+				return trap("negi needs an int")
+			}
+			m.stack[sp-1].I = -m.stack[sp-1].I
+
+		case OpAddF, OpSubF, OpMulF, OpDivF:
+			if sp < 2 {
+				return trap("float op needs two values")
+			}
+			a, b := m.stack[sp-2], m.stack[sp-1]
+			if a.K != VFloat || b.K != VFloat {
+				return trap(fmt.Sprintf("%v needs floats, got %v and %v", op, a.K, b.K))
+			}
+			var r float64
+			switch op {
+			case OpAddF:
+				r = a.F + b.F
+			case OpSubF:
+				r = a.F - b.F
+			case OpMulF:
+				r = a.F * b.F
+			case OpDivF:
+				r = a.F / b.F
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = FloatVal(r)
+
+		case OpNegF:
+			if sp < 1 || m.stack[sp-1].K != VFloat {
+				return trap("negf needs a float")
+			}
+			m.stack[sp-1].F = -m.stack[sp-1].F
+
+		case OpI2F:
+			if sp < 1 || m.stack[sp-1].K != VInt {
+				return trap("i2f needs an int")
+			}
+			m.stack[sp-1] = FloatVal(float64(m.stack[sp-1].I))
+
+		case OpF2I:
+			if sp < 1 || m.stack[sp-1].K != VFloat {
+				return trap("f2i needs a float")
+			}
+			m.stack[sp-1] = IntVal(int64(m.stack[sp-1].F))
+
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			if sp < 2 {
+				return trap("comparison needs two values")
+			}
+			a, b := m.stack[sp-2], m.stack[sp-1]
+			res, err := compare(op, a, b)
+			if err != nil {
+				return trap(err.Error())
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = BoolVal(res)
+
+		case OpAnd, OpOr:
+			if sp < 2 {
+				return trap("logic op needs two values")
+			}
+			a, b := m.stack[sp-2], m.stack[sp-1]
+			if a.K != VBool || b.K != VBool {
+				return trap("logic op needs bools")
+			}
+			var r bool
+			if op == OpAnd {
+				r = a.Bool() && b.Bool()
+			} else {
+				r = a.Bool() || b.Bool()
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = BoolVal(r)
+
+		case OpNot:
+			if sp < 1 || m.stack[sp-1].K != VBool {
+				return trap("not needs a bool")
+			}
+			m.stack[sp-1] = BoolVal(!m.stack[sp-1].Bool())
+
+		case OpJmp:
+			f.pc = operand
+			continue
+
+		case OpJz, OpJnz:
+			if sp < 1 || m.stack[sp-1].K != VBool {
+				return trap("conditional jump needs a bool")
+			}
+			cond := m.stack[sp-1].Bool()
+			m.stack = m.stack[:sp-1]
+			if (op == OpJz && !cond) || (op == OpJnz && cond) {
+				f.pc = operand
+				continue
+			}
+
+		case OpCall:
+			if len(frames) >= m.limits.MaxCallDepth {
+				return trap("call depth exceeded")
+			}
+			callee := &p.Funcs[operand]
+			if sp < callee.NArgs {
+				return trap(fmt.Sprintf("call to %s needs %d args, stack has %d", callee.Name, callee.NArgs, sp))
+			}
+			callArgs := make([]Value, callee.NArgs)
+			copy(callArgs, m.stack[sp-callee.NArgs:])
+			m.stack = m.stack[:sp-callee.NArgs]
+			f.pc = npc
+			frames = append(frames, frame{
+				fn:     callee,
+				base:   len(m.stack),
+				locals: make([]Value, callee.NLocals),
+				args:   callArgs,
+			})
+			continue
+
+		case OpBLen:
+			if sp < 1 || m.stack[sp-1].K != VBytes {
+				return trap("blen needs bytes")
+			}
+			m.stack[sp-1] = IntVal(int64(len(m.stack[sp-1].B)))
+
+		case OpLdU8, OpLdI32, OpLdF32, OpLdF64:
+			if sp < 2 {
+				return trap("byte load needs buffer and offset")
+			}
+			buf, off := m.stack[sp-2], m.stack[sp-1]
+			if buf.K != VBytes || off.K != VInt {
+				return trap("byte load needs (bytes, int)")
+			}
+			var width int64
+			switch op {
+			case OpLdU8:
+				width = 1
+			case OpLdI32, OpLdF32:
+				width = 4
+			case OpLdF64:
+				width = 8
+			}
+			if off.I < 0 || off.I+width > int64(len(buf.B)) {
+				return trap(fmt.Sprintf("byte load at %d width %d out of bounds (%d)", off.I, width, len(buf.B)))
+			}
+			var v Value
+			switch op {
+			case OpLdU8:
+				v = IntVal(int64(buf.B[off.I]))
+			case OpLdI32:
+				v = IntVal(int64(int32(binary.BigEndian.Uint32(buf.B[off.I:]))))
+			case OpLdF32:
+				v = FloatVal(float64(math.Float32frombits(binary.BigEndian.Uint32(buf.B[off.I:]))))
+			case OpLdF64:
+				v = FloatVal(math.Float64frombits(binary.BigEndian.Uint64(buf.B[off.I:])))
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = v
+
+		case OpBNew:
+			if sp < 1 || m.stack[sp-1].K != VInt {
+				return trap("bnew needs an int size")
+			}
+			size := m.stack[sp-1].I
+			if size < 0 {
+				return trap("bnew with negative size")
+			}
+			allocUsed += size
+			if allocUsed > m.limits.MaxAlloc {
+				return trap("allocation budget exhausted")
+			}
+			v := BytesVal(make([]byte, size))
+			v.W = true
+			m.stack[sp-1] = v
+
+		case OpStU8, OpStI32, OpStF32:
+			if sp < 3 {
+				return trap("byte store needs buffer, offset and value")
+			}
+			buf, off, val := m.stack[sp-3], m.stack[sp-2], m.stack[sp-1]
+			if buf.K != VBytes || off.K != VInt {
+				return trap("byte store needs (bytes, int, value)")
+			}
+			if !buf.W {
+				return trap("store into read-only buffer")
+			}
+			var width int64 = 4
+			if op == OpStU8 {
+				width = 1
+			}
+			if off.I < 0 || off.I+width > int64(len(buf.B)) {
+				return trap(fmt.Sprintf("byte store at %d out of bounds (%d)", off.I, len(buf.B)))
+			}
+			switch op {
+			case OpStU8:
+				if val.K != VInt {
+					return trap("stu8 needs an int value")
+				}
+				buf.B[off.I] = byte(val.I)
+			case OpStI32:
+				if val.K != VInt {
+					return trap("sti32 needs an int value")
+				}
+				binary.BigEndian.PutUint32(buf.B[off.I:], uint32(int32(val.I)))
+			case OpStF32:
+				if val.K != VFloat {
+					return trap("stf32 needs a float value")
+				}
+				binary.BigEndian.PutUint32(buf.B[off.I:], math.Float32bits(float32(val.F)))
+			}
+			m.stack = m.stack[:sp-2]
+
+		case OpBSlice:
+			if sp < 3 {
+				return trap("bslice needs buffer, start and end")
+			}
+			buf, start, end := m.stack[sp-3], m.stack[sp-2], m.stack[sp-1]
+			if buf.K != VBytes || start.K != VInt || end.K != VInt {
+				return trap("bslice needs (bytes, int, int)")
+			}
+			if start.I < 0 || end.I < start.I || end.I > int64(len(buf.B)) {
+				return trap(fmt.Sprintf("bslice [%d:%d] out of bounds (%d)", start.I, end.I, len(buf.B)))
+			}
+			v := BytesVal(buf.B[start.I:end.I])
+			v.W = buf.W
+			m.stack = m.stack[:sp-2]
+			m.stack[sp-3] = v
+
+		case OpSLen:
+			if sp < 1 || m.stack[sp-1].K != VStr {
+				return trap("slen needs a string")
+			}
+			m.stack[sp-1] = IntVal(int64(len(m.stack[sp-1].S)))
+
+		case OpHost:
+			v, err := callHost(operand, m.stack)
+			if err != nil {
+				return trap(err.Error())
+			}
+			if operand == HostPow {
+				m.stack = m.stack[:len(m.stack)-1]
+			}
+			m.stack[len(m.stack)-1] = v
+
+		default:
+			return trap(fmt.Sprintf("unimplemented opcode %v", op))
+		}
+		f.pc = npc
+	}
+}
+
+func compare(op Op, a, b Value) (bool, error) {
+	if a.K != b.K {
+		return false, fmt.Errorf("comparison of %v and %v", a.K, b.K)
+	}
+	var c int // -1, 0, 1
+	switch a.K {
+	case VInt, VBool:
+		switch {
+		case a.I < b.I:
+			c = -1
+		case a.I > b.I:
+			c = 1
+		}
+	case VFloat:
+		switch {
+		case a.F < b.F:
+			c = -1
+		case a.F > b.F:
+			c = 1
+		case a.F != b.F: // NaN involved: only Eq/Ne are meaningful
+			if op == OpEq {
+				return false, nil
+			}
+			if op == OpNe {
+				return true, nil
+			}
+			return false, nil
+		}
+	case VStr:
+		switch {
+		case a.S < b.S:
+			c = -1
+		case a.S > b.S:
+			c = 1
+		}
+	case VBytes:
+		if op != OpEq && op != OpNe {
+			return false, fmt.Errorf("bytes support only eq/ne")
+		}
+		eq := string(a.B) == string(b.B)
+		return (op == OpEq) == eq, nil
+	}
+	switch op {
+	case OpEq:
+		return c == 0, nil
+	case OpNe:
+		return c != 0, nil
+	case OpLt:
+		return c < 0, nil
+	case OpLe:
+		return c <= 0, nil
+	case OpGt:
+		return c > 0, nil
+	case OpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("bad comparison op %v", op)
+}
+
+func callHost(id int, stack []Value) (Value, error) {
+	sp := len(stack)
+	need := 1
+	if id == HostPow {
+		need = 2
+	}
+	if sp < need {
+		return Value{}, fmt.Errorf("host %s needs %d args", HostName(id), need)
+	}
+	switch id {
+	case HostSqrt:
+		x := stack[sp-1]
+		if x.K != VFloat {
+			return Value{}, fmt.Errorf("sqrt needs a float")
+		}
+		if x.F < 0 {
+			return Value{}, fmt.Errorf("sqrt of negative %g", x.F)
+		}
+		return FloatVal(math.Sqrt(x.F)), nil
+	case HostAbsF:
+		x := stack[sp-1]
+		if x.K != VFloat {
+			return Value{}, fmt.Errorf("absf needs a float")
+		}
+		return FloatVal(math.Abs(x.F)), nil
+	case HostAbsI:
+		x := stack[sp-1]
+		if x.K != VInt {
+			return Value{}, fmt.Errorf("absi needs an int")
+		}
+		if x.I < 0 {
+			return IntVal(-x.I), nil
+		}
+		return x, nil
+	case HostPow:
+		x, y := stack[sp-2], stack[sp-1]
+		if x.K != VFloat || y.K != VFloat {
+			return Value{}, fmt.Errorf("pow needs two floats")
+		}
+		return FloatVal(math.Pow(x.F, y.F)), nil
+	case HostFloor:
+		x := stack[sp-1]
+		if x.K != VFloat {
+			return Value{}, fmt.Errorf("floor needs a float")
+		}
+		return FloatVal(math.Floor(x.F)), nil
+	case HostCeil:
+		x := stack[sp-1]
+		if x.K != VFloat {
+			return Value{}, fmt.Errorf("ceil needs a float")
+		}
+		return FloatVal(math.Ceil(x.F)), nil
+	case HostLog:
+		x := stack[sp-1]
+		if x.K != VFloat {
+			return Value{}, fmt.Errorf("log needs a float")
+		}
+		if x.F <= 0 {
+			return Value{}, fmt.Errorf("log of non-positive %g", x.F)
+		}
+		return FloatVal(math.Log(x.F)), nil
+	case HostExp:
+		x := stack[sp-1]
+		if x.K != VFloat {
+			return Value{}, fmt.Errorf("exp needs a float")
+		}
+		return FloatVal(math.Exp(x.F)), nil
+	}
+	return Value{}, fmt.Errorf("unknown host intrinsic %d", id)
+}

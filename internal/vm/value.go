@@ -1,0 +1,100 @@
+// Package vm implements the MVM, the middleware virtual machine that makes
+// MOCHA's code shipping (section 3.6 of the paper) possible in Go.
+//
+// The paper ships compiled Java classes to remote sites and loads them into
+// the receiving JVM. Go has no safe dynamic code loading, so this
+// reproduction ships MVM bytecode instead: operators are small verified
+// programs over a stack machine. A remote DAP that has never seen an
+// operator receives its serialized Program, verifies it, and executes it —
+// the same observable property as the paper's class shipping, including
+// the sandboxing role of Java's SecurityManager (section 3.9.3), which the
+// MVM provides through fuel, stack, call-depth and allocation limits.
+package vm
+
+import "fmt"
+
+// VKind is the runtime kind of an MVM stack value.
+type VKind uint8
+
+// The MVM value kinds. Large middleware objects enter the VM as their raw
+// wire payloads (VBytes); typed reconstruction happens at the boundary.
+const (
+	VInt VKind = iota
+	VFloat
+	VBool
+	VStr
+	VBytes
+)
+
+func (k VKind) String() string {
+	switch k {
+	case VInt:
+		return "int"
+	case VFloat:
+		return "float"
+	case VBool:
+		return "bool"
+	case VStr:
+		return "str"
+	case VBytes:
+		return "bytes"
+	}
+	return fmt.Sprintf("vkind(%d)", uint8(k))
+}
+
+// Value is one MVM stack slot: a small tagged union. The W flag marks
+// byte buffers allocated by the running program (via bnew) as writable;
+// buffers that arrived from outside — arguments, constants — are
+// read-only, so shipped code can never corrupt tuples it was given.
+type Value struct {
+	K VKind
+	W bool
+	I int64
+	F float64
+	S string
+	B []byte
+}
+
+// IntVal builds an int value.
+func IntVal(i int64) Value { return Value{K: VInt, I: i} }
+
+// FloatVal builds a float value.
+func FloatVal(f float64) Value { return Value{K: VFloat, F: f} }
+
+// BoolVal builds a bool value.
+func BoolVal(b bool) Value {
+	v := Value{K: VBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// StrVal builds a string value.
+func StrVal(s string) Value { return Value{K: VStr, S: s} }
+
+// BytesVal builds a bytes value.
+func BytesVal(b []byte) Value { return Value{K: VBytes, B: b} }
+
+// Bool reports the truth of a VBool value.
+func (v Value) Bool() bool { return v.I != 0 }
+
+// String renders the value for diagnostics.
+func (v Value) String() string {
+	switch v.K {
+	case VInt:
+		return fmt.Sprintf("%d", v.I)
+	case VFloat:
+		return fmt.Sprintf("%g", v.F)
+	case VBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case VStr:
+		return fmt.Sprintf("%q", v.S)
+	case VBytes:
+		return fmt.Sprintf("bytes[%d]", len(v.B))
+	}
+	return "?"
+}

@@ -1,0 +1,124 @@
+package vm
+
+import "fmt"
+
+// Verification limits. Shipped code exceeding these is rejected before it
+// ever executes, the static half of the MVM sandbox.
+const (
+	maxFuncs   = 256
+	maxCodeLen = 1 << 20
+	maxArgs    = 64
+	maxLocals  = 256
+	maxGlobals = 256
+	maxConsts  = 1 << 16
+)
+
+// Verify statically checks a decoded program: every instruction must be a
+// defined opcode with in-range operands, and every jump must land on an
+// instruction boundary. A DAP runs Verify on every program it receives
+// before loading it into its execution engine.
+func Verify(p *Program) error {
+	if len(p.Funcs) == 0 {
+		return fmt.Errorf("vm: program %q has no functions", p.Name)
+	}
+	if len(p.Funcs) > maxFuncs {
+		return fmt.Errorf("vm: program %q has %d functions (max %d)", p.Name, len(p.Funcs), maxFuncs)
+	}
+	if len(p.Consts) > maxConsts {
+		return fmt.Errorf("vm: program %q has %d constants (max %d)", p.Name, len(p.Consts), maxConsts)
+	}
+	if p.NGlobals < 0 || p.NGlobals > maxGlobals {
+		return fmt.Errorf("vm: program %q declares %d globals (max %d)", p.Name, p.NGlobals, maxGlobals)
+	}
+	seen := make(map[string]bool, len(p.Funcs))
+	for i := range p.Funcs {
+		f := &p.Funcs[i]
+		if f.Name == "" {
+			return fmt.Errorf("vm: function %d is unnamed", i)
+		}
+		if seen[f.Name] {
+			return fmt.Errorf("vm: duplicate function %q", f.Name)
+		}
+		seen[f.Name] = true
+		if err := verifyFunc(p, f); err != nil {
+			return fmt.Errorf("vm: program %q function %q: %w", p.Name, f.Name, err)
+		}
+	}
+	return nil
+}
+
+func verifyFunc(p *Program, f *Func) error {
+	if f.NArgs < 0 || f.NArgs > maxArgs {
+		return fmt.Errorf("declares %d args (max %d)", f.NArgs, maxArgs)
+	}
+	if f.NLocals < 0 || f.NLocals > maxLocals {
+		return fmt.Errorf("declares %d locals (max %d)", f.NLocals, maxLocals)
+	}
+	if len(f.Code) == 0 {
+		return fmt.Errorf("has no code")
+	}
+	if len(f.Code) > maxCodeLen {
+		return fmt.Errorf("code is %d bytes (max %d)", len(f.Code), maxCodeLen)
+	}
+
+	// First pass: walk instruction boundaries, checking opcodes and
+	// non-jump operand ranges.
+	starts := make(map[int]bool)
+	type jump struct{ at, target int }
+	var jumps []jump
+	off := 0
+	for off < len(f.Code) {
+		starts[off] = true
+		op := Op(f.Code[off])
+		if !op.Valid() {
+			return fmt.Errorf("invalid opcode %d at offset %d", f.Code[off], off)
+		}
+		next := off + 1
+		var operand int
+		if op.HasOperand() {
+			if off+5 > len(f.Code) {
+				return fmt.Errorf("truncated operand for %v at offset %d", op, off)
+			}
+			operand = int(int32(uint32(f.Code[off+1])<<24 | uint32(f.Code[off+2])<<16 |
+				uint32(f.Code[off+3])<<8 | uint32(f.Code[off+4])))
+			next = off + 5
+		}
+		switch op {
+		case OpConst:
+			if operand < 0 || operand >= len(p.Consts) {
+				return fmt.Errorf("const index %d out of range at offset %d", operand, off)
+			}
+		case OpArg:
+			if operand < 0 || operand >= f.NArgs {
+				return fmt.Errorf("arg index %d out of range at offset %d", operand, off)
+			}
+		case OpLoad, OpStore:
+			if operand < 0 || operand >= f.NLocals {
+				return fmt.Errorf("local index %d out of range at offset %d", operand, off)
+			}
+		case OpGLoad, OpGStore:
+			if operand < 0 || operand >= p.NGlobals {
+				return fmt.Errorf("global index %d out of range at offset %d", operand, off)
+			}
+		case OpCall:
+			if operand < 0 || operand >= len(p.Funcs) {
+				return fmt.Errorf("call target %d out of range at offset %d", operand, off)
+			}
+		case OpHost:
+			if operand < 0 || operand >= NumHost {
+				return fmt.Errorf("host intrinsic %d unknown at offset %d", operand, off)
+			}
+		case OpJmp, OpJz, OpJnz:
+			jumps = append(jumps, jump{at: off, target: operand})
+		}
+		off = next
+	}
+
+	// Second pass: every jump target must be an instruction boundary.
+	for _, j := range jumps {
+		if !starts[j.target] {
+			return fmt.Errorf("jump at offset %d targets %d, not an instruction boundary", j.at, j.target)
+		}
+	}
+	return nil
+}

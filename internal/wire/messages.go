@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"encoding/xml"
+	"fmt"
+
+	"mocha/internal/types"
+)
+
+// Control-plane payloads are XML documents, as in the paper, where query
+// plans and metadata are exchanged as XML.
+
+// Hello opens a session.
+type Hello struct {
+	XMLName xml.Name `xml:"hello"`
+	Role    string   `xml:"role,attr"` // "client" or "qpc"
+	Site    string   `xml:"site,attr"`
+}
+
+// CodeCheck asks a DAP which of the listed classes it is missing or holds
+// a stale copy of — the code-caching handshake sketched as future work in
+// section 3.6 of the paper.
+type CodeCheck struct {
+	XMLName xml.Name        `xml:"code-check"`
+	Classes []CodeCheckItem `xml:"class"`
+}
+
+// CodeCheckItem identifies one class version.
+type CodeCheckItem struct {
+	Name     string `xml:"name,attr"`
+	Version  string `xml:"version,attr"`
+	Checksum string `xml:"checksum,attr"`
+}
+
+// CodeCheckAck lists the class names the DAP needs shipped.
+type CodeCheckAck struct {
+	XMLName xml.Name `xml:"code-check-ack"`
+	Needed  []string `xml:"needed"`
+}
+
+// SchemaMsg carries a result or fragment schema.
+type SchemaMsg struct {
+	XMLName xml.Name    `xml:"schema"`
+	Columns []SchemaCol `xml:"column"`
+}
+
+// SchemaCol is one column of a SchemaMsg.
+type SchemaCol struct {
+	Name string `xml:"name,attr"`
+	Kind string `xml:"kind,attr"`
+}
+
+// SchemaToMsg converts a middleware schema for transmission.
+func SchemaToMsg(s types.Schema) SchemaMsg {
+	m := SchemaMsg{}
+	for _, c := range s.Columns {
+		m.Columns = append(m.Columns, SchemaCol{Name: c.Name, Kind: c.Kind.String()})
+	}
+	return m
+}
+
+// MsgToSchema converts a received SchemaMsg back to a schema.
+func MsgToSchema(m SchemaMsg) (types.Schema, error) {
+	s := types.Schema{}
+	for _, c := range m.Columns {
+		k, ok := types.KindByName(c.Kind)
+		if !ok {
+			return types.Schema{}, fmt.Errorf("wire: unknown kind %q in schema", c.Kind)
+		}
+		s.Columns = append(s.Columns, types.Column{Name: c.Name, Kind: k})
+	}
+	return s, nil
+}
+
+// ProcCall is a procedural request to a DAP (section 3.2): operations
+// outside the query abstraction, such as listing the tables a file
+// server or XML repository offers.
+type ProcCall struct {
+	XMLName xml.Name `xml:"proc-call"`
+	Op      string   `xml:"op,attr"`
+	Args    []string `xml:"arg"`
+}
+
+// ProcResult carries a procedural response as text lines.
+type ProcResult struct {
+	XMLName xml.Name `xml:"proc-result"`
+	Lines   []string `xml:"line"`
+}
+
+// ExecStats reports a site's execution-time breakdown and data volumes
+// for one plan fragment, mirroring the measurement components of the
+// paper's section 5.2.
+type ExecStats struct {
+	XMLName xml.Name `xml:"exec-stats"`
+	Site    string   `xml:"site,attr"`
+	// DBMicros is time spent reading tuples from the data source.
+	DBMicros int64 `xml:"db-micros"`
+	// CPUMicros is time spent evaluating operators.
+	CPUMicros int64 `xml:"cpu-micros"`
+	// NetMicros is time spent blocked sending results over the network.
+	NetMicros int64 `xml:"net-micros"`
+	// MiscMicros is initialization and cleanup time, including code
+	// loading and plan decoding.
+	MiscMicros int64 `xml:"misc-micros"`
+	// TuplesRead is the number of tuples extracted from the source.
+	TuplesRead int64 `xml:"tuples-read"`
+	// BytesAccessed is the data volume read from the source (VDA input).
+	BytesAccessed int64 `xml:"bytes-accessed"`
+	// TuplesSent and BytesSent describe the fragment's network output
+	// (VDT input).
+	TuplesSent int64 `xml:"tuples-sent"`
+	BytesSent  int64 `xml:"bytes-sent"`
+	// CodeClassesLoaded and CodeBytesLoaded describe code shipping work.
+	CodeClassesLoaded int `xml:"code-classes-loaded"`
+	CodeBytesLoaded   int `xml:"code-bytes-loaded"`
+	// CacheHits counts classes satisfied from the DAP's code cache.
+	CacheHits int `xml:"cache-hits"`
+}
+
+// EncodeXML marshals a control payload.
+func EncodeXML(v any) ([]byte, error) {
+	b, err := xml.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: encode control payload: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeXML unmarshals a control payload.
+func DecodeXML(data []byte, v any) error {
+	if err := xml.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("wire: decode control payload: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+// Package wire implements MOCHA's communications infrastructure. The
+// paper (section 3.9.2) reports that Java RMI was too slow and fragile
+// and that the prototype built its own protocol directly on network
+// sockets; this package is that protocol: length-prefixed frames with a
+// one-byte message type, binary tuple batches, and XML control payloads
+// (the paper encodes plans and metadata as XML documents).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MsgType identifies the kind of a frame.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgHelloAck
+	MsgQuery        // client → QPC: SQL text
+	MsgResultSchema // QPC → client: result schema (XML)
+	MsgDeployCode   // QPC → DAP: serialized MVM program
+	MsgCodeCheck    // QPC → DAP: class names+checksums to validate cache
+	MsgCodeCheckAck // DAP → QPC: which classes are missing/stale
+	MsgDeployPlan   // QPC → DAP: plan fragment (XML)
+	MsgActivate     // QPC → DAP: begin executing the deployed plan
+	MsgTupleBatch   // data stream: batch of schema-encoded tuples
+	MsgSemiJoinKeys // QPC → DAP: join-key set for semi-join filtering
+	MsgEOS          // end of tuple stream, carries execution stats (XML)
+	MsgError        // carries an error string; terminates the request
+	MsgAck
+	MsgClose
+	MsgProcCall   // QPC → DAP: procedural request (XML), section 3.2
+	MsgProcResult // DAP → QPC: procedural response (XML)
+)
+
+var msgNames = map[MsgType]string{
+	MsgHello: "HELLO", MsgHelloAck: "HELLO_ACK", MsgQuery: "QUERY",
+	MsgResultSchema: "RESULT_SCHEMA", MsgDeployCode: "DEPLOY_CODE",
+	MsgCodeCheck: "CODE_CHECK", MsgCodeCheckAck: "CODE_CHECK_ACK",
+	MsgDeployPlan: "DEPLOY_PLAN", MsgActivate: "ACTIVATE",
+	MsgTupleBatch: "TUPLE_BATCH", MsgSemiJoinKeys: "SEMIJOIN_KEYS",
+	MsgEOS: "EOS", MsgError: "ERROR", MsgAck: "ACK", MsgClose: "CLOSE",
+	MsgProcCall: "PROC_CALL", MsgProcResult: "PROC_RESULT",
+}
+
+func (t MsgType) String() string {
+	if n, ok := msgNames[t]; ok {
+		return n
+	}
+	return fmt.Sprintf("MSG(%d)", uint8(t))
+}
+
+// MaxFrameSize bounds a single frame (header excluded). Large tuple
+// streams are split into batches well under this limit.
+const MaxFrameSize = 64 << 20
+
+// frameHeaderSize is the per-frame overhead: 4-byte length + 1-byte type.
+const frameHeaderSize = 5
+
+// Conn is a framed connection. Reads and writes each are internally
+// serialized, so one reader goroutine and one writer goroutine may share
+// a Conn.
+type Conn struct {
+	raw net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+
+	rmu, wmu sync.Mutex
+
+	bytesIn  atomic.Int64
+	bytesOut atomic.Int64
+}
+
+// NewConn wraps a transport connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		raw: c,
+		br:  bufio.NewReaderSize(c, 64<<10),
+		bw:  bufio.NewWriterSize(c, 64<<10),
+	}
+}
+
+// Send writes one frame and flushes it.
+func (c *Conn) Send(t MsgType, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: %v frame of %d bytes exceeds limit", t, len(payload))
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: send %v: %w", t, err)
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return fmt.Errorf("wire: send %v: %w", t, err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fmt.Errorf("wire: send %v: %w", t, err)
+	}
+	c.bytesOut.Add(int64(frameHeaderSize + len(payload)))
+	return nil
+}
+
+// Recv reads one frame.
+func (c *Conn) Recv() (MsgType, []byte, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("wire: recv header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	t := MsgType(hdr[4])
+	if n > MaxFrameSize {
+		return 0, nil, fmt.Errorf("wire: incoming %v frame of %d bytes exceeds limit", t, n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: recv %v body: %w", t, err)
+	}
+	c.bytesIn.Add(int64(frameHeaderSize) + int64(n))
+	return t, payload, nil
+}
+
+// Expect receives one frame and requires it to be of the given type. An
+// incoming MsgError is surfaced as the remote error it carries.
+func (c *Conn) Expect(want MsgType) ([]byte, error) {
+	t, payload, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if t == MsgError {
+		return nil, &RemoteError{Msg: string(payload)}
+	}
+	if t != want {
+		return nil, fmt.Errorf("wire: expected %v, got %v", want, t)
+	}
+	return payload, nil
+}
+
+// SendError sends an error frame; transmission failures are ignored since
+// the connection is already failing.
+func (c *Conn) SendError(err error) {
+	_ = c.Send(MsgError, []byte(err.Error()))
+}
+
+// BytesIn returns total bytes received, including frame headers. These
+// counters feed the CVDT measurements of the evaluation.
+func (c *Conn) BytesIn() int64 { return c.bytesIn.Load() }
+
+// BytesOut returns total bytes sent, including frame headers.
+func (c *Conn) BytesOut() int64 { return c.bytesOut.Load() }
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// RemoteError is an error reported by the peer via a MsgError frame.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }

@@ -1,0 +1,313 @@
+package mocha
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"mocha/internal/catalog"
+	"mocha/internal/dap"
+	"mocha/internal/netsim"
+	"mocha/internal/ops"
+	"mocha/internal/qpc"
+	"mocha/internal/storage"
+	"mocha/internal/vm"
+)
+
+// ClusterConfig configures an embedded deployment.
+type ClusterConfig struct {
+	// Shaper models the network links between sites (nil = unshaped).
+	// Use netsim.Ethernet10Mbps to reproduce the paper's testbed.
+	Shaper *netsim.Shaper
+	// Strategy is the operator-placement policy (default StrategyAuto).
+	Strategy Strategy
+	// Registry is the operator library (default BuiltinOperators()).
+	Registry *ops.Registry
+	// DisableDAPCodeCache forces classes to be re-shipped every query.
+	DisableDAPCodeCache bool
+	// VMLimits sandbox shipped code at the DAPs (zero = defaults).
+	VMLimits vm.Limits
+	// Logf receives diagnostics from all components.
+	Logf func(format string, args ...any)
+}
+
+// Shaper re-exports the link model type for cluster configuration.
+type Shaper = netsim.Shaper
+
+// Ethernet10Mbps is the paper's testbed link model.
+func Ethernet10Mbps() *Shaper { return netsim.Ethernet10Mbps }
+
+// Cluster is an embedded MOCHA deployment: one QPC plus DAP-fronted data
+// sites connected by an in-memory network.
+type Cluster struct {
+	cfg     ClusterConfig
+	network *netsim.Network
+	catalog *catalog.Catalog
+	qpc     *qpc.Server
+
+	mu        sync.Mutex
+	listeners []net.Listener
+	daps      map[string]*dap.Server
+	stores    map[string]*storage.Store
+	drivers   map[string]dap.AccessDriver
+	qpcAddr   string
+}
+
+// NewCluster creates an empty cluster (no sites yet).
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = ops.Builtins()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	cat := catalog.New(cfg.Registry, catalog.NewRepositoryFromRegistry(cfg.Registry))
+	cl := &Cluster{
+		cfg:     cfg,
+		network: netsim.NewNetwork(cfg.Shaper),
+		catalog: cat,
+		daps:    make(map[string]*dap.Server),
+		stores:  make(map[string]*storage.Store),
+		drivers: make(map[string]dap.AccessDriver),
+	}
+	cl.qpc = qpc.New(qpc.Config{
+		Cat:      cat,
+		Dial:     cl.network.Dial,
+		Strategy: cfg.Strategy,
+		Logf:     cfg.Logf,
+	})
+	// Expose the QPC to in-process wire clients.
+	l, err := cl.network.Listen("qpc")
+	if err != nil {
+		return nil, err
+	}
+	cl.qpcAddr = "qpc"
+	cl.listeners = append(cl.listeners, l)
+	go cl.qpc.Serve(l)
+	return cl, nil
+}
+
+// Catalog exposes the cluster's metadata catalog.
+func (cl *Cluster) Catalog() *catalog.Catalog { return cl.catalog }
+
+// AddSite starts a DAP for a data site backed by the given store. The
+// site's tables still need RegisterTable to become queryable.
+func (cl *Cluster) AddSite(name string, store *storage.Store) error {
+	if err := cl.AddDriverSite(name, &dap.StorageDriver{Store: store}); err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	cl.stores[name] = store
+	cl.mu.Unlock()
+	return nil
+}
+
+// AddDriverSite starts a DAP over any access driver — the embedded
+// store, a flat-file directory (dap.FileDriver) or an XML repository
+// (dap.XMLDriver). This is how sources with no query language of their
+// own join the middleware (sections 3.2 and 3.4 of the paper).
+func (cl *Cluster) AddDriverSite(name string, driver dap.AccessDriver) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if _, dup := cl.daps[name]; dup {
+		return fmt.Errorf("mocha: site %q already exists", name)
+	}
+	addr := "dap-" + name
+	l, err := cl.network.Listen(addr)
+	if err != nil {
+		return err
+	}
+	srv := dap.New(dap.Config{
+		Site:             name,
+		Driver:           driver,
+		Limits:           cl.cfg.VMLimits,
+		DisableCodeCache: cl.cfg.DisableDAPCodeCache,
+		Logf:             cl.cfg.Logf,
+	})
+	go srv.Serve(l)
+	cl.listeners = append(cl.listeners, l)
+	cl.daps[name] = srv
+	cl.drivers[name] = driver
+	cl.catalog.AddSite(&catalog.Site{Name: name, Addr: addr})
+	return nil
+}
+
+// NewStore creates a fresh in-memory store for a site.
+func NewStore() (*storage.Store, error) { return storage.OpenStore("", 0) }
+
+// RegisterTable computes statistics for a site's table (through its
+// access driver) and registers it in the catalog.
+func (cl *Cluster) RegisterTable(site, table string) error {
+	cl.mu.Lock()
+	driver, ok := cl.drivers[site]
+	cl.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("mocha: unknown site %q", site)
+	}
+	schema, err := driver.TableSchema(table)
+	if err != nil {
+		return fmt.Errorf("mocha: site %q: %w", site, err)
+	}
+	stats, err := computeDriverStats(driver, table, schema)
+	if err != nil {
+		return err
+	}
+	return cl.catalog.AddTable(&catalog.TableDef{
+		Name:   table,
+		URI:    "mocha://" + site + "/" + table,
+		Site:   site,
+		Schema: schema,
+		Stats:  stats,
+	})
+}
+
+// computeDriverStats scans a driver table to measure row count and
+// average per-column wire sizes.
+func computeDriverStats(driver dap.AccessDriver, table string, schema storageSchema) (catalog.TableStats, error) {
+	sums := make([]int64, schema.Arity())
+	var rows int64
+	err := driver.Scan(table, func(tup Tuple) error {
+		rows++
+		for i, v := range tup {
+			sums[i] += int64(v.WireSize())
+		}
+		return nil
+	})
+	if err != nil {
+		return catalog.TableStats{}, err
+	}
+	stats := catalog.TableStats{RowCount: rows}
+	for i, c := range schema.Columns {
+		avg := 0
+		if rows > 0 {
+			avg = int(sums[i] / rows)
+		}
+		stats.Columns = append(stats.Columns, catalog.ColumnStats{Name: c.Name, AvgBytes: avg})
+	}
+	return stats, nil
+}
+
+// storageSchema abbreviates the schema type in helper signatures.
+type storageSchema = Schema
+
+// ComputeTableStats scans a table to measure row count and average
+// per-column wire sizes — the statistics the optimizer's VRF needs.
+func ComputeTableStats(tbl *storage.Table) (catalog.TableStats, error) {
+	it, err := tbl.Scan()
+	if err != nil {
+		return catalog.TableStats{}, err
+	}
+	schema := tbl.Schema()
+	sums := make([]int64, schema.Arity())
+	var rows int64
+	for {
+		tup, _, err := it.Next()
+		if err != nil {
+			return catalog.TableStats{}, err
+		}
+		if tup == nil {
+			break
+		}
+		rows++
+		for i, v := range tup {
+			sums[i] += int64(v.WireSize())
+		}
+	}
+	stats := catalog.TableStats{RowCount: rows}
+	for i, c := range schema.Columns {
+		avg := 0
+		if rows > 0 {
+			avg = int(sums[i] / rows)
+		}
+		stats.Columns = append(stats.Columns, catalog.ColumnStats{Name: c.Name, AvgBytes: avg})
+	}
+	return stats, nil
+}
+
+// SetSelectivity records a predicate selectivity estimate in the catalog.
+func (cl *Cluster) SetSelectivity(operator, table string, sf float64) {
+	cl.catalog.SetSelectivity(operator, table, sf)
+}
+
+// RegisterOperator is the administrator path of section 3.6: compile and
+// add a new (or upgraded) operator to the library and its class to the
+// well-known code repository. The operator is usable in the next query —
+// remote DAPs receive its code automatically, with no restarts.
+func (cl *Cluster) RegisterOperator(def *OperatorDef) error {
+	if err := cl.cfg.Registry.Register(def); err != nil {
+		return err
+	}
+	cl.catalog.Repo().PutProgram(def.Program())
+	return nil
+}
+
+// DiscoverTables asks a site's DAP to enumerate its tables (the
+// procedural interface of section 3.2) and registers every table that is
+// not yet in the catalog. It returns the names it registered.
+func (cl *Cluster) DiscoverTables(site string) ([]string, error) {
+	names, err := cl.qpc.ProcCall(site, "list-tables")
+	if err != nil {
+		return nil, err
+	}
+	var added []string
+	for _, name := range names {
+		if _, exists := cl.catalog.Table(name); exists {
+			continue
+		}
+		if err := cl.RegisterTable(site, name); err != nil {
+			return added, err
+		}
+		added = append(added, name)
+	}
+	return added, nil
+}
+
+// Execute runs a query through the embedded QPC, materializing results.
+func (cl *Cluster) Execute(sql string) (*Result, error) { return cl.qpc.Execute(sql) }
+
+// Explain returns the optimizer's plan for a query.
+func (cl *Cluster) Explain(sql string) (string, error) { return cl.qpc.Explain(sql) }
+
+// SetStrategy changes the placement policy for subsequent queries.
+func (cl *Cluster) SetStrategy(s Strategy) {
+	cl.qpc = qpc.New(qpc.Config{
+		Cat:      cl.catalog,
+		Dial:     cl.network.Dial,
+		Strategy: s,
+		Logf:     cl.cfg.Logf,
+	})
+}
+
+// Connect opens a wire-protocol client session to the embedded QPC,
+// exercising the same path a remote client uses.
+func (cl *Cluster) Connect() (*Client, error) {
+	nc, err := cl.network.Dial(cl.qpcAddr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc)
+}
+
+// DAPCacheStats reports one site's code-cache hits and misses.
+func (cl *Cluster) DAPCacheStats(site string) (hits, misses int64, err error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	srv, ok := cl.daps[site]
+	if !ok {
+		return 0, 0, fmt.Errorf("mocha: unknown site %q", site)
+	}
+	hits, misses = srv.CacheStats()
+	return hits, misses, nil
+}
+
+// Close shuts the cluster down.
+func (cl *Cluster) Close() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, l := range cl.listeners {
+		l.Close()
+	}
+	for _, st := range cl.stores {
+		st.Close()
+	}
+}

@@ -1,0 +1,571 @@
+package mocha
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"mocha/internal/catalog"
+	"mocha/internal/core"
+	"mocha/internal/dap"
+	"mocha/internal/qpc"
+	"mocha/internal/sequoia"
+	"mocha/internal/storage"
+	"mocha/internal/types"
+)
+
+// TestThreeWayJoin exercises left-deep join planning across three sites.
+func TestThreeWayJoin(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// T1(k, a) ⋈ T2(k, w) ⋈ T3(w, b), one table per site.
+	mk := func(site, name string, cols types.Schema, rows []types.Tuple) {
+		store, err := NewStore()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := store.Create(name, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if _, err := tbl.Insert(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cl.AddSite(site, store); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.RegisterTable(site, name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	intCol := func(n string) types.Column { return types.Column{Name: n, Kind: types.KindInt} }
+	var t1, t2, t3 []types.Tuple
+	for i := 0; i < 20; i++ {
+		t1 = append(t1, types.Tuple{types.Int(int32(i % 5)), types.Int(int32(i))})
+	}
+	for k := 0; k < 5; k++ {
+		t2 = append(t2, types.Tuple{types.Int(int32(k)), types.Int(int32(100 + k))})
+	}
+	for k := 0; k < 3; k++ { // only w=100..102 exist in T3
+		t3 = append(t3, types.Tuple{types.Int(int32(100 + k)), types.Int(int32(1000 + k))})
+	}
+	mk("s1", "T1", types.NewSchema(intCol("k"), intCol("a")), t1)
+	mk("s2", "T2", types.NewSchema(intCol("k"), intCol("w")), t2)
+	mk("s3", "T3", types.NewSchema(intCol("w"), intCol("b")), t3)
+
+	res, err := cl.Execute(`SELECT T1.a, T3.b FROM T1, T2, T3
+WHERE T1.k = T2.k AND T2.w = T3.w ORDER BY a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k ∈ {0,1,2} survive (w 100..102); T1 has 4 rows per k → 12 rows.
+	if len(res.Rows) != 12 {
+		t.Fatalf("rows = %d: %v", len(res.Rows), res.Rows)
+	}
+	for _, row := range res.Rows {
+		a := int32(row[0].(Int))
+		b := int32(row[1].(Int))
+		if int32(1000+a%5) != b {
+			t.Fatalf("wrong join pairing: a=%d b=%d", a, b)
+		}
+	}
+}
+
+// TestTCPDeployment runs QPC and DAP over real TCP loopback — the
+// deployment path of cmd/mocha-qpc and cmd/mocha-dap.
+func TestTCPDeployment(t *testing.T) {
+	store, err := storage.OpenStore("", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sequoia.TestScale()
+	if err := sequoia.GenerateRasters(store, cfg); err != nil {
+		t.Fatal(err)
+	}
+
+	dapL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dapL.Close()
+	go dap.New(dap.Config{Site: "tcp1", Driver: &dap.StorageDriver{Store: store}}).Serve(dapL)
+
+	reg := BuiltinOperators()
+	cat := catalog.New(reg, catalog.NewRepositoryFromRegistry(reg))
+	cat.AddSite(&catalog.Site{Name: "tcp1", Addr: dapL.Addr().String()})
+	tbl, _ := store.Table("Rasters")
+	stats, err := ComputeTableStats(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.AddTable(&catalog.TableDef{
+		Name: "Rasters", URI: "mocha://tcp1/Rasters", Site: "tcp1",
+		Schema: tbl.Schema(), Stats: stats,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv := qpc.New(qpc.Config{
+		Cat:  cat,
+		Dial: func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) },
+	})
+	qpcL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qpcL.Close()
+	go srv.Serve(qpcL)
+
+	client, err := Dial(qpcL.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	rows, err := client.Query("SELECT time, AvgEnergy(image) FROM Rasters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := rows.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != cfg.RasterRows {
+		t.Fatalf("rows = %d, want %d", len(all), cfg.RasterRows)
+	}
+	st, err := rows.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CodeClassesShipped == 0 {
+		t.Error("no code shipped over TCP")
+	}
+}
+
+// TestConcurrentClients runs several wire clients against one cluster
+// simultaneously.
+func TestConcurrentClients(t *testing.T) {
+	cl, _ := testCluster(t, ClusterConfig{})
+	const clients = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			client, err := cl.Connect()
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			for q := 0; q < 3; q++ {
+				rows, err := client.Query(fmt.Sprintf(
+					"SELECT time, AvgEnergy(image) FROM Rasters WHERE band = %d", (id+q)%3))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := rows.All(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDAPConnectionDropMidStream kills the transport while results are
+// streaming; the QPC must surface an error, not hang or panic.
+func TestDAPConnectionDropMidStream(t *testing.T) {
+	store, err := storage.OpenStore("", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sequoia.GenerateRasters(store, sequoia.TestScale()); err != nil {
+		t.Fatal(err)
+	}
+	dapL, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dapL.Close()
+	go dap.New(dap.Config{Site: "dropper", Driver: &dap.StorageDriver{Store: store}}).Serve(dapL)
+
+	reg := BuiltinOperators()
+	cat := catalog.New(reg, catalog.NewRepositoryFromRegistry(reg))
+	cat.AddSite(&catalog.Site{Name: "dropper", Addr: dapL.Addr().String()})
+	tbl, _ := store.Table("Rasters")
+	stats, _ := ComputeTableStats(tbl)
+	cat.AddTable(&catalog.TableDef{
+		Name: "Rasters", URI: "x", Site: "dropper", Schema: tbl.Schema(), Stats: stats,
+	})
+
+	// The dial wrapper hands the QPC a connection that dies after 4 KB
+	// of reads.
+	srv := qpc.New(qpc.Config{
+		Cat: cat,
+		Dial: func(addr string) (net.Conn, error) {
+			nc, err := net.Dial("tcp", addr)
+			if err != nil {
+				return nil, err
+			}
+			return &droppingConn{Conn: nc, budget: 4096}, nil
+		},
+		Strategy: core.StrategyDataShip, // stream the big rasters
+	})
+	_, err = srv.Execute("SELECT time, image FROM Rasters")
+	if err == nil {
+		t.Fatal("query over a dropped connection succeeded")
+	}
+	if strings.Contains(err.Error(), "panic") {
+		t.Fatalf("unexpected: %v", err)
+	}
+}
+
+// droppingConn closes itself after reading budget bytes.
+type droppingConn struct {
+	net.Conn
+	mu     sync.Mutex
+	budget int
+}
+
+func (c *droppingConn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	if c.budget <= 0 {
+		c.mu.Unlock()
+		c.Conn.Close()
+		return 0, fmt.Errorf("connection dropped (injected)")
+	}
+	c.mu.Unlock()
+	n, err := c.Conn.Read(p)
+	c.mu.Lock()
+	c.budget -= n
+	c.mu.Unlock()
+	return n, err
+}
+
+// TestLimitPushdown verifies a LIMIT on a plain scan stops the DAP
+// early: far fewer source tuples are read than the table holds.
+func TestLimitPushdown(t *testing.T) {
+	cl, _ := testCluster(t, ClusterConfig{})
+	res, err := cl.Execute("SELECT name FROM Graphs LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	tbl, _ := cl.stores["site1"].Table("Graphs")
+	total, _ := tbl.Count()
+	// CVDA counts bytes of the extracted column (name) actually read at
+	// the source; a pushed limit must read only a small prefix.
+	stats, _ := ComputeTableStats(tbl)
+	nameBytes := int64(stats.RowCount) * int64(stats.AvgColBytes("name"))
+	if res.Stats.CVDA*10 > nameBytes {
+		t.Errorf("limit not pushed: accessed %d of %d bytes (table has %d rows)",
+			res.Stats.CVDA, nameBytes, total)
+	}
+	// LIMIT with ORDER BY must NOT be pushed (needs the full set).
+	res2, err := cl.Execute("SELECT name FROM Graphs ORDER BY name LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Rows) != 5 {
+		t.Fatalf("ordered rows = %d", len(res2.Rows))
+	}
+	if res2.Stats.CVDA < nameBytes/2 {
+		t.Errorf("ordered limit read only %d bytes; should scan everything", res2.Stats.CVDA)
+	}
+}
+
+// TestExplainOverWire runs EXPLAIN through the client protocol.
+func TestExplainOverWire(t *testing.T) {
+	cl, _ := testCluster(t, ClusterConfig{})
+	c, err := cl.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows, err := c.Query("EXPLAIN SELECT time, AvgEnergy(image) FROM Rasters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := rows.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text string
+	for _, row := range all {
+		text += string(row[0].(String)) + "\n"
+	}
+	for _, want := range []string{"fragment 0", "ship code: AvgEnergy", "CVRF="} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain missing %q:\n%s", want, text)
+		}
+	}
+	// EXPLAIN of a bad query errors cleanly.
+	if _, err := c.Query("EXPLAIN SELECT nope FROM Rasters"); err == nil {
+		t.Error("bad explain accepted")
+	}
+}
+
+// TestHeterogeneousSources joins a database-backed site against an XML
+// repository site and filters a flat-file site — three different data
+// server kinds under one SQL query surface.
+func TestHeterogeneousSources(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	schema := NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "region", Kind: KindRectangle},
+		Column{Name: "tile", Kind: KindRaster},
+	)
+	mkTuples := func(n, off int) []Tuple {
+		out := make([]Tuple, n)
+		for i := range out {
+			px := make([]byte, 64)
+			for j := range px {
+				px[j] = byte((off + i) * 3)
+			}
+			out[i] = Tuple{
+				Int(int32(i)),
+				Rectangle{XMin: float32(i), YMin: 0, XMax: float32(i + 1), YMax: 1},
+				NewRaster(8, 8, px),
+			}
+		}
+		return out
+	}
+
+	// Site A: embedded store.
+	storeA, _ := NewStore()
+	tblA, err := storeA.Create("ReadingsA", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tup := range mkTuples(8, 0) {
+		if _, err := tblA.Insert(tup); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.AddSite("dbsite", storeA); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RegisterTable("dbsite", "ReadingsA"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Site B: XML repository.
+	xmlDir := t.TempDir()
+	if err := dap.WriteXMLTable(xmlDir, "ReadingsB", schema, mkTuples(8, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddDriverSite("xmlsite", &dap.XMLDriver{Dir: xmlDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RegisterTable("xmlsite", "ReadingsB"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Site C: flat files.
+	fileDir := t.TempDir()
+	if err := dap.WriteFileTable(fileDir, "ReadingsC", schema, mkTuples(8, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddDriverSite("filesite", &dap.FileDriver{Dir: fileDir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RegisterTable("filesite", "ReadingsC"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shipped operator against the file site.
+	res, err := cl.Execute("SELECT id, AvgEnergy(tile) FROM ReadingsC WHERE AvgEnergy(tile) > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("file site rows = %d", len(res.Rows))
+	}
+
+	// Distributed join: database site ⋈ XML site on region.
+	res, err = cl.Execute(`SELECT A.id, Diff(AvgEnergy(A.tile), AvgEnergy(B.tile))
+FROM ReadingsA A, ReadingsB B WHERE A.region = B.region`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // same region layout in both tables
+		t.Fatalf("join rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// tiles differ by (10*3) per pixel → diff = 30.
+		if d := float64(row[1].(Double)); d != 30 {
+			t.Fatalf("diff = %v", d)
+		}
+	}
+}
+
+// TestDescribeOverWire fetches catalog RDF descriptions through the
+// client protocol.
+func TestDescribeOverWire(t *testing.T) {
+	cl, _ := testCluster(t, ClusterConfig{})
+	c, err := cl.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for name, want := range map[string]string{
+		"Rasters":   `kind>table<`,
+		"AvgEnergy": `kind>operator<`,
+	} {
+		rows, err := c.Query("DESCRIBE " + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all, err := rows.All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var text string
+		for _, row := range all {
+			text += string(row[0].(String)) + "\n"
+		}
+		if !strings.Contains(text, "mocha://") || !strings.Contains(text, want[len("kind>"):len(want)-1]) {
+			t.Errorf("DESCRIBE %s:\n%s", name, text)
+		}
+	}
+	if _, err := c.Query("DESCRIBE NoSuchThing"); err == nil {
+		t.Error("DESCRIBE of unknown resource accepted")
+	}
+}
+
+// TestManySites registers twenty data sites and queries across them,
+// the direction of the paper's "hundreds of data sources" scaling
+// argument: adding a site is one catalog entry, never a code install.
+func TestManySites(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const sites = 20
+	schema := NewSchema(
+		Column{Name: "id", Kind: KindInt},
+		Column{Name: "tile", Kind: KindRaster},
+	)
+	for s := 0; s < sites; s++ {
+		store, _ := NewStore()
+		tbl, err := store.Create(fmt.Sprintf("Readings%d", s), schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			px := make([]byte, 16)
+			for j := range px {
+				px[j] = byte(s * 10)
+			}
+			if _, err := tbl.Insert(Tuple{Int(int32(i)), NewRaster(4, 4, px)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		site := fmt.Sprintf("state%02d", s)
+		if err := cl.AddSite(site, store); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.RegisterTable(site, fmt.Sprintf("Readings%d", s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Query every site; the operator ships to each on first use.
+	for s := 0; s < sites; s++ {
+		res, err := cl.Execute(fmt.Sprintf("SELECT id, AvgEnergy(tile) FROM Readings%d", s))
+		if err != nil {
+			t.Fatalf("site %d: %v", s, err)
+		}
+		if len(res.Rows) != 4 {
+			t.Fatalf("site %d rows = %d", s, len(res.Rows))
+		}
+		if got := float64(res.Rows[0][1].(Double)); got != float64(s*10) {
+			t.Fatalf("site %d avg = %g", s, got)
+		}
+		if s > 0 && res.Stats.CodeClassesShipped != 1 {
+			// Every new site needs its own copy exactly once.
+			t.Fatalf("site %d shipped %d classes", s, res.Stats.CodeClassesShipped)
+		}
+	}
+}
+
+// TestTableDiscovery registers a file site's tables via the DAP's
+// procedural interface — zero manual catalog entries.
+func TestTableDiscovery(t *testing.T) {
+	cl, err := NewCluster(ClusterConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	dir := t.TempDir()
+	schema := NewSchema(Column{Name: "id", Kind: KindInt}, Column{Name: "tile", Kind: KindRaster})
+	for _, name := range []string{"Alpha", "Beta"} {
+		px := make([]byte, 16)
+		tuples := []Tuple{{Int(1), NewRaster(4, 4, px)}}
+		if err := dap.WriteFileTable(dir, name, schema, tuples); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cl.AddDriverSite("archive", &dap.FileDriver{Dir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	added, err := cl.DiscoverTables("archive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 2 || added[0] != "Alpha" || added[1] != "Beta" {
+		t.Fatalf("discovered %v", added)
+	}
+	// Idempotent: nothing new the second time.
+	added, err = cl.DiscoverTables("archive")
+	if err != nil || len(added) != 0 {
+		t.Fatalf("rediscovery: %v %v", added, err)
+	}
+	// The discovered tables are queryable immediately.
+	res, err := cl.Execute("SELECT id, AvgEnergy(tile) FROM Beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+
+	// SHOW TABLES through the wire client.
+	c, err := cl.Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rows, err := c.Query("SHOW TABLES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := rows.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("SHOW TABLES rows = %v", all)
+	}
+}
