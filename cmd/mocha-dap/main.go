@@ -12,6 +12,7 @@ import (
 	"log"
 	"net"
 	"strings"
+	"time"
 
 	"mocha/internal/dap"
 	"mocha/internal/storage"
@@ -22,6 +23,8 @@ func main() {
 	data := flag.String("data", "", "storage directory (created by mocha-datagen); empty = in-memory")
 	listen := flag.String("listen", ":7701", "TCP listen address")
 	noCache := flag.Bool("no-code-cache", false, "disable the class cache (re-ship code every query)")
+	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close a session idle this long between requests (0 = never)")
+	frameTimeout := flag.Duration("frame-timeout", 30*time.Second, "per-frame write bound; a QPC that stops draining fails the session (0 = unbounded)")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
 	flag.Parse()
 
@@ -44,6 +47,8 @@ func main() {
 		Site:             *site,
 		Driver:           &dap.StorageDriver{Store: store},
 		DisableCodeCache: *noCache,
+		IdleTimeout:      *idleTimeout,
+		FrameTimeout:     *frameTimeout,
 		Logf:             logf,
 	})
 	l, err := net.Listen("tcp", *listen)

@@ -8,10 +8,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"time"
 
 	"mocha/internal/catalog"
 	"mocha/internal/core"
@@ -25,6 +27,11 @@ func main() {
 	listen := flag.String("listen", ":7700", "TCP listen address for clients")
 	strategy := flag.String("strategy", "auto", "operator placement: auto, code-ship or data-ship")
 	bandwidth := flag.Float64("bandwidth", 0, "model DAP links at this bandwidth in bits/sec (0 = unshaped)")
+	queryTimeout := flag.Duration("query-timeout", 0, "abort a query after this long (0 = unbounded)")
+	frameTimeout := flag.Duration("frame-timeout", 30*time.Second, "per-frame DAP I/O bound; a stalled site fails instead of hanging (0 = unbounded)")
+	retryAttempts := flag.Int("retry-attempts", 4, "attempts per idempotent DAP operation (1 = no retries)")
+	retryBase := flag.Duration("retry-base-delay", 50*time.Millisecond, "first retry backoff delay (doubles per attempt, jittered)")
+	retryBudget := flag.Int("retry-budget", 8, "total retries allowed across one query")
 	quiet := flag.Bool("quiet", false, "suppress per-query logging")
 	flag.Parse()
 
@@ -56,17 +63,25 @@ func main() {
 	if *bandwidth > 0 {
 		shaper = &netsim.Shaper{BitsPerSec: *bandwidth}
 	}
+	var dialer net.Dialer
 	srv := qpc.New(qpc.Config{
 		Cat: cat,
-		Dial: func(addr string) (net.Conn, error) {
-			nc, err := net.Dial("tcp", addr)
+		DialContext: func(ctx context.Context, addr string) (net.Conn, error) {
+			nc, err := dialer.DialContext(ctx, "tcp", addr)
 			if err != nil {
 				return nil, err
 			}
 			return netsim.Shape(nc, shaper), nil
 		},
-		Strategy: strat,
-		Logf:     logf,
+		Strategy:     strat,
+		QueryTimeout: *queryTimeout,
+		FrameTimeout: *frameTimeout,
+		Retry: qpc.RetryPolicy{
+			MaxAttempts: *retryAttempts,
+			BaseDelay:   *retryBase,
+			Budget:      *retryBudget,
+		},
+		Logf: logf,
 	})
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -7,10 +7,12 @@
 package dap
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"mocha/internal/core"
 	"mocha/internal/ops"
@@ -40,6 +42,14 @@ type Config struct {
 	// DisableCodeCache forces classes to be re-shipped on every query
 	// (the ablation baseline for the section 3.6 caching extension).
 	DisableCodeCache bool
+	// IdleTimeout bounds the wait for the next request frame on an open
+	// session: a QPC that vanished without MsgClose stops leaking a
+	// goroutine and a connection once it expires. Zero disables.
+	IdleTimeout time.Duration
+	// FrameTimeout bounds each frame write while streaming results, so a
+	// stalled or dead coordinator fails the session instead of hanging
+	// the DAP mid-stream. Zero disables.
+	FrameTimeout time.Duration
 	// Logf, when set, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -67,7 +77,7 @@ func (s *Server) Serve(l net.Listener) error {
 	for {
 		conn, err := l.Accept()
 		if err != nil {
-			if strings.Contains(err.Error(), "closed") {
+			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err

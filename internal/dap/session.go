@@ -20,12 +20,21 @@ import (
 func (s *Server) HandleConn(nc net.Conn) error {
 	conn := wire.NewConn(nc)
 	defer conn.Close()
+	// Reads are bounded by the idle timeout (a vanished QPC must not pin
+	// this session forever); writes by the frame timeout (a stalled QPC
+	// must not hang the DAP mid-stream).
+	conn.SetFrameTimeout(s.cfg.IdleTimeout, s.cfg.FrameTimeout)
 	sess := &session{srv: s, conn: conn}
 	for {
 		t, payload, err := conn.Recv()
 		if err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				return fmt.Errorf("dap %s: session idle past %v, closing: %w",
+					s.cfg.Site, s.cfg.IdleTimeout, err)
 			}
 			return err
 		}

@@ -1,0 +1,308 @@
+package netsim
+
+// Fault injection. The paper's prototype abandoned Java RMI for a
+// hand-rolled socket protocol because middleware over slow WAN links
+// lives or dies on its communications layer (section 3.9.2). This file
+// provides the other half of that argument: a way to make links
+// misbehave on demand — refuse dials, drop or stall mid-stream, lose one
+// direction, spike latency — so the QPC↔DAP robustness machinery can be
+// exercised deterministically in tests, over both the in-memory network
+// and real TCP (wrap the dialed conn with Fault).
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// ErrInjectedDrop is returned from I/O on a connection killed by a
+// FaultPlan byte threshold.
+var ErrInjectedDrop = fmt.Errorf("netsim: connection dropped (injected fault): %w", syscall.ECONNRESET)
+
+// ErrDialRefused is returned by Dial while a FaultPlan still refuses
+// dials. It unwraps to ECONNREFUSED, the error a real dead site yields.
+var ErrDialRefused = fmt.Errorf("netsim: dial refused (injected fault): %w", syscall.ECONNREFUSED)
+
+// FaultPlan describes the misbehaviour of one link. Fields compose; the
+// zero value injects nothing. Counters (dials refused, bytes carried,
+// connections issued) live in the plan itself, so one plan instance
+// models the life of a link across redials — e.g. RefuseDials=2 is a
+// flaky link that recovers on the third attempt.
+//
+// Byte thresholds count payload bytes carried through faulted
+// connections in either direction, summed across all connections of the
+// plan.
+type FaultPlan struct {
+	// RefuseDials makes the first N Dial attempts fail with
+	// ErrDialRefused (small N: flaky-then-recover; huge N: a dead site).
+	RefuseDials int
+
+	// FailFirstConns kills the first N established connections at their
+	// first I/O operation with ErrInjectedDrop: the dial succeeds but the
+	// session dies immediately (a crashing peer / resetting middlebox).
+	FailFirstConns int
+
+	// DropAfterBytes tears the link down once it has carried this many
+	// bytes: the transfer that crosses the threshold still completes,
+	// then the underlying connection is closed (the peer observes EOF)
+	// and subsequent I/O fails with ErrInjectedDrop. 0 disables.
+	DropAfterBytes int64
+
+	// Stall freezes the link once it has carried StallAfterBytes bytes:
+	// reads and writes block until the connection is closed or its
+	// deadline expires — a hung peer that never answers. A zero
+	// StallAfterBytes with Stall set stalls from the first operation.
+	Stall           bool
+	StallAfterBytes int64
+
+	// PartitionSends discards everything written by the faulted side
+	// (writes report success, the peer never sees the bytes) once
+	// PartitionAfterBytes bytes have been carried — a one-way partition:
+	// the reverse direction keeps working. Applies to the dialing side
+	// when installed via Network.SetFault.
+	PartitionSends      bool
+	PartitionAfterBytes int64
+
+	// ExtraLatency is added to writes (a latency spike). When SpikeEvery
+	// is > 1 only every SpikeEvery-th write pays it; otherwise every
+	// write does.
+	ExtraLatency time.Duration
+	SpikeEvery   int
+
+	mu     sync.Mutex
+	dials  int
+	conns  int
+	bytes  int64
+	writes int64
+}
+
+// linkAction is what the plan tells a connection to do with one I/O op.
+type linkAction int
+
+const (
+	actOK linkAction = iota
+	actDrop
+	actStall
+)
+
+// refuseDial consumes one refused-dial token, reporting whether this
+// dial attempt must fail.
+func (p *FaultPlan) refuseDial() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.dials < p.RefuseDials {
+		p.dials++
+		return true
+	}
+	return false
+}
+
+// admitConn registers a new connection, reporting whether it is doomed
+// to die at first I/O.
+func (p *FaultPlan) admitConn() (doomed bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.conns++
+	return p.conns <= p.FailFirstConns
+}
+
+// state returns the link's current fault state, evaluated before the
+// pending operation: an op issued after a threshold was crossed is the
+// one that observes the fault, so the bytes that crossed it still reach
+// the peer (a fault strikes between transfers, not inside one).
+func (p *FaultPlan) state() linkAction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.DropAfterBytes > 0 && p.bytes >= p.DropAfterBytes {
+		return actDrop
+	}
+	if p.Stall && p.bytes >= p.StallAfterBytes {
+		return actStall
+	}
+	return actOK
+}
+
+// discardWrite reports whether the pending write must be swallowed by
+// the one-way partition.
+func (p *FaultPlan) discardWrite() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.PartitionSends && p.bytes >= p.PartitionAfterBytes
+}
+
+// charge accounts n carried bytes, reporting whether this operation
+// just crossed the drop threshold (the caller then tears the link down
+// so the peer observes the death immediately).
+func (p *FaultPlan) charge(n int, isWrite bool) (dropNow bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if isWrite {
+		p.writes++
+	}
+	before := p.bytes
+	p.bytes += int64(n)
+	return p.DropAfterBytes > 0 && before < p.DropAfterBytes && p.bytes >= p.DropAfterBytes
+}
+
+// spikeWait returns the extra latency the current write must pay.
+func (p *FaultPlan) spikeWait() time.Duration {
+	if p.ExtraLatency <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.SpikeEvery > 1 && p.writes%int64(p.SpikeEvery) != 0 {
+		return 0
+	}
+	return p.ExtraLatency
+}
+
+// Fault wraps a connection so the plan's faults apply to its I/O. A nil
+// plan returns the connection unchanged. Like Shape, it works over any
+// net.Conn — in-memory pipes or TCP sockets.
+func Fault(c net.Conn, p *FaultPlan) net.Conn {
+	if p == nil {
+		return c
+	}
+	fc := &faultConn{Conn: c, plan: p, closed: make(chan struct{})}
+	fc.doomed = p.admitConn()
+	return fc
+}
+
+// faultConn applies a FaultPlan to one connection. It tracks deadlines
+// itself so a stalled operation still honours SetDeadline (the wrapped
+// conn never sees the stalled op).
+type faultConn struct {
+	net.Conn
+	plan   *FaultPlan
+	doomed bool
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	dlMu    sync.Mutex
+	readDL  time.Time
+	writeDL time.Time
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.precheck(); err != nil {
+		return 0, err
+	}
+	switch c.plan.state() {
+	case actDrop:
+		c.tearDown()
+		return 0, ErrInjectedDrop
+	case actStall:
+		return 0, c.stall(c.readDeadline)
+	}
+	n, err := c.Conn.Read(p)
+	if c.plan.charge(n, false) {
+		c.tearDown()
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.precheck(); err != nil {
+		return 0, err
+	}
+	switch c.plan.state() {
+	case actDrop:
+		c.tearDown()
+		return 0, ErrInjectedDrop
+	case actStall:
+		return 0, c.stall(c.writeDeadline)
+	}
+	if wait := c.plan.spikeWait(); wait > 0 {
+		time.Sleep(wait)
+	}
+	if c.plan.discardWrite() {
+		c.plan.charge(len(p), true)
+		return len(p), nil
+	}
+	n, err := c.Conn.Write(p)
+	if c.plan.charge(n, true) {
+		c.tearDown()
+	}
+	return n, err
+}
+
+// precheck handles the doomed-connection fault before any I/O happens.
+func (c *faultConn) precheck() error {
+	if !c.doomed {
+		return nil
+	}
+	c.tearDown()
+	return ErrInjectedDrop
+}
+
+// stall blocks until the connection is closed or its deadline passes —
+// the signature behaviour of a hung peer. The deadline is re-read each
+// tick because it may be installed while the operation is already
+// blocked (e.g. a query context cancelling mid-stall).
+func (c *faultConn) stall(deadlineOf func() time.Time) error {
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return net.ErrClosed
+		case <-ticker.C:
+			if dl := deadlineOf(); !dl.IsZero() && !time.Now().Before(dl) {
+				return os.ErrDeadlineExceeded
+			}
+		}
+	}
+}
+
+func (c *faultConn) tearDown() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.Conn.Close()
+	})
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *faultConn) SetDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDL, c.writeDL = t, t
+	c.dlMu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *faultConn) SetReadDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.readDL = t
+	c.dlMu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *faultConn) SetWriteDeadline(t time.Time) error {
+	c.dlMu.Lock()
+	c.writeDL = t
+	c.dlMu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}
+
+func (c *faultConn) readDeadline() time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	return c.readDL
+}
+
+func (c *faultConn) writeDeadline() time.Time {
+	c.dlMu.Lock()
+	defer c.dlMu.Unlock()
+	return c.writeDL
+}

@@ -1,0 +1,196 @@
+package netsim
+
+import (
+	"errors"
+	"io"
+	"net"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// pipePair returns a fault-wrapped client conn talking to a raw server
+// conn.
+func pipePair(t *testing.T, p *FaultPlan) (client, server net.Conn) {
+	t.Helper()
+	c, s := net.Pipe()
+	client = Fault(c, p)
+	t.Cleanup(func() { client.Close(); s.Close() })
+	return client, s
+}
+
+func TestRefuseDialsThenRecover(t *testing.T) {
+	n := NewNetwork(nil)
+	l, err := n.Listen("site")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	n.SetFault("site", &FaultPlan{RefuseDials: 2})
+	for i := 0; i < 2; i++ {
+		_, err := n.Dial("site")
+		if !errors.Is(err, syscall.ECONNREFUSED) {
+			t.Fatalf("dial %d: want ECONNREFUSED, got %v", i, err)
+		}
+	}
+	c, err := n.Dial("site")
+	if err != nil {
+		t.Fatalf("third dial should recover: %v", err)
+	}
+	c.Close()
+}
+
+func TestDialDeadSiteIsRefused(t *testing.T) {
+	n := NewNetwork(nil)
+	if _, err := n.Dial("ghost"); !errors.Is(err, syscall.ECONNREFUSED) {
+		t.Fatalf("want ECONNREFUSED for missing listener, got %v", err)
+	}
+}
+
+func TestFailFirstConns(t *testing.T) {
+	plan := &FaultPlan{FailFirstConns: 1}
+	c1, _ := pipePair(t, plan)
+	if _, err := c1.Write([]byte("x")); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("first conn should die at first I/O, got %v", err)
+	}
+	c2, s2 := pipePair(t, plan)
+	go io.Copy(io.Discard, s2)
+	if _, err := c2.Write([]byte("x")); err != nil {
+		t.Fatalf("second conn should work: %v", err)
+	}
+}
+
+func TestDropAfterBytes(t *testing.T) {
+	plan := &FaultPlan{DropAfterBytes: 10}
+	c, s := pipePair(t, plan)
+	go io.Copy(io.Discard, s)
+	if _, err := c.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("below threshold: %v", err)
+	}
+	if _, err := c.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("crossing write still completes: %v", err)
+	}
+	if _, err := c.Write(make([]byte, 1)); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("post-drop write should fail, got %v", err)
+	}
+	// The peer observes a dead connection, not a hang.
+	s.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := s.Read(make([]byte, 1)); err == nil {
+		t.Fatal("peer read should fail after drop")
+	}
+}
+
+func TestStallHonoursDeadline(t *testing.T) {
+	plan := &FaultPlan{Stall: true, StallAfterBytes: 4}
+	c, s := pipePair(t, plan)
+	go s.Write(make([]byte, 64))
+	buf := make([]byte, 8)
+	if _, err := c.Read(buf); err != nil {
+		t.Fatalf("read crossing the threshold: %v", err)
+	}
+	c.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(buf)
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("stalled read should time out, got %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatalf("stalled read took %v, deadline ignored", time.Since(start))
+	}
+}
+
+func TestStallWakesOnLateDeadline(t *testing.T) {
+	// A deadline installed while the operation is already stalled (how a
+	// cancelled query context aborts in-flight I/O) must still wake it.
+	plan := &FaultPlan{Stall: true}
+	c, _ := pipePair(t, plan)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.SetReadDeadline(time.Now())
+	select {
+	case err := <-errc:
+		if !errors.Is(err, os.ErrDeadlineExceeded) {
+			t.Fatalf("want deadline error, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read ignored a late deadline")
+	}
+}
+
+func TestStallWakesOnClose(t *testing.T) {
+	plan := &FaultPlan{Stall: true}
+	c, _ := pipePair(t, plan)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 1))
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("want ErrClosed, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read ignored Close")
+	}
+}
+
+func TestPartitionSendsDiscards(t *testing.T) {
+	plan := &FaultPlan{PartitionSends: true}
+	c, s := pipePair(t, plan)
+	if n, err := c.Write([]byte("vanishes")); err != nil || n != 8 {
+		t.Fatalf("partitioned write should appear to succeed, got n=%d err=%v", n, err)
+	}
+	s.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, err := s.Read(make([]byte, 8)); !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("peer should never see partitioned bytes, got %v", err)
+	}
+	// Reverse direction still works.
+	go s.Write([]byte("ok"))
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(c, buf); err != nil || string(buf) != "ok" {
+		t.Fatalf("reverse direction broken: %q %v", buf, err)
+	}
+}
+
+func TestLatencySpike(t *testing.T) {
+	plan := &FaultPlan{ExtraLatency: 30 * time.Millisecond}
+	c, s := pipePair(t, plan)
+	go io.Copy(io.Discard, s)
+	start := time.Now()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("write returned in %v, spike not applied", d)
+	}
+}
+
+func TestListenerCloseIsErrClosed(t *testing.T) {
+	n := NewNetwork(nil)
+	l, err := n.Listen("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Accept(); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("want net.ErrClosed, got %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"syscall"
 	"time"
 )
 
@@ -86,12 +87,30 @@ type Network struct {
 
 	mu        sync.Mutex
 	listeners map[string]*memListener
+	faults    map[string]*FaultPlan
 }
 
 // NewNetwork returns a network whose links are shaped by s (nil for
 // unshaped links).
 func NewNetwork(s *Shaper) *Network {
-	return &Network{shaper: s, listeners: make(map[string]*memListener)}
+	return &Network{
+		shaper:    s,
+		listeners: make(map[string]*memListener),
+		faults:    make(map[string]*FaultPlan),
+	}
+}
+
+// SetFault installs a fault plan on the link to addr: subsequent dials
+// consult it and the dialing side of each resulting connection is
+// wrapped with Fault. A nil plan clears the link's faults.
+func (n *Network) SetFault(addr string, p *FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p == nil {
+		delete(n.faults, addr)
+		return
+	}
+	n.faults[addr] = p
 }
 
 // Listen binds a named site address.
@@ -107,20 +126,27 @@ func (n *Network) Listen(addr string) (net.Listener, error) {
 }
 
 // Dial connects to a named site. Both directions of the resulting
-// connection are shaped.
+// connection are shaped; an installed FaultPlan may refuse the dial or
+// fault the dialing side of the connection.
 func (n *Network) Dial(addr string) (net.Conn, error) {
 	n.mu.Lock()
 	l, ok := n.listeners[addr]
+	fault := n.faults[addr]
 	n.mu.Unlock()
+	if fault.refuseDial() {
+		return nil, fmt.Errorf("netsim: dial %q: %w", addr, ErrDialRefused)
+	}
 	if !ok {
-		return nil, fmt.Errorf("netsim: no listener at %q", addr)
+		// A missing listener is what a dead site looks like: surface the
+		// same refused-connection error a real network would.
+		return nil, fmt.Errorf("netsim: no listener at %q: %w", addr, syscall.ECONNREFUSED)
 	}
 	client, server := net.Pipe()
 	select {
 	case l.accept <- Shape(server, n.shaper):
-		return Shape(client, n.shaper), nil
+		return Fault(Shape(client, n.shaper), fault), nil
 	case <-l.closed:
-		return nil, fmt.Errorf("netsim: %q is closed", addr)
+		return nil, fmt.Errorf("netsim: dial %q: %w", addr, net.ErrClosed)
 	}
 }
 
@@ -138,7 +164,7 @@ func (l *memListener) Accept() (net.Conn, error) {
 	case c := <-l.accept:
 		return c, nil
 	case <-l.closed:
-		return nil, fmt.Errorf("netsim: listener %q closed", l.addr)
+		return nil, fmt.Errorf("netsim: listener %q: %w", l.addr, net.ErrClosed)
 	}
 }
 

@@ -1,7 +1,9 @@
 package qpc
 
 import (
+	"context"
 	"fmt"
+	"net"
 	"time"
 
 	"mocha/internal/core"
@@ -14,38 +16,58 @@ import (
 type dapSession struct {
 	site string
 	conn *wire.Conn
+	// release detaches the connection from the query context.
+	release func()
 }
 
-// openSession dials a DAP and completes the HELLO handshake.
-func (s *Server) openSession(site string) (*dapSession, error) {
+// dial opens a transport connection to a DAP address, preferring the
+// context-aware dialer when configured.
+func (s *Server) dial(ctx context.Context, addr string) (net.Conn, error) {
+	if s.cfg.DialContext != nil {
+		return s.cfg.DialContext(ctx, addr)
+	}
+	return s.cfg.Dial(addr)
+}
+
+// openSession dials a DAP and completes the HELLO handshake. The
+// session's frame I/O is bounded by the configured FrameTimeout and by
+// ctx's deadline; cancelling ctx aborts any in-flight exchange.
+func (s *Server) openSession(ctx context.Context, site string) (*dapSession, error) {
 	def, ok := s.cfg.Cat.SiteByName(site)
 	if !ok {
 		return nil, fmt.Errorf("qpc: unknown site %q", site)
 	}
-	nc, err := s.cfg.Dial(def.Addr)
+	nc, err := s.dial(ctx, def.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("qpc: dial %s: %w", def.Addr, err)
 	}
 	conn := wire.NewConn(nc)
+	conn.SetFrameTimeout(s.cfg.FrameTimeout, s.cfg.FrameTimeout)
+	ds := &dapSession{site: site, conn: conn, release: conn.Bind(ctx)}
 	hello, err := wire.EncodeXML(&wire.Hello{Role: "qpc", Site: "qpc"})
 	if err != nil {
-		conn.Close()
+		ds.close()
 		return nil, err
 	}
 	if err := conn.Send(wire.MsgHello, hello); err != nil {
-		conn.Close()
-		return nil, err
+		ds.close()
+		return nil, fmt.Errorf("qpc: hello to %s: %w", site, err)
 	}
 	if _, err := conn.Expect(wire.MsgHelloAck); err != nil {
-		conn.Close()
-		return nil, err
+		ds.close()
+		return nil, fmt.Errorf("qpc: hello to %s: %w", site, err)
 	}
-	return &dapSession{site: site, conn: conn}, nil
+	return ds, nil
 }
 
 func (ds *dapSession) close() {
+	// Best-effort courtesy CLOSE; the write is bounded by the session's
+	// frame timeout so a dead peer cannot stall cleanup.
 	_ = ds.conn.Send(wire.MsgClose, nil)
 	ds.conn.Close()
+	if ds.release != nil {
+		ds.release()
+	}
 }
 
 // deployCode runs the code-deployment phase (section 3.6) for a
@@ -134,9 +156,11 @@ func (ds *dapSession) activate(out types.Schema) (*wire.BatchReader, error) {
 }
 
 // drainStats decodes the DAP's EOS stats report and folds it into the
-// query stats. countVolumes controls whether the fragment's byte counts
-// enter CVDA/CVDT (the semi-join key phase contributes time but its
-// accesses are bookkeeping, not the experiment's logical volumes).
+// query stats, consuming the payload so each fragment's measurements
+// merge exactly once (the error path re-walks all readers to salvage
+// partial stats). countVolumes controls whether the fragment's byte
+// counts enter CVDA/CVDT (the semi-join key phase contributes time but
+// its accesses are bookkeeping, not the experiment's logical volumes).
 func drainStats(r *wire.BatchReader, stats *QueryStats, countVolumes bool) error {
 	if r.EOSPayload == nil {
 		return fmt.Errorf("qpc: fragment stream ended without stats")
@@ -145,6 +169,7 @@ func drainStats(r *wire.BatchReader, stats *QueryStats, countVolumes bool) error
 	if err := wire.DecodeXML(r.EOSPayload, &es); err != nil {
 		return err
 	}
+	r.EOSPayload = nil
 	stats.DBMS += float64(es.DBMicros) / 1000
 	stats.CPUMS += float64(es.CPUMicros) / 1000
 	stats.NetMS += float64(es.NetMicros) / 1000

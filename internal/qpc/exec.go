@@ -1,6 +1,7 @@
 package qpc
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,18 +26,37 @@ type planExec struct {
 // errLimitReached aborts the pipeline once LIMIT rows were produced.
 var errLimitReached = fmt.Errorf("qpc: limit reached")
 
-func (e *planExec) run(emit func(types.Tuple) error) error {
+func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err error) {
+	// Every session of this query hangs off execCtx: when one fragment
+	// fails, cancelling it immediately unblocks any frame I/O on the
+	// surviving sessions so cleanup cannot hang on a sick link.
+	execCtx, cancel := context.WithCancel(ctx)
 	defer func() {
+		if err != nil {
+			cancel()
+			// Salvage the measurements of fragments that did finish, so a
+			// partially executed query still reports what it moved.
+			for _, r := range e.readers {
+				if r != nil && r.EOSPayload != nil {
+					_ = drainStats(r, e.stats, true)
+				}
+			}
+		}
 		for _, ds := range e.sessions {
 			if ds != nil {
 				ds.close()
 			}
 		}
+		cancel()
 	}()
 
 	// Phase 1: open sessions, validate code caches and ship classes to
-	// all sites concurrently (all Misc/Deploy time).
-	err := timedPhase(e.stats, func() error {
+	// all sites concurrently (all Misc/Deploy time). Dial, HELLO and the
+	// code exchange are idempotent, so transport failures here retry on
+	// a fresh connection under the policy's shared per-query budget.
+	policy := e.srv.cfg.Retry
+	budget := newRetryBudget(policy)
+	err = timedPhase(e.stats, func() error {
 		e.sessions = make([]*dapSession, len(e.plan.Fragments))
 		partials := make([]QueryStats, len(e.plan.Fragments))
 		errs := make([]error, len(e.plan.Fragments))
@@ -46,13 +66,19 @@ func (e *planExec) run(emit func(types.Tuple) error) error {
 			go func(i int) {
 				defer wg.Done()
 				frag := e.plan.Fragments[i]
-				ds, err := e.srv.openSession(frag.Site)
-				if err != nil {
-					errs[i] = err
-					return
-				}
-				e.sessions[i] = ds
-				errs[i] = e.srv.deployCode(ds, frag.Code, &partials[i])
+				what := fmt.Sprintf("qpc: session setup at %s", frag.Site)
+				errs[i] = retryTransient(execCtx, policy, budget, what, func() error {
+					ds, err := e.srv.openSession(execCtx, frag.Site)
+					if err != nil {
+						return err
+					}
+					if err := e.srv.deployCode(ds, frag.Code, &partials[i]); err != nil {
+						ds.close()
+						return err
+					}
+					e.sessions[i] = ds
+					return nil
+				})
 			}(i)
 		}
 		wg.Wait()
@@ -133,7 +159,7 @@ func (e *planExec) run(emit func(types.Tuple) error) error {
 	}
 
 	// Phase 4: QPC pipeline.
-	if err := e.pipeline(emit); err != nil && err != errLimitReached {
+	if err := e.pipeline(execCtx, emit); err != nil && err != errLimitReached {
 		return err
 	}
 
@@ -160,7 +186,7 @@ func (e *planExec) run(emit func(types.Tuple) error) error {
 }
 
 // pipeline consumes the remote streams and applies QPC-side operators.
-func (e *planExec) pipeline(emit func(types.Tuple) error) error {
+func (e *planExec) pipeline(ctx context.Context, emit func(types.Tuple) error) error {
 	binder := core.NativeBinder{Reg: e.srv.cfg.Cat.Ops()}
 	memo := core.NewMemo()
 
@@ -335,7 +361,15 @@ func (e *planExec) pipeline(emit func(types.Tuple) error) error {
 
 	// Probe pipeline: fragment 0's stream joined through each hash table.
 	left := e.readers[0]
-	for {
+	for probed := 0; ; probed++ {
+		// The probe loop is pure QPC-side compute between frames; check
+		// the deadline periodically so a cancelled query stops promptly
+		// even when the remote streams keep delivering.
+		if probed%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		tup, err := left.Next()
 		if err != nil {
 			return err

@@ -1,14 +1,23 @@
 package qpc
 
 import (
+	"context"
+
 	"mocha/internal/wire"
 )
 
 // ProcCall issues a procedural request (section 3.2) to a site's DAP —
 // operations outside the query abstraction, such as enumerating the
-// tables a file server offers.
+// tables a file server offers. The configured QueryTimeout bounds the
+// whole call.
 func (s *Server) ProcCall(site, op string, args ...string) ([]string, error) {
-	ds, err := s.openSession(site)
+	ctx := context.Background()
+	if d := s.cfg.QueryTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	ds, err := s.openSession(ctx, site)
 	if err != nil {
 		return nil, err
 	}

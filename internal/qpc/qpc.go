@@ -6,6 +6,8 @@
 package qpc
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
 	"sort"
@@ -23,10 +25,26 @@ type Config struct {
 	Cat *catalog.Catalog
 	// Dial connects to a DAP address (netsim or TCP).
 	Dial func(addr string) (net.Conn, error)
+	// DialContext, when set, is used instead of Dial and observes the
+	// query context while the connection is established.
+	DialContext func(ctx context.Context, addr string) (net.Conn, error)
 	// Strategy is the operator-placement policy.
 	Strategy core.Strategy
 	// Model is the optimizer's cost model; zero value takes defaults.
 	Model core.CostModel
+	// QueryTimeout bounds each query execution end to end; once it
+	// expires every session aborts and the query fails with a
+	// descriptive error. Zero leaves queries unbounded.
+	QueryTimeout time.Duration
+	// FrameTimeout bounds each frame read/write on QPC↔DAP connections,
+	// so a stalled or dead site fails the query instead of hanging it.
+	// It must exceed the longest legitimate gap between a DAP's result
+	// batches. Zero leaves frame I/O unbounded.
+	FrameTimeout time.Duration
+	// Retry configures retry-with-backoff for the idempotent phases
+	// (dial, HELLO, CODE_CHECK/DEPLOY_CODE). The zero value takes
+	// DefaultRetryPolicy; MaxAttempts=1 disables retries.
+	Retry RetryPolicy
 	// Logf, when set, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -42,6 +60,7 @@ func New(cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	opt := core.NewOptimizer(cfg.Cat)
 	opt.Strategy = cfg.Strategy
 	if cfg.Model != (core.CostModel{}) {
@@ -129,12 +148,19 @@ func (s *Server) Prepare(sql string) (*Query, error) {
 
 // Execute prepares and runs a query, materializing all rows.
 func (s *Server) Execute(sql string) (*Result, error) {
+	return s.ExecuteContext(context.Background(), sql)
+}
+
+// ExecuteContext prepares and runs a query under ctx, materializing all
+// rows. The context's deadline and cancellation propagate to every DAP
+// session of the query.
+func (s *Server) ExecuteContext(ctx context.Context, sql string) (*Result, error) {
 	q, err := s.Prepare(sql)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Schema: q.Schema, Plan: q.Plan}
-	stats, err := q.Run(func(t types.Tuple) error {
+	stats, err := q.RunContext(ctx, func(t types.Tuple) error {
 		res.Rows = append(res.Rows, t)
 		return nil
 	})
@@ -157,10 +183,26 @@ func (s *Server) Explain(sql string) (string, error) {
 // Run executes the prepared query, calling emit for each result row in
 // order.
 func (q *Query) Run(emit func(types.Tuple) error) (*QueryStats, error) {
+	return q.RunContext(context.Background(), emit)
+}
+
+// RunContext executes the prepared query under ctx, calling emit for
+// each result row in order. The configured QueryTimeout (when set) is
+// layered onto the caller's context.
+func (q *Query) RunContext(ctx context.Context, emit func(types.Tuple) error) (*QueryStats, error) {
 	start := time.Now()
+	if d := q.srv.cfg.QueryTimeout; d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
 	stats := &QueryStats{PlanMS: q.planMS}
 	exec := &planExec{srv: q.srv, plan: q.Plan, stats: stats}
-	if err := exec.run(emit); err != nil {
+	if err := exec.run(ctx, emit); err != nil {
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			return nil, fmt.Errorf("qpc: query aborted after %s (deadline exceeded): %w",
+				time.Since(start).Round(time.Millisecond), err)
+		}
 		return nil, err
 	}
 	stats.TotalMS = float64(time.Since(start).Microseconds())/1000 + q.planMS

@@ -38,7 +38,15 @@ func testQPC(t *testing.T, strategy core.Strategy) *Server {
 	reg := ops.Builtins()
 	cat := catalog.New(reg, catalog.NewRepositoryFromRegistry(reg))
 	cat.AddSite(&catalog.Site{Name: "site1", Addr: "dap1"})
-	for _, name := range []string{"Polygons", "Graphs", "Rasters"} {
+	registerStoreTables(t, cat, store, "site1", "Polygons", "Graphs", "Rasters")
+	return New(Config{Cat: cat, Dial: network.Dial, Strategy: strategy})
+}
+
+// registerStoreTables scans each named table of the store and registers
+// it in the catalog with measured statistics.
+func registerStoreTables(t *testing.T, cat *catalog.Catalog, store *storage.Store, site string, names ...string) {
+	t.Helper()
+	for _, name := range names {
 		tbl, _ := store.Table(name)
 		stats := catalog.TableStats{}
 		it, _ := tbl.Scan()
@@ -62,13 +70,12 @@ func testQPC(t *testing.T, strategy core.Strategy) *Server {
 			})
 		}
 		if err := cat.AddTable(&catalog.TableDef{
-			Name: name, URI: "mocha://site1/" + name, Site: "site1",
+			Name: name, URI: "mocha://" + site + "/" + name, Site: site,
 			Schema: tbl.Schema(), Stats: stats,
 		}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	return New(Config{Cat: cat, Dial: network.Dial, Strategy: strategy})
 }
 
 func TestExecuteSimpleProjection(t *testing.T) {

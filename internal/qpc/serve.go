@@ -20,7 +20,7 @@ func (s *Server) Serve(l net.Listener) error {
 	for {
 		nc, err := l.Accept()
 		if err != nil {
-			if strings.Contains(err.Error(), "closed") {
+			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
 			return err

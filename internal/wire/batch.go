@@ -37,7 +37,13 @@ func DecodeBatch(s types.Schema, payload []byte) ([]types.Tuple, error) {
 	}
 	n := int(binary.BigEndian.Uint32(payload))
 	off := 4
-	tuples := make([]types.Tuple, 0, n)
+	// The count is attacker-controlled; cap the pre-allocation and let
+	// append grow the slice as tuples actually decode.
+	prealloc := n
+	if prealloc > 4096 {
+		prealloc = 4096
+	}
+	tuples := make([]types.Tuple, 0, prealloc)
 	for i := 0; i < n; i++ {
 		t, used, err := types.DecodeTuple(s, payload[off:])
 		if err != nil {

@@ -1,0 +1,136 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"mocha/internal/types"
+)
+
+// byteConn feeds a fixed byte stream to a Conn; writes vanish.
+type byteConn struct{ r *bytes.Reader }
+
+func (c *byteConn) Read(p []byte) (int, error)       { return c.r.Read(p) }
+func (c *byteConn) Write(p []byte) (int, error)      { return len(p), nil }
+func (c *byteConn) Close() error                     { return nil }
+func (c *byteConn) LocalAddr() net.Addr              { return fuzzAddr{} }
+func (c *byteConn) RemoteAddr() net.Addr             { return fuzzAddr{} }
+func (c *byteConn) SetDeadline(time.Time) error      { return nil }
+func (c *byteConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *byteConn) SetWriteDeadline(time.Time) error { return nil }
+
+type fuzzAddr struct{}
+
+func (fuzzAddr) Network() string { return "fuzz" }
+func (fuzzAddr) String() string  { return "fuzz" }
+
+// frame assembles one raw frame: 4-byte length, 1-byte type, payload.
+func frame(t MsgType, payload []byte) []byte {
+	buf := make([]byte, 0, frameHeaderSize+len(payload))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, byte(t))
+	return append(buf, payload...)
+}
+
+var fuzzSchema = types.NewSchema(
+	types.Column{Name: "a", Kind: types.KindInt},
+	types.Column{Name: "s", Kind: types.KindString},
+)
+
+// FuzzFrame throws arbitrary byte streams at the frame decoder and, for
+// frames that parse, at the payload decoders behind it. The decoders
+// must reject garbage with an error — never panic, hang, or allocate
+// proportionally to a hostile length prefix rather than to the bytes
+// that actually arrived.
+func FuzzFrame(f *testing.F) {
+	// Well-formed frames.
+	hello, _ := EncodeXML(Hello{Role: "qpc", Site: "site1"})
+	f.Add(frame(MsgHello, hello))
+	stats, _ := EncodeXML(ExecStats{Site: "site1", TuplesRead: 7})
+	f.Add(frame(MsgEOS, stats))
+	batch := EncodeBatch([]types.Tuple{
+		{types.Int(1), types.String_("x")},
+		{types.Int(2), types.String_("longer value")},
+	})
+	f.Add(frame(MsgTupleBatch, batch))
+	f.Add(frame(MsgAck, nil))
+	// Malformed: truncated header, truncated body, hostile length prefix,
+	// unknown type, huge tuple count with no tuples, multiple frames.
+	f.Add([]byte{0, 0})
+	f.Add(frame(MsgTupleBatch, batch)[:7])
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, byte(MsgTupleBatch), 1, 2, 3})
+	f.Add(frame(MsgType(200), []byte("junk")))
+	f.Add(frame(MsgTupleBatch, []byte{0xff, 0xff, 0xff, 0xff}))
+	f.Add(append(frame(MsgAck, nil), frame(MsgTupleBatch, batch)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewConn(&byteConn{r: bytes.NewReader(data)})
+		for {
+			typ, payload, err := c.Recv()
+			if err != nil {
+				// Any error is fine; the stream just has to end in a
+				// recognizable failure, not a panic.
+				if len(data) == 0 && !errors.Is(err, io.EOF) {
+					t.Fatalf("empty stream should be clean EOF, got %v", err)
+				}
+				return
+			}
+			if len(payload) > MaxFrameSize {
+				t.Fatalf("Recv returned %d-byte payload past the frame limit", len(payload))
+			}
+			switch typ {
+			case MsgTupleBatch:
+				if tuples, err := DecodeBatch(fuzzSchema, payload); err == nil {
+					// A batch that decodes must round-trip.
+					if !bytes.Equal(EncodeBatch(tuples), payload) {
+						t.Fatal("decoded batch does not re-encode to its payload")
+					}
+				}
+			case MsgHello:
+				var h Hello
+				_ = DecodeXML(payload, &h)
+			case MsgEOS:
+				var s ExecStats
+				_ = DecodeXML(payload, &s)
+			case MsgResultSchema:
+				var m SchemaMsg
+				if err := DecodeXML(payload, &m); err == nil {
+					_, _ = MsgToSchema(m)
+				}
+			}
+		}
+	})
+}
+
+// TestRecvHostileLengthPrefix pins the over-allocation defence outside
+// the fuzzer: a header promising MaxFrameSize with almost no data behind
+// it must fail with a truncation error, and quickly.
+func TestRecvHostileLengthPrefix(t *testing.T) {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrameSize)
+	hdr[4] = byte(MsgTupleBatch)
+	data := append(hdr[:], []byte("only ten b")...)
+	c := NewConn(&byteConn{r: bytes.NewReader(data)})
+	_, _, err := c.Recv()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF for truncated giant frame, got %v", err)
+	}
+}
+
+// TestRecvRejectsOversizedFrame: a length prefix beyond MaxFrameSize is
+// rejected from the header alone, before any body is read.
+func TestRecvRejectsOversizedFrame(t *testing.T) {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], MaxFrameSize+1)
+	hdr[4] = byte(MsgTupleBatch)
+	c := NewConn(&byteConn{r: bytes.NewReader(hdr[:])})
+	_, _, err := c.Recv()
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("exceeds limit")) {
+		t.Fatalf("want frame-limit error, got %v", err)
+	}
+}

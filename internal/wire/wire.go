@@ -8,12 +8,15 @@ package wire
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // MsgType identifies the kind of a frame.
@@ -67,6 +70,13 @@ const frameHeaderSize = 5
 // Conn is a framed connection. Reads and writes each are internally
 // serialized, so one reader goroutine and one writer goroutine may share
 // a Conn.
+//
+// A Conn is unbounded by default (every frame operation may block
+// forever, matching the seed behaviour). SetFrameTimeout bounds each
+// frame read/write so a stalled or dead peer fails the operation
+// instead of hanging; SetDeadline adds an absolute cut-off (the query
+// deadline); Bind ties the connection to a context so cancellation
+// aborts in-flight I/O.
 type Conn struct {
 	raw net.Conn
 	br  *bufio.Reader
@@ -76,6 +86,11 @@ type Conn struct {
 
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
+
+	readTimeout  atomic.Int64 // per-frame read bound, ns; 0 = none
+	writeTimeout atomic.Int64 // per-frame write bound, ns; 0 = none
+	deadline     atomic.Int64 // absolute cut-off, unix ns; 0 = none
+	abortErr     atomic.Value // error: set once the bound context ends
 }
 
 // NewConn wraps a transport connection.
@@ -87,24 +102,124 @@ func NewConn(c net.Conn) *Conn {
 	}
 }
 
+// SetFrameTimeout bounds each subsequent frame operation: a read that
+// sees no complete frame within the read bound, or a write the peer does
+// not drain within the write bound, fails with a timeout error instead
+// of blocking forever. Zero disables the corresponding bound.
+func (c *Conn) SetFrameTimeout(read, write time.Duration) {
+	c.readTimeout.Store(int64(read))
+	c.writeTimeout.Store(int64(write))
+}
+
+// SetDeadline sets an absolute point after which all frame I/O on the
+// connection fails — the per-query deadline. A zero time clears it.
+func (c *Conn) SetDeadline(t time.Time) {
+	if t.IsZero() {
+		c.deadline.Store(0)
+		return
+	}
+	c.deadline.Store(t.UnixNano())
+}
+
+// Bind ties the connection to ctx until release is called: the context
+// deadline becomes the connection deadline, and cancellation immediately
+// unblocks in-flight frame I/O and fails subsequent operations with the
+// context's error. The returned release must be called (it stops the
+// watcher goroutine); it does not clear an installed deadline.
+func (c *Conn) Bind(ctx context.Context) (release func()) {
+	if d, ok := ctx.Deadline(); ok {
+		c.SetDeadline(d)
+	}
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	go func() {
+		select {
+		case <-done:
+			c.abortErr.Store(ctx.Err())
+			// Expire any I/O already blocked in the kernel/pipe.
+			c.raw.SetDeadline(time.Now())
+		case <-stop:
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(stop) }) }
+}
+
+// opDeadline computes the deadline for one frame operation: the earlier
+// of now+timeout and the absolute connection deadline. The zero time
+// means unbounded.
+func (c *Conn) opDeadline(timeout time.Duration) time.Time {
+	var dl time.Time
+	if timeout > 0 {
+		dl = time.Now().Add(timeout)
+	}
+	if abs := c.deadline.Load(); abs != 0 {
+		at := time.Unix(0, abs)
+		if dl.IsZero() || at.Before(dl) {
+			dl = at
+		}
+	}
+	return dl
+}
+
+// aborted returns the bound context's error once it has fired.
+func (c *Conn) aborted() error {
+	if err, ok := c.abortErr.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// describeIO rewrites raw timeout errors into something a user can act
+// on, and surfaces a bound context's cancellation as that error. A zero
+// MsgType means the frame type is not yet known (header read).
+func (c *Conn) describeIO(op string, t MsgType, dl time.Time, err error) error {
+	if err == nil {
+		return nil
+	}
+	label := op
+	if t != 0 {
+		label = fmt.Sprintf("%s %v", op, t)
+	}
+	if aerr := c.aborted(); aerr != nil {
+		return fmt.Errorf("wire: %s: %w", label, aerr)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("wire: %s: peer did not respond by %s (stalled or dead): %w",
+			label, dl.Format("15:04:05.000"), err)
+	}
+	return fmt.Errorf("wire: %s: %w", label, err)
+}
+
 // Send writes one frame and flushes it.
 func (c *Conn) Send(t MsgType, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return fmt.Errorf("wire: %v frame of %d bytes exceeds limit", t, len(payload))
 	}
+	if err := c.aborted(); err != nil {
+		return fmt.Errorf("wire: send %v: %w", t, err)
+	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	dl := c.opDeadline(time.Duration(c.writeTimeout.Load()))
+	if err := c.raw.SetWriteDeadline(dl); err != nil {
+		return fmt.Errorf("wire: send %v: %w", t, err)
+	}
 	var hdr [frameHeaderSize]byte
 	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
 	hdr[4] = byte(t)
 	if _, err := c.bw.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: send %v: %w", t, err)
+		return c.describeIO("send", t, dl, err)
 	}
 	if _, err := c.bw.Write(payload); err != nil {
-		return fmt.Errorf("wire: send %v: %w", t, err)
+		return c.describeIO("send", t, dl, err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return fmt.Errorf("wire: send %v: %w", t, err)
+		return c.describeIO("send", t, dl, err)
 	}
 	c.bytesOut.Add(int64(frameHeaderSize + len(payload)))
 	return nil
@@ -112,23 +227,63 @@ func (c *Conn) Send(t MsgType, payload []byte) error {
 
 // Recv reads one frame.
 func (c *Conn) Recv() (MsgType, []byte, error) {
+	if err := c.aborted(); err != nil {
+		return 0, nil, fmt.Errorf("wire: recv: %w", err)
+	}
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
+	dl := c.opDeadline(time.Duration(c.readTimeout.Load()))
+	if err := c.raw.SetReadDeadline(dl); err != nil {
+		return 0, nil, fmt.Errorf("wire: recv: %w", err)
+	}
 	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
-		return 0, nil, fmt.Errorf("wire: recv header: %w", err)
+		return 0, nil, c.describeIO("recv header", 0, dl, err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:4])
 	t := MsgType(hdr[4])
 	if n > MaxFrameSize {
 		return 0, nil, fmt.Errorf("wire: incoming %v frame of %d bytes exceeds limit", t, n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(c.br, payload); err != nil {
-		return 0, nil, fmt.Errorf("wire: recv %v body: %w", t, err)
+	payload, err := readFrameBody(c.br, int(n))
+	if err != nil {
+		return 0, nil, c.describeIO("recv body of", t, dl, err)
 	}
 	c.bytesIn.Add(int64(frameHeaderSize) + int64(n))
 	return t, payload, nil
+}
+
+// readFrameBody reads an n-byte payload without trusting n for the
+// initial allocation: a corrupt or hostile length prefix must cost no
+// more memory than the bytes that actually arrive, so the buffer grows
+// geometrically as data is received.
+func readFrameBody(r io.Reader, n int) ([]byte, error) {
+	const initAlloc = 64 << 10
+	if n <= initAlloc {
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, initAlloc)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	for len(buf) < n {
+		step := len(buf)
+		if len(buf)+step > n {
+			step = n - len(buf)
+		}
+		buf = append(buf, make([]byte, step)...)
+		if _, err := io.ReadFull(r, buf[len(buf)-step:]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // Expect receives one frame and requires it to be of the given type. An
