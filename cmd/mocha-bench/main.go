@@ -4,6 +4,7 @@
 // Usage:
 //
 //	mocha-bench [-scale 0.05] [-bandwidth 10e6] [-experiment all|fig9a|...]
+//	mocha-bench -experiment fig9a -json [-out results/]
 //	mocha-bench -list
 package main
 
@@ -20,6 +21,8 @@ func main() {
 	scale := flag.Float64("scale", 0.1, "dataset scale factor (1.0 = the paper's Table 1 sizes)")
 	bandwidth := flag.Float64("bandwidth", 10e6, "modeled link bandwidth in bits/sec (paper: 10 Mbps); 0 disables shaping")
 	experiment := flag.String("experiment", "all", "experiment id, or 'all'")
+	jsonOut := flag.Bool("json", false, "also write each experiment's numbers to BENCH_<id>.json")
+	outDir := flag.String("out", ".", "directory for -json output files")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -49,13 +52,21 @@ func main() {
 		ids = []string{*experiment}
 	}
 	for _, id := range ids {
-		tables, err := env.RunExperiment(id)
+		tables, report, err := env.RunExperimentReport(id)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
 			os.Exit(1)
 		}
 		for _, t := range tables {
 			fmt.Println(t)
+		}
+		if *jsonOut {
+			path, err := report.WriteJSON(*outDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
 		}
 	}
 }

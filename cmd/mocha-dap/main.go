@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mocha/internal/dap"
+	"mocha/internal/obs"
 	"mocha/internal/storage"
 )
 
@@ -25,6 +26,7 @@ func main() {
 	noCache := flag.Bool("no-code-cache", false, "disable the class cache (re-ship code every query)")
 	idleTimeout := flag.Duration("idle-timeout", 5*time.Minute, "close a session idle this long between requests (0 = never)")
 	frameTimeout := flag.Duration("frame-timeout", 30*time.Second, "per-frame write bound; a QPC that stops draining fails the session (0 = unbounded)")
+	pprofAddr := flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	quiet := flag.Bool("quiet", false, "suppress per-session logging")
 	flag.Parse()
 
@@ -51,6 +53,7 @@ func main() {
 		FrameTimeout:     *frameTimeout,
 		Logf:             logf,
 	})
+	obs.ServeDebug(*pprofAddr, srv.Metrics(), logf)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

@@ -18,6 +18,7 @@ import (
 	"mocha/internal/catalog"
 	"mocha/internal/core"
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/ops"
 	"mocha/internal/qpc"
 )
@@ -32,6 +33,7 @@ func main() {
 	retryAttempts := flag.Int("retry-attempts", 4, "attempts per idempotent DAP operation (1 = no retries)")
 	retryBase := flag.Duration("retry-base-delay", 50*time.Millisecond, "first retry backoff delay (doubles per attempt, jittered)")
 	retryBudget := flag.Int("retry-budget", 8, "total retries allowed across one query")
+	pprofAddr := flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	quiet := flag.Bool("quiet", false, "suppress per-query logging")
 	flag.Parse()
 
@@ -83,6 +85,7 @@ func main() {
 		},
 		Logf: logf,
 	})
+	obs.ServeDebug(*pprofAddr, srv.Metrics(), logf)
 	l, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)

@@ -24,6 +24,9 @@ type Env struct {
 	Shaper *netsim.Shaper
 	opts   Options
 	stores map[string]*storage.Store
+	// record accumulates labeled measurements for machine-readable
+	// reports (see RunExperimentReport).
+	record []Measurement
 }
 
 // siteStore returns a site's backing store (nil if unknown).
@@ -107,6 +110,8 @@ func (e *Env) Close() { e.Cluster.Close() }
 
 // Measurement is one measured query execution.
 type Measurement struct {
+	// Label is the figure row name (Q1, Q2, a selectivity bucket, ...).
+	Label    string
 	Query    string
 	Strategy string
 	Rows     int
@@ -126,6 +131,18 @@ func (e *Env) Run(sql string, strategy mocha.Strategy) (Measurement, error) {
 		mocha.StrategyDataShip: "QPC (data ship)",
 	}[strategy]
 	return Measurement{Query: sql, Strategy: name, Rows: len(res.Rows), Stats: res.Stats}, nil
+}
+
+// runLabeled executes sql like Run and records the measurement under a
+// figure label for the experiment's machine-readable report.
+func (e *Env) runLabeled(label, sql string, strategy mocha.Strategy) (Measurement, error) {
+	m, err := e.Run(sql, strategy)
+	if err != nil {
+		return m, err
+	}
+	m.Label = label
+	e.record = append(e.record, m)
+	return m, nil
 }
 
 // Table is a formatted experiment output.

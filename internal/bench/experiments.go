@@ -127,7 +127,7 @@ func (e *Env) Fig9() (Table, Table, error) {
 	}
 	for _, q := range queries {
 		for _, strat := range []mocha.Strategy{mocha.StrategyCodeShip, mocha.StrategyDataShip} {
-			m, err := e.Run(q.sql, strat)
+			m, err := e.runLabeled(q.label, q.sql, strat)
 			if err != nil {
 				return a, b, fmt.Errorf("%s: %w", q.label, err)
 			}
@@ -167,7 +167,7 @@ func (e *Env) Fig10(sels []float64) (Table, Table, error) {
 		sql := sequoia.Q4(cal.MaxVerts, cal.MaxLength)
 		label := fmt.Sprintf("%.0f%% (actual %.0f%%)", cal.Target*100, cal.Actual*100)
 		for _, strat := range []mocha.Strategy{mocha.StrategyCodeShip, mocha.StrategyDataShip} {
-			m, err := e.Run(sql, strat)
+			m, err := e.runLabeled(label, sql, strat)
 			if err != nil {
 				return a, b, err
 			}
@@ -187,7 +187,7 @@ func (e *Env) Fig11() (Table, error) {
 		Header: []string{"strategy", "total ms", "db ms", "cpu ms", "net ms", "join ms", "misc ms", "CVDA", "CVDT", "CVRF", "rows"},
 	}
 	for _, strat := range []mocha.Strategy{mocha.StrategyCodeShip, mocha.StrategyDataShip} {
-		m, err := e.Run(sequoia.Q5, strat)
+		m, err := e.runLabeled("Q5", sequoia.Q5, strat)
 		if err != nil {
 			return t, err
 		}

@@ -1,0 +1,119 @@
+package bench
+
+// Machine-readable experiment output. Each experiment can emit a Report
+// alongside its human-oriented tables; WriteJSON persists it as
+// BENCH_<experiment>.json so plotting scripts and regression tests can
+// consume the same numbers the tables print.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// MeasurementJSON is the serialized form of one measured execution.
+type MeasurementJSON struct {
+	Label    string `json:"label"`
+	Query    string `json:"query"`
+	Strategy string `json:"strategy"`
+	Rows     int    `json:"rows"`
+
+	TotalMS  float64 `json:"total_ms"`
+	PlanMS   float64 `json:"plan_ms"`
+	DeployMS float64 `json:"deploy_ms"`
+	DBMS     float64 `json:"db_ms"`
+	CPUMS    float64 `json:"cpu_ms"`
+	NetMS    float64 `json:"net_ms"`
+	JoinMS   float64 `json:"join_ms"`
+	MiscMS   float64 `json:"misc_ms"`
+
+	CVDA        int64   `json:"cvda"`
+	CVDT        int64   `json:"cvdt"`
+	CVRF        float64 `json:"cvrf"`
+	ResultBytes int64   `json:"result_bytes"`
+
+	CodeClassesShipped int64 `json:"code_classes_shipped"`
+	CodeBytesShipped   int64 `json:"code_bytes_shipped"`
+	CacheHits          int64 `json:"cache_hits"`
+}
+
+// Report is the machine-readable result of one experiment run.
+type Report struct {
+	Experiment   string            `json:"experiment"`
+	Scale        float64           `json:"scale"`
+	BandwidthBPS float64           `json:"bandwidth_bps,omitempty"`
+	Measurements []MeasurementJSON `json:"measurements"`
+}
+
+func toJSONMeasurement(m Measurement) MeasurementJSON {
+	s := m.Stats
+	return MeasurementJSON{
+		Label:    m.Label,
+		Query:    oneLine(m.Query),
+		Strategy: m.Strategy,
+		Rows:     m.Rows,
+		TotalMS:  s.TotalMS,
+		PlanMS:   s.PlanMS,
+		DeployMS: s.DeployMS,
+		DBMS:     s.DBMS,
+		CPUMS:    s.CPUMS,
+		NetMS:    s.NetMS,
+		JoinMS:   s.JoinMS,
+		MiscMS:   s.MiscMS,
+
+		CVDA:        s.CVDA,
+		CVDT:        s.CVDT,
+		CVRF:        s.CVRF(),
+		ResultBytes: s.ResultBytes,
+
+		CodeClassesShipped: int64(s.CodeClassesShipped),
+		CodeBytesShipped:   int64(s.CodeBytesShipped),
+		CacheHits:          int64(s.CacheHits),
+	}
+}
+
+// RunExperimentReport runs an experiment and returns its tables plus a
+// Report of every measurement the experiment took through the harness.
+func (e *Env) RunExperimentReport(id string) ([]Table, *Report, error) {
+	e.record = nil
+	tables, err := e.RunExperiment(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Report{Experiment: id, Scale: e.opts.Scale}
+	if e.Shaper != nil {
+		rep.BandwidthBPS = e.Shaper.BitsPerSec
+	}
+	for _, m := range e.record {
+		rep.Measurements = append(rep.Measurements, toJSONMeasurement(m))
+	}
+	return tables, rep, nil
+}
+
+// WriteJSON persists the report as BENCH_<experiment>.json under dir
+// (dir == "" means the working directory) and returns the path written.
+func (r *Report) WriteJSON(dir string) (string, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("BENCH_%s.json", r.Experiment))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// ReadReport parses a BENCH_*.json file back into a Report.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,121 @@
+package bench
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// find returns the measurement for one (label, strategy) cell of a
+// report, failing the test if the experiment did not record it. The
+// strategy is matched as a substring of the display string the tables
+// use ("DAP (code ship)", "QPC (data ship)").
+func find(t *testing.T, rep *Report, label, strat string) MeasurementJSON {
+	t.Helper()
+	for _, m := range rep.Measurements {
+		if m.Label == label && strings.Contains(m.Strategy, strat) {
+			return m
+		}
+	}
+	t.Fatalf("report has no measurement for %s under %q; got %+v", label, strat, rep.Measurements)
+	return MeasurementJSON{}
+}
+
+// TestFig9aReportShape runs the figure 9(a) experiment end to end and
+// checks the machine-readable report reproduces the paper's shape:
+// code shipping moves less data than data shipping on the reducing
+// queries Q1 and Q2, and more on the inflating query Q3.
+func TestFig9aReportShape(t *testing.T) {
+	env := testEnv(t)
+	_, rep, err := env.RunExperimentReport(ExpFig9a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Experiment != ExpFig9a {
+		t.Errorf("experiment label %q", rep.Experiment)
+	}
+	if len(rep.Measurements) != 6 {
+		t.Fatalf("fig9a recorded %d measurements, want 3 queries x 2 strategies", len(rep.Measurements))
+	}
+
+	for _, label := range []string{"Q1", "Q2", "Q3"} {
+		code := find(t, rep, label, "code ship")
+		data := find(t, rep, label, "data ship")
+		if code.Rows != data.Rows {
+			t.Errorf("%s: code ship returned %d rows, data ship %d", label, code.Rows, data.Rows)
+		}
+		if code.Rows == 0 {
+			t.Errorf("%s: empty result set", label)
+		}
+		// CVRF in the report must be consistent with its own volumes.
+		for _, m := range []MeasurementJSON{code, data} {
+			if m.CVDA <= 0 {
+				t.Errorf("%s/%s: CVDA %d", label, m.Strategy, m.CVDA)
+				continue
+			}
+			want := float64(m.CVDT) / float64(m.CVDA)
+			if diff := m.CVRF - want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s/%s: CVRF %g inconsistent with CVDT/CVDA %g", label, m.Strategy, m.CVRF, want)
+			}
+		}
+		switch label {
+		case "Q1", "Q2":
+			// Filtering at the source wins: the paper's 4:1 / 3:1 cases.
+			if code.CVDT >= data.CVDT {
+				t.Errorf("%s: code shipping moved %d bytes, data shipping %d — expected code < data",
+					label, code.CVDT, data.CVDT)
+			}
+		case "Q3":
+			// IncrRes inflates, so executing it at the source loses.
+			if code.CVDT <= data.CVDT {
+				t.Errorf("Q3: code shipping moved %d bytes, data shipping %d — expected code > data",
+					code.CVDT, data.CVDT)
+			}
+		}
+	}
+}
+
+// TestReportJSONRoundTrip persists a report and reads it back,
+// asserting the on-disk form is a faithful, parseable copy — the
+// contract plotting scripts rely on.
+func TestReportJSONRoundTrip(t *testing.T) {
+	env := testEnv(t)
+	_, rep, err := env.RunExperimentReport(ExpFig9a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := rep.WriteJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_fig9a.json"); path != want {
+		t.Errorf("wrote %s, want %s", path, want)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Errorf("round-trip changed the report:\nwrote %+v\nread  %+v", rep, got)
+	}
+}
+
+// TestRunExperimentReportResetsRecord guards against measurements from
+// one experiment leaking into the next report off the shared recorder.
+func TestRunExperimentReportResetsRecord(t *testing.T) {
+	env := testEnv(t)
+	if _, _, err := env.RunExperimentReport(ExpFig9a); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err := env.RunExperimentReport(ExpFig11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rep.Measurements {
+		if m.Label != "Q5" {
+			t.Errorf("fig11 report contains stray measurement %q", m.Label)
+		}
+	}
+}

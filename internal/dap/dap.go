@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mocha/internal/core"
+	"mocha/internal/obs"
 	"mocha/internal/ops"
 	"mocha/internal/types"
 	"mocha/internal/vm"
@@ -50,6 +51,9 @@ type Config struct {
 	// stalled or dead coordinator fails the session instead of hanging
 	// the DAP mid-stream. Zero disables.
 	FrameTimeout time.Duration
+	// Metrics receives the server's dap_* counters and wire traffic
+	// counters. Nil uses the process-wide obs.Default() registry.
+	Metrics *obs.Registry
 	// Logf, when set, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -59,6 +63,19 @@ type Config struct {
 type Server struct {
 	cfg   Config
 	cache *codeCache
+	met   dapMetrics
+}
+
+// dapMetrics caches the server's registry handles.
+type dapMetrics struct {
+	sessionsOpen  *obs.Gauge
+	sessionsTotal *obs.Counter
+	activations   *obs.Counter
+	tuplesSent    *obs.Counter
+	bytesSent     *obs.Counter
+	classesLoaded *obs.Counter
+	cacheHits     *obs.Counter
+	execMS        *obs.Histogram
 }
 
 // New creates a DAP server.
@@ -66,8 +83,28 @@ func New(cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{cfg: cfg, cache: newCodeCache()}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
+	r := cfg.Metrics
+	return &Server{
+		cfg:   cfg,
+		cache: newCodeCache(),
+		met: dapMetrics{
+			sessionsOpen:  r.Gauge("dap_sessions_open"),
+			sessionsTotal: r.Counter("dap_sessions_total"),
+			activations:   r.Counter("dap_activations"),
+			tuplesSent:    r.Counter("dap_tuples_sent"),
+			bytesSent:     r.Counter("dap_bytes_sent"),
+			classesLoaded: r.Counter("dap_code_classes_loaded"),
+			cacheHits:     r.Counter("dap_code_cache_hits"),
+			execMS:        r.Histogram("dap_exec_ms"),
+		},
+	}
 }
+
+// Metrics returns the server's registry (SHOW METRICS payload).
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // CacheStats reports cumulative code-cache behaviour.
 func (s *Server) CacheStats() (hits, misses int64) { return s.cache.stats() }

@@ -54,6 +54,12 @@ func (s *Server) handleProc(call wire.ProcCall) ([]string, error) {
 		return lister.Tables()
 	case "site-info":
 		return []string{s.cfg.Site}, nil
+	case "show-metrics":
+		out := strings.Split(strings.TrimRight(s.cfg.Metrics.Render(), "\n"), "\n")
+		if len(out) == 1 && out[0] == "" {
+			return nil, nil
+		}
+		return out, nil
 	}
 	return nil, fmt.Errorf("dap: unknown procedural op %q", call.Op)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mocha/internal/core"
+	"mocha/internal/obs"
 	"mocha/internal/types"
 	"mocha/internal/vm"
 	"mocha/internal/wire"
@@ -20,10 +21,14 @@ import (
 func (s *Server) HandleConn(nc net.Conn) error {
 	conn := wire.NewConn(nc)
 	defer conn.Close()
+	conn.Instrument(s.cfg.Metrics, "dap_wire")
 	// Reads are bounded by the idle timeout (a vanished QPC must not pin
 	// this session forever); writes by the frame timeout (a stalled QPC
 	// must not hang the DAP mid-stream).
 	conn.SetFrameTimeout(s.cfg.IdleTimeout, s.cfg.FrameTimeout)
+	s.met.sessionsTotal.Inc()
+	s.met.sessionsOpen.Add(1)
+	defer s.met.sessionsOpen.Add(-1)
 	sess := &session{srv: s, conn: conn}
 	for {
 		t, payload, err := conn.Recv()
@@ -62,22 +67,55 @@ type session struct {
 	frag     *core.Fragment
 	semiKeys map[uint64][]types.Object
 	stats    wire.ExecStats
+	trace    *obs.Trace
+}
+
+// spanNames maps control messages to the DAP-side span they record.
+var spanNames = map[wire.MsgType]string{
+	wire.MsgCodeCheck:    "dap:code-check",
+	wire.MsgDeployCode:   "dap:deploy-code",
+	wire.MsgDeployPlan:   "dap:deploy-plan",
+	wire.MsgSemiJoinKeys: "dap:keys-install",
 }
 
 func (ss *session) handle(t wire.MsgType, payload []byte) error {
 	// Control-message handling (code loading, plan decoding, key-set
-	// installation) is initialization work: charge it to Misc time.
+	// installation) is initialization work: charge it to Misc time and
+	// record it as a span on the query's trace.
 	switch t {
 	case wire.MsgCodeCheck, wire.MsgDeployCode, wire.MsgDeployPlan, wire.MsgSemiJoinKeys:
 		start := time.Now()
 		defer func() {
 			ss.stats.MiscMicros += time.Since(start).Microseconds()
+			if ss.trace != nil {
+				span := obs.Span{
+					Name:        spanNames[t],
+					Site:        ss.srv.cfg.Site,
+					StartMicros: ss.trace.Since(start),
+					DurMicros:   time.Since(start).Microseconds(),
+				}
+				if t == wire.MsgDeployCode {
+					span.CodeBytes = int64(len(payload))
+				}
+				ss.trace.Add(span)
+			}
 		}()
 	}
 	switch t {
 	case wire.MsgHello:
+		var hello wire.Hello
+		if err := wire.DecodeXML(payload, &hello); err != nil {
+			return err
+		}
 		ss.stats = wire.ExecStats{Site: ss.srv.cfg.Site}
-		ack, err := wire.EncodeXML(&wire.Hello{Role: "dap", Site: ss.srv.cfg.Site})
+		// The QPC's trace ID anchors this session's spans; its clock
+		// starts here, at the handshake, so span offsets are relative to
+		// the session open (the QPC re-anchors them onto its timeline).
+		ss.trace = nil
+		if hello.Trace != "" {
+			ss.trace = obs.NewTrace(hello.Trace)
+		}
+		ack, err := wire.EncodeXML(&wire.Hello{Role: "dap", Site: ss.srv.cfg.Site, Trace: hello.Trace})
 		if err != nil {
 			return err
 		}
@@ -271,6 +309,35 @@ func (ss *session) execute() error {
 	ss.stats.NetMicros = netTime.Microseconds()
 	ss.stats.TuplesSent = writer.Tuples
 	ss.stats.BytesSent = writer.DataBytes
+
+	met := &ss.srv.met
+	met.activations.Inc()
+	met.tuplesSent.Add(writer.Tuples)
+	met.bytesSent.Add(writer.DataBytes)
+	met.execMS.Observe(time.Since(start).Milliseconds())
+	met.classesLoaded.Add(int64(ss.stats.CodeClassesLoaded))
+	met.cacheHits.Add(int64(ss.stats.CacheHits))
+
+	if ss.trace != nil {
+		// Duration-only phase spans: the offsets say where in the session
+		// this execution sat; db/cpu/net are aggregate components of it.
+		// NetBytes stays zero on DAP spans — the QPC's own stream span
+		// carries the wire volume, so imported spans never double-count
+		// the CVDT.
+		off := ss.trace.Since(start)
+		site := ss.srv.cfg.Site
+		ss.trace.Add(obs.Span{Name: "dap:db", Site: site, StartMicros: off,
+			DurMicros: ss.stats.DBMicros, DBBytes: ss.stats.BytesAccessed, Tuples: ss.stats.TuplesRead})
+		ss.trace.Add(obs.Span{Name: "dap:cpu", Site: site, StartMicros: off,
+			DurMicros: ss.stats.CPUMicros})
+		ss.trace.Add(obs.Span{Name: "dap:net", Site: site, StartMicros: off,
+			DurMicros: ss.stats.NetMicros, Tuples: writer.Tuples})
+		// Spans are per-execution, like the stats: take them so the key
+		// phase and the main fragment each report their own.
+		ss.stats.Trace = ss.trace.ID
+		ss.stats.Spans = wire.SpansToXML(ss.trace.TakeSpans())
+	}
+
 	payload, err := wire.EncodeXML(&ss.stats)
 	if err != nil {
 		return err

@@ -14,6 +14,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 )
@@ -50,6 +51,16 @@ type FaultPlan struct {
 	// then the underlying connection is closed (the peer observes EOF)
 	// and subsequent I/O fails with ErrInjectedDrop. 0 disables.
 	DropAfterBytes int64
+
+	// DropFirstConnAfterBytes tears down only the plan's *first*
+	// connection once that connection alone has carried this many bytes;
+	// connections dialed afterwards are clean. Unlike DropAfterBytes
+	// (whose byte budget is cumulative across redials, so a retried
+	// session dies again immediately), this models a link that fails
+	// mid-transfer once and then recovers — the flaky-then-recover case
+	// the QPC's retry machinery must survive without double-counting the
+	// aborted attempt's work. 0 disables.
+	DropFirstConnAfterBytes int64
 
 	// Stall freezes the link once it has carried StallAfterBytes bytes:
 	// reads and writes block until the connection is closed or its
@@ -104,12 +115,13 @@ func (p *FaultPlan) refuseDial() bool {
 }
 
 // admitConn registers a new connection, reporting whether it is doomed
-// to die at first I/O.
-func (p *FaultPlan) admitConn() (doomed bool) {
+// to die at first I/O and whether it is the plan's first connection
+// (the one DropFirstConnAfterBytes applies to).
+func (p *FaultPlan) admitConn() (doomed, first bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.conns++
-	return p.conns <= p.FailFirstConns
+	return p.conns <= p.FailFirstConns, p.conns == 1
 }
 
 // state returns the link's current fault state, evaluated before the
@@ -171,7 +183,11 @@ func Fault(c net.Conn, p *FaultPlan) net.Conn {
 		return c
 	}
 	fc := &faultConn{Conn: c, plan: p, closed: make(chan struct{})}
-	fc.doomed = p.admitConn()
+	var first bool
+	fc.doomed, first = p.admitConn()
+	if first {
+		fc.dropAfter = p.DropFirstConnAfterBytes
+	}
 	return fc
 }
 
@@ -183,8 +199,15 @@ type faultConn struct {
 	plan   *FaultPlan
 	doomed bool
 
+	// dropAfter is this connection's private drop threshold (set on the
+	// plan's first connection when DropFirstConnAfterBytes is active);
+	// connBytes counts only this connection's carried bytes against it.
+	dropAfter int64
+	connBytes int64 // guarded by plan.mu via chargeConn
+
 	closeOnce sync.Once
 	closed    chan struct{}
+	torn      atomic.Bool // teardown was fault-injected, not a local Close
 
 	dlMu    sync.Mutex
 	readDL  time.Time
@@ -195,6 +218,10 @@ func (c *faultConn) Read(p []byte) (int, error) {
 	if err := c.precheck(); err != nil {
 		return 0, err
 	}
+	if c.connDropped() {
+		c.tearDown()
+		return 0, ErrInjectedDrop
+	}
 	switch c.plan.state() {
 	case actDrop:
 		c.tearDown()
@@ -203,15 +230,23 @@ func (c *faultConn) Read(p []byte) (int, error) {
 		return 0, c.stall(c.readDeadline)
 	}
 	n, err := c.Conn.Read(p)
-	if c.plan.charge(n, false) {
+	dropNow := c.plan.charge(n, false)
+	if c.chargeConn(n) {
+		dropNow = true
+	}
+	if dropNow {
 		c.tearDown()
 	}
-	return n, err
+	return c.mapErr(n, err)
 }
 
 func (c *faultConn) Write(p []byte) (int, error) {
 	if err := c.precheck(); err != nil {
 		return 0, err
+	}
+	if c.connDropped() {
+		c.tearDown()
+		return 0, ErrInjectedDrop
 	}
 	switch c.plan.state() {
 	case actDrop:
@@ -228,10 +263,53 @@ func (c *faultConn) Write(p []byte) (int, error) {
 		return len(p), nil
 	}
 	n, err := c.Conn.Write(p)
-	if c.plan.charge(n, true) {
+	dropNow := c.plan.charge(n, true)
+	if c.chargeConn(n) {
+		dropNow = true
+	}
+	if dropNow {
 		c.tearDown()
 	}
+	return c.mapErr(n, err)
+}
+
+// mapErr rewrites errors surfacing from the wrapped connection after an
+// injected teardown into ErrInjectedDrop. Operations racing the
+// teardown — a reader parked in the pipe when the fault strikes, or a
+// deadline installed on the now-closed conn by the next frame op —
+// otherwise return the raw local-close error (io.ErrClosedPipe,
+// net.ErrClosed), which callers cannot classify as the transient
+// connection reset a real RST presents.
+func (c *faultConn) mapErr(n int, err error) (int, error) {
+	if err != nil && c.torn.Load() {
+		return n, ErrInjectedDrop
+	}
 	return n, err
+}
+
+// connDropped reports whether this connection's private drop threshold
+// has been reached, evaluated before the pending operation (same
+// strike-between-transfers semantics as the plan-wide state check).
+func (c *faultConn) connDropped() bool {
+	if c.dropAfter <= 0 {
+		return false
+	}
+	c.plan.mu.Lock()
+	defer c.plan.mu.Unlock()
+	return c.connBytes >= c.dropAfter
+}
+
+// chargeConn accounts n bytes against the per-connection threshold,
+// reporting whether this operation just crossed it.
+func (c *faultConn) chargeConn(n int) (dropNow bool) {
+	if c.dropAfter <= 0 {
+		return false
+	}
+	c.plan.mu.Lock()
+	defer c.plan.mu.Unlock()
+	before := c.connBytes
+	c.connBytes += int64(n)
+	return before < c.dropAfter && c.connBytes >= c.dropAfter
 }
 
 // precheck handles the doomed-connection fault before any I/O happens.
@@ -263,6 +341,7 @@ func (c *faultConn) stall(deadlineOf func() time.Time) error {
 }
 
 func (c *faultConn) tearDown() {
+	c.torn.Store(true)
 	c.closeOnce.Do(func() {
 		close(c.closed)
 		c.Conn.Close()
@@ -278,21 +357,24 @@ func (c *faultConn) SetDeadline(t time.Time) error {
 	c.dlMu.Lock()
 	c.readDL, c.writeDL = t, t
 	c.dlMu.Unlock()
-	return c.Conn.SetDeadline(t)
+	_, err := c.mapErr(0, c.Conn.SetDeadline(t))
+	return err
 }
 
 func (c *faultConn) SetReadDeadline(t time.Time) error {
 	c.dlMu.Lock()
 	c.readDL = t
 	c.dlMu.Unlock()
-	return c.Conn.SetReadDeadline(t)
+	_, err := c.mapErr(0, c.Conn.SetReadDeadline(t))
+	return err
 }
 
 func (c *faultConn) SetWriteDeadline(t time.Time) error {
 	c.dlMu.Lock()
 	c.writeDL = t
 	c.dlMu.Unlock()
-	return c.Conn.SetWriteDeadline(t)
+	_, err := c.mapErr(0, c.Conn.SetWriteDeadline(t))
+	return err
 }
 
 func (c *faultConn) readDeadline() time.Time {

@@ -90,6 +90,30 @@ func TestDropAfterBytes(t *testing.T) {
 	}
 }
 
+func TestDropFirstConnAfterBytes(t *testing.T) {
+	plan := &FaultPlan{DropFirstConnAfterBytes: 10}
+	c1, s1 := pipePair(t, plan)
+	go io.Copy(io.Discard, s1)
+	if _, err := c1.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("below threshold: %v", err)
+	}
+	if _, err := c1.Write(make([]byte, 8)); err != nil {
+		t.Fatalf("crossing write still completes: %v", err)
+	}
+	if _, err := c1.Write(make([]byte, 1)); !errors.Is(err, ErrInjectedDrop) {
+		t.Fatalf("post-drop write on first conn should fail, got %v", err)
+	}
+	// A redialed connection is clean: the fault struck once and the link
+	// recovered, no matter how much the new connection carries.
+	c2, s2 := pipePair(t, plan)
+	go io.Copy(io.Discard, s2)
+	for i := 0; i < 4; i++ {
+		if _, err := c2.Write(make([]byte, 16)); err != nil {
+			t.Fatalf("second conn write %d should work: %v", i, err)
+		}
+	}
+}
+
 func TestStallHonoursDeadline(t *testing.T) {
 	plan := &FaultPlan{Stall: true, StallAfterBytes: 4}
 	c, s := pipePair(t, plan)

@@ -12,8 +12,11 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
+
+	"mocha/internal/obs"
 )
 
 // Shaper models a network link: available bandwidth and one-way latency.
@@ -88,6 +91,27 @@ type Network struct {
 	mu        sync.Mutex
 	listeners map[string]*memListener
 	faults    map[string]*FaultPlan
+
+	metrics atomic.Pointer[netMetrics]
+}
+
+// netMetrics holds cached registry handles for the network's traffic.
+type netMetrics struct {
+	dials, refused        *obs.Counter
+	bytesSent, bytesRecvd *obs.Counter
+}
+
+// Instrument attaches process-level counters for the network's activity:
+// netsim_dials, netsim_dials_refused, and the payload bytes carried in
+// each direction of dialed connections (netsim_bytes_sent as seen from
+// the dialing side, netsim_bytes_recv for the reverse path).
+func (n *Network) Instrument(r *obs.Registry) {
+	n.metrics.Store(&netMetrics{
+		dials:      r.Counter("netsim_dials"),
+		refused:    r.Counter("netsim_dials_refused"),
+		bytesSent:  r.Counter("netsim_bytes_sent"),
+		bytesRecvd: r.Counter("netsim_bytes_recv"),
+	})
 }
 
 // NewNetwork returns a network whose links are shaped by s (nil for
@@ -133,21 +157,53 @@ func (n *Network) Dial(addr string) (net.Conn, error) {
 	l, ok := n.listeners[addr]
 	fault := n.faults[addr]
 	n.mu.Unlock()
+	m := n.metrics.Load()
+	if m != nil {
+		m.dials.Inc()
+	}
 	if fault.refuseDial() {
+		if m != nil {
+			m.refused.Inc()
+		}
 		return nil, fmt.Errorf("netsim: dial %q: %w", addr, ErrDialRefused)
 	}
 	if !ok {
 		// A missing listener is what a dead site looks like: surface the
 		// same refused-connection error a real network would.
+		if m != nil {
+			m.refused.Inc()
+		}
 		return nil, fmt.Errorf("netsim: no listener at %q: %w", addr, syscall.ECONNREFUSED)
 	}
 	client, server := net.Pipe()
 	select {
 	case l.accept <- Shape(server, n.shaper):
-		return Fault(Shape(client, n.shaper), fault), nil
+		conn := Fault(Shape(client, n.shaper), fault)
+		if m != nil {
+			conn = &meterConn{Conn: conn, out: m.bytesSent, in: m.bytesRecvd}
+		}
+		return conn, nil
 	case <-l.closed:
 		return nil, fmt.Errorf("netsim: dial %q: %w", addr, net.ErrClosed)
 	}
+}
+
+// meterConn counts payload bytes crossing a dialed connection.
+type meterConn struct {
+	net.Conn
+	in, out *obs.Counter
+}
+
+func (c *meterConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *meterConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }
 
 type memListener struct {

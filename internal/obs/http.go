@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux returns an http.Handler exposing the registry at /metrics
+// (plain "name value" lines) plus the standard pprof endpoints under
+// /debug/pprof/. The stand-alone servers mount it behind -pprof-addr.
+func DebugMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte(r.Render()))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ServeDebug starts an HTTP server for DebugMux(r) on addr in a new
+// goroutine. Errors (e.g. a busy port) are reported through logf and the
+// process keeps running — the debug endpoint is best-effort.
+func ServeDebug(addr string, r *Registry, logf func(format string, args ...any)) {
+	if addr == "" {
+		return
+	}
+	srv := &http.Server{Addr: addr, Handler: DebugMux(r)}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && logf != nil {
+			logf("debug server on %s: %v", addr, err)
+		}
+	}()
+}

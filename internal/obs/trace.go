@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed phase of a query: a deployment exchange, a key
+// transfer, a fragment's result stream, or a DAP-side execution phase.
+// Offsets are microseconds relative to the owning trace's start on the
+// process that recorded the span; the QPC re-anchors DAP spans onto its
+// own timeline when it assembles the cross-site trace.
+type Span struct {
+	// Name identifies the phase ("deploy", "stream", "dap:db", ...).
+	Name string
+	// Site is the site the span describes ("" for QPC-side work).
+	Site string
+	// StartMicros is the offset from the trace start.
+	StartMicros int64
+	// DurMicros is the span's duration.
+	DurMicros int64
+	// NetBytes is the data-plane volume the span moved over the network.
+	// Summed across a query's spans this reproduces the CVDT measurement.
+	NetBytes int64
+	// DBBytes is the volume the span read from a data source (CVDA).
+	DBBytes int64
+	// CodeBytes is shipped operator code (deployment volume, not CVDT).
+	CodeBytes int64
+	// Tuples is the tuple count the span carried.
+	Tuples int64
+}
+
+// Trace is the span timeline of one query, identified by an ID that the
+// QPC propagates to every DAP session so remote spans can be stitched
+// back into a single cross-site timeline.
+type Trace struct {
+	ID    string
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// traceCounter disambiguates IDs minted in the same nanosecond.
+var traceCounter atomic.Int64
+
+// NewTraceID mints a process-unique query/trace identifier.
+func NewTraceID() string {
+	return fmt.Sprintf("q%08x-%04x", time.Now().UnixNano()&0xffffffff, traceCounter.Add(1)&0xffff)
+}
+
+// NewTrace starts a trace clock with the given ID (mint one with
+// NewTraceID). An empty ID gets a fresh one.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewTraceID()
+	}
+	return &Trace{ID: id, start: time.Now()}
+}
+
+// Since returns the offset of t from the trace start in microseconds.
+func (tr *Trace) Since(t time.Time) int64 { return t.Sub(tr.start).Microseconds() }
+
+// Add records a finished span.
+func (tr *Trace) Add(s Span) {
+	tr.mu.Lock()
+	tr.spans = append(tr.spans, s)
+	tr.mu.Unlock()
+}
+
+// SpanHandle is an in-flight span; End records it on the trace.
+type SpanHandle struct {
+	tr      *Trace
+	span    Span
+	started time.Time
+	done    atomic.Bool
+}
+
+// Begin starts a span at the current instant.
+func (tr *Trace) Begin(name, site string) *SpanHandle {
+	now := time.Now()
+	return &SpanHandle{
+		tr:      tr,
+		started: now,
+		span:    Span{Name: name, Site: site, StartMicros: tr.Since(now)},
+	}
+}
+
+// AddBytes accumulates the span's volume counters.
+func (h *SpanHandle) AddBytes(netBytes, dbBytes, codeBytes int64) {
+	h.span.NetBytes += netBytes
+	h.span.DBBytes += dbBytes
+	h.span.CodeBytes += codeBytes
+}
+
+// AddTuples accumulates the span's tuple counter.
+func (h *SpanHandle) AddTuples(n int64) { h.span.Tuples += n }
+
+// End finishes the span and records it. Safe to call more than once;
+// only the first call records.
+func (h *SpanHandle) End() {
+	if h == nil || !h.done.CompareAndSwap(false, true) {
+		return
+	}
+	h.span.DurMicros = time.Since(h.started).Microseconds()
+	h.tr.Add(h.span)
+}
+
+// Spans returns a copy of the recorded spans sorted by start offset
+// (ties broken by site then name, keeping the order stable).
+func (tr *Trace) Spans() []Span {
+	tr.mu.Lock()
+	out := make([]Span, len(tr.spans))
+	copy(out, tr.spans)
+	tr.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].StartMicros != out[j].StartMicros {
+			return out[i].StartMicros < out[j].StartMicros
+		}
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// TakeSpans returns the recorded spans and clears the trace, for
+// senders that report spans incrementally (the DAP reports at each EOS).
+func (tr *Trace) TakeSpans() []Span {
+	tr.mu.Lock()
+	out := tr.spans
+	tr.spans = nil
+	tr.mu.Unlock()
+	return out
+}
+
+// NetBytes sums the spans' network volumes. By construction of the QPC's
+// span assembly this equals the query's measured CVDT.
+func (tr *Trace) NetBytes() int64 {
+	var n int64
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, s := range tr.spans {
+		n += s.NetBytes
+	}
+	return n
+}
+
+// DBBytes sums the spans' source-read volumes (the CVDA counterpart).
+func (tr *Trace) DBBytes() int64 {
+	var n int64
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	for _, s := range tr.spans {
+		n += s.DBBytes
+	}
+	return n
+}
+
+// Render formats the trace as an aligned timeline table. Spans are
+// ordered deterministically (site, then canonical phase order, then
+// start) so renderings of the same plan are comparable across runs.
+func (tr *Trace) Render() string {
+	spans := tr.Spans()
+	sort.SliceStable(spans, func(i, j int) bool {
+		if spans[i].Site != spans[j].Site {
+			return spans[i].Site < spans[j].Site
+		}
+		ri, rj := phaseRank(spans[i].Name), phaseRank(spans[j].Name)
+		if ri != rj {
+			return ri < rj
+		}
+		if spans[i].Name != spans[j].Name {
+			return spans[i].Name < spans[j].Name
+		}
+		return spans[i].StartMicros < spans[j].StartMicros
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: %d spans\n", tr.ID, len(spans))
+	rows := make([][6]string, 0, len(spans))
+	header := [6]string{"span", "site", "start", "dur", "net bytes", "tuples"}
+	widths := [6]int{}
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, s := range spans {
+		site := s.Site
+		if site == "" {
+			site = "qpc"
+		}
+		row := [6]string{
+			s.Name, site,
+			fmt.Sprintf("%.1fms", float64(s.StartMicros)/1000),
+			fmt.Sprintf("%.1fms", float64(s.DurMicros)/1000),
+			fmt.Sprintf("%d", s.NetBytes),
+			fmt.Sprintf("%d", s.Tuples),
+		}
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+		rows = append(rows, row)
+	}
+	line := func(cells [6]string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// phaseRank orders span names by execution phase for rendering.
+func phaseRank(name string) int {
+	switch {
+	case name == "plan":
+		return 0
+	case name == "deploy":
+		return 1
+	case strings.HasPrefix(name, "keys:"):
+		return 2
+	case name == "stream":
+		return 3
+	case name == "pipeline":
+		return 4
+	case strings.HasPrefix(name, "dap:"):
+		return 5
+	}
+	return 6
+}

@@ -1,0 +1,54 @@
+package qpc
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"mocha/internal/core"
+	"mocha/internal/obs"
+	"mocha/internal/types"
+)
+
+// Analyze executes sql, discarding result rows, and returns the stats
+// and assembled cross-site trace — the machinery behind EXPLAIN ANALYZE.
+func (s *Server) Analyze(ctx context.Context, sql string) (*core.Plan, *QueryStats, *obs.Trace, error) {
+	q, err := s.Prepare(sql)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	stats, trace, err := q.RunTraced(ctx, func(types.Tuple) error { return nil })
+	if err != nil {
+		return q.Plan, nil, trace, err
+	}
+	return q.Plan, stats, trace, nil
+}
+
+// ExplainAnalyze executes sql and renders the plan, the measured
+// execution breakdown, and the per-fragment span timeline.
+func (s *Server) ExplainAnalyze(ctx context.Context, sql string) (string, error) {
+	plan, stats, trace, err := s.Analyze(ctx, sql)
+	if err != nil {
+		return "", err
+	}
+	return RenderAnalysis(plan, stats, trace), nil
+}
+
+// RenderAnalysis formats an EXPLAIN ANALYZE report: the optimizer's plan
+// rendering followed by the measured time/volume breakdown and the
+// cross-site span timeline.
+func RenderAnalysis(plan *core.Plan, stats *QueryStats, trace *obs.Trace) string {
+	var b strings.Builder
+	b.WriteString(strings.TrimRight(core.Explain(plan), "\n"))
+	b.WriteString("\n\n")
+	fmt.Fprintf(&b, "executed: total %.1fms (plan %.1f, deploy %.1f, db %.1f, cpu %.1f, net %.1f, join %.1f, misc %.1f)\n",
+		stats.TotalMS, stats.PlanMS, stats.DeployMS, stats.DBMS, stats.CPUMS,
+		stats.NetMS, stats.JoinMS, stats.MiscMS)
+	fmt.Fprintf(&b, "volumes: cvda %d B, cvdt %d B, cvrf %.4f, result %d tuples / %d B\n",
+		stats.CVDA, stats.CVDT, stats.CVRF(), stats.ResultTuples, stats.ResultBytes)
+	fmt.Fprintf(&b, "code shipping: %d classes / %d B shipped, %d cache hits\n",
+		stats.CodeClassesShipped, stats.CodeBytesShipped, stats.CacheHits)
+	b.WriteString("\n")
+	b.WriteString(trace.Render())
+	return b.String()
+}

@@ -130,7 +130,7 @@ func (h *chaosHarness) executeWithin(t *testing.T, wall time.Duration, sql strin
 func TestChaosFaultMatrix(t *testing.T) {
 	cases := []struct {
 		name   string
-		target string         // faulted link
+		target string // faulted link
 		plan   *netsim.FaultPlan
 		sql    string
 		tune   func(*Config)

@@ -18,6 +18,10 @@ type dapSession struct {
 	conn *wire.Conn
 	// release detaches the connection from the query context.
 	release func()
+	// openOff is the session-open offset on the query's trace timeline,
+	// in microseconds. DAP-reported spans are relative to the session
+	// open; adding openOff re-anchors them onto the QPC's timeline.
+	openOff int64
 }
 
 // dial opens a transport connection to a DAP address, preferring the
@@ -29,10 +33,11 @@ func (s *Server) dial(ctx context.Context, addr string) (net.Conn, error) {
 	return s.cfg.Dial(addr)
 }
 
-// openSession dials a DAP and completes the HELLO handshake. The
-// session's frame I/O is bounded by the configured FrameTimeout and by
-// ctx's deadline; cancelling ctx aborts any in-flight exchange.
-func (s *Server) openSession(ctx context.Context, site string) (*dapSession, error) {
+// openSession dials a DAP and completes the HELLO handshake, announcing
+// the query's trace ID so the DAP tags its spans with it. The session's
+// frame I/O is bounded by the configured FrameTimeout and by ctx's
+// deadline; cancelling ctx aborts any in-flight exchange.
+func (s *Server) openSession(ctx context.Context, site, traceID string) (*dapSession, error) {
 	def, ok := s.cfg.Cat.SiteByName(site)
 	if !ok {
 		return nil, fmt.Errorf("qpc: unknown site %q", site)
@@ -42,9 +47,10 @@ func (s *Server) openSession(ctx context.Context, site string) (*dapSession, err
 		return nil, fmt.Errorf("qpc: dial %s: %w", def.Addr, err)
 	}
 	conn := wire.NewConn(nc)
+	conn.Instrument(s.cfg.Metrics, "qpc_wire")
 	conn.SetFrameTimeout(s.cfg.FrameTimeout, s.cfg.FrameTimeout)
 	ds := &dapSession{site: site, conn: conn, release: conn.Bind(ctx)}
-	hello, err := wire.EncodeXML(&wire.Hello{Role: "qpc", Site: "qpc"})
+	hello, err := wire.EncodeXML(&wire.Hello{Role: "qpc", Site: "qpc", Trace: traceID})
 	if err != nil {
 		ds.close()
 		return nil, err
@@ -130,20 +136,24 @@ func (ds *dapSession) deployPlan(frag *core.Fragment) error {
 	return err
 }
 
-// sendSemiJoinKeys delivers the key set for semi-join filtering.
-func (ds *dapSession) sendSemiJoinKeys(keys []types.Tuple, stats *QueryStats) error {
+// sendSemiJoinKeys delivers the key set for semi-join filtering,
+// returning the key bytes that crossed the network (the caller records
+// them on the trace; they were counted into CVDT here).
+func (ds *dapSession) sendSemiJoinKeys(keys []types.Tuple, stats *QueryStats) (int64, error) {
 	payload := wire.EncodeBatch(keys)
 	if err := ds.conn.Send(wire.MsgSemiJoinKeys, payload); err != nil {
-		return err
+		return 0, err
 	}
 	// Key delivery is real data movement: count it into CVDT.
+	var keyBytes int64
 	for _, k := range keys {
-		stats.CVDT += int64(k.WireSize())
+		keyBytes += int64(k.WireSize())
 	}
+	stats.CVDT += keyBytes
 	if _, err := ds.conn.Expect(wire.MsgAck); err != nil {
-		return err
+		return 0, err
 	}
-	return nil
+	return keyBytes, nil
 }
 
 // activate starts fragment execution and returns a batch reader over its
@@ -161,13 +171,15 @@ func (ds *dapSession) activate(out types.Schema) (*wire.BatchReader, error) {
 // partial stats). countVolumes controls whether the fragment's byte
 // counts enter CVDA/CVDT (the semi-join key phase contributes time but
 // its accesses are bookkeeping, not the experiment's logical volumes).
-func drainStats(r *wire.BatchReader, stats *QueryStats, countVolumes bool) error {
+// The decoded report is returned so the caller can record trace spans
+// from it.
+func drainStats(r *wire.BatchReader, stats *QueryStats, countVolumes bool) (*wire.ExecStats, error) {
 	if r.EOSPayload == nil {
-		return fmt.Errorf("qpc: fragment stream ended without stats")
+		return nil, fmt.Errorf("qpc: fragment stream ended without stats")
 	}
 	var es wire.ExecStats
 	if err := wire.DecodeXML(r.EOSPayload, &es); err != nil {
-		return err
+		return nil, err
 	}
 	r.EOSPayload = nil
 	stats.DBMS += float64(es.DBMicros) / 1000
@@ -180,11 +192,12 @@ func drainStats(r *wire.BatchReader, stats *QueryStats, countVolumes bool) error
 	} else {
 		stats.CVDT += es.BytesSent // keys really cross the network
 	}
-	return nil
+	return &es, nil
 }
 
-// runKeyPhase executes a key-projection fragment and returns the key set.
-func (s *Server) runKeyPhase(ds *dapSession, main *core.Fragment, stats *QueryStats) ([]types.Tuple, error) {
+// runKeyPhase executes a key-projection fragment, returning the key set
+// and the DAP's stats report for the phase (trace span material).
+func (s *Server) runKeyPhase(ds *dapSession, main *core.Fragment, stats *QueryStats) ([]types.Tuple, *wire.ExecStats, error) {
 	keyCol := main.SemiJoinCol
 	keyFrag := &core.Fragment{
 		Site:        main.Site,
@@ -201,25 +214,25 @@ func (s *Server) runKeyPhase(ds *dapSession, main *core.Fragment, stats *QuerySt
 		OutSchema: types.NewSchema(types.Column{Name: "key", Kind: main.InSchema.Columns[keyCol].Kind}),
 	}
 	if err := ds.deployPlan(keyFrag); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	reader, err := ds.activate(keyFrag.OutSchema)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	seen := map[uint64][]types.Object{}
 	var keys []types.Tuple
 	for {
 		tup, err := reader.Next()
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		if tup == nil {
 			break
 		}
 		k, ok := tup[0].(types.Small)
 		if !ok {
-			return nil, fmt.Errorf("qpc: semi-join key of kind %v", tup[0].Kind())
+			return nil, nil, fmt.Errorf("qpc: semi-join key of kind %v", tup[0].Kind())
 		}
 		h := k.Hash()
 		dup := false
@@ -234,10 +247,11 @@ func (s *Server) runKeyPhase(ds *dapSession, main *core.Fragment, stats *QuerySt
 			keys = append(keys, tup)
 		}
 	}
-	if err := drainStats(reader, stats, false); err != nil {
-		return nil, err
+	es, err := drainStats(reader, stats, false)
+	if err != nil {
+		return nil, nil, err
 	}
-	return keys, nil
+	return keys, es, nil
 }
 
 // intersectKeys returns the tuples of a whose key appears in b.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mocha/internal/core"
+	"mocha/internal/obs"
 	"mocha/internal/types"
 	"mocha/internal/wire"
 )
@@ -18,9 +19,13 @@ type planExec struct {
 	srv   *Server
 	plan  *core.Plan
 	stats *QueryStats
+	trace *obs.Trace
 
 	sessions []*dapSession
 	readers  []*wire.BatchReader
+	// activateOff[i] is reader i's activation offset on the trace
+	// timeline, the start of its stream span.
+	activateOff []int64
 }
 
 // errLimitReached aborts the pipeline once LIMIT rows were produced.
@@ -36,9 +41,11 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 			cancel()
 			// Salvage the measurements of fragments that did finish, so a
 			// partially executed query still reports what it moved.
-			for _, r := range e.readers {
+			for i, r := range e.readers {
 				if r != nil && r.EOSPayload != nil {
-					_ = drainStats(r, e.stats, true)
+					if e.drainFragment(i, r, true) == nil {
+						e.srv.met.sessionsSalvaged.Inc()
+					}
 				}
 			}
 		}
@@ -56,6 +63,8 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	// a fresh connection under the policy's shared per-query budget.
 	policy := e.srv.cfg.Retry
 	budget := newRetryBudget(policy)
+	budget.retries = e.srv.met.retries
+	budget.exhausted = e.srv.met.retryExhausted
 	err = timedPhase(e.stats, func() error {
 		e.sessions = make([]*dapSession, len(e.plan.Fragments))
 		partials := make([]QueryStats, len(e.plan.Fragments))
@@ -68,14 +77,26 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 				frag := e.plan.Fragments[i]
 				what := fmt.Sprintf("qpc: session setup at %s", frag.Site)
 				errs[i] = retryTransient(execCtx, policy, budget, what, func() error {
-					ds, err := e.srv.openSession(execCtx, frag.Site)
+					// A retried attempt starts its accounting from scratch:
+					// the aborted attempt's cache checks and shipped classes
+					// must not inflate the query's counters (the shipped
+					// bytes it wasted go to a process metric instead).
+					if partials[i] != (QueryStats{}) {
+						e.srv.met.wastedCodeBytes.Add(int64(partials[i].CodeBytesShipped))
+						partials[i] = QueryStats{}
+					}
+					span := e.trace.Begin("deploy", frag.Site)
+					ds, err := e.srv.openSession(execCtx, frag.Site, e.trace.ID)
 					if err != nil {
 						return err
 					}
+					ds.openOff = e.trace.Since(time.Now())
 					if err := e.srv.deployCode(ds, frag.Code, &partials[i]); err != nil {
 						ds.close()
 						return err
 					}
+					span.AddBytes(0, 0, int64(partials[i].CodeBytesShipped))
+					span.End()
 					e.sessions[i] = ds
 					return nil
 				})
@@ -108,18 +129,22 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 		// Both key projections run concurrently, one per site.
 		var keySets [2][]types.Tuple
 		var keyStats [2]QueryStats
+		var keyES [2]*wire.ExecStats
 		var keyErrs [2]error
 		var kwg sync.WaitGroup
 		for i := 0; i < 2; i++ {
 			kwg.Add(1)
 			go func(i int) {
 				defer kwg.Done()
-				keySets[i], keyErrs[i] = e.srv.runKeyPhase(e.sessions[i], e.plan.Fragments[i], &keyStats[i])
+				keySets[i], keyES[i], keyErrs[i] = e.srv.runKeyPhase(e.sessions[i], e.plan.Fragments[i], &keyStats[i])
 			}(i)
 		}
 		kwg.Wait()
 		for i := 0; i < 2; i++ {
 			e.stats.mergeTimesAndVolumes(&keyStats[i])
+			if keyES[i] != nil {
+				e.recordRemoteSpans("keys:recv", e.sessions[i], keyES[i], e.sessions[i].openOff)
+			}
 			if keyErrs[i] != nil {
 				return fmt.Errorf("qpc: key phase at %s: %w", e.plan.Fragments[i].Site, keyErrs[i])
 			}
@@ -131,9 +156,14 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 			if err := ds.deployPlan(e.plan.Fragments[i]); err != nil {
 				return err
 			}
-			if err := ds.sendSemiJoinKeys(common, e.stats); err != nil {
+			span := e.trace.Begin("keys:send", ds.site)
+			keyBytes, err := ds.sendSemiJoinKeys(common, e.stats)
+			if err != nil {
 				return err
 			}
+			span.AddBytes(keyBytes, 0, 0)
+			span.AddTuples(int64(len(common)))
+			span.End()
 		}
 	} else {
 		err := timedPhase(e.stats, func() error {
@@ -156,11 +186,15 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 			return err
 		}
 		e.readers = append(e.readers, r)
+		e.activateOff = append(e.activateOff, e.trace.Since(time.Now()))
 	}
 
 	// Phase 4: QPC pipeline.
-	if err := e.pipeline(execCtx, emit); err != nil && err != errLimitReached {
-		return err
+	span := e.trace.Begin("pipeline", "")
+	perr := e.pipeline(execCtx, emit)
+	span.End()
+	if perr != nil && perr != errLimitReached {
+		return perr
 	}
 
 	// Phase 5: drain stats from every fragment stream.
@@ -178,11 +212,46 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 				}
 			}
 		}
-		if err := drainStats(r, e.stats, true); err != nil {
+		if err := e.drainFragment(i, r, true); err != nil {
 			return fmt.Errorf("qpc: stats from fragment %d: %w", i, err)
 		}
 	}
 	return nil
+}
+
+// drainFragment folds one fragment stream's EOS report into the query
+// stats and records its trace spans: a QPC-side stream span carrying the
+// fragment's wire volume, plus the DAP's own spans re-anchored onto the
+// query timeline.
+func (e *planExec) drainFragment(i int, r *wire.BatchReader, countVolumes bool) error {
+	es, err := drainStats(r, e.stats, countVolumes)
+	if err != nil {
+		return err
+	}
+	e.recordRemoteSpans("stream", e.sessions[i], es, e.activateOff[i])
+	return nil
+}
+
+// recordRemoteSpans records the QPC-side span for a remote phase and
+// imports the DAP's spans from its EOS report. The QPC-side span alone
+// carries the phase's network volume; imported spans have their NetBytes
+// cleared so summing the trace's NetBytes reproduces exactly the CVDT
+// the stats accumulated — each wire byte is counted by one span.
+func (e *planExec) recordRemoteSpans(name string, ds *dapSession, es *wire.ExecStats, startOff int64) {
+	dur := e.trace.Since(time.Now()) - startOff
+	if dur < 0 {
+		dur = 0
+	}
+	e.trace.Add(obs.Span{
+		Name: name, Site: ds.site,
+		StartMicros: startOff, DurMicros: dur,
+		NetBytes: es.BytesSent, Tuples: es.TuplesSent,
+	})
+	for _, s := range wire.SpansFromXML(es.Spans) {
+		s.StartMicros += ds.openOff
+		s.NetBytes = 0
+		e.trace.Add(s)
+	}
 }
 
 // pipeline consumes the remote streams and applies QPC-side operators.

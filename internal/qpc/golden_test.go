@@ -1,0 +1,106 @@
+package qpc
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"mocha/internal/core"
+)
+
+// Golden-file coverage for the EXPLAIN and EXPLAIN ANALYZE renderings.
+// Regenerate with:
+//
+//	go test ./internal/qpc -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+var (
+	traceIDRe = regexp.MustCompile(`q[0-9a-f]{8}-[0-9a-f]{4}`)
+	msRe      = regexp.MustCompile(`\d+\.\d+ms`)
+	floatRe   = regexp.MustCompile(`\d+\.\d+`)
+	spaceRe   = regexp.MustCompile(`[ \t]+`)
+)
+
+// normalizeAnalysis strips everything nondeterministic from an EXPLAIN
+// ANALYZE report — trace IDs, wall-clock timings, and the column padding
+// derived from them — while keeping the structure, span names, sites,
+// byte volumes and tuple counts, which are all deterministic.
+func normalizeAnalysis(s string) string {
+	s = traceIDRe.ReplaceAllString(s, "q<ID>")
+	s = msRe.ReplaceAllString(s, "#ms")
+	s = floatRe.ReplaceAllString(s, "#")
+	var out []string
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		out = append(out, strings.TrimRight(spaceRe.ReplaceAllString(line, " "), " "))
+	}
+	return strings.Join(out, "\n") + "\n"
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("output diverges from %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenExplain(t *testing.T) {
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"explain_scan_predicate", "SELECT time, AvgEnergy(image) FROM Rasters WHERE AvgEnergy(image) < 100"},
+		{"explain_aggregate", "SELECT band, Count(time) FROM Rasters GROUP BY band"},
+		{"explain_inflate", "SELECT time, IncrRes(image, 2) FROM Rasters"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := testQPC(t, core.StrategyAuto)
+			text, err := s.Explain(tc.sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Plans are deterministic; only normalize cost floats so
+			// estimator refinements don't churn the structural golden.
+			got := normalizeAnalysis(text)
+			checkGolden(t, tc.name, got)
+		})
+	}
+}
+
+func TestGoldenExplainAnalyze(t *testing.T) {
+	t.Run("single_site", func(t *testing.T) {
+		s := testQPC(t, core.StrategyAuto)
+		text, err := s.ExplainAnalyze(context.Background(), "SELECT time, AvgEnergy(image) FROM Rasters WHERE AvgEnergy(image) < 100")
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "explain_analyze_single_site", normalizeAnalysis(text))
+	})
+	t.Run("two_site_join", func(t *testing.T) {
+		h := newChaosHarness(t, nil)
+		text, err := h.srv.ExplainAnalyze(context.Background(), joinQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "explain_analyze_two_site_join", normalizeAnalysis(text))
+	})
+}

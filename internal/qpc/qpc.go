@@ -15,6 +15,7 @@ import (
 
 	"mocha/internal/catalog"
 	"mocha/internal/core"
+	"mocha/internal/obs"
 	"mocha/internal/sqlparser"
 	"mocha/internal/types"
 )
@@ -45,6 +46,9 @@ type Config struct {
 	// (dial, HELLO, CODE_CHECK/DEPLOY_CODE). The zero value takes
 	// DefaultRetryPolicy; MaxAttempts=1 disables retries.
 	Retry RetryPolicy
+	// Metrics receives the server's qpc_* counters and wire traffic
+	// counters. Nil uses the process-wide obs.Default() registry.
+	Metrics *obs.Registry
 	// Logf, when set, receives diagnostic output.
 	Logf func(format string, args ...any)
 }
@@ -53,6 +57,21 @@ type Config struct {
 type Server struct {
 	cfg Config
 	opt *core.Optimizer
+	met qpcMetrics
+}
+
+// qpcMetrics caches the server's registry handles. The retry counters
+// make the PR 1 robustness layer observable: how often setup phases were
+// retried, how often a query ran out of retry budget, and how much
+// shipped code a failed attempt wasted.
+type qpcMetrics struct {
+	queriesTotal     *obs.Counter
+	queriesFailed    *obs.Counter
+	retries          *obs.Counter
+	retryExhausted   *obs.Counter
+	sessionsSalvaged *obs.Counter
+	wastedCodeBytes  *obs.Counter
+	queryMS          *obs.Histogram
 }
 
 // New creates a QPC.
@@ -61,13 +80,28 @@ func New(cfg Config) *Server {
 		cfg.Logf = func(string, ...any) {}
 	}
 	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.Default()
+	}
 	opt := core.NewOptimizer(cfg.Cat)
 	opt.Strategy = cfg.Strategy
 	if cfg.Model != (core.CostModel{}) {
 		opt.Model = cfg.Model
 	}
-	return &Server{cfg: cfg, opt: opt}
+	r := cfg.Metrics
+	return &Server{cfg: cfg, opt: opt, met: qpcMetrics{
+		queriesTotal:     r.Counter("qpc_queries_total"),
+		queriesFailed:    r.Counter("qpc_queries_failed"),
+		retries:          r.Counter("qpc_retries"),
+		retryExhausted:   r.Counter("qpc_retry_budget_exhausted"),
+		sessionsSalvaged: r.Counter("qpc_sessions_salvaged"),
+		wastedCodeBytes:  r.Counter("qpc_retry_wasted_code_bytes"),
+		queryMS:          r.Histogram("qpc_query_ms"),
+	}}
 }
+
+// Metrics returns the server's registry (SHOW METRICS payload).
+func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
 
 // QueryStats is the measured execution breakdown, mirroring section 5.2:
 // DB, CPU, Net and Misc time components plus the volume measurements
@@ -112,6 +146,9 @@ type Result struct {
 	Rows   []types.Tuple
 	Stats  QueryStats
 	Plan   *core.Plan
+	// Trace is the query's cross-site span timeline (EXPLAIN ANALYZE
+	// raw material). Its summed span NetBytes equal Stats.CVDT.
+	Trace *obs.Trace
 }
 
 // Query is a prepared (parsed, bound, optimized) query.
@@ -160,7 +197,7 @@ func (s *Server) ExecuteContext(ctx context.Context, sql string) (*Result, error
 		return nil, err
 	}
 	res := &Result{Schema: q.Schema, Plan: q.Plan}
-	stats, err := q.RunContext(ctx, func(t types.Tuple) error {
+	stats, trace, err := q.RunTraced(ctx, func(t types.Tuple) error {
 		res.Rows = append(res.Rows, t)
 		return nil
 	})
@@ -168,6 +205,7 @@ func (s *Server) ExecuteContext(ctx context.Context, sql string) (*Result, error
 		return nil, err
 	}
 	res.Stats = *stats
+	res.Trace = trace
 	return res, nil
 }
 
@@ -190,24 +228,36 @@ func (q *Query) Run(emit func(types.Tuple) error) (*QueryStats, error) {
 // each result row in order. The configured QueryTimeout (when set) is
 // layered onto the caller's context.
 func (q *Query) RunContext(ctx context.Context, emit func(types.Tuple) error) (*QueryStats, error) {
+	stats, _, err := q.RunTraced(ctx, emit)
+	return stats, err
+}
+
+// RunTraced executes like RunContext and additionally returns the
+// query's trace: the cross-site span timeline assembled from the QPC's
+// own phases and every DAP session's reported spans.
+func (q *Query) RunTraced(ctx context.Context, emit func(types.Tuple) error) (*QueryStats, *obs.Trace, error) {
 	start := time.Now()
 	if d := q.srv.cfg.QueryTimeout; d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
+	q.srv.met.queriesTotal.Inc()
 	stats := &QueryStats{PlanMS: q.planMS}
-	exec := &planExec{srv: q.srv, plan: q.Plan, stats: stats}
+	trace := obs.NewTrace("")
+	exec := &planExec{srv: q.srv, plan: q.Plan, stats: stats, trace: trace}
 	if err := exec.run(ctx, emit); err != nil {
+		q.srv.met.queriesFailed.Inc()
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return nil, fmt.Errorf("qpc: query aborted after %s (deadline exceeded): %w",
+			return nil, trace, fmt.Errorf("qpc: query aborted after %s (deadline exceeded): %w",
 				time.Since(start).Round(time.Millisecond), err)
 		}
-		return nil, err
+		return nil, trace, err
 	}
 	stats.TotalMS = float64(time.Since(start).Microseconds())/1000 + q.planMS
 	stats.MiscMS += q.planMS + stats.DeployMS
-	return stats, nil
+	q.srv.met.queryMS.Observe(int64(stats.TotalMS))
+	return stats, trace, nil
 }
 
 // sortRows orders materialized rows by the plan's ORDER BY keys.

@@ -1,0 +1,105 @@
+package qpc
+
+// Regression coverage for QueryStats accounting under retried fragment
+// setup. A flaky-then-recover link kills the QPC's first connection to a
+// site partway through deployment; the retry must start its accounting
+// from scratch so the aborted attempt's cache checks and shipped classes
+// never inflate the query's counters (the double-count this pins was:
+// partials[i] accumulated across retry attempts before being merged).
+
+import (
+	"testing"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/netsim"
+)
+
+// codeShipQuery ships AvgEnergy's class to site1 before streaming.
+const codeShipQuery = `SELECT time, AvgEnergy(image) FROM Rasters WHERE AvgEnergy(image) < 200`
+
+func forceCodeShip(c *Config) {
+	c.Strategy = core.StrategyCodeShip
+	// Compiling the shipped operator on the DAP makes its first response
+	// slow under -race; keep the frame bound comfortably above that.
+	c.FrameTimeout = 2 * time.Second
+}
+
+func TestFlakyThenRecoverStatsExact(t *testing.T) {
+	// Clean baseline: what one execution of the query legitimately moves.
+	h0 := newChaosHarness(t, forceCodeShip)
+	base, err := h0.executeWithin(t, 5*time.Second, codeShipQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.CodeClassesShipped == 0 {
+		t.Fatal("baseline shipped no code; the regression needs a code-shipping query")
+	}
+	// Every code reference in the plan is either shipped or a cache hit.
+	refs := base.Stats.CodeClassesShipped + base.Stats.CacheHits
+
+	// Sweep the drop threshold across the deployment exchange: small
+	// values kill the connection during HELLO/code-check, larger ones
+	// during or after DEPLOY_CODE. Wherever the first connection dies,
+	// the retried query must report exactly the clean run's volumes.
+	recovered := 0
+	for _, threshold := range []int64{64, 256, 1024, 4096, 16384} {
+		h := newChaosHarness(t, forceCodeShip)
+		h.network.SetFault("dap1", &netsim.FaultPlan{DropFirstConnAfterBytes: threshold})
+		res, err := h.executeWithin(t, 5*time.Second, codeShipQuery)
+		if err != nil {
+			// The drop struck after activation, where retrying could
+			// duplicate source work — a clean, prompt failure is the
+			// correct outcome there.
+			t.Logf("threshold %d: failed cleanly: %v", threshold, err)
+			continue
+		}
+		recovered++
+		if res.Stats.CVDT != base.Stats.CVDT {
+			t.Errorf("threshold %d: CVDT %d after recovery, clean run moved %d",
+				threshold, res.Stats.CVDT, base.Stats.CVDT)
+		}
+		if res.Stats.CVDA != base.Stats.CVDA {
+			t.Errorf("threshold %d: CVDA %d after recovery, clean run read %d",
+				threshold, res.Stats.CVDA, base.Stats.CVDA)
+		}
+		// The aborted attempt may have populated the DAP's code cache, so
+		// the retry can legitimately ship fewer classes — but the total
+		// refs are invariant, and counting the wasted attempt again would
+		// push shipped bytes above the clean run's.
+		if got := res.Stats.CodeClassesShipped + res.Stats.CacheHits; got != refs {
+			t.Errorf("threshold %d: classes shipped %d + cache hits %d = %d, want %d",
+				threshold, res.Stats.CodeClassesShipped, res.Stats.CacheHits, got, refs)
+		}
+		if res.Stats.CodeBytesShipped > base.Stats.CodeBytesShipped {
+			t.Errorf("threshold %d: %d code bytes counted, clean run shipped %d — retried attempt double-counted",
+				threshold, res.Stats.CodeBytesShipped, base.Stats.CodeBytesShipped)
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no threshold in the sweep recovered; the fault never struck during deployment")
+	}
+}
+
+// TestFlakyThenRecoverWastedBytesMetric verifies the wasted bytes of an
+// aborted deployment attempt surface in the process metric rather than
+// the query's stats.
+func TestFlakyThenRecoverWastedBytesMetric(t *testing.T) {
+	h := newChaosHarness(t, forceCodeShip)
+	// Large enough that HELLO survives but the code-deployment exchange
+	// crosses the threshold mid-ship.
+	h.network.SetFault("dap1", &netsim.FaultPlan{DropFirstConnAfterBytes: 256})
+	res, err := h.executeWithin(t, 5*time.Second, codeShipQuery)
+	if err != nil {
+		t.Skipf("drop struck post-activation: %v", err)
+	}
+	wasted := h.srv.Metrics().Counter("qpc_retry_wasted_code_bytes").Value()
+	retries := h.srv.Metrics().Counter("qpc_retries").Value()
+	if retries == 0 {
+		t.Fatal("query succeeded without retrying; fault did not strike")
+	}
+	t.Logf("retries=%d wasted_code_bytes=%d shipped=%d", retries, wasted, res.Stats.CodeBytesShipped)
+	if wasted < 0 {
+		t.Fatalf("wasted code bytes negative: %d", wasted)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"mocha/internal/obs"
 	"mocha/internal/wire"
 )
 
@@ -121,9 +122,15 @@ func (p RetryPolicy) sleep(ctx context.Context, d time.Duration) error {
 }
 
 // retryBudget is the per-query pool of retries shared by all fragments.
+// The optional counters make retry behaviour observable process-wide:
+// retries counts tokens consumed, exhausted counts operations denied a
+// retry because the pool ran dry.
 type retryBudget struct {
 	mu        sync.Mutex
 	remaining int
+
+	retries   *obs.Counter
+	exhausted *obs.Counter
 }
 
 func newRetryBudget(p RetryPolicy) *retryBudget {
@@ -139,9 +146,15 @@ func (b *retryBudget) take() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.remaining <= 0 {
+		if b.exhausted != nil {
+			b.exhausted.Inc()
+		}
 		return false
 	}
 	b.remaining--
+	if b.retries != nil {
+		b.retries.Inc()
+	}
 	return true
 }
 

@@ -1,6 +1,7 @@
 package qpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -66,10 +67,24 @@ func (s *Server) handleClient(nc net.Conn) error {
 }
 
 func (s *Server) serveQuery(conn *wire.Conn, sql string) error {
+	// EXPLAIN ANALYZE <query> executes the query, discarding rows, and
+	// returns the plan with the measured breakdown and span timeline.
+	// Checked before the plain EXPLAIN prefix, which it extends.
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "EXPLAIN ANALYZE "); ok {
+		text, err := s.ExplainAnalyze(context.Background(), rest)
+		if err != nil {
+			return err
+		}
+		return s.sendTextResult(conn, "plan", text)
+	}
 	// EXPLAIN <query> returns the optimizer's plan rendering as a
 	// one-column result instead of executing.
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "EXPLAIN "); ok {
 		return s.serveExplain(conn, rest)
+	}
+	// SHOW METRICS dumps the server's metrics registry.
+	if strings.EqualFold(strings.TrimSpace(sql), "SHOW METRICS") {
+		return s.sendTextResult(conn, "metric", s.cfg.Metrics.Render())
 	}
 	// DESCRIBE <resource> returns the catalog's RDF document for a table
 	// or operator (section 3.5's (URI, RDF) resource descriptions).

@@ -1,0 +1,231 @@
+package types
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based (de)serialization coverage: for every middleware object
+// kind, encoding a randomly generated value and decoding it back must
+// reproduce the value bit-for-bit, consume exactly WireSize bytes, and
+// survive a second encode unchanged. testing/quick drives the generator
+// so the corpus differs every run while staying reproducible on failure.
+
+// allKinds lists every kind DecodeValue can round-trip.
+var allKinds = []Kind{
+	KindNull, KindBool, KindInt, KindDouble, KindString, KindBytes,
+	KindPoint, KindRectangle, KindPolygon, KindGraph, KindRaster,
+}
+
+// randomValue builds a random object of the given kind. size bounds the
+// payload of variable-length kinds.
+func randomValue(r *rand.Rand, k Kind, size int) Object {
+	if size < 1 {
+		size = 1
+	}
+	switch k {
+	case KindNull:
+		return Null{}
+	case KindBool:
+		return Bool(r.Intn(2) == 1)
+	case KindInt:
+		return Int(int32(r.Uint32()))
+	case KindDouble:
+		// Exercise the full bit space, including NaNs and infinities —
+		// the wire format is bit-preserving, so they must survive.
+		return Double(math.Float64frombits(r.Uint64()))
+	case KindString:
+		b := make([]byte, r.Intn(size))
+		for i := range b {
+			b[i] = byte('a' + r.Intn(26))
+		}
+		return String_(b)
+	case KindBytes:
+		b := make([]byte, r.Intn(size))
+		r.Read(b)
+		return Bytes(b)
+	case KindPoint:
+		return Point{X: float32(r.NormFloat64()), Y: float32(r.NormFloat64())}
+	case KindRectangle:
+		return Rectangle{
+			XMin: float32(r.NormFloat64()), YMin: float32(r.NormFloat64()),
+			XMax: float32(r.NormFloat64()), YMax: float32(r.NormFloat64()),
+		}
+	case KindPolygon:
+		pts := make([]Point, r.Intn(size))
+		for i := range pts {
+			pts[i] = Point{X: float32(r.NormFloat64()), Y: float32(r.NormFloat64())}
+		}
+		return NewPolygon(pts)
+	case KindGraph:
+		verts := make([]Point, r.Intn(size))
+		for i := range verts {
+			verts[i] = Point{X: float32(r.NormFloat64()), Y: float32(r.NormFloat64())}
+		}
+		edges := make([]GraphEdge, r.Intn(size))
+		for i := range edges {
+			if len(verts) > 0 {
+				edges[i] = GraphEdge{A: int32(r.Intn(len(verts))), B: int32(r.Intn(len(verts)))}
+			}
+		}
+		return NewGraph(verts, edges)
+	case KindRaster:
+		w, h := r.Intn(size), r.Intn(size)
+		px := make([]byte, w*h)
+		r.Read(px)
+		return NewRaster(w, h, px)
+	}
+	panic("unreachable kind " + k.String())
+}
+
+// quickTuple is a quick.Generator producing a random schema and a
+// matching tuple, so one property covers heterogeneous rows.
+type quickTuple struct {
+	Schema Schema
+	Tuple  Tuple
+}
+
+// Generate implements quick.Generator.
+func (quickTuple) Generate(r *rand.Rand, size int) reflect.Value {
+	arity := 1 + r.Intn(6)
+	qt := quickTuple{}
+	for i := 0; i < arity; i++ {
+		k := allKinds[r.Intn(len(allKinds))]
+		qt.Schema.Columns = append(qt.Schema.Columns, Column{Name: "c", Kind: k})
+		qt.Tuple = append(qt.Tuple, randomValue(r, k, size))
+	}
+	return reflect.ValueOf(qt)
+}
+
+func TestQuickTupleRoundTrip(t *testing.T) {
+	prop := func(qt quickTuple) bool {
+		enc := qt.Tuple.AppendTo(nil)
+		if len(enc) != qt.Tuple.WireSize() {
+			t.Logf("encoded %d bytes, WireSize says %d", len(enc), qt.Tuple.WireSize())
+			return false
+		}
+		dec, n, err := DecodeTuple(qt.Schema, enc)
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		if n != len(enc) {
+			t.Logf("decode consumed %d of %d bytes", n, len(enc))
+			return false
+		}
+		// Re-encoding the decoded tuple must reproduce the original bytes
+		// exactly — bit-level fidelity, stronger than display equality.
+		if !bytes.Equal(enc, dec.AppendTo(nil)) {
+			t.Logf("re-encode differs for %v", qt.Schema)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickValueRoundTripPerKind(t *testing.T) {
+	for _, k := range allKinds {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			prop := func(seed int64, size uint8) bool {
+				r := rand.New(rand.NewSource(seed))
+				v := randomValue(r, k, int(size))
+				enc := v.AppendTo(nil)
+				dec, n, err := DecodeValue(k, enc)
+				if err != nil || n != len(enc) {
+					t.Logf("decode: n=%d err=%v", n, err)
+					return false
+				}
+				return bytes.Equal(enc, dec.AppendTo(nil))
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestLargeObjectSizeBoundaries pins the degenerate and large edges of
+// every variable-length wire format: empty payloads, single elements,
+// and sizes straddling typical buffer boundaries (255/256, 64 KB).
+func TestLargeObjectSizeBoundaries(t *testing.T) {
+	var values []Object
+	for _, n := range []int{0, 1, 255, 256, 65536} {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i)
+		}
+		values = append(values, Bytes(b), String_(b))
+	}
+	for _, n := range []int{0, 1, 255, 256} {
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{X: float32(i), Y: float32(-i)}
+		}
+		values = append(values, NewPolygon(pts))
+		var edges []GraphEdge
+		if n > 0 {
+			edges = make([]GraphEdge, n)
+			for i := range edges {
+				edges[i] = GraphEdge{A: int32(i % n), B: int32((i + 1) % n)}
+			}
+		}
+		values = append(values, NewGraph(pts, edges))
+	}
+	for _, dims := range [][2]int{{0, 0}, {1, 1}, {1, 255}, {256, 1}, {255, 257}} {
+		px := make([]byte, dims[0]*dims[1])
+		for i := range px {
+			px[i] = byte(i * 7)
+		}
+		values = append(values, NewRaster(dims[0], dims[1], px))
+	}
+
+	for _, v := range values {
+		enc := v.AppendTo(nil)
+		if len(enc) != v.WireSize() {
+			t.Fatalf("%v: encoded %d bytes, WireSize %d", v, len(enc), v.WireSize())
+		}
+		dec, err := FromPayload(v.Kind(), enc)
+		if err != nil {
+			t.Fatalf("%v: FromPayload: %v", v, err)
+		}
+		if !bytes.Equal(enc, dec.AppendTo(nil)) {
+			t.Fatalf("%v: boundary round-trip changed the encoding", v)
+		}
+		// Trailing garbage must be rejected, not silently swallowed.
+		if _, err := FromPayload(v.Kind(), append(append([]byte{}, enc...), 0xee)); err == nil && v.Kind() != KindNull {
+			t.Fatalf("%v: trailing byte accepted by FromPayload", v)
+		}
+	}
+}
+
+// TestDecodeTruncatedLargeObjects asserts every truncation of a valid
+// encoding fails cleanly instead of panicking or mis-parsing.
+func TestDecodeTruncatedLargeObjects(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, k := range []Kind{KindString, KindBytes, KindPolygon, KindGraph, KindRaster} {
+		v := randomValue(r, k, 20)
+		enc := v.AppendTo(nil)
+		for cut := 0; cut < len(enc); cut++ {
+			if _, _, err := DecodeValue(k, enc[:cut]); err == nil {
+				// A prefix may itself be a valid shorter value (e.g. a
+				// graph with fewer edges) — but then it must consume
+				// exactly the prefix, never read past it.
+				dec, n, _ := DecodeValue(k, enc[:cut])
+				if n > cut {
+					t.Fatalf("%v: decoder read %d bytes from a %d-byte buffer", k, n, cut)
+				}
+				if dec == nil {
+					t.Fatalf("%v: nil value with nil error at cut %d", k, cut)
+				}
+			}
+		}
+	}
+}

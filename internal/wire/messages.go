@@ -4,6 +4,7 @@ import (
 	"encoding/xml"
 	"fmt"
 
+	"mocha/internal/obs"
 	"mocha/internal/types"
 )
 
@@ -15,6 +16,11 @@ type Hello struct {
 	XMLName xml.Name `xml:"hello"`
 	Role    string   `xml:"role,attr"` // "client" or "qpc"
 	Site    string   `xml:"site,attr"`
+	// Trace carries the query/trace ID the QPC assigned, so spans the
+	// DAP records during this session can be stitched back into the
+	// query's cross-site timeline. Sessions are opened per query, so
+	// tagging the handshake covers every frame that follows.
+	Trace string `xml:"trace,attr,omitempty"`
 }
 
 // CodeCheck asks a DAP which of the listed classes it is missing or holds
@@ -115,6 +121,57 @@ type ExecStats struct {
 	CodeBytesLoaded   int `xml:"code-bytes-loaded"`
 	// CacheHits counts classes satisfied from the DAP's code cache.
 	CacheHits int `xml:"cache-hits"`
+	// Trace echoes the session's trace ID; Spans are the DAP-side phase
+	// timings recorded under it. Span offsets are relative to the DAP's
+	// session start — the QPC re-anchors them onto its own timeline.
+	Trace string    `xml:"trace,attr,omitempty"`
+	Spans []SpanXML `xml:"span,omitempty"`
+}
+
+// SpanXML is the wire form of an obs.Span.
+type SpanXML struct {
+	Name        string `xml:"name,attr"`
+	Site        string `xml:"site,attr,omitempty"`
+	StartMicros int64  `xml:"start,attr"`
+	DurMicros   int64  `xml:"dur,attr"`
+	NetBytes    int64  `xml:"net,attr,omitempty"`
+	DBBytes     int64  `xml:"db,attr,omitempty"`
+	CodeBytes   int64  `xml:"code,attr,omitempty"`
+	Tuples      int64  `xml:"tuples,attr,omitempty"`
+}
+
+// SpansToXML converts trace spans for transmission.
+func SpansToXML(spans []obs.Span) []SpanXML {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]SpanXML, len(spans))
+	for i, s := range spans {
+		out[i] = SpanXML{
+			Name: s.Name, Site: s.Site,
+			StartMicros: s.StartMicros, DurMicros: s.DurMicros,
+			NetBytes: s.NetBytes, DBBytes: s.DBBytes,
+			CodeBytes: s.CodeBytes, Tuples: s.Tuples,
+		}
+	}
+	return out
+}
+
+// SpansFromXML converts received spans back to trace spans.
+func SpansFromXML(spans []SpanXML) []obs.Span {
+	if len(spans) == 0 {
+		return nil
+	}
+	out := make([]obs.Span, len(spans))
+	for i, s := range spans {
+		out[i] = obs.Span{
+			Name: s.Name, Site: s.Site,
+			StartMicros: s.StartMicros, DurMicros: s.DurMicros,
+			NetBytes: s.NetBytes, DBBytes: s.DBBytes,
+			CodeBytes: s.CodeBytes, Tuples: s.Tuples,
+		}
+	}
+	return out
 }
 
 // EncodeXML marshals a control payload.

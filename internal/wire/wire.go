@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"mocha/internal/obs"
 )
 
 // MsgType identifies the kind of a frame.
@@ -91,6 +93,30 @@ type Conn struct {
 	writeTimeout atomic.Int64 // per-frame write bound, ns; 0 = none
 	deadline     atomic.Int64 // absolute cut-off, unix ns; 0 = none
 	abortErr     atomic.Value // error: set once the bound context ends
+
+	metrics atomic.Pointer[connMetrics]
+}
+
+// connMetrics holds cached registry handles so the per-frame hot path is
+// a few atomic adds.
+type connMetrics struct {
+	framesSent, framesRecv *obs.Counter
+	bytesSent, bytesRecvd  *obs.Counter
+	timeouts               *obs.Counter
+}
+
+// Instrument attaches process-level counters for the connection's frame
+// traffic under the given name prefix: <prefix>_frames_sent/_frames_recv,
+// <prefix>_bytes_sent/_bytes_recv, and <prefix>_frame_timeouts. A nil
+// registry detaches the counters but keeps them safe to hit.
+func (c *Conn) Instrument(r *obs.Registry, prefix string) {
+	c.metrics.Store(&connMetrics{
+		framesSent: r.Counter(prefix + "_frames_sent"),
+		framesRecv: r.Counter(prefix + "_frames_recv"),
+		bytesSent:  r.Counter(prefix + "_bytes_sent"),
+		bytesRecvd: r.Counter(prefix + "_bytes_recv"),
+		timeouts:   r.Counter(prefix + "_frame_timeouts"),
+	})
 }
 
 // NewConn wraps a transport connection.
@@ -189,6 +215,9 @@ func (c *Conn) describeIO(op string, t MsgType, dl time.Time, err error) error {
 	}
 	var ne net.Error
 	if errors.As(err, &ne) && ne.Timeout() {
+		if m := c.metrics.Load(); m != nil {
+			m.timeouts.Inc()
+		}
 		return fmt.Errorf("wire: %s: peer did not respond by %s (stalled or dead): %w",
 			label, dl.Format("15:04:05.000"), err)
 	}
@@ -222,6 +251,10 @@ func (c *Conn) Send(t MsgType, payload []byte) error {
 		return c.describeIO("send", t, dl, err)
 	}
 	c.bytesOut.Add(int64(frameHeaderSize + len(payload)))
+	if m := c.metrics.Load(); m != nil {
+		m.framesSent.Inc()
+		m.bytesSent.Add(int64(frameHeaderSize + len(payload)))
+	}
 	return nil
 }
 
@@ -250,6 +283,10 @@ func (c *Conn) Recv() (MsgType, []byte, error) {
 		return 0, nil, c.describeIO("recv body of", t, dl, err)
 	}
 	c.bytesIn.Add(int64(frameHeaderSize) + int64(n))
+	if m := c.metrics.Load(); m != nil {
+		m.framesRecv.Inc()
+		m.bytesRecvd.Add(int64(frameHeaderSize) + int64(n))
+	}
 	return t, payload, nil
 }
 

@@ -1,6 +1,7 @@
 package mocha
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"mocha/internal/catalog"
 	"mocha/internal/dap"
 	"mocha/internal/netsim"
+	"mocha/internal/obs"
 	"mocha/internal/ops"
 	"mocha/internal/qpc"
 	"mocha/internal/storage"
@@ -44,6 +46,10 @@ type Cluster struct {
 	network *netsim.Network
 	catalog *catalog.Catalog
 	qpc     *qpc.Server
+	// metrics is the cluster's private registry: every component (QPC,
+	// DAPs, network, wire connections) reports into it, keeping embedded
+	// clusters isolated from each other and from obs.Default().
+	metrics *obs.Registry
 
 	mu        sync.Mutex
 	listeners []net.Listener
@@ -66,14 +72,17 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		cfg:     cfg,
 		network: netsim.NewNetwork(cfg.Shaper),
 		catalog: cat,
+		metrics: obs.NewRegistry(),
 		daps:    make(map[string]*dap.Server),
 		stores:  make(map[string]*storage.Store),
 		drivers: make(map[string]dap.AccessDriver),
 	}
+	cl.network.Instrument(cl.metrics)
 	cl.qpc = qpc.New(qpc.Config{
 		Cat:      cat,
 		Dial:     cl.network.Dial,
 		Strategy: cfg.Strategy,
+		Metrics:  cl.metrics,
 		Logf:     cfg.Logf,
 	})
 	// Expose the QPC to in-process wire clients.
@@ -122,6 +131,7 @@ func (cl *Cluster) AddDriverSite(name string, driver dap.AccessDriver) error {
 		Driver:           driver,
 		Limits:           cl.cfg.VMLimits,
 		DisableCodeCache: cl.cfg.DisableDAPCodeCache,
+		Metrics:          cl.metrics,
 		Logf:             cl.cfg.Logf,
 	})
 	go srv.Serve(l)
@@ -268,12 +278,24 @@ func (cl *Cluster) Execute(sql string) (*Result, error) { return cl.qpc.Execute(
 // Explain returns the optimizer's plan for a query.
 func (cl *Cluster) Explain(sql string) (string, error) { return cl.qpc.Explain(sql) }
 
-// SetStrategy changes the placement policy for subsequent queries.
+// ExplainAnalyze executes a query (discarding rows) and returns the plan
+// annotated with the measured breakdown and cross-site span timeline.
+func (cl *Cluster) ExplainAnalyze(sql string) (string, error) {
+	return cl.qpc.ExplainAnalyze(context.Background(), sql)
+}
+
+// Metrics exposes the cluster's private metrics registry.
+func (cl *Cluster) Metrics() *obs.Registry { return cl.metrics }
+
+// SetStrategy changes the placement policy for subsequent queries. The
+// replacement QPC reports into the same metrics registry, so counters
+// accumulate across strategy changes.
 func (cl *Cluster) SetStrategy(s Strategy) {
 	cl.qpc = qpc.New(qpc.Config{
 		Cat:      cl.catalog,
 		Dial:     cl.network.Dial,
 		Strategy: s,
+		Metrics:  cl.metrics,
 		Logf:     cl.cfg.Logf,
 	})
 }

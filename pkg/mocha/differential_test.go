@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
+
+	"mocha/internal/sequoia"
 )
 
 // TestDifferentialStrategies generates random queries over the Graphs
@@ -69,6 +72,79 @@ func join(parts []string, sep string) string {
 		out += p
 	}
 	return out
+}
+
+// TestDifferentialSequoiaLadder runs every benchmark query (Q1–Q5) under
+// forced code shipping, forced data shipping and the optimizer's choice
+// on a bandwidth-shaped cluster. Placement must never change the result
+// set, and — the paper's section 5 claim — the plan with the lower CVRF
+// must never be slower in simulated network time.
+func TestDifferentialSequoiaLadder(t *testing.T) {
+	// The paper's 10 Mbps testbed bandwidth, where transfer volume (not
+	// per-round-trip latency) dominates net time, as in section 5.
+	shaper := &Shaper{BitsPerSec: 10e6, Latency: 50 * time.Microsecond}
+	cl, scale := testCluster(t, ClusterConfig{Shaper: shaper})
+
+	store := cl.stores["site1"]
+	cals, err := sequoia.CalibrateQ4(store, []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := cals[0]
+	cl.SetSelectivity("NumVertices", "Graphs", cal.VertSelectivity)
+	cl.SetSelectivity("TotalLength", "Graphs", cal.LenSelectivity)
+
+	queries := []struct {
+		label string
+		sql   string
+	}{
+		{"Q1", sequoia.Q1},
+		{"Q2", sequoia.Q2(scale)},
+		{"Q3", sequoia.Q3},
+		{"Q4", sequoia.Q4(cal.MaxVerts, cal.MaxLength)},
+		{"Q5", sequoia.Q5},
+	}
+	strategies := []Strategy{StrategyCodeShip, StrategyDataShip, StrategyAuto}
+
+	for _, q := range queries {
+		t.Run(q.label, func(t *testing.T) {
+			runs := make([]*Result, len(strategies))
+			for i, strat := range strategies {
+				cl.SetStrategy(strat)
+				res, err := cl.Execute(q.sql)
+				if err != nil {
+					t.Fatalf("%s under %v: %v", q.label, strat, err)
+				}
+				runs[i] = res
+			}
+			sameRows(t, q.label+" code-vs-data", runs[0].Rows, runs[1].Rows)
+			sameRows(t, q.label+" code-vs-auto", runs[0].Rows, runs[2].Rows)
+
+			// CVRF ladder: when the forced plans clearly differ in CVRF,
+			// the lower-CVRF plan must not lose on simulated net time.
+			// Tolerances absorb scheduler noise on near-trivial transfers.
+			code, data := runs[0].Stats, runs[1].Stats
+			lo, hi := code, data
+			if data.CVRF() < code.CVRF() {
+				lo, hi = data, code
+			}
+			if hi.CVRF() > lo.CVRF()*1.1 && hi.NetMS > 2 {
+				if lo.NetMS > hi.NetMS*1.2+2 {
+					t.Errorf("%s: lower-CVRF plan (cvrf %.4f) spent %.1fms on the net, higher-CVRF plan (cvrf %.4f) only %.1fms",
+						q.label, lo.CVRF(), lo.NetMS, hi.CVRF(), hi.NetMS)
+				}
+			}
+			// The optimizer's pick must track the best forced CVRF.
+			auto := runs[2].Stats
+			best := code.CVRF()
+			if data.CVRF() < best {
+				best = data.CVRF()
+			}
+			if auto.CVRF() > best*1.25+0.01 {
+				t.Errorf("%s: auto CVRF %.4f far above best forced %.4f", q.label, auto.CVRF(), best)
+			}
+		})
+	}
 }
 
 // TestAggregateOverJoin groups and aggregates the combined stream of a
