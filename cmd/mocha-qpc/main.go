@@ -33,6 +33,10 @@ func main() {
 	retryAttempts := flag.Int("retry-attempts", 4, "attempts per idempotent DAP operation (1 = no retries)")
 	retryBase := flag.Duration("retry-base-delay", 50*time.Millisecond, "first retry backoff delay (doubles per attempt, jittered)")
 	retryBudget := flag.Int("retry-budget", 8, "total retries allowed across one query")
+	breakerThreshold := flag.Int("breaker-threshold", 3, "consecutive transient failures that trip a site's circuit breaker open")
+	breakerOpenFor := flag.Duration("breaker-open-for", 3*time.Second, "how long an open breaker fails fast before allowing a half-open probe")
+	noBreaker := flag.Bool("no-breaker", false, "disable per-site circuit breaking and degraded planning")
+	noResume := flag.Bool("no-resume", false, "disable mid-stream RESUME recovery (pre-recovery ablation baseline)")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	quiet := flag.Bool("quiet", false, "suppress per-query logging")
 	flag.Parse()
@@ -83,7 +87,13 @@ func main() {
 			BaseDelay:   *retryBase,
 			Budget:      *retryBudget,
 		},
-		Logf: logf,
+		Breaker: qpc.BreakerPolicy{
+			FailureThreshold: *breakerThreshold,
+			OpenFor:          *breakerOpenFor,
+			Disabled:         *noBreaker,
+		},
+		DisableResume: *noResume,
+		Logf:          logf,
 	})
 	obs.ServeDebug(*pprofAddr, srv.Metrics(), logf)
 	l, err := net.Listen("tcp", *listen)

@@ -38,11 +38,22 @@ func (s Strategy) String() string {
 	return "unknown"
 }
 
+// HealthOracle lets the optimizer see the coordinator's live view of
+// site health. A degraded site (circuit breaker open: its link is flaky
+// or shipped code keeps failing there) is planned under data shipping
+// regardless of VRF — the DAP only extracts attributes, so nothing
+// needs deploying or resuming at the sick site beyond the raw scan.
+type HealthOracle interface {
+	Degraded(site string) bool
+}
+
 // Optimizer builds physical plans from bound queries.
 type Optimizer struct {
 	Cat      *catalog.Catalog
 	Strategy Strategy
 	Model    CostModel
+	// Health, when set, demotes degraded sites to data shipping.
+	Health HealthOracle
 }
 
 // NewOptimizer returns an optimizer with the default cost model.
@@ -96,6 +107,21 @@ func (o *Optimizer) Plan(q *BoundQuery) (*Plan, error) {
 }
 
 func (p *planner) tableStats(ti int) catalog.TableStats { return p.q.Tables[ti].Def.Stats }
+
+// siteDegraded reports whether table ti's site is degraded per the
+// health oracle.
+func (p *planner) siteDegraded(ti int) bool {
+	return p.opt.Health != nil && p.opt.Health.Degraded(p.q.Tables[ti].Def.Site)
+}
+
+// strategyFor resolves the placement strategy for table ti: the global
+// strategy, demoted to data shipping when the site is degraded.
+func (p *planner) strategyFor(ti int) Strategy {
+	if p.siteDegraded(ti) {
+		return StrategyDataShip
+	}
+	return p.opt.Strategy
+}
 
 // statsSchema builds a pseudo-schema over the extended space so the VRF
 // helpers can size expressions; names map virtuals to their own stats.
@@ -170,7 +196,7 @@ func (p *planner) pushCalls(e *PExpr) *PExpr {
 }
 
 func (p *planner) shouldPushCall(call *PExpr, ti int) bool {
-	switch p.opt.Strategy {
+	switch p.strategyFor(ti) {
 	case StrategyCodeShip:
 		return true
 	case StrategyDataShip:
@@ -225,7 +251,7 @@ func (p *planner) build() (*Plan, error) {
 			for _, g := range q.GroupBy {
 				keyBytes += p.cols[g].avgBytes
 			}
-			switch p.opt.Strategy {
+			switch p.strategyFor(0) {
 			case StrategyCodeShip:
 				p.pushAgg = true
 			case StrategyDataShip:
@@ -455,13 +481,14 @@ func (p *planner) build() (*Plan, error) {
 // placeSingleTablePred decides where one single-table predicate runs.
 func (p *planner) placeSingleTablePred(pred BoundPred) {
 	ti := pred.Tables[0]
-	if p.opt.Strategy == StrategyDataShip {
+	strat := p.strategyFor(ti)
+	if strat == StrategyDataShip {
 		p.qpcPreds = append(p.qpcPreds, p.pushCalls(pred.Expr))
 		return
 	}
 	inlined := p.inlineVirtuals(pred.Expr)
 	place := p.predVRF(inlined, ti)
-	if p.opt.Strategy == StrategyCodeShip || place.VRF < 1 {
+	if strat == StrategyCodeShip || place.VRF < 1 {
 		p.dapPreds[ti] = append(p.dapPreds[ti], inlined)
 		p.dapPlace[ti] = append(p.dapPlace[ti], place)
 		return
@@ -535,7 +562,8 @@ func (p *planner) neededAtQPC(ti int) map[int]bool {
 // plus, for each output column, the extended-space column it carries.
 func (p *planner) buildFragment(ti int, semiJoin bool, joinPreds []BoundPred) (*Fragment, []int, error) {
 	bt := p.q.Tables[ti]
-	frag := &Fragment{Site: bt.Def.Site, Table: bt.Def.Name, SemiJoinCol: -1}
+	frag := &Fragment{Site: bt.Def.Site, Table: bt.Def.Name, SemiJoinCol: -1,
+		Degraded: p.siteDegraded(ti)}
 
 	needed := p.neededAtQPC(ti)
 
@@ -823,6 +851,14 @@ func (p *planner) wantSemiJoin(order []int, joinPreds []BoundPred) bool {
 	if len(order) != 2 || len(joinPreds) == 0 {
 		return false
 	}
+	// The semi-join protocol runs two coordinated phases per site and its
+	// key streams cannot be restarted past the replay window; keep
+	// degraded sites on the simple single-stream protocol.
+	for _, ti := range order {
+		if p.siteDegraded(ti) {
+			return false
+		}
+	}
 	switch p.opt.Strategy {
 	case StrategyDataShip:
 		return false
@@ -904,6 +940,9 @@ func Explain(plan *Plan) string {
 		fmt.Fprintf(&b, "  fragment %d @ %s: table %s extract %v", i, f.Site, f.Table, f.Cols)
 		if f.SemiJoinCol >= 0 {
 			fmt.Fprintf(&b, " semijoin-on $%d", f.SemiJoinCol)
+		}
+		if f.Degraded {
+			b.WriteString(" [degraded: data shipping forced by site health]")
 		}
 		b.WriteByte('\n')
 		for _, p := range f.Predicates {

@@ -61,6 +61,10 @@ type Fragment struct {
 	// Limit, when positive, stops the fragment after emitting that many
 	// tuples (a pushed-down LIMIT).
 	Limit int
+	// Degraded marks a fragment planned under data shipping because the
+	// optimizer's health oracle reported its site degraded (breaker
+	// open), overriding the VRF-based placement.
+	Degraded bool
 }
 
 // JoinStep joins the accumulated left input with fragment RightFrag's
@@ -155,6 +159,7 @@ type fragmentXML struct {
 	Table       string      `xml:"table,attr"`
 	SemiJoinCol int         `xml:"semijoin-col,attr"`
 	Limit       int         `xml:"limit,attr"`
+	Degraded    bool        `xml:"degraded,attr,omitempty"`
 	Cols        []int       `xml:"extract>col"`
 	InSchema    schemaXML   `xml:"in-schema"`
 	Predicates  []exprXML   `xml:"predicates>expr"`
@@ -285,7 +290,8 @@ func exprsFromXML(xs []exprXML) ([]*PExpr, error) {
 func fragmentToXML(f *Fragment) fragmentXML {
 	return fragmentXML{
 		Site: f.Site, Table: f.Table, SemiJoinCol: f.SemiJoinCol, Limit: f.Limit,
-		Cols: f.Cols, InSchema: schemaToXML(f.InSchema),
+		Degraded: f.Degraded,
+		Cols:     f.Cols, InSchema: schemaToXML(f.InSchema),
 		Predicates: exprsToXML(f.Predicates), GroupBy: f.GroupBy,
 		Aggregates: aggsToXML(f.Aggregates), Projections: outputsToXML(f.Projections),
 		Code: f.Code, OutSchema: schemaToXML(f.OutSchema),
@@ -315,7 +321,8 @@ func fragmentFromXML(x fragmentXML) (*Fragment, error) {
 	}
 	return &Fragment{
 		Site: x.Site, Table: x.Table, SemiJoinCol: x.SemiJoinCol, Limit: x.Limit,
-		Cols: x.Cols, InSchema: in, Predicates: preds, GroupBy: x.GroupBy,
+		Degraded: x.Degraded,
+		Cols:     x.Cols, InSchema: in, Predicates: preds, GroupBy: x.GroupBy,
 		Aggregates: aggs, Projections: projs, Code: x.Code, OutSchema: out,
 	}, nil
 }

@@ -51,6 +51,21 @@ type Config struct {
 	// stalled or dead coordinator fails the session instead of hanging
 	// the DAP mid-stream. Zero disables.
 	FrameTimeout time.Duration
+	// BatchBytes overrides the target tuple-batch payload size for result
+	// streams. Zero means wire.DefaultBatchBytes. Smaller batches make the
+	// replay window finer-grained: less retransmission after a RESUME.
+	BatchBytes int
+	// ReplayWindowBytes bounds the per-stream replay window retained for
+	// RESUME: the most recent frames up to this many payload bytes (the
+	// newest frame is always kept). Zero means the 1 MiB default.
+	ReplayWindowBytes int64
+	// RetainTTL bounds how long an interrupted resumable stream stays
+	// parked waiting for a RESUME before it is aborted and its window
+	// freed. Zero means the 10s default.
+	RetainTTL time.Duration
+	// DisableResume ignores stream IDs on ACTIVATE, forcing every stream
+	// back to the plain non-resumable protocol (the ablation baseline).
+	DisableResume bool
 	// Metrics receives the server's dap_* counters and wire traffic
 	// counters. Nil uses the process-wide obs.Default() registry.
 	Metrics *obs.Registry
@@ -61,9 +76,10 @@ type Config struct {
 // Server is a DAP instance. One Server handles many sequential QPC
 // sessions; concurrent connections each get their own session state.
 type Server struct {
-	cfg   Config
-	cache *codeCache
-	met   dapMetrics
+	cfg      Config
+	cache    *codeCache
+	retained *retention
+	met      dapMetrics
 }
 
 // dapMetrics caches the server's registry handles.
@@ -76,6 +92,13 @@ type dapMetrics struct {
 	classesLoaded *obs.Counter
 	cacheHits     *obs.Counter
 	execMS        *obs.Histogram
+
+	streamsRetained *obs.Gauge
+	streamsParked   *obs.Counter
+	streamResumes   *obs.Counter
+	replayedBytes   *obs.Counter
+	retainExpired   *obs.Counter
+	windowEvicted   *obs.Counter
 }
 
 // New creates a DAP server.
@@ -86,10 +109,17 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.Default()
 	}
+	if cfg.ReplayWindowBytes <= 0 {
+		cfg.ReplayWindowBytes = 1 << 20
+	}
+	if cfg.RetainTTL <= 0 {
+		cfg.RetainTTL = 10 * time.Second
+	}
 	r := cfg.Metrics
 	return &Server{
-		cfg:   cfg,
-		cache: newCodeCache(),
+		cfg:      cfg,
+		cache:    newCodeCache(),
+		retained: newRetention(),
 		met: dapMetrics{
 			sessionsOpen:  r.Gauge("dap_sessions_open"),
 			sessionsTotal: r.Counter("dap_sessions_total"),
@@ -99,6 +129,13 @@ func New(cfg Config) *Server {
 			classesLoaded: r.Counter("dap_code_classes_loaded"),
 			cacheHits:     r.Counter("dap_code_cache_hits"),
 			execMS:        r.Histogram("dap_exec_ms"),
+
+			streamsRetained: r.Gauge("dap_streams_retained"),
+			streamsParked:   r.Counter("dap_streams_parked"),
+			streamResumes:   r.Counter("dap_stream_resumes"),
+			replayedBytes:   r.Counter("dap_stream_replayed_bytes"),
+			retainExpired:   r.Counter("dap_stream_retain_expired"),
+			windowEvicted:   r.Counter("dap_stream_window_evicted"),
 		},
 	}
 }

@@ -1,0 +1,331 @@
+package dap
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"mocha/internal/wire"
+)
+
+// Stream retention: the DAP side of incremental recovery. A fragment
+// activated with a stream ID is sent as sequence-numbered frames, and
+// the most recent frames are retained in a bounded replay window. When
+// the connection dies mid-stream the executor parks — the scan's cursor
+// position is the suspended goroutine itself — and a reconnecting QPC
+// sends RESUME with the last sequence number it holds: the DAP replays
+// the covered tail from the window and hands the new connection to the
+// parked executor, so the scan continues instead of restarting. The
+// window is evicted by bytes (ReplayWindowBytes) and the park by time
+// (RetainTTL); past either bound the QPC falls back to a full restart.
+
+type streamPhase int
+
+const (
+	phaseStreaming streamPhase = iota
+	phaseParked
+	phaseDone    // EOS buffered and sent; retained for post-EOS drops
+	phaseAborted // executor gone; resume impossible
+)
+
+// seqFrame is one retained frame: its sequence number and the full
+// payload (sequence prefix included) ready to resend.
+type seqFrame struct {
+	seq     uint64
+	t       wire.MsgType
+	payload []byte
+}
+
+// retainedStream is the replay state of one resumable fragment stream.
+type retainedStream struct {
+	id    string
+	limit int64 // replay-window byte bound
+
+	mu       sync.Mutex
+	phase    streamPhase
+	frames   []seqFrame // window, oldest first; never empty once streaming
+	winBytes int64
+	lastSeq  uint64 // seq of the newest frame issued
+	tuples   int64  // cursor: tuples read when last parked (observability)
+
+	attach   chan *wire.Conn // a resume handler delivers the new connection
+	abort    chan struct{}   // closed to kill a parked executor
+	done     chan struct{}   // closed when the executor is finished for good
+	abortOne sync.Once
+	doneOne  sync.Once
+}
+
+func newRetainedStream(id string, limit int64) *retainedStream {
+	return &retainedStream{
+		id:     id,
+		limit:  limit,
+		attach: make(chan *wire.Conn),
+		abort:  make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+func (st *retainedStream) setPhase(p streamPhase) {
+	st.mu.Lock()
+	st.phase = p
+	st.mu.Unlock()
+}
+
+func (st *retainedStream) getPhase() streamPhase {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.phase
+}
+
+func (st *retainedStream) markAborted() {
+	st.setPhase(phaseAborted)
+	st.abortOne.Do(func() { close(st.abort) })
+	st.doneOne.Do(func() { close(st.done) })
+}
+
+func (st *retainedStream) markDone() {
+	st.setPhase(phaseDone)
+	st.doneOne.Do(func() { close(st.done) })
+}
+
+// push assigns the next sequence number, retains the framed payload in
+// the window and returns it ready to send. The newest frame is never
+// evicted, so the window always covers at least the frame in flight.
+func (st *retainedStream) push(t wire.MsgType, body []byte) (uint64, []byte) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.lastSeq++
+	seq := st.lastSeq
+	payload := wire.AppendSeq(seq, body)
+	st.frames = append(st.frames, seqFrame{seq: seq, t: t, payload: payload})
+	st.winBytes += int64(len(payload))
+	for len(st.frames) > 1 && st.winBytes > st.limit {
+		st.winBytes -= int64(len(st.frames[0].payload))
+		st.frames[0] = seqFrame{}
+		st.frames = st.frames[1:]
+	}
+	return seq, payload
+}
+
+// tail returns copies of the retained frames after lastAcked, and
+// whether the window still covers that point (every frame in
+// (lastAcked, lastSeq] is buffered).
+func (st *retainedStream) tail(lastAcked uint64) (frames []seqFrame, covered bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if lastAcked > st.lastSeq {
+		return nil, false
+	}
+	if lastAcked == st.lastSeq {
+		return nil, true
+	}
+	if len(st.frames) == 0 || st.frames[0].seq > lastAcked+1 {
+		return nil, false
+	}
+	for _, f := range st.frames {
+		if f.seq > lastAcked {
+			frames = append(frames, f)
+		}
+	}
+	return frames, true
+}
+
+// retention is the server-wide registry of resumable streams.
+type retention struct {
+	mu      sync.Mutex
+	streams map[string]*retainedStream
+}
+
+func newRetention() *retention {
+	return &retention{streams: make(map[string]*retainedStream)}
+}
+
+func (r *retention) add(st *retainedStream) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.streams[st.id]; ok {
+		return fmt.Errorf("dap: stream %q already active", st.id)
+	}
+	r.streams[st.id] = st
+	return nil
+}
+
+func (r *retention) get(id string) *retainedStream {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.streams[id]
+}
+
+func (r *retention) remove(id string) {
+	r.mu.Lock()
+	delete(r.streams, id)
+	r.mu.Unlock()
+}
+
+func (r *retention) size() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int64(len(r.streams))
+}
+
+// resumableSender is the wire.FrameSender a resumable execution streams
+// through: it stamps sequence numbers, retains frames for replay and —
+// on a transport failure — parks the executor until a RESUME delivers a
+// replacement connection or the retain TTL expires.
+type resumableSender struct {
+	srv  *Server
+	st   *retainedStream
+	conn *wire.Conn
+	// tuples points at the session's tuples-read counter so the park
+	// records the scan cursor position.
+	tuples *int64
+}
+
+func (s *resumableSender) Send(t wire.MsgType, body []byte) error {
+	switch t {
+	case wire.MsgTupleBatch:
+		t = wire.MsgSeqBatch
+	case wire.MsgEOS:
+		t = wire.MsgSeqEOS
+	}
+	_, payload := s.st.push(t, body)
+	err := s.conn.Send(t, payload)
+	if err == nil {
+		return nil
+	}
+	// The frame is already in the window: whoever resumes us replays it
+	// before attaching, so a successful park means it was delivered and
+	// must not be resent here.
+	nc, perr := s.park(err)
+	if perr != nil {
+		return perr
+	}
+	s.conn = nc
+	return nil
+}
+
+// park suspends the executor after a failed send. It returns the
+// replacement connection a resume handler attached, or the error that
+// ends the stream (TTL expiry, or an abort from a failed resume).
+func (s *resumableSender) park(cause error) (*wire.Conn, error) {
+	st := s.st
+	st.mu.Lock()
+	if st.phase == phaseAborted {
+		st.mu.Unlock()
+		return nil, cause
+	}
+	st.phase = phaseParked
+	if s.tuples != nil {
+		st.tuples = *s.tuples
+	}
+	st.mu.Unlock()
+	s.srv.met.streamsParked.Inc()
+	s.srv.cfg.Logf("dap %s: stream %s parked at seq %d (%v)", s.srv.cfg.Site, st.id, st.lastSeq, cause)
+	ttl := s.srv.cfg.RetainTTL
+	timer := time.NewTimer(ttl)
+	defer timer.Stop()
+	select {
+	case nc := <-st.attach:
+		st.setPhase(phaseStreaming)
+		return nc, nil
+	case <-st.abort:
+		return nil, fmt.Errorf("dap: stream %s aborted while parked: %w", st.id, cause)
+	case <-timer.C:
+		st.markAborted()
+		s.srv.retained.remove(st.id)
+		s.srv.met.streamsRetained.Set(s.srv.retained.size())
+		s.srv.met.retainExpired.Inc()
+		return nil, fmt.Errorf("dap: stream %s retain TTL %v expired with no resume: %w", st.id, ttl, cause)
+	}
+}
+
+// settleBound is how long a resume handler waits for the racing
+// executor to notice its connection died and park.
+func (s *Server) settleBound() time.Duration {
+	b := 2 * time.Second
+	if s.cfg.FrameTimeout > 0 {
+		b += s.cfg.FrameTimeout
+	}
+	return b
+}
+
+// handleResume serves one MsgResume on a fresh connection: acks whether
+// the window still covers the requested point, replays the retained
+// tail, and hands the connection to the parked executor.
+func (s *Server) handleResume(conn *wire.Conn, req wire.Resume) error {
+	nack := func(reason string) error {
+		s.met.windowEvicted.Inc()
+		s.cfg.Logf("dap %s: resume %s refused: %s", s.cfg.Site, req.Stream, reason)
+		payload, err := wire.EncodeXML(&wire.ResumeAck{OK: false, Reason: reason})
+		if err != nil {
+			return err
+		}
+		return conn.Send(wire.MsgResumeAck, payload)
+	}
+
+	st := s.retained.get(req.Stream)
+	if st == nil {
+		return nack("stream unknown, expired or already restarted")
+	}
+	// The executor may still be discovering that its connection died;
+	// wait for it to park (or finish) before touching the window.
+	settleBy := time.Now().Add(s.settleBound())
+	for st.getPhase() == phaseStreaming {
+		if time.Now().After(settleBy) {
+			return nack("stream still active on another connection")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.getPhase() == phaseAborted {
+		return nack("stream aborted")
+	}
+
+	frames, covered := st.tail(req.LastSeq)
+	if !covered {
+		// The window moved past the QPC's position: a resume cannot fill
+		// the gap, and the parked scan is useless — release it so the
+		// QPC's full restart doesn't collide with the stale stream ID.
+		st.markAborted()
+		s.retained.remove(st.id)
+		s.met.streamsRetained.Set(s.retained.size())
+		return nack(fmt.Sprintf("replay window evicted past seq %d", req.LastSeq))
+	}
+
+	ack, err := wire.EncodeXML(&wire.ResumeAck{OK: true, FromSeq: req.LastSeq + 1})
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(wire.MsgResumeAck, ack); err != nil {
+		return err
+	}
+	var replayed int64
+	for _, f := range frames {
+		if err := conn.Send(f.t, f.payload); err != nil {
+			return fmt.Errorf("dap: replaying stream %s frame %d: %w", st.id, f.seq, err)
+		}
+		replayed += int64(len(f.payload))
+	}
+	s.met.streamResumes.Inc()
+	s.met.replayedBytes.Add(replayed)
+	s.cfg.Logf("dap %s: stream %s resumed from seq %d (%d bytes replayed)",
+		s.cfg.Site, st.id, req.LastSeq+1, replayed)
+
+	if st.getPhase() == phaseDone {
+		// The whole tail (EOS included) was in the window; nothing to
+		// reattach. The stream stays retained until its TTL in case this
+		// connection dies too.
+		return nil
+	}
+	// Hand the connection to the parked executor and wait for it to
+	// finish with it before this session loop reads again.
+	ttl := s.cfg.RetainTTL
+	select {
+	case st.attach <- conn:
+	case <-st.abort:
+		return nack("stream aborted")
+	case <-time.After(ttl):
+		return nack("parked executor did not accept the connection")
+	}
+	<-st.done
+	return nil
+}

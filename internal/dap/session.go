@@ -190,10 +190,26 @@ func (ss *session) handle(t wire.MsgType, payload []byte) error {
 		if ss.frag == nil {
 			return fmt.Errorf("activate without a deployed plan")
 		}
-		err := ss.execute()
+		var act wire.Activate
+		if len(payload) > 0 {
+			if err := wire.DecodeXML(payload, &act); err != nil {
+				return err
+			}
+		}
+		if ss.srv.cfg.DisableResume {
+			act.Stream = ""
+		}
+		err := ss.execute(act.Stream)
 		ss.frag = nil
 		ss.semiKeys = nil
 		return err
+
+	case wire.MsgResume:
+		var req wire.Resume
+		if err := wire.DecodeXML(payload, &req); err != nil {
+			return err
+		}
+		return ss.srv.handleResume(ss.conn, req)
 
 	case wire.MsgProcCall:
 		var call wire.ProcCall
@@ -218,8 +234,11 @@ func (ss *session) handle(t wire.MsgType, payload []byte) error {
 	}
 }
 
-// execute runs the deployed fragment and streams its output.
-func (ss *session) execute() error {
+// execute runs the deployed fragment and streams its output. A
+// non-empty streamID makes the stream resumable: frames are sequence-
+// numbered and retained in a replay window, and a dropped connection
+// parks the execution for a RESUME instead of failing it.
+func (ss *session) execute(streamID string) error {
 	start := time.Now()
 	frag := ss.frag
 	schema, err := ss.srv.cfg.Driver.TableSchema(frag.Table)
@@ -239,7 +258,34 @@ func (ss *session) execute() error {
 	}
 	ss.stats.MiscMicros += time.Since(start).Microseconds()
 
-	writer := wire.NewBatchWriter(ss.conn)
+	var sender wire.FrameSender = ss.conn
+	var st *retainedStream
+	if streamID != "" {
+		st = newRetainedStream(streamID, ss.srv.cfg.ReplayWindowBytes)
+		if err := ss.srv.retained.add(st); err != nil {
+			return err
+		}
+		ss.srv.met.streamsRetained.Set(ss.srv.retained.size())
+		sender = &resumableSender{srv: ss.srv, st: st, conn: ss.conn, tuples: &ss.stats.TuplesRead}
+		defer func() {
+			// A finished stream stays retained (window included) until its
+			// TTL so a drop that ate the EOS can still be replayed; any
+			// other exit frees it now.
+			if st.getPhase() == phaseDone {
+				time.AfterFunc(ss.srv.cfg.RetainTTL, func() {
+					ss.srv.retained.remove(streamID)
+					ss.srv.met.streamsRetained.Set(ss.srv.retained.size())
+				})
+				return
+			}
+			st.markAborted()
+			ss.srv.retained.remove(streamID)
+			ss.srv.met.streamsRetained.Set(ss.srv.retained.size())
+		}()
+	}
+
+	writer := wire.NewBatchWriter(sender)
+	writer.SetTarget(ss.srv.cfg.BatchBytes)
 	var dbTime, cpuTime, netTime time.Duration
 
 	var emitted int
@@ -346,5 +392,11 @@ func (ss *session) execute() error {
 	// semi-join key phase then the main fragment) reports each phase
 	// separately.
 	ss.stats = wire.ExecStats{Site: ss.srv.cfg.Site}
-	return ss.conn.Send(wire.MsgEOS, payload)
+	if err := sender.Send(wire.MsgEOS, payload); err != nil {
+		return err
+	}
+	if st != nil {
+		st.markDone()
+	}
+	return nil
 }

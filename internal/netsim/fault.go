@@ -62,6 +62,20 @@ type FaultPlan struct {
 	// aborted attempt's work. 0 disables.
 	DropFirstConnAfterBytes int64
 
+	// Repeating drop schedules, for multi-failure recovery chains where
+	// every reconnection eventually fails again.
+	//
+	// DropEveryNthConn kills every Nth established connection (the Nth,
+	// 2Nth, ...) at its first I/O operation, like FailFirstConns but
+	// recurring: a link that keeps failing on a period. 0 disables.
+	DropEveryNthConn int
+	// DropEachConnAfterBytes tears down *every* connection once that
+	// connection alone has carried this many bytes — each redial gets a
+	// fresh byte budget, so a resuming stream survives long enough to
+	// make progress and then fails again, forcing a resume chain. It
+	// overrides DropFirstConnAfterBytes when both are set. 0 disables.
+	DropEachConnAfterBytes int64
+
 	// Stall freezes the link once it has carried StallAfterBytes bytes:
 	// reads and writes block until the connection is closed or its
 	// deadline expires — a hung peer that never answers. A zero
@@ -121,7 +135,9 @@ func (p *FaultPlan) admitConn() (doomed, first bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.conns++
-	return p.conns <= p.FailFirstConns, p.conns == 1
+	doomed = p.conns <= p.FailFirstConns ||
+		(p.DropEveryNthConn > 0 && p.conns%p.DropEveryNthConn == 0)
+	return doomed, p.conns == 1
 }
 
 // state returns the link's current fault state, evaluated before the
@@ -187,6 +203,9 @@ func Fault(c net.Conn, p *FaultPlan) net.Conn {
 	fc.doomed, first = p.admitConn()
 	if first {
 		fc.dropAfter = p.DropFirstConnAfterBytes
+	}
+	if p.DropEachConnAfterBytes > 0 {
+		fc.dropAfter = p.DropEachConnAfterBytes
 	}
 	return fc
 }

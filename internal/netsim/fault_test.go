@@ -114,6 +114,42 @@ func TestDropFirstConnAfterBytes(t *testing.T) {
 	}
 }
 
+func TestDropEveryNthConn(t *testing.T) {
+	plan := &FaultPlan{DropEveryNthConn: 2}
+	for i := 1; i <= 6; i++ {
+		c, s := pipePair(t, plan)
+		go io.Copy(io.Discard, s)
+		_, err := c.Write([]byte("x"))
+		if i%2 == 0 {
+			if !errors.Is(err, ErrInjectedDrop) {
+				t.Fatalf("conn %d should die at first I/O, got %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("conn %d should work: %v", i, err)
+		}
+	}
+}
+
+func TestDropEachConnAfterBytes(t *testing.T) {
+	plan := &FaultPlan{DropEachConnAfterBytes: 10}
+	// Every connection gets its own byte budget: each one carries the
+	// threshold, then dies — a resume chain where each leg makes
+	// progress before failing again.
+	for i := 0; i < 3; i++ {
+		c, s := pipePair(t, plan)
+		go io.Copy(io.Discard, s)
+		if _, err := c.Write(make([]byte, 8)); err != nil {
+			t.Fatalf("conn %d below threshold: %v", i, err)
+		}
+		if _, err := c.Write(make([]byte, 8)); err != nil {
+			t.Fatalf("conn %d crossing write still completes: %v", i, err)
+		}
+		if _, err := c.Write(make([]byte, 1)); !errors.Is(err, ErrInjectedDrop) {
+			t.Fatalf("conn %d post-drop write should fail, got %v", i, err)
+		}
+	}
+}
+
 func TestStallHonoursDeadline(t *testing.T) {
 	plan := &FaultPlan{Stall: true, StallAfterBytes: 4}
 	c, s := pipePair(t, plan)

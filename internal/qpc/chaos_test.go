@@ -154,11 +154,13 @@ func TestChaosFaultMatrix(t *testing.T) {
 			wantOK: true,
 		},
 		{
+			// Three consecutive refusals trip site2's breaker, so the
+			// retry loop fails fast instead of burning its last attempt.
 			name:    "dial-refused-forever",
 			target:  "dap2",
 			plan:    &netsim.FaultPlan{RefuseDials: 1 << 30},
 			sql:     joinQuery,
-			wantErr: "attempts exhausted",
+			wantErr: "breaker open",
 		},
 		{
 			name:   "handshake-conn-dies-then-recovers",

@@ -157,12 +157,49 @@ func (ds *dapSession) sendSemiJoinKeys(keys []types.Tuple, stats *QueryStats) (i
 }
 
 // activate starts fragment execution and returns a batch reader over its
-// output stream.
+// output stream (plain, non-resumable protocol).
 func (ds *dapSession) activate(out types.Schema) (*wire.BatchReader, error) {
-	if err := ds.conn.Send(wire.MsgActivate, nil); err != nil {
+	return ds.activateStream(out, "")
+}
+
+// activateStream starts fragment execution. A non-empty streamID asks
+// the DAP to run the resumable protocol: sequence-numbered frames and a
+// replay window retained under that ID, so a broken connection can be
+// resumed instead of failing the query.
+func (ds *dapSession) activateStream(out types.Schema, streamID string) (*wire.BatchReader, error) {
+	var payload []byte
+	if streamID != "" {
+		var err error
+		payload, err = wire.EncodeXML(&wire.Activate{Stream: streamID})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ds.conn.Send(wire.MsgActivate, payload); err != nil {
 		return nil, err
 	}
 	return wire.NewBatchReader(ds.conn, out), nil
+}
+
+// resume asks the DAP to continue a retained stream past lastSeq (the
+// last frame the QPC holds). A negative ack means the replay window no
+// longer covers the gap; the transport succeeded, so the caller must
+// fall back to restarting the fragment rather than retrying.
+func (ds *dapSession) resume(streamID string, lastSeq uint64) (wire.ResumeAck, error) {
+	var ack wire.ResumeAck
+	payload, err := wire.EncodeXML(&wire.Resume{Stream: streamID, LastSeq: lastSeq})
+	if err != nil {
+		return ack, err
+	}
+	if err := ds.conn.Send(wire.MsgResume, payload); err != nil {
+		return ack, err
+	}
+	data, err := ds.conn.Expect(wire.MsgResumeAck)
+	if err != nil {
+		return ack, err
+	}
+	err = wire.DecodeXML(data, &ack)
+	return ack, err
 }
 
 // drainStats decodes the DAP's EOS stats report and folds it into the

@@ -21,8 +21,14 @@ type planExec struct {
 	stats *QueryStats
 	trace *obs.Trace
 
+	// ctx and budget are the execution context and the shared per-query
+	// retry pool, held here so mid-stream recovery (fragmentStream) can
+	// retry its reconnects under the same limits as the setup phases.
+	ctx    context.Context
+	budget *retryBudget
+
 	sessions []*dapSession
-	readers  []*wire.BatchReader
+	readers  []*fragmentStream
 	// activateOff[i] is reader i's activation offset on the trace
 	// timeline, the start of its stream span.
 	activateOff []int64
@@ -41,9 +47,9 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 			cancel()
 			// Salvage the measurements of fragments that did finish, so a
 			// partially executed query still reports what it moved.
-			for i, r := range e.readers {
-				if r != nil && r.EOSPayload != nil {
-					if e.drainFragment(i, r, true) == nil {
+			for i, fs := range e.readers {
+				if fs != nil && fs.EOS() != nil {
+					if e.drainFragment(i, fs.r, true) == nil {
 						e.srv.met.sessionsSalvaged.Inc()
 					}
 				}
@@ -65,6 +71,8 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	budget := newRetryBudget(policy)
 	budget.retries = e.srv.met.retries
 	budget.exhausted = e.srv.met.retryExhausted
+	e.ctx = execCtx
+	e.budget = budget
 	err = timedPhase(e.stats, func() error {
 		e.sessions = make([]*dapSession, len(e.plan.Fragments))
 		partials := make([]QueryStats, len(e.plan.Fragments))
@@ -76,7 +84,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 				defer wg.Done()
 				frag := e.plan.Fragments[i]
 				what := fmt.Sprintf("qpc: session setup at %s", frag.Site)
-				errs[i] = retryTransient(execCtx, policy, budget, what, func() error {
+				errs[i] = retryTransient(execCtx, policy, budget, e.srv.health, frag.Site, what, func() error {
 					// A retried attempt starts its accounting from scratch:
 					// the aborted attempt's cache checks and shipped classes
 					// must not inflate the query's counters (the shipped
@@ -179,13 +187,22 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 		}
 	}
 
-	// Phase 3: activate every fragment; streams begin.
+	// Phase 3: activate every fragment; streams begin. Unless resume is
+	// disabled, each stream gets an ID derived from the trace ID so a
+	// broken connection can be resumed against the DAP's replay window.
 	for i, ds := range e.sessions {
-		r, err := ds.activate(e.plan.Fragments[i].OutSchema)
+		frag := e.plan.Fragments[i]
+		streamID := ""
+		if !e.srv.cfg.DisableResume {
+			streamID = fmt.Sprintf("%s/%d", e.trace.ID, i)
+		}
+		r, err := ds.activateStream(frag.OutSchema, streamID)
 		if err != nil {
 			return err
 		}
-		e.readers = append(e.readers, r)
+		e.readers = append(e.readers, &fragmentStream{
+			e: e, idx: i, frag: frag, id: streamID, ds: ds, r: r,
+		})
 		e.activateOff = append(e.activateOff, e.trace.Since(time.Now()))
 	}
 
@@ -201,7 +218,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	for i, r := range e.readers {
 		// Under LIMIT the stream may not be fully consumed; skip stats
 		// for unfinished readers rather than block.
-		if r.EOSPayload == nil {
+		if r.EOS() == nil {
 			for {
 				tup, err := r.Next()
 				if err != nil {
@@ -212,7 +229,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 				}
 			}
 		}
-		if err := e.drainFragment(i, r, true); err != nil {
+		if err := e.drainFragment(i, r.r, true); err != nil {
 			return fmt.Errorf("qpc: stats from fragment %d: %w", i, err)
 		}
 	}
@@ -286,7 +303,7 @@ func (e *planExec) pipeline(ctx context.Context, emit func(types.Tuple) error) e
 		buildStart := time.Now()
 		ht := hashTable{rightCol: step.RightCol, rows: map[uint64][]types.Tuple{}}
 		r := e.readers[step.RightFrag]
-		waitBefore := r.RecvWait
+		waitBefore := r.RecvWait()
 		for {
 			tup, err := r.Next()
 			if err != nil {
@@ -304,7 +321,7 @@ func (e *planExec) pipeline(ctx context.Context, emit func(types.Tuple) error) e
 		tables[i] = ht
 		// Build time excludes time blocked on the network (that wall
 		// time is already reported as the DAP's send time).
-		build := time.Since(buildStart) - (r.RecvWait - waitBefore)
+		build := time.Since(buildStart) - (r.RecvWait() - waitBefore)
 		if build > 0 {
 			e.stats.JoinMS += float64(build.Microseconds()) / 1000
 		}

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"mocha/internal/core"
+	"mocha/internal/netsim"
 )
 
 // Golden-file coverage for the EXPLAIN and EXPLAIN ANALYZE renderings.
@@ -84,6 +85,37 @@ func TestGoldenExplain(t *testing.T) {
 			checkGolden(t, tc.name, got)
 		})
 	}
+}
+
+// TestGoldenExplainAnalyzeRecovery pins the report shape on the two
+// recovery paths: a stream interrupted and RESUMEd mid-flight (the
+// resume span appears, volumes match a clean run) and a plan forced to
+// data shipping by an open breaker (the degraded annotation appears and
+// no code ships).
+func TestGoldenExplainAnalyzeRecovery(t *testing.T) {
+	t.Run("resumed_stream", func(t *testing.T) {
+		h := newResumeHarness(t, nil, nil)
+		// Deterministic byte threshold mid-stream: the ~166 KiB image
+		// stream dies once around the halfway frame, then resumes.
+		h.network.SetFault("dap1", &netsim.FaultPlan{DropFirstConnAfterBytes: 80 << 10})
+		text, err := h.srv.ExplainAnalyze(context.Background(), streamQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.qpcCounter("qpc_stream_resumes") == 0 {
+			t.Fatal("fault did not strike; golden would not cover the resume path")
+		}
+		checkGolden(t, "explain_analyze_resumed_stream", normalizeAnalysis(text))
+	})
+	t.Run("degraded_data_shipping", func(t *testing.T) {
+		h := newResumeHarness(t, nil, nil)
+		h.srv.Health().ForceOpen("site1")
+		text, err := h.srv.ExplainAnalyze(context.Background(), codeShipQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "explain_analyze_degraded_site", normalizeAnalysis(text))
+	})
 }
 
 func TestGoldenExplainAnalyze(t *testing.T) {

@@ -46,6 +46,17 @@ type Config struct {
 	// (dial, HELLO, CODE_CHECK/DEPLOY_CODE). The zero value takes
 	// DefaultRetryPolicy; MaxAttempts=1 disables retries.
 	Retry RetryPolicy
+	// Breaker configures the per-site circuit breaker driven by
+	// transport outcomes. An open breaker re-plans the site's fragments
+	// under data shipping and stops retries against it until the
+	// half-open probe succeeds. The zero value takes defaults; set
+	// Breaker.Disabled to turn health tracking off.
+	Breaker BreakerPolicy
+	// DisableResume turns off the resumable stream protocol: fragments
+	// are activated without stream IDs, so any mid-stream connection
+	// failure aborts the query (the ablation baseline, and the PR 1
+	// behaviour).
+	DisableResume bool
 	// Metrics receives the server's qpc_* counters and wire traffic
 	// counters. Nil uses the process-wide obs.Default() registry.
 	Metrics *obs.Registry
@@ -55,9 +66,10 @@ type Config struct {
 
 // Server is a QPC instance.
 type Server struct {
-	cfg Config
-	opt *core.Optimizer
-	met qpcMetrics
+	cfg    Config
+	opt    *core.Optimizer
+	health *HealthRegistry
+	met    qpcMetrics
 }
 
 // qpcMetrics caches the server's registry handles. The retry counters
@@ -72,6 +84,17 @@ type qpcMetrics struct {
 	sessionsSalvaged *obs.Counter
 	wastedCodeBytes  *obs.Counter
 	queryMS          *obs.Histogram
+
+	// Incremental-recovery counters: resumes that continued a stream in
+	// place, the bytes each resume avoided re-receiving (everything
+	// delivered before the cut), resumes the DAP could not honour, the
+	// duplicate bytes discarded by full restarts, and queries re-planned
+	// under data shipping because a site's breaker was open.
+	resumes            *obs.Counter
+	resumeSavedBytes   *obs.Counter
+	resumeFailed       *obs.Counter
+	restartWastedBytes *obs.Counter
+	degradedReplans    *obs.Counter
 }
 
 // New creates a QPC.
@@ -89,7 +112,9 @@ func New(cfg Config) *Server {
 		opt.Model = cfg.Model
 	}
 	r := cfg.Metrics
-	return &Server{cfg: cfg, opt: opt, met: qpcMetrics{
+	health := newHealthRegistry(cfg.Breaker, r)
+	opt.Health = health
+	return &Server{cfg: cfg, opt: opt, health: health, met: qpcMetrics{
 		queriesTotal:     r.Counter("qpc_queries_total"),
 		queriesFailed:    r.Counter("qpc_queries_failed"),
 		retries:          r.Counter("qpc_retries"),
@@ -97,8 +122,18 @@ func New(cfg Config) *Server {
 		sessionsSalvaged: r.Counter("qpc_sessions_salvaged"),
 		wastedCodeBytes:  r.Counter("qpc_retry_wasted_code_bytes"),
 		queryMS:          r.Histogram("qpc_query_ms"),
+
+		resumes:            r.Counter("qpc_stream_resumes"),
+		resumeSavedBytes:   r.Counter("qpc_resume_saved_bytes"),
+		resumeFailed:       r.Counter("qpc_resume_failed"),
+		restartWastedBytes: r.Counter("qpc_restart_wasted_bytes"),
+		degradedReplans:    r.Counter("qpc_degraded_replans"),
 	}}
 }
+
+// Health exposes the per-site breaker registry (operational overrides
+// and SHOW HEALTH material).
+func (s *Server) Health() *HealthRegistry { return s.health }
 
 // Metrics returns the server's registry (SHOW METRICS payload).
 func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
@@ -196,7 +231,7 @@ func (s *Server) ExecuteContext(ctx context.Context, sql string) (*Result, error
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Schema: q.Schema, Plan: q.Plan}
+	res := &Result{}
 	stats, trace, err := q.RunTraced(ctx, func(t types.Tuple) error {
 		res.Rows = append(res.Rows, t)
 		return nil
@@ -204,6 +239,9 @@ func (s *Server) ExecuteContext(ctx context.Context, sql string) (*Result, error
 	if err != nil {
 		return nil, err
 	}
+	// Captured after the run: a degraded-site re-plan replaces q.Plan.
+	res.Schema = q.Schema
+	res.Plan = q.Plan
 	res.Stats = *stats
 	res.Trace = trace
 	return res, nil
@@ -245,8 +283,26 @@ func (q *Query) RunTraced(ctx context.Context, emit func(types.Tuple) error) (*Q
 	q.srv.met.queriesTotal.Inc()
 	stats := &QueryStats{PlanMS: q.planMS}
 	trace := obs.NewTrace("")
+	var emitted int64
+	counting := func(t types.Tuple) error {
+		emitted++
+		return emit(t)
+	}
 	exec := &planExec{srv: q.srv, plan: q.Plan, stats: stats, trace: trace}
-	if err := exec.run(ctx, emit); err != nil {
+	err := exec.run(ctx, counting)
+	if err != nil && emitted == 0 && ctx.Err() == nil && q.srv.replanDegraded(q) {
+		// A site's breaker opened during the failed run and no rows have
+		// reached the client yet: re-plan once with the health oracle's
+		// current view (degraded fragments fall back to data shipping)
+		// and run the new plan from scratch.
+		q.srv.met.degradedReplans.Inc()
+		q.srv.cfg.Logf("qpc: re-planning under degraded-site placement after: %v", err)
+		stats = &QueryStats{PlanMS: q.planMS}
+		trace = obs.NewTrace("")
+		exec = &planExec{srv: q.srv, plan: q.Plan, stats: stats, trace: trace}
+		err = exec.run(ctx, counting)
+	}
+	if err != nil {
 		q.srv.met.queriesFailed.Inc()
 		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 			return nil, trace, fmt.Errorf("qpc: query aborted after %s (deadline exceeded): %w",
@@ -258,6 +314,31 @@ func (q *Query) RunTraced(ctx context.Context, emit func(types.Tuple) error) (*Q
 	stats.MiscMS += q.planMS + stats.DeployMS
 	q.srv.met.queryMS.Observe(int64(stats.TotalMS))
 	return stats, trace, nil
+}
+
+// replanDegraded re-prepares q when its current plan places work at a
+// site whose breaker is now open but whose fragments were planned while
+// the site was healthy. It installs the fresh degraded-aware plan on q
+// and reports whether anything changed (callers then rerun the query).
+func (s *Server) replanDegraded(q *Query) bool {
+	stale := false
+	for _, f := range q.Plan.Fragments {
+		if !f.Degraded && s.health.Degraded(f.Site) {
+			stale = true
+			break
+		}
+	}
+	if !stale || q.Plan.SQL == "" {
+		return false
+	}
+	q2, err := s.Prepare(q.Plan.SQL)
+	if err != nil {
+		return false
+	}
+	q.Plan = q2.Plan
+	q.Schema = q2.Schema
+	q.planMS += q2.planMS
+	return true
 }
 
 // sortRows orders materialized rows by the plan's ORDER BY keys.

@@ -158,15 +158,52 @@ func (b *retryBudget) take() bool {
 	return true
 }
 
+// ErrRetryBudgetExhausted marks a query that failed because its shared
+// per-query retry budget ran dry, as opposed to an unretryable failure.
+// Errors carrying it are BudgetExhaustedErrors, which also unwrap to the
+// last transport error.
+var ErrRetryBudgetExhausted = errors.New("query retry budget exhausted")
+
+// BudgetExhaustedError is returned when an operation was denied a retry
+// because the per-query budget ran dry. It unwraps both to
+// ErrRetryBudgetExhausted (so callers can classify the exhaustion) and
+// to Last (so the underlying transport failure stays inspectable).
+type BudgetExhaustedError struct {
+	// Op names the operation that was denied a retry.
+	Op string
+	// Last is the transport failure that triggered the denied retry.
+	Last error
+}
+
+func (e *BudgetExhaustedError) Error() string {
+	return fmt.Sprintf("%s: %v: %v", e.Op, ErrRetryBudgetExhausted, e.Last)
+}
+
+func (e *BudgetExhaustedError) Unwrap() []error {
+	return []error{ErrRetryBudgetExhausted, e.Last}
+}
+
 // retryTransient runs op, retrying under the policy while the failure is
-// transient (see transientErr), the context is alive, and the shared
-// budget has tokens. The final error is the last attempt's.
-func retryTransient(ctx context.Context, p RetryPolicy, budget *retryBudget, what string, op func() error) error {
+// transient (see transientErr), the context is alive, the shared budget
+// has tokens, and the site's breaker permits retries. Each attempt's
+// outcome is reported to the health registry (site may be empty for
+// operations not tied to one). The final error is the last attempt's.
+func retryTransient(ctx context.Context, p RetryPolicy, budget *retryBudget, health *HealthRegistry, site, what string, op func() error) error {
 	var err error
 	for attempt := 1; ; attempt++ {
+		start := time.Now()
 		err = op()
-		if err == nil || !transientErr(err) {
+		if err == nil {
+			if site != "" {
+				health.ReportSuccess(site, time.Since(start))
+			}
+			return nil
+		}
+		if !transientErr(err) {
 			return err
+		}
+		if site != "" {
+			health.ReportFailure(site, err)
 		}
 		if attempt >= p.MaxAttempts {
 			return fmt.Errorf("%s: %d attempts exhausted: %w", what, attempt, err)
@@ -174,8 +211,11 @@ func retryTransient(ctx context.Context, p RetryPolicy, budget *retryBudget, wha
 		if ctx.Err() != nil {
 			return fmt.Errorf("%s: %w (last failure: %v)", what, ctx.Err(), err)
 		}
+		if site != "" && health.FailFast(site) {
+			return fmt.Errorf("%s: breaker open at %s, not retrying: %w", what, site, err)
+		}
 		if !budget.take() {
-			return fmt.Errorf("%s: query retry budget exhausted: %w", what, err)
+			return &BudgetExhaustedError{Op: what, Last: err}
 		}
 		if serr := p.sleep(ctx, p.delay(attempt)); serr != nil {
 			return fmt.Errorf("%s: %w (last failure: %v)", what, serr, err)

@@ -47,7 +47,7 @@ func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
 	p := testPolicy(clock, func() float64 { return 0.5 }) // jitter factor 1.0
 	budget := newRetryBudget(p)
 	attempts := 0
-	err := retryTransient(context.Background(), p, budget, "op", func() error {
+	err := retryTransient(context.Background(), p, budget, nil, "", "op", func() error {
 		attempts++
 		if attempts < 3 {
 			return errTransient
@@ -76,7 +76,7 @@ func TestRetryAttemptsExhausted(t *testing.T) {
 	clock := &fakeClock{}
 	p := testPolicy(clock, func() float64 { return 0.5 })
 	attempts := 0
-	err := retryTransient(context.Background(), p, newRetryBudget(p), "op", func() error {
+	err := retryTransient(context.Background(), p, newRetryBudget(p), nil, "", "op", func() error {
 		attempts++
 		return errTransient
 	})
@@ -93,7 +93,7 @@ func TestRetryStopsOnPermanentError(t *testing.T) {
 	p := testPolicy(clock, nil)
 	attempts := 0
 	permanent := errors.New("qpc: unknown site \"x\"")
-	err := retryTransient(context.Background(), p, newRetryBudget(p), "op", func() error {
+	err := retryTransient(context.Background(), p, newRetryBudget(p), nil, "", "op", func() error {
 		attempts++
 		return permanent
 	})
@@ -114,7 +114,7 @@ func TestRetryBudgetExhaustion(t *testing.T) {
 	// failing, the first drains MaxAttempts-1 = 3 tokens and the second
 	// gets none.
 	attempts := 0
-	_ = retryTransient(context.Background(), p, budget, "op1", func() error {
+	_ = retryTransient(context.Background(), p, budget, nil, "", "op1", func() error {
 		attempts++
 		return errTransient
 	})
@@ -122,7 +122,7 @@ func TestRetryBudgetExhaustion(t *testing.T) {
 		t.Fatalf("op1 attempts = %d, want %d", attempts, p.MaxAttempts)
 	}
 	attempts = 0
-	err := retryTransient(context.Background(), p, budget, "op2", func() error {
+	err := retryTransient(context.Background(), p, budget, nil, "", "op2", func() error {
 		attempts++
 		return errTransient
 	})
@@ -137,12 +137,41 @@ func TestRetryBudgetExhaustion(t *testing.T) {
 	}
 }
 
+// TestRetryBudgetErrorTyped pins the budget-dry error's identity:
+// callers classify it with errors.Is/As instead of string matching, and
+// it still unwraps to the transport error that burned the last token.
+func TestRetryBudgetErrorTyped(t *testing.T) {
+	clock := &fakeClock{}
+	p := testPolicy(clock, func() float64 { return 0.5 })
+	p.Budget = 1
+	budget := newRetryBudget(p)
+	_ = retryTransient(context.Background(), p, budget, nil, "", "op1", func() error {
+		return errTransient
+	})
+	err := retryTransient(context.Background(), p, budget, nil, "", "op2", func() error {
+		return errTransient
+	})
+	if !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("errors.Is(err, ErrRetryBudgetExhausted) = false for %v", err)
+	}
+	var be *BudgetExhaustedError
+	if !errors.As(err, &be) {
+		t.Fatalf("errors.As to *BudgetExhaustedError failed for %v", err)
+	}
+	if be.Op == "" {
+		t.Error("typed error lost the operation name")
+	}
+	if !errors.Is(err, syscall.ECONNRESET) {
+		t.Fatalf("budget error should unwrap to the last transport error, got %v", err)
+	}
+}
+
 func TestRetryRespectsContextCancel(t *testing.T) {
 	clock := &fakeClock{}
 	p := testPolicy(clock, nil)
 	ctx, cancel := context.WithCancel(context.Background())
 	attempts := 0
-	err := retryTransient(ctx, p, newRetryBudget(p), "op", func() error {
+	err := retryTransient(ctx, p, newRetryBudget(p), nil, "", "op", func() error {
 		attempts++
 		cancel()
 		return errTransient

@@ -1,0 +1,186 @@
+package qpc
+
+import (
+	"fmt"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/obs"
+	"mocha/internal/types"
+	"mocha/internal/wire"
+)
+
+// fragmentStream is a fragment's result stream with incremental
+// recovery: when the connection dies mid-stream it reconnects and sends
+// RESUME so the DAP continues from the last frame the QPC holds,
+// re-receiving at most the DAP's replay window. Only when the window
+// has evicted past that point does it fall back to a full restart of
+// the fragment (discarding the duplicate prefix tuple-by-tuple). Plain
+// streams (empty id) keep the pre-resume behaviour: any mid-stream
+// failure is fatal.
+type fragmentStream struct {
+	e    *planExec
+	idx  int
+	frag *core.Fragment
+	id   string
+	ds   *dapSession
+	r    *wire.BatchReader
+
+	delivered int64 // tuples handed to the pipeline
+	rxBytes   int64 // payload bytes of delivered tuples
+	// skipTuples discards the duplicate prefix after a full restart.
+	skipTuples int64
+	resumes    int
+	restarts   int
+	baseWait   time.Duration // RecvWait accumulated in replaced readers
+}
+
+// Next returns the next tuple, or (nil, nil) at end of stream,
+// recovering from transient failures when the stream is resumable.
+func (fs *fragmentStream) Next() (types.Tuple, error) {
+	for {
+		tup, err := fs.r.Next()
+		if err != nil {
+			if fs.id == "" || !transientErr(err) {
+				return nil, err
+			}
+			if rerr := fs.recover(err); rerr != nil {
+				return nil, rerr
+			}
+			continue
+		}
+		if tup == nil {
+			return nil, nil
+		}
+		if fs.skipTuples > 0 {
+			fs.skipTuples--
+			fs.e.srv.met.restartWastedBytes.Add(int64(tup.WireSize()))
+			continue
+		}
+		fs.delivered++
+		fs.rxBytes += int64(tup.WireSize())
+		return tup, nil
+	}
+}
+
+// RecvWait is the stream's total time blocked on the network, across
+// every connection it has used.
+func (fs *fragmentStream) RecvWait() time.Duration {
+	return fs.baseWait + fs.r.RecvWait
+}
+
+// EOS returns the stream's terminating stats payload, nil while it is
+// still open.
+func (fs *fragmentStream) EOS() []byte { return fs.r.EOSPayload }
+
+// recover reconnects after a transient mid-stream failure and resumes
+// (or, when the DAP's window has evicted, restarts) the stream.
+func (fs *fragmentStream) recover(cause error) error {
+	e := fs.e
+	site := fs.frag.Site
+	health := e.srv.health
+	health.ReportFailure(site, cause)
+	if health.FailFast(site) {
+		return fmt.Errorf("qpc: fragment stream at %s interrupted and breaker open: %w", site, cause)
+	}
+	if !e.budget.take() {
+		return &BudgetExhaustedError{Op: fmt.Sprintf("qpc: resuming stream at %s", site), Last: cause}
+	}
+
+	span := e.trace.Begin("resume", site)
+	defer span.End()
+	old := fs.ds
+	e.sessions[fs.idx] = nil
+	old.close()
+
+	// Reconnect and ask to resume; dial refusals and handshake drops
+	// retry under the shared policy and budget.
+	lastSeq := fs.r.Seq
+	var ds *dapSession
+	var ack wire.ResumeAck
+	what := fmt.Sprintf("qpc: resume stream at %s", site)
+	err := retryTransient(e.ctx, e.srv.cfg.Retry, e.budget, health, site, what, func() error {
+		var err error
+		ds, err = e.srv.openSession(e.ctx, site, e.trace.ID)
+		if err != nil {
+			return err
+		}
+		if ack, err = ds.resume(fs.id, lastSeq); err != nil {
+			ds.close()
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		e.srv.met.resumeFailed.Inc()
+		return err
+	}
+	e.sessions[fs.idx] = ds
+	fs.ds = ds
+	fs.baseWait += fs.r.RecvWait
+
+	if ack.OK {
+		// Continue in place: a fresh reader that discards the replayed
+		// frames up to lastSeq, keeping any tuples the old reader had
+		// decoded but not yet delivered.
+		nr := wire.NewBatchReader(ds.conn, fs.frag.OutSchema)
+		nr.SkipUntil = lastSeq
+		nr.Seq = 0
+		carryOver(fs.r, nr)
+		fs.r = nr
+		fs.resumes++
+		e.srv.met.resumes.Inc()
+		// Every byte already received is a byte a replay-from-scratch
+		// would have re-sent: that is the resume's saving.
+		e.srv.met.resumeSavedBytes.Add(fs.rxBytes)
+		e.srv.cfg.Logf("qpc: stream %s resumed at %s past seq %d", fs.id, site, lastSeq)
+		return nil
+	}
+
+	// Window evicted (or stream expired): full restart on the fresh
+	// session under a new stream ID, skipping the rows already delivered.
+	e.srv.met.resumeFailed.Inc()
+	e.srv.cfg.Logf("qpc: stream %s at %s cannot resume (%s); restarting fragment", fs.id, site, ack.Reason)
+	return fs.restart(ds)
+}
+
+// restart re-deploys and re-activates the fragment from scratch after a
+// failed resume, arranging for the already-delivered prefix to be
+// discarded. The rows a fragment emits are deterministic, so skipping
+// exactly the delivered count resumes the pipeline without duplicates.
+func (fs *fragmentStream) restart(ds *dapSession) error {
+	e := fs.e
+	if fs.frag.SemiJoinCol >= 0 {
+		return fmt.Errorf("qpc: fragment at %s lost its semi-join stream past the replay window; cannot restart", fs.frag.Site)
+	}
+	// Re-shipped classes are recovery overhead, not query work: they go
+	// to the process wasted-bytes metric, like an aborted deploy attempt.
+	scratch := &QueryStats{}
+	if err := e.srv.deployCode(ds, fs.frag.Code, scratch); err != nil {
+		return err
+	}
+	e.srv.met.wastedCodeBytes.Add(int64(scratch.CodeBytesShipped))
+	if err := ds.deployPlan(fs.frag); err != nil {
+		return err
+	}
+	fs.restarts++
+	newID := fmt.Sprintf("%s~r%d", fs.id, fs.restarts)
+	r, err := ds.activateStream(fs.frag.OutSchema, newID)
+	if err != nil {
+		return err
+	}
+	fs.id = newID
+	fs.r = r
+	fs.skipTuples = fs.delivered
+	e.trace.Add(obs.Span{Name: "restart", Site: fs.frag.Site,
+		StartMicros: e.trace.Since(time.Now()), Tuples: fs.delivered})
+	return nil
+}
+
+// carryOver moves tuples the old reader decoded but had not yet
+// delivered into the new reader, so a resume loses nothing.
+func carryOver(old, next *wire.BatchReader) {
+	if rest := old.Pending(); len(rest) > 0 {
+		next.Prime(rest)
+	}
+}

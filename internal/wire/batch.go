@@ -58,10 +58,16 @@ func DecodeBatch(s types.Schema, payload []byte) ([]types.Tuple, error) {
 	return tuples, nil
 }
 
+// FrameSender is the sink a BatchWriter flushes frames into: a *Conn, or
+// a wrapper that stamps sequence numbers and retains frames for replay.
+type FrameSender interface {
+	Send(t MsgType, payload []byte) error
+}
+
 // BatchWriter streams tuples over a connection, flushing a TupleBatch
 // frame whenever the pending payload reaches the target size.
 type BatchWriter struct {
-	conn    *Conn
+	conn    FrameSender
 	target  int
 	pending []types.Tuple
 	bytes   int
@@ -73,8 +79,18 @@ type BatchWriter struct {
 }
 
 // NewBatchWriter returns a writer targeting the default batch size.
-func NewBatchWriter(c *Conn) *BatchWriter {
+func NewBatchWriter(c FrameSender) *BatchWriter {
 	return &BatchWriter{conn: c, target: DefaultBatchBytes}
+}
+
+// SetTarget overrides the flush threshold. Values <= 0 restore the
+// default. A smaller target trades framing overhead for a finer replay
+// granularity on resumable streams.
+func (w *BatchWriter) SetTarget(n int) {
+	if n <= 0 {
+		n = DefaultBatchBytes
+	}
+	w.target = n
 }
 
 // Write queues one tuple, flushing if the batch is full.
@@ -113,6 +129,14 @@ type BatchReader struct {
 	// RecvWait accumulates time blocked waiting for frames, so readers
 	// can separate their own compute time from network wait.
 	RecvWait time.Duration
+	// Seq is the sequence number of the last in-order frame consumed
+	// from a resumable stream (zero before the first, or on plain
+	// streams). After a RESUME the QPC sets SkipUntil to the last frame
+	// it already holds: replayed frames at or below it are discarded and
+	// their payload bytes accumulate into DupBytes.
+	Seq       uint64
+	SkipUntil uint64
+	DupBytes  int64
 }
 
 // NewBatchReader reads tuples of the given schema from c.
@@ -139,9 +163,39 @@ func (r *BatchReader) Next() (types.Tuple, error) {
 				return nil, err
 			}
 			r.pos = 0
+		case MsgSeqBatch:
+			seq, body, err := CutSeq(payload)
+			if err != nil {
+				return nil, err
+			}
+			if seq <= r.SkipUntil {
+				r.DupBytes += int64(len(body))
+				continue
+			}
+			if want := r.nextSeq(); seq != want {
+				return nil, fmt.Errorf("wire: stream sequence gap: got frame %d, want %d", seq, want)
+			}
+			r.buf, err = DecodeBatch(r.schema, body)
+			if err != nil {
+				return nil, err
+			}
+			r.pos = 0
+			r.Seq = seq
 		case MsgEOS:
 			r.done = true
 			r.EOSPayload = payload
+			return nil, nil
+		case MsgSeqEOS:
+			seq, body, err := CutSeq(payload)
+			if err != nil {
+				return nil, err
+			}
+			if want := r.nextSeq(); seq != want {
+				return nil, fmt.Errorf("wire: stream sequence gap at EOS: got frame %d, want %d", seq, want)
+			}
+			r.Seq = seq
+			r.done = true
+			r.EOSPayload = body
 			return nil, nil
 		case MsgError:
 			return nil, &RemoteError{Msg: string(payload)}
@@ -152,4 +206,27 @@ func (r *BatchReader) Next() (types.Tuple, error) {
 	t := r.buf[r.pos]
 	r.pos++
 	return t, nil
+}
+
+// Pending returns the tuples the reader decoded but has not yet
+// delivered. When a resume replaces the reader, the replacement is
+// Primed with them so no decoded tuple is lost with the old connection.
+func (r *BatchReader) Pending() []types.Tuple {
+	return r.buf[r.pos:]
+}
+
+// Prime queues already-decoded tuples for delivery ahead of anything
+// read from the connection.
+func (r *BatchReader) Prime(tuples []types.Tuple) {
+	rest := r.buf[r.pos:]
+	r.buf = append(append([]types.Tuple{}, tuples...), rest...)
+	r.pos = 0
+}
+
+// nextSeq is the sequence number the next in-order frame must carry.
+func (r *BatchReader) nextSeq() uint64 {
+	if r.SkipUntil > r.Seq {
+		return r.SkipUntil + 1
+	}
+	return r.Seq + 1
 }

@@ -59,14 +59,29 @@ func FuzzFrame(f *testing.F) {
 	})
 	f.Add(frame(MsgTupleBatch, batch))
 	f.Add(frame(MsgAck, nil))
+	// Resumable-stream frames: sequence-numbered batches and EOS, plus
+	// the RESUME handshake payloads.
+	f.Add(frame(MsgSeqBatch, AppendSeq(1, batch)))
+	f.Add(frame(MsgSeqEOS, AppendSeq(2, stats)))
+	resume, _ := EncodeXML(Resume{Stream: "q0/0", LastSeq: 7})
+	f.Add(frame(MsgResume, resume))
+	ack, _ := EncodeXML(ResumeAck{OK: true, FromSeq: 8})
+	f.Add(frame(MsgResumeAck, ack))
+	nack, _ := EncodeXML(ResumeAck{OK: false, Reason: "replay window evicted"})
+	f.Add(frame(MsgResumeAck, nack))
 	// Malformed: truncated header, truncated body, hostile length prefix,
-	// unknown type, huge tuple count with no tuples, multiple frames.
+	// unknown type, huge tuple count with no tuples, multiple frames,
+	// and seq frames truncated inside the sequence-number prefix.
 	f.Add([]byte{0, 0})
 	f.Add(frame(MsgTupleBatch, batch)[:7])
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, byte(MsgTupleBatch), 1, 2, 3})
 	f.Add(frame(MsgType(200), []byte("junk")))
 	f.Add(frame(MsgTupleBatch, []byte{0xff, 0xff, 0xff, 0xff}))
 	f.Add(append(frame(MsgAck, nil), frame(MsgTupleBatch, batch)...))
+	f.Add(frame(MsgSeqBatch, AppendSeq(1, batch)[:5]))
+	f.Add(frame(MsgSeqBatch, nil))
+	f.Add(frame(MsgSeqEOS, []byte{0, 0, 0}))
+	f.Add(frame(MsgSeqBatch, AppendSeq(^uint64(0), []byte{0xff, 0xff})))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c := NewConn(&byteConn{r: bytes.NewReader(data)})
@@ -97,6 +112,25 @@ func FuzzFrame(f *testing.F) {
 			case MsgEOS:
 				var s ExecStats
 				_ = DecodeXML(payload, &s)
+			case MsgSeqBatch:
+				if seq, body, err := CutSeq(payload); err == nil {
+					if tuples, err := DecodeBatch(fuzzSchema, body); err == nil {
+						if !bytes.Equal(frame(MsgSeqBatch, AppendSeq(seq, EncodeBatch(tuples))), frame(MsgSeqBatch, payload)) {
+							t.Fatal("decoded seq batch does not re-encode to its payload")
+						}
+					}
+				}
+			case MsgSeqEOS:
+				if _, body, err := CutSeq(payload); err == nil {
+					var s ExecStats
+					_ = DecodeXML(body, &s)
+				}
+			case MsgResume:
+				var r Resume
+				_ = DecodeXML(payload, &r)
+			case MsgResumeAck:
+				var a ResumeAck
+				_ = DecodeXML(payload, &a)
 			case MsgResultSchema:
 				var m SchemaMsg
 				if err := DecodeXML(payload, &m); err == nil {

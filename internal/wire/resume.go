@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/xml"
+	"fmt"
+)
+
+// Resumable streams. A fragment stream whose activation carries a stream
+// ID is sent as sequence-numbered frames (MsgSeqBatch / MsgSeqEOS): each
+// payload is an 8-byte big-endian sequence number followed by the
+// ordinary batch or stats payload. Sequence numbers start at 1 and are
+// contiguous, so after a connection loss the QPC can tell the DAP the
+// last frame it holds and receive only the tail, bounded by the DAP's
+// replay window.
+
+// seqPrefixSize is the sequence-number prefix on MsgSeqBatch/MsgSeqEOS
+// payloads.
+const seqPrefixSize = 8
+
+// AppendSeq prefixes body with its stream sequence number.
+func AppendSeq(seq uint64, body []byte) []byte {
+	buf := make([]byte, 0, seqPrefixSize+len(body))
+	buf = binary.BigEndian.AppendUint64(buf, seq)
+	return append(buf, body...)
+}
+
+// CutSeq splits a sequence-numbered payload into its sequence number and
+// body. A payload truncated inside the sequence prefix is an error.
+func CutSeq(payload []byte) (uint64, []byte, error) {
+	if len(payload) < seqPrefixSize {
+		return 0, nil, fmt.Errorf("wire: seq frame truncated at sequence number (%d bytes)", len(payload))
+	}
+	return binary.BigEndian.Uint64(payload[:seqPrefixSize]), payload[seqPrefixSize:], nil
+}
+
+// Activate is the optional MsgActivate payload. An empty payload (or
+// empty Stream) activates a plain, non-resumable stream — the pre-resume
+// wire behaviour. A stream ID makes the DAP retain a replay window so
+// the stream can survive a dropped connection.
+type Activate struct {
+	XMLName xml.Name `xml:"activate"`
+	Stream  string   `xml:"stream,attr,omitempty"`
+}
+
+// Resume asks a DAP to continue a retained stream on this connection,
+// replaying any frames after LastSeq (the last frame the QPC holds; zero
+// means it holds none).
+type Resume struct {
+	XMLName xml.Name `xml:"resume"`
+	Stream  string   `xml:"stream,attr"`
+	LastSeq uint64   `xml:"last-seq,attr"`
+}
+
+// ResumeAck answers a Resume. OK means the replay window still covers
+// LastSeq+1 and the stream continues on this connection from FromSeq;
+// otherwise Reason says why the QPC must fall back to a full restart
+// (window evicted, stream expired or unknown).
+type ResumeAck struct {
+	XMLName xml.Name `xml:"resume-ack"`
+	OK      bool     `xml:"ok,attr"`
+	FromSeq uint64   `xml:"from-seq,attr,omitempty"`
+	Reason  string   `xml:"reason,attr,omitempty"`
+}

@@ -43,6 +43,10 @@ const (
 	MsgClose
 	MsgProcCall   // QPC → DAP: procedural request (XML), section 3.2
 	MsgProcResult // DAP → QPC: procedural response (XML)
+	MsgSeqBatch   // data stream: 8-byte sequence number + TupleBatch payload
+	MsgSeqEOS     // end of resumable stream: 8-byte sequence number + stats XML
+	MsgResume     // QPC → DAP: resume a retained stream past the last acked seq
+	MsgResumeAck  // DAP → QPC: whether the replay window still covers the gap
 )
 
 var msgNames = map[MsgType]string{
@@ -53,6 +57,8 @@ var msgNames = map[MsgType]string{
 	MsgTupleBatch: "TUPLE_BATCH", MsgSemiJoinKeys: "SEMIJOIN_KEYS",
 	MsgEOS: "EOS", MsgError: "ERROR", MsgAck: "ACK", MsgClose: "CLOSE",
 	MsgProcCall: "PROC_CALL", MsgProcResult: "PROC_RESULT",
+	MsgSeqBatch: "SEQ_BATCH", MsgSeqEOS: "SEQ_EOS",
+	MsgResume: "RESUME", MsgResumeAck: "RESUME_ACK",
 }
 
 func (t MsgType) String() string {
