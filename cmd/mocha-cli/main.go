@@ -4,6 +4,7 @@
 // Usage:
 //
 //	mocha-cli -qpc localhost:7700 -e "SELECT time FROM Rasters LIMIT 5"
+//	mocha-cli -qpc localhost:7700 -verify Perimeter   # audit a class
 //	mocha-cli -qpc localhost:7700            # REPL on stdin
 package main
 
@@ -21,6 +22,7 @@ import (
 func main() {
 	addr := flag.String("qpc", "localhost:7700", "QPC address")
 	exec := flag.String("e", "", "execute one statement and exit")
+	verify := flag.String("verify", "", "run the static verifier on a repository class and print the audit report")
 	showStats := flag.Bool("stats", true, "print execution statistics after each query")
 	flag.Parse()
 
@@ -29,6 +31,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+
+	if *verify != "" {
+		if err := runQuery(client, "VERIFY "+*verify, false); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	if *exec != "" {
 		if err := runQuery(client, *exec, *showStats); err != nil {

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a file map under a temp dir and returns its root.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for path, content := range files {
+		full := filepath.Join(root, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const namesGo = `package obs
+
+const (
+	MFooTotal = "foo_total"
+	MBarOpen  = "bar_open"
+	MBazSuffix = "_baz"
+)
+`
+
+func findingsWith(fs []Finding, frag string) int {
+	n := 0
+	for _, f := range fs {
+		if strings.Contains(f.Msg, frag) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestObsMetricsClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obs/names.go": namesGo,
+		"internal/app/app.go": `package app
+
+func setup(r registry) {
+	r.Counter(obs.MFooTotal)
+	r.Gauge(obs.MBarOpen)
+	r.Histogram(prefix + obs.MBazSuffix)
+}
+`,
+	})
+	fs, err := ObsMetrics(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("clean tree produced findings: %v", fs)
+	}
+}
+
+func TestObsMetricsViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obs/names.go": namesGo,
+		"internal/app/app.go": `package app
+
+func setup(r registry) {
+	r.Counter(obs.MFooTotal)
+	r.Counter(obs.MFooTotal)          // duplicate registration
+	r.Gauge("raw_literal_name")       // not in the inventory
+	// obs.MBarOpen and obs.MBazSuffix never registered
+}
+`,
+	})
+	fs, err := ObsMetrics(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := findingsWith(fs, "registered more than once"); n != 1 {
+		t.Errorf("duplicate findings = %d, want 1: %v", n, fs)
+	}
+	if n := findingsWith(fs, "not declared in internal/obs/names.go"); n != 1 {
+		t.Errorf("raw-literal findings = %d, want 1: %v", n, fs)
+	}
+	if n := findingsWith(fs, "never registered"); n != 2 {
+		t.Errorf("never-registered findings = %d, want 2: %v", n, fs)
+	}
+}
+
+func TestObsMetricsSkipsTestsAndObsPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obs/names.go": namesGo,
+		"internal/app/app.go": `package app
+
+func setup(r registry) {
+	r.Counter(obs.MFooTotal)
+	r.Gauge(obs.MBarOpen)
+	r.Histogram(p + obs.MBazSuffix)
+}
+`,
+		// A test file may register scratch metrics freely.
+		"internal/app/app_test.go": `package app
+
+func helper(r registry) { r.Counter("scratch") }
+`,
+		// The obs package itself (e.g. its own examples) is exempt.
+		"internal/obs/extra.go": `package obs
+
+func selfRegister(r *Registry) { r.Counter("internal_scratch") }
+`,
+	})
+	fs, err := ObsMetrics(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("exempt files produced findings: %v", fs)
+	}
+}
+
+const wireOK = `package wire
+
+type MsgType uint8
+
+const (
+	MsgHello MsgType = iota + 1
+	MsgData
+	MsgClose
+)
+
+var msgNames = map[MsgType]string{
+	MsgHello: "HELLO", MsgData: "DATA", MsgClose: "CLOSE",
+}
+`
+
+func TestWireCheckClean(t *testing.T) {
+	root := writeTree(t, map[string]string{"internal/wire/wire.go": wireOK})
+	fs, err := WireCheck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("clean wire produced findings: %v", fs)
+	}
+}
+
+func TestWireCheckMissingEntry(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/wire/wire.go": `package wire
+
+type MsgType uint8
+
+const (
+	MsgHello MsgType = iota + 1
+	MsgData
+	MsgOrphan // new frame type, never added to the table
+)
+
+var msgNames = map[MsgType]string{
+	MsgHello: "HELLO", MsgData: "DATA",
+}
+`,
+	})
+	fs, err := WireCheck(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 1 || !strings.Contains(fs[0].Msg, "MsgOrphan") {
+		t.Errorf("findings = %v, want one about MsgOrphan", fs)
+	}
+}
+
+// TestRepositoryIsClean runs every check against this repository — the
+// same gate CI applies via cmd/mocha-lint.
+func TestRepositoryIsClean(t *testing.T) {
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("repo root not found")
+	}
+	fs, err := Run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"strings"
+)
+
+// ObsMetrics enforces the metric-inventory contract of
+// internal/obs/names.go:
+//
+//  1. every M* name constant declared there is passed to a registry
+//     registration call (Counter/Gauge/Histogram) at exactly one site,
+//     so the file is a complete and live inventory; and
+//  2. every registration call names its metric via one of those
+//     constants — a raw string literal would create a metric invisible
+//     to the inventory.
+//
+// The check is syntactic: a "registration call" is any single-argument
+// call of a method named Counter, Gauge or Histogram outside package
+// obs itself and outside tests.
+func ObsMetrics(root string) ([]Finding, error) {
+	namesPath := filepath.Join(root, "internal", "obs", "names.go")
+	namesFile, err := parseOne(namesPath)
+	if err != nil {
+		return nil, err
+	}
+	consts := constStrings(namesFile, "M")
+	if len(consts) == 0 {
+		return nil, fmt.Errorf("obsmetrics: no M* constants found in %s", namesPath)
+	}
+
+	files, err := parseTree(root)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	sites := make(map[string][]Finding) // const name -> registration sites
+	for _, pf := range files {
+		if pf.file.Name.Name == "obs" {
+			continue
+		}
+		pf := pf
+		ast.Inspect(pf.file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Counter", "Gauge", "Histogram":
+			default:
+				return true
+			}
+			refs := obsConstRefs(call.Args[0], consts)
+			pos := pf.fset.Position(call.Pos())
+			if len(refs) == 0 {
+				findings = append(findings, Finding{
+					Pos:   pos,
+					Check: "obsmetrics",
+					Msg: fmt.Sprintf("metric registered with a name not declared in internal/obs/names.go: %s(%s)",
+						sel.Sel.Name, exprText(call.Args[0])),
+				})
+				return true
+			}
+			for _, ref := range refs {
+				sites[ref] = append(sites[ref], Finding{Pos: pos, Check: "obsmetrics"})
+			}
+			return true
+		})
+	}
+
+	for name := range consts {
+		switch regs := sites[name]; len(regs) {
+		case 1:
+		case 0:
+			findings = append(findings, Finding{
+				Pos:   namesFile.fset.Position(namesFile.file.Pos()),
+				Check: "obsmetrics",
+				Msg:   fmt.Sprintf("metric name constant obs.%s is never registered", name),
+			})
+		default:
+			for _, reg := range regs[1:] {
+				findings = append(findings, Finding{
+					Pos:   reg.Pos,
+					Check: "obsmetrics",
+					Msg:   fmt.Sprintf("metric name constant obs.%s registered more than once (first at %s)", name, regs[0].Pos),
+				})
+			}
+		}
+	}
+	return findings, nil
+}
+
+// obsConstRefs returns the names.go constants referenced anywhere in
+// expr (as obs.Name selectors, or bare identifiers when the caller is
+// inside the obs package's import scope).
+func obsConstRefs(expr ast.Expr, consts map[string]string) []string {
+	var refs []string
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.SelectorExpr:
+			if pkg, ok := e.X.(*ast.Ident); ok && pkg.Name == "obs" {
+				if _, ok := consts[e.Sel.Name]; ok {
+					refs = append(refs, e.Sel.Name)
+					return false
+				}
+			}
+		case *ast.Ident:
+			if _, ok := consts[e.Name]; ok {
+				refs = append(refs, e.Name)
+			}
+		}
+		return true
+	})
+	return refs
+}
+
+// exprText renders a short description of an expression for messages.
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return v.Value
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.BinaryExpr:
+		return exprText(v.X) + " " + v.Op.String() + " " + exprText(v.Y)
+	default:
+		return strings.TrimPrefix(fmt.Sprintf("%T", e), "*ast.")
+	}
+}

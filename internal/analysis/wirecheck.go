@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// WireCheck enforces that every wire frame-type constant (the Msg*
+// block in internal/wire/wire.go) has an entry in the msgNames table
+// the frame reader uses to describe frames. A frame type missing from
+// the table still moves bytes, but renders as an opaque "MSG(n)" in
+// every error, log line and trace — exactly the places a new frame type
+// is first debugged.
+func WireCheck(root string) ([]Finding, error) {
+	wirePath := filepath.Join(root, "internal", "wire", "wire.go")
+	pf, err := parseOne(wirePath)
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect the Msg* constants from the MsgType iota block.
+	var msgs []string
+	msgPos := make(map[string]token.Position)
+	for _, decl := range pf.file.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, name := range vs.Names {
+				if strings.HasPrefix(name.Name, "Msg") && name.Name != "MsgType" {
+					msgs = append(msgs, name.Name)
+					msgPos[name.Name] = pf.fset.Position(name.Pos())
+				}
+			}
+		}
+	}
+	if len(msgs) == 0 {
+		return nil, fmt.Errorf("wirecheck: no Msg* constants found in %s", wirePath)
+	}
+
+	// Collect the keys of the msgNames composite literal.
+	handled := make(map[string]bool)
+	ast.Inspect(pf.file, func(n ast.Node) bool {
+		vs, ok := n.(*ast.ValueSpec)
+		if !ok || len(vs.Names) == 0 || vs.Names[0].Name != "msgNames" {
+			return true
+		}
+		for _, v := range vs.Values {
+			cl, ok := v.(*ast.CompositeLit)
+			if !ok {
+				continue
+			}
+			for _, elt := range cl.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					handled[key.Name] = true
+				}
+			}
+		}
+		return false
+	})
+	if len(handled) == 0 {
+		return nil, fmt.Errorf("wirecheck: msgNames table not found in %s", wirePath)
+	}
+
+	var findings []Finding
+	for _, m := range msgs {
+		if !handled[m] {
+			findings = append(findings, Finding{
+				Pos:   msgPos[m],
+				Check: "wirecheck",
+				Msg:   fmt.Sprintf("frame type %s has no entry in the msgNames table", m),
+			})
+		}
+	}
+	return findings, nil
+}

@@ -129,7 +129,9 @@ func TestRepository(t *testing.T) {
 	}
 	// Upgrade replaces.
 	p2 := vm.MustAssemble("program AvgEnergy version 2.0\nfunc eval args=1 locals=0\narg 0\nret\nend")
-	repo.PutProgram(p2)
+	if _, err := repo.PutProgram(p2); err != nil {
+		t.Fatal(err)
+	}
 	cls2, _ := repo.Get("avgenergy")
 	if cls2.Version != "2.0" {
 		t.Error("upgrade did not replace class")

@@ -21,7 +21,8 @@ type Class struct {
 	Version  string
 	Checksum string
 	ModTime  time.Time
-	Blob     []byte // serialized vm.Program
+	Blob     []byte   // serialized vm.Program
+	Caps     []string // host capabilities from the verifier's manifest
 }
 
 // Repository is the well-known code repository: administrators register
@@ -42,24 +43,40 @@ func NewRepositoryFromRegistry(reg *ops.Registry) *Repository {
 	r := NewRepository()
 	for _, name := range reg.Names() {
 		d, _ := reg.Lookup(name)
-		r.PutProgram(d.Program())
+		if _, err := r.PutProgram(d.Program()); err != nil {
+			// Builtin operators are assembled (and therefore verified)
+			// at init; a failure here is a programming error.
+			panic(err)
+		}
 	}
 	return r
 }
 
-// PutProgram registers (or upgrades) a compiled program.
-func (r *Repository) PutProgram(p *vm.Program) *Class {
+// PutProgram registers (or upgrades) a compiled program. Publication is
+// the trust boundary of the code repository: a program that fails the
+// static verifier never becomes a class, so every site that later pulls
+// the class knows it passed the ladder at least once (and re-verifies
+// locally anyway, since the stamp does not travel on the wire).
+func (r *Repository) PutProgram(p *vm.Program) (*Class, error) {
+	info := p.Verified()
+	if info == nil {
+		if err := vm.Verify(p); err != nil {
+			return nil, fmt.Errorf("catalog: publish %s: %w", p.Name, err)
+		}
+		info = p.Verified()
+	}
 	cls := &Class{
 		Name:     p.Name,
 		Version:  p.Version,
 		Checksum: p.Checksum(),
 		ModTime:  time.Now(),
 		Blob:     p.Encode(),
+		Caps:     append([]string(nil), info.Capabilities...),
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.classes[strings.ToLower(p.Name)] = cls
-	return cls
+	return cls, nil
 }
 
 // Get resolves a class by name.
@@ -116,10 +133,9 @@ func (r *Repository) LoadDir(dir string) error {
 		if err != nil {
 			return fmt.Errorf("catalog: class file %s: %w", e.Name(), err)
 		}
-		if err := vm.Verify(p); err != nil {
+		if _, err := r.PutProgram(p); err != nil {
 			return fmt.Errorf("catalog: class file %s: %w", e.Name(), err)
 		}
-		r.PutProgram(p)
 	}
 	return nil
 }

@@ -514,3 +514,66 @@ func TestVRFProperties(t *testing.T) {
 		t.Errorf("predicate VRF %g not far below SF %g", pp.VRF, pp.SF)
 	}
 }
+
+func TestExplainShowsCapabilityManifest(t *testing.T) {
+	cat := sequoiaCatalog(t)
+	plan := planQuery(t, cat, StrategyAuto,
+		"SELECT landuse, Perimeter(polygon) FROM Polygons WHERE Perimeter(polygon) < 100")
+	out := Explain(plan)
+	if !strings.Contains(out, "Perimeter [host: sqrt]") {
+		t.Errorf("explain missing capability annotation:\n%s", out)
+	}
+}
+
+func TestCodeRefCapsPlanXMLRoundTrip(t *testing.T) {
+	cat := sequoiaCatalog(t)
+	plan := planQuery(t, cat, StrategyAuto,
+		"SELECT landuse, Perimeter(polygon) FROM Polygons WHERE Perimeter(polygon) < 100")
+	var ref *CodeRef
+	for i := range plan.Fragments[0].Code {
+		if plan.Fragments[0].Code[i].Name == "Perimeter" {
+			ref = &plan.Fragments[0].Code[i]
+		}
+	}
+	if ref == nil || ref.Caps != "sqrt" {
+		t.Fatalf("planner did not attach capability manifest: %+v", plan.Fragments[0].Code)
+	}
+
+	data, err := EncodePlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePlan(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	for _, c := range back.Fragments[0].Code {
+		if c.Name == "Perimeter" {
+			got = c.Caps
+		}
+	}
+	if got != "sqrt" {
+		t.Errorf("caps after plan XML round trip = %q, want %q", got, "sqrt")
+	}
+
+	// The fragment encoding the QPC actually ships to a DAP must carry
+	// the manifest too.
+	fdata, err := EncodeFragment(plan.Fragments[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	frag, err := DecodeFragment(fdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = ""
+	for _, c := range frag.Code {
+		if c.Name == "Perimeter" {
+			got = c.Caps
+		}
+	}
+	if got != "sqrt" {
+		t.Errorf("caps after fragment round trip = %q, want %q", got, "sqrt")
+	}
+}

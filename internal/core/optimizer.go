@@ -762,7 +762,10 @@ func (p *planner) attachCode(frag *Fragment) error {
 		if !ok {
 			return fmt.Errorf("core: operator %s has no class in the code repository", n)
 		}
-		frag.Code = append(frag.Code, CodeRef{Name: cls.Name, Version: cls.Version, Checksum: cls.Checksum})
+		frag.Code = append(frag.Code, CodeRef{
+			Name: cls.Name, Version: cls.Version, Checksum: cls.Checksum,
+			Caps: strings.Join(cls.Caps, ","),
+		})
 	}
 	return nil
 }
@@ -958,6 +961,9 @@ func Explain(plan *Plan) string {
 			names := make([]string, len(f.Code))
 			for j, c := range f.Code {
 				names[j] = c.Name
+				if c.Caps != "" {
+					names[j] += " [host: " + c.Caps + "]"
+				}
 			}
 			fmt.Fprintf(&b, "    ship code: %s\n", strings.Join(names, ", "))
 		}

@@ -13,6 +13,9 @@ type CodeRef struct {
 	Name     string `xml:"name,attr"`
 	Version  string `xml:"version,attr"`
 	Checksum string `xml:"checksum,attr"`
+	// Caps is the verifier's capability manifest: the host intrinsics the
+	// class may invoke, comma-joined. Empty means pure stack code.
+	Caps string `xml:"caps,attr,omitempty"`
 }
 
 // Output is one computed output column.

@@ -92,6 +92,9 @@ type dapMetrics struct {
 	classesLoaded *obs.Counter
 	cacheHits     *obs.Counter
 	execMS        *obs.Histogram
+	verifyRejects *obs.Counter
+	fastRuns      *obs.Counter
+	checkedRuns   *obs.Counter
 
 	streamsRetained *obs.Gauge
 	streamsParked   *obs.Counter
@@ -121,21 +124,24 @@ func New(cfg Config) *Server {
 		cache:    newCodeCache(),
 		retained: newRetention(),
 		met: dapMetrics{
-			sessionsOpen:  r.Gauge("dap_sessions_open"),
-			sessionsTotal: r.Counter("dap_sessions_total"),
-			activations:   r.Counter("dap_activations"),
-			tuplesSent:    r.Counter("dap_tuples_sent"),
-			bytesSent:     r.Counter("dap_bytes_sent"),
-			classesLoaded: r.Counter("dap_code_classes_loaded"),
-			cacheHits:     r.Counter("dap_code_cache_hits"),
-			execMS:        r.Histogram("dap_exec_ms"),
+			sessionsOpen:  r.Gauge(obs.MDapSessionsOpen),
+			sessionsTotal: r.Counter(obs.MDapSessionsTotal),
+			activations:   r.Counter(obs.MDapActivations),
+			tuplesSent:    r.Counter(obs.MDapTuplesSent),
+			bytesSent:     r.Counter(obs.MDapBytesSent),
+			classesLoaded: r.Counter(obs.MDapCodeClassesLoaded),
+			cacheHits:     r.Counter(obs.MDapCodeCacheHits),
+			execMS:        r.Histogram(obs.MDapExecMS),
+			verifyRejects: r.Counter(obs.MDapVerifyRejects),
+			fastRuns:      r.Counter(obs.MVMFastpathRuns),
+			checkedRuns:   r.Counter(obs.MVMCheckedRuns),
 
-			streamsRetained: r.Gauge("dap_streams_retained"),
-			streamsParked:   r.Counter("dap_streams_parked"),
-			streamResumes:   r.Counter("dap_stream_resumes"),
-			replayedBytes:   r.Counter("dap_stream_replayed_bytes"),
-			retainExpired:   r.Counter("dap_stream_retain_expired"),
-			windowEvicted:   r.Counter("dap_stream_window_evicted"),
+			streamsRetained: r.Gauge(obs.MDapStreamsRetained),
+			streamsParked:   r.Counter(obs.MDapStreamsParked),
+			streamResumes:   r.Counter(obs.MDapStreamResumes),
+			replayedBytes:   r.Counter(obs.MDapStreamReplayedBytes),
+			retainExpired:   r.Counter(obs.MDapStreamRetainExpired),
+			windowEvicted:   r.Counter(obs.MDapStreamWindowEvicted),
 		},
 	}
 }
@@ -228,9 +234,20 @@ func (c *codeCache) stats() (hits, misses int64) {
 // the only way a DAP can evaluate user-defined operators: if the class
 // was never shipped, binding fails.
 type vmBinder struct {
-	cache   *codeCache
-	machine *vm.Machine
-	limits  vm.Limits
+	cache    *codeCache
+	machine  *vm.Machine
+	limits   vm.Limits
+	machines []*vm.Machine // every machine created for this fragment
+}
+
+// runCounts sums interpreter dispatch counters across every machine the
+// binder created (the shared scalar machine plus one per aggregate).
+func (b *vmBinder) runCounts() (fast, checked int64) {
+	for _, m := range b.machines {
+		fast += m.FastRuns
+		checked += m.CheckedRuns
+	}
+	return fast, checked
 }
 
 // BindScalar implements core.OpBinder.
@@ -254,5 +271,7 @@ func (b *vmBinder) BindAggregate(name string, ret types.Kind) (core.AggFn, error
 	}
 	// Each aggregate instance gets its own machine so per-group state
 	// and stacks never interleave.
-	return ops.NewVMAggregate(vm.New(b.limits), lc.prog, ret)
+	m := vm.New(b.limits)
+	b.machines = append(b.machines, m)
+	return ops.NewVMAggregate(m, lc.prog, ret)
 }

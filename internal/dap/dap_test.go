@@ -7,6 +7,7 @@ import (
 
 	"mocha/internal/catalog"
 	"mocha/internal/core"
+	"mocha/internal/obs"
 	"mocha/internal/ops"
 	"mocha/internal/storage"
 	"mocha/internal/types"
@@ -68,7 +69,10 @@ func avgEnergyFragment(t *testing.T) (*core.Fragment, *catalog.Class) {
 	reg := ops.Builtins()
 	d, _ := reg.Lookup("AvgEnergy")
 	repo := catalog.NewRepository()
-	cls := repo.PutProgram(d.Program())
+	cls, err := repo.PutProgram(d.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
 	frag := &core.Fragment{
 		Site: "test", Table: "Rasters",
 		Cols: []int{0, 1},
@@ -161,7 +165,8 @@ func TestDAPExecutesShippedOperator(t *testing.T) {
 }
 
 func TestDAPRejectsUnverifiableCode(t *testing.T) {
-	conn, _ := testDAP(t, Config{})
+	reg := obs.NewRegistry()
+	conn, srv := testDAP(t, Config{Metrics: reg})
 	hello(t, conn)
 	// Structurally valid program with an out-of-range jump: Decode
 	// accepts it, Verify must not.
@@ -177,11 +182,35 @@ func TestDAPRejectsUnverifiableCode(t *testing.T) {
 	if typ != wire.MsgError || !strings.Contains(string(payload), "jump") {
 		t.Errorf("got %v %q", typ, payload)
 	}
-	// Garbage bytes likewise.
+	if got := srv.met.verifyRejects.Value(); got != 1 {
+		t.Errorf("dap_verify_rejects = %d, want 1", got)
+	}
+	// Garbage bytes likewise (a decode failure, not a verifier reject).
 	conn.Send(wire.MsgDeployCode, []byte("not a class"))
 	typ, _, _ = conn.Recv()
 	if typ != wire.MsgError {
 		t.Errorf("garbage class accepted: %v", typ)
+	}
+}
+
+// TestDAPFastPathMetric asserts that code arriving over the wire is
+// re-verified on load and therefore executes on the unchecked fast
+// path, and that the dispatch counters surface in the registry.
+func TestDAPFastPathMetric(t *testing.T) {
+	reg := obs.NewRegistry()
+	conn, _ := testDAP(t, Config{Metrics: reg})
+	hello(t, conn)
+	frag, cls := avgEnergyFragment(t)
+	rows := deployAndRun(t, conn, frag, cls)
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	snap := reg.Snapshot()
+	if snap[obs.MVMFastpathRuns] == 0 {
+		t.Errorf("vm_fastpath_runs = 0 after executing shipped code; snapshot: %v", snap)
+	}
+	if snap[obs.MVMCheckedRuns] != 0 {
+		t.Errorf("vm_checked_runs = %d, want 0 (loaded classes are verified)", snap[obs.MVMCheckedRuns])
 	}
 }
 
@@ -323,7 +352,10 @@ func TestDAPGroupedAggregation(t *testing.T) {
 	reg := ops.Builtins()
 	dd, _ := reg.Lookup("Count")
 	repo := catalog.NewRepository()
-	cls := repo.PutProgram(dd.Program())
+	cls, err := repo.PutProgram(dd.Program())
+	if err != nil {
+		t.Fatal(err)
+	}
 	frag := &core.Fragment{
 		Site: "test", Table: "Rasters",
 		Cols:        []int{0},

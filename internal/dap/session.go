@@ -148,6 +148,7 @@ func (ss *session) handle(t wire.MsgType, payload []byte) error {
 		}
 		// The static half of the sandbox: never load unverifiable code.
 		if err := vm.Verify(prog); err != nil {
+			ss.srv.met.verifyRejects.Inc()
 			return fmt.Errorf("deploy code: %w", err)
 		}
 		ss.srv.cache.put(prog)
@@ -252,6 +253,7 @@ func (ss *session) execute(streamID string) error {
 	}
 
 	binder := &vmBinder{cache: ss.srv.cache, machine: vm.New(ss.srv.cfg.Limits), limits: ss.srv.cfg.Limits}
+	binder.machines = append(binder.machines, binder.machine)
 	exec, err := newFragmentExec(frag, binder)
 	if err != nil {
 		return err
@@ -363,6 +365,9 @@ func (ss *session) execute(streamID string) error {
 	met.execMS.Observe(time.Since(start).Milliseconds())
 	met.classesLoaded.Add(int64(ss.stats.CodeClassesLoaded))
 	met.cacheHits.Add(int64(ss.stats.CacheHits))
+	fast, checked := binder.runCounts()
+	met.fastRuns.Add(fast)
+	met.checkedRuns.Add(checked)
 
 	if ss.trace != nil {
 		// Duration-only phase spans: the offsets say where in the session

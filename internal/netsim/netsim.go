@@ -107,10 +107,10 @@ type netMetrics struct {
 // the dialing side, netsim_bytes_recv for the reverse path).
 func (n *Network) Instrument(r *obs.Registry) {
 	n.metrics.Store(&netMetrics{
-		dials:      r.Counter("netsim_dials"),
-		refused:    r.Counter("netsim_dials_refused"),
-		bytesSent:  r.Counter("netsim_bytes_sent"),
-		bytesRecvd: r.Counter("netsim_bytes_recv"),
+		dials:      r.Counter(obs.MNetsimDials),
+		refused:    r.Counter(obs.MNetsimDialsRefused),
+		bytesSent:  r.Counter(obs.MNetsimBytesSent),
+		bytesRecvd: r.Counter(obs.MNetsimBytesRecv),
 	})
 }
 

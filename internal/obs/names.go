@@ -1,0 +1,61 @@
+package obs
+
+// Metric names. Every metric the system exports is declared here and
+// registered at exactly one site; the obsmetrics linter (cmd/mocha-lint)
+// enforces both directions, so a dashboard can treat this file as the
+// complete metric inventory. Wire metrics are per-connection-role and
+// compose a role prefix ("qpc_wire", "dap_wire") with the M*Suffix
+// constants below.
+const (
+	// DAP server (internal/dap).
+	MDapSessionsOpen        = "dap_sessions_open"
+	MDapSessionsTotal       = "dap_sessions_total"
+	MDapActivations         = "dap_activations"
+	MDapTuplesSent          = "dap_tuples_sent"
+	MDapBytesSent           = "dap_bytes_sent"
+	MDapCodeClassesLoaded   = "dap_code_classes_loaded"
+	MDapCodeCacheHits       = "dap_code_cache_hits"
+	MDapExecMS              = "dap_exec_ms"
+	MDapVerifyRejects       = "dap_verify_rejects"
+	MDapStreamsRetained     = "dap_streams_retained"
+	MDapStreamsParked       = "dap_streams_parked"
+	MDapStreamResumes       = "dap_stream_resumes"
+	MDapStreamReplayedBytes = "dap_stream_replayed_bytes"
+	MDapStreamRetainExpired = "dap_stream_retain_expired"
+	MDapStreamWindowEvicted = "dap_stream_window_evicted"
+
+	// MVM interpreter dispatch, counted by the DAP executor.
+	MVMFastpathRuns = "vm_fastpath_runs"
+	MVMCheckedRuns  = "vm_checked_runs"
+
+	// QPC (internal/qpc).
+	MQpcQueriesTotal         = "qpc_queries_total"
+	MQpcQueriesFailed        = "qpc_queries_failed"
+	MQpcRetries              = "qpc_retries"
+	MQpcRetryBudgetExhausted = "qpc_retry_budget_exhausted"
+	MQpcSessionsSalvaged     = "qpc_sessions_salvaged"
+	MQpcRetryWastedCodeBytes = "qpc_retry_wasted_code_bytes"
+	MQpcQueryMS              = "qpc_query_ms"
+	MQpcStreamResumes        = "qpc_stream_resumes"
+	MQpcResumeSavedBytes     = "qpc_resume_saved_bytes"
+	MQpcResumeFailed         = "qpc_resume_failed"
+	MQpcRestartWastedBytes   = "qpc_restart_wasted_bytes"
+	MQpcDegradedReplans      = "qpc_degraded_replans"
+	MQpcBreakerOpened        = "qpc_breaker_opened"
+	MQpcBreakerReclosed      = "qpc_breaker_reclosed"
+	MQpcBreakerOpenSites     = "qpc_breaker_open_sites"
+
+	// Network simulator (internal/netsim).
+	MNetsimDials        = "netsim_dials"
+	MNetsimDialsRefused = "netsim_dials_refused"
+	MNetsimBytesSent    = "netsim_bytes_sent"
+	MNetsimBytesRecv    = "netsim_bytes_recv"
+
+	// Per-connection wire metrics (internal/wire), prefixed with the
+	// connection role at registration time.
+	MWireFramesSentSuffix    = "_frames_sent"
+	MWireFramesRecvSuffix    = "_frames_recv"
+	MWireBytesSentSuffix     = "_bytes_sent"
+	MWireBytesRecvSuffix     = "_bytes_recv"
+	MWireFrameTimeoutsSuffix = "_frame_timeouts"
+)

@@ -82,9 +82,9 @@ func newHealthRegistry(pol BreakerPolicy, r *obs.Registry) *HealthRegistry {
 	return &HealthRegistry{
 		pol:       pol.withDefaults(),
 		sites:     make(map[string]*siteHealth),
-		opened:    r.Counter("qpc_breaker_opened"),
-		reclosed:  r.Counter("qpc_breaker_reclosed"),
-		openSites: r.Gauge("qpc_breaker_open_sites"),
+		opened:    r.Counter(obs.MQpcBreakerOpened),
+		reclosed:  r.Counter(obs.MQpcBreakerReclosed),
+		openSites: r.Gauge(obs.MQpcBreakerOpenSites),
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"sort"
+	"strings"
 	"time"
 
 	"mocha/internal/catalog"
@@ -18,6 +19,7 @@ import (
 	"mocha/internal/obs"
 	"mocha/internal/sqlparser"
 	"mocha/internal/types"
+	"mocha/internal/vm"
 )
 
 // Config configures a QPC.
@@ -115,19 +117,19 @@ func New(cfg Config) *Server {
 	health := newHealthRegistry(cfg.Breaker, r)
 	opt.Health = health
 	return &Server{cfg: cfg, opt: opt, health: health, met: qpcMetrics{
-		queriesTotal:     r.Counter("qpc_queries_total"),
-		queriesFailed:    r.Counter("qpc_queries_failed"),
-		retries:          r.Counter("qpc_retries"),
-		retryExhausted:   r.Counter("qpc_retry_budget_exhausted"),
-		sessionsSalvaged: r.Counter("qpc_sessions_salvaged"),
-		wastedCodeBytes:  r.Counter("qpc_retry_wasted_code_bytes"),
-		queryMS:          r.Histogram("qpc_query_ms"),
+		queriesTotal:     r.Counter(obs.MQpcQueriesTotal),
+		queriesFailed:    r.Counter(obs.MQpcQueriesFailed),
+		retries:          r.Counter(obs.MQpcRetries),
+		retryExhausted:   r.Counter(obs.MQpcRetryBudgetExhausted),
+		sessionsSalvaged: r.Counter(obs.MQpcSessionsSalvaged),
+		wastedCodeBytes:  r.Counter(obs.MQpcRetryWastedCodeBytes),
+		queryMS:          r.Histogram(obs.MQpcQueryMS),
 
-		resumes:            r.Counter("qpc_stream_resumes"),
-		resumeSavedBytes:   r.Counter("qpc_resume_saved_bytes"),
-		resumeFailed:       r.Counter("qpc_resume_failed"),
-		restartWastedBytes: r.Counter("qpc_restart_wasted_bytes"),
-		degradedReplans:    r.Counter("qpc_degraded_replans"),
+		resumes:            r.Counter(obs.MQpcStreamResumes),
+		resumeSavedBytes:   r.Counter(obs.MQpcResumeSavedBytes),
+		resumeFailed:       r.Counter(obs.MQpcResumeFailed),
+		restartWastedBytes: r.Counter(obs.MQpcRestartWastedBytes),
+		degradedReplans:    r.Counter(obs.MQpcDegradedReplans),
 	}}
 }
 
@@ -254,6 +256,43 @@ func (s *Server) Explain(sql string) (string, error) {
 		return "", err
 	}
 	return core.Explain(q.Plan), nil
+}
+
+// VerifyClass re-runs the static verification ladder on a repository
+// class and renders a human-readable audit report: verdict, capability
+// manifest and the verifier's static resource bounds. Classes cannot be
+// published unverified, so a non-VERIFIED verdict means the stored blob
+// was corrupted after publication.
+func (s *Server) VerifyClass(name string) (string, error) {
+	cls, ok := s.cfg.Cat.Repo().Get(name)
+	if !ok {
+		return "", fmt.Errorf("qpc: no class named %q in the code repository", name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "class %s version %s checksum %s (%d bytes)\n",
+		cls.Name, cls.Version, cls.Checksum, len(cls.Blob))
+	prog, err := vm.Decode(cls.Blob)
+	if err != nil {
+		fmt.Fprintf(&b, "verdict: REJECTED (undecodable: %v)\n", err)
+		return b.String(), nil
+	}
+	info, err := vm.Analyze(prog)
+	if err != nil {
+		fmt.Fprintf(&b, "verdict: REJECTED\nreason: %v\n", err)
+		return b.String(), nil
+	}
+	b.WriteString("verdict: VERIFIED\n")
+	caps := info.CapString()
+	if caps == "" {
+		caps = "(none)"
+	}
+	fmt.Fprintf(&b, "host capabilities: %s\n", caps)
+	fmt.Fprintf(&b, "static bounds: stack=%d frames=%d\n", info.MaxStack, info.CallDepth)
+	for _, fi := range info.Funcs {
+		fmt.Fprintf(&b, "func %s: args=%d stack=%d frames=%d ret=%s\n",
+			fi.Name, fi.NArgs, fi.MaxStack, fi.CallDepth, fi.Ret)
+	}
+	return b.String(), nil
 }
 
 // Run executes the prepared query, calling emit for each result row in

@@ -198,3 +198,38 @@ func runRawClient(t *testing.T, nc net.Conn) {
 		t.Errorf("stats = %+v", stats)
 	}
 }
+
+func TestVerifyClassVerb(t *testing.T) {
+	s := testQPC(t, core.StrategyAuto)
+	network := netsim.NewNetwork(nil)
+	l, err := network.Listen("qpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(l)
+	defer l.Close()
+
+	nc, err := network.Dial("qpc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := newTestConn(nc)
+	defer conn.Close()
+	conn.hello(t)
+	rows, _ := conn.query(t, "VERIFY Perimeter")
+	var out strings.Builder
+	for _, r := range rows {
+		out.WriteString(fmt.Sprint(r[0]))
+		out.WriteByte('\n')
+	}
+	text := out.String()
+	for _, want := range []string{"class Perimeter", "verdict: VERIFIED", "host capabilities: sqrt", "static bounds:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("VERIFY output missing %q:\n%s", want, text)
+		}
+	}
+
+	if _, err := s.VerifyClass("NoSuchOp"); err == nil {
+		t.Error("VERIFY of unknown class should error")
+	}
+}

@@ -95,6 +95,15 @@ func (s *Server) serveQuery(conn *wire.Conn, sql string) error {
 	if strings.EqualFold(strings.TrimSpace(sql), "SHOW TABLES") {
 		return s.sendTextResult(conn, "table", strings.Join(s.cfg.Cat.TableNames(), "\n"))
 	}
+	// VERIFY <class> re-runs the static verifier on a repository class
+	// and reports the verdict, capability manifest and static bounds.
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "VERIFY "); ok {
+		text, err := s.VerifyClass(strings.TrimSpace(rest))
+		if err != nil {
+			return err
+		}
+		return s.sendTextResult(conn, "verify", text)
+	}
 	q, err := s.Prepare(sql)
 	if err != nil {
 		return err

@@ -40,6 +40,49 @@ end`)
 	}
 }
 
+// BenchmarkInterpreterLoopChecked is the same workload forced onto the
+// fully-checked interpreter (as if the program were unverified), the
+// baseline the verified fast path is measured against.
+func BenchmarkInterpreterLoopChecked(b *testing.B) {
+	p := MustAssemble(`
+program sum
+func eval args=1 locals=2
+  pushi 0
+  store 0
+  pushi 1
+  store 1
+loop:
+  load 1
+  arg 0
+  gt
+  jnz done
+  load 0
+  load 1
+  addi
+  store 0
+  load 1
+  pushi 1
+  addi
+  store 1
+  jmp loop
+done:
+  load 0
+  ret
+end`)
+	p.verified = nil // drop the verification stamp: dynamic checks return
+	m := New(Limits{})
+	args := []Value{IntVal(1000)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(p, 0, nil, args); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m.FastRuns != 0 {
+		b.Fatal("checked benchmark took the fast path")
+	}
+}
+
 // BenchmarkByteScan measures the ldu8 inner loop over a 64 KB buffer —
 // the hot path of every shipped raster operator.
 func BenchmarkByteScan(b *testing.B) {
@@ -108,21 +151,40 @@ end`)
 	}
 }
 
-// BenchmarkVerify measures the static verifier on a realistic program.
+// BenchmarkVerify measures the full static ladder — structural pass,
+// call-graph pass and dataflow fixpoint — on a realistic float-raster
+// reduction loop.
 func BenchmarkVerify(b *testing.B) {
 	src := `
 program big
 const zero float 0
-func eval args=1 locals=5
+func eval args=1 locals=3
   const zero
-  store 2
+  store 2      ; acc
+  pushi 0
+  store 1      ; i
+  arg 0
+  blen
+  store 0      ; n
 loop:
+  load 1
+  load 0
+  ge
+  jnz done
   load 2
   arg 0
+  load 1
   ldf32
   addf
   store 2
+  load 1
+  pushi 4
+  addi
+  store 1
   jmp loop
+done:
+  load 2
+  ret
 end`
 	p := MustAssemble(src)
 	b.ResetTimer()

@@ -31,10 +31,55 @@ var DefaultLimits = Limits{
 	MaxAlloc:     256 << 20,
 }
 
+// TrapKind classifies a runtime fault, so callers (and the soundness
+// fuzzer) can distinguish faults the static verifier rules out from
+// faults that are inherently dynamic.
+type TrapKind uint8
+
+const (
+	// TrapGeneric is an unclassified fault.
+	TrapGeneric TrapKind = iota
+	// TrapStack is an operand-stack underflow or execution falling off
+	// the end of a function's code. The dataflow verifier proves these
+	// impossible: a verified program must never raise one.
+	TrapStack
+	// TrapType is a value-kind mismatch (e.g. addi on a float). The
+	// verifier rejects statically provable mismatches; mismatches routed
+	// through dynamically-kinded values (args, globals) remain runtime
+	// faults.
+	TrapType
+	// TrapBounds is a byte-buffer access outside the buffer, or a store
+	// into a read-only buffer — inherently data-dependent.
+	TrapBounds
+	// TrapMath is a numeric domain fault: divide by zero, log of a
+	// non-positive, sqrt of a negative.
+	TrapMath
+	// TrapResource is a sandbox limit: fuel, operand-stack capacity,
+	// call depth or allocation budget exhausted.
+	TrapResource
+)
+
+func (k TrapKind) String() string {
+	switch k {
+	case TrapStack:
+		return "stack"
+	case TrapType:
+		return "type"
+	case TrapBounds:
+		return "bounds"
+	case TrapMath:
+		return "math"
+	case TrapResource:
+		return "resource"
+	}
+	return "generic"
+}
+
 // Trap is a runtime fault raised by executing MVM code.
 type Trap struct {
 	Func string
 	PC   int
+	Kind TrapKind
 	Msg  string
 }
 
@@ -50,6 +95,10 @@ type Machine struct {
 	// FuelUsed accumulates instructions executed across invocations, for
 	// CPU-cost reporting.
 	FuelUsed int64
+	// FastRuns and CheckedRuns count invocations dispatched to the
+	// verified fast path vs the fully-checked interpreter.
+	FastRuns    int64
+	CheckedRuns int64
 }
 
 // New returns a machine with the given limits. Zero-valued limit fields
@@ -78,9 +127,14 @@ type frame struct {
 	args   []Value
 }
 
-// Run executes function fnIdx of the (verified) program with the given
-// arguments. globals carries aggregate state across invocations; pass nil
-// for stateless scalar functions. It returns the function's result value.
+// Run executes function fnIdx of the program with the given arguments.
+// globals carries aggregate state across invocations; pass nil for
+// stateless scalar functions. It returns the function's result value.
+//
+// A program the dataflow verifier has accepted (see Analyze) whose
+// static stack and call-depth bounds fit this machine's limits runs on
+// the fast path, which drops the per-instruction dynamic stack checks
+// the verifier made redundant; anything else runs fully checked.
 func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Value, error) {
 	if fnIdx < 0 || fnIdx >= len(p.Funcs) {
 		return Value{}, fmt.Errorf("vm: function index %d out of range", fnIdx)
@@ -92,16 +146,29 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 	if p.NGlobals > 0 && len(globals) != p.NGlobals {
 		return Value{}, fmt.Errorf("vm: %s needs %d globals, got %d", p.Name, p.NGlobals, len(globals))
 	}
+	if info := p.verified; info != nil &&
+		info.MaxStack <= m.limits.MaxStack && info.CallDepth <= m.limits.MaxCallDepth {
+		m.FastRuns++
+		return m.runFast(p, fnIdx, globals, args, info)
+	}
+	m.CheckedRuns++
+	return m.runChecked(p, entry, globals, args)
+}
 
+// runChecked is the fully-checked interpreter loop: every instruction
+// validates operand-stack depth and value kinds before acting. It is the
+// reference semantics the fast path must match (pinned by the
+// differential fuzz target FuzzVerifySound).
+func (m *Machine) runChecked(p *Program, entry *Func, globals []Value, args []Value) (Value, error) {
 	fuel := m.limits.MaxFuel
 	var allocUsed int64
 	m.stack = m.stack[:0]
 	frames := make([]frame, 1, 8)
 	frames[0] = frame{fn: entry, locals: make([]Value, entry.NLocals), args: args}
 
-	trap := func(msg string) (Value, error) {
+	trap := func(kind TrapKind, msg string) (Value, error) {
 		f := &frames[len(frames)-1]
-		return Value{}, &Trap{Func: f.fn.Name, PC: f.pc, Msg: msg}
+		return Value{}, &Trap{Func: f.fn.Name, PC: f.pc, Kind: kind, Msg: msg}
 	}
 
 	push := func(v Value) bool {
@@ -116,11 +183,11 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 		f := &frames[len(frames)-1]
 		code := f.fn.Code
 		if f.pc >= len(code) {
-			return trap("fell off end of code")
+			return trap(TrapStack, "fell off end of code")
 		}
 		if fuel--; fuel < 0 {
 			m.FuelUsed += m.limits.MaxFuel
-			return trap("fuel exhausted")
+			return trap(TrapResource, "fuel exhausted")
 		}
 		op := Op(code[f.pc])
 		var operand int
@@ -146,76 +213,76 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 				return ret, nil
 			}
 			if !push(ret) {
-				return trap("stack overflow on return")
+				return trap(TrapResource, "stack overflow on return")
 			}
 			continue
 
 		case OpPop:
 			if sp < 1 {
-				return trap("pop on empty stack")
+				return trap(TrapStack, "pop on empty stack")
 			}
 			m.stack = m.stack[:sp-1]
 
 		case OpDup:
 			if sp < 1 {
-				return trap("dup on empty stack")
+				return trap(TrapStack, "dup on empty stack")
 			}
 			if !push(m.stack[sp-1]) {
-				return trap("stack overflow")
+				return trap(TrapResource, "stack overflow")
 			}
 
 		case OpSwap:
 			if sp < 2 {
-				return trap("swap needs two values")
+				return trap(TrapStack, "swap needs two values")
 			}
 			m.stack[sp-1], m.stack[sp-2] = m.stack[sp-2], m.stack[sp-1]
 
 		case OpConst:
 			if !push(p.Consts[operand]) {
-				return trap("stack overflow")
+				return trap(TrapResource, "stack overflow")
 			}
 
 		case OpPushI:
 			if !push(IntVal(int64(operand))) {
-				return trap("stack overflow")
+				return trap(TrapResource, "stack overflow")
 			}
 
 		case OpArg:
 			if !push(f.args[operand]) {
-				return trap("stack overflow")
+				return trap(TrapResource, "stack overflow")
 			}
 
 		case OpLoad:
 			if !push(f.locals[operand]) {
-				return trap("stack overflow")
+				return trap(TrapResource, "stack overflow")
 			}
 
 		case OpStore:
 			if sp < 1 {
-				return trap("store on empty stack")
+				return trap(TrapStack, "store on empty stack")
 			}
 			f.locals[operand] = m.stack[sp-1]
 			m.stack = m.stack[:sp-1]
 
 		case OpGLoad:
 			if !push(globals[operand]) {
-				return trap("stack overflow")
+				return trap(TrapResource, "stack overflow")
 			}
 
 		case OpGStore:
 			if sp < 1 {
-				return trap("gstore on empty stack")
+				return trap(TrapStack, "gstore on empty stack")
 			}
 			globals[operand] = m.stack[sp-1]
 			m.stack = m.stack[:sp-1]
 
 		case OpAddI, OpSubI, OpMulI, OpDivI, OpModI:
 			if sp < 2 {
-				return trap("integer op needs two values")
+				return trap(TrapStack, "integer op needs two values")
 			}
 			a, b := m.stack[sp-2], m.stack[sp-1]
 			if a.K != VInt || b.K != VInt {
-				return trap(fmt.Sprintf("%v needs ints, got %v and %v", op, a.K, b.K))
+				return trap(TrapType, fmt.Sprintf("%v needs ints, got %v and %v", op, a.K, b.K))
 			}
 			var r int64
 			switch op {
@@ -227,12 +294,12 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 				r = a.I * b.I
 			case OpDivI:
 				if b.I == 0 {
-					return trap("integer divide by zero")
+					return trap(TrapMath, "integer divide by zero")
 				}
 				r = a.I / b.I
 			case OpModI:
 				if b.I == 0 {
-					return trap("integer modulo by zero")
+					return trap(TrapMath, "integer modulo by zero")
 				}
 				r = a.I % b.I
 			}
@@ -240,18 +307,21 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 			m.stack[sp-2] = IntVal(r)
 
 		case OpNegI:
-			if sp < 1 || m.stack[sp-1].K != VInt {
-				return trap("negi needs an int")
+			if sp < 1 {
+				return trap(TrapStack, "negi on empty stack")
+			}
+			if m.stack[sp-1].K != VInt {
+				return trap(TrapType, "negi needs an int")
 			}
 			m.stack[sp-1].I = -m.stack[sp-1].I
 
 		case OpAddF, OpSubF, OpMulF, OpDivF:
 			if sp < 2 {
-				return trap("float op needs two values")
+				return trap(TrapStack, "float op needs two values")
 			}
 			a, b := m.stack[sp-2], m.stack[sp-1]
 			if a.K != VFloat || b.K != VFloat {
-				return trap(fmt.Sprintf("%v needs floats, got %v and %v", op, a.K, b.K))
+				return trap(TrapType, fmt.Sprintf("%v needs floats, got %v and %v", op, a.K, b.K))
 			}
 			var r float64
 			switch op {
@@ -268,42 +338,51 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 			m.stack[sp-2] = FloatVal(r)
 
 		case OpNegF:
-			if sp < 1 || m.stack[sp-1].K != VFloat {
-				return trap("negf needs a float")
+			if sp < 1 {
+				return trap(TrapStack, "negf on empty stack")
+			}
+			if m.stack[sp-1].K != VFloat {
+				return trap(TrapType, "negf needs a float")
 			}
 			m.stack[sp-1].F = -m.stack[sp-1].F
 
 		case OpI2F:
-			if sp < 1 || m.stack[sp-1].K != VInt {
-				return trap("i2f needs an int")
+			if sp < 1 {
+				return trap(TrapStack, "i2f on empty stack")
+			}
+			if m.stack[sp-1].K != VInt {
+				return trap(TrapType, "i2f needs an int")
 			}
 			m.stack[sp-1] = FloatVal(float64(m.stack[sp-1].I))
 
 		case OpF2I:
-			if sp < 1 || m.stack[sp-1].K != VFloat {
-				return trap("f2i needs a float")
+			if sp < 1 {
+				return trap(TrapStack, "f2i on empty stack")
+			}
+			if m.stack[sp-1].K != VFloat {
+				return trap(TrapType, "f2i needs a float")
 			}
 			m.stack[sp-1] = IntVal(int64(m.stack[sp-1].F))
 
 		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
 			if sp < 2 {
-				return trap("comparison needs two values")
+				return trap(TrapStack, "comparison needs two values")
 			}
 			a, b := m.stack[sp-2], m.stack[sp-1]
 			res, err := compare(op, a, b)
 			if err != nil {
-				return trap(err.Error())
+				return trap(TrapType, err.Error())
 			}
 			m.stack = m.stack[:sp-1]
 			m.stack[sp-2] = BoolVal(res)
 
 		case OpAnd, OpOr:
 			if sp < 2 {
-				return trap("logic op needs two values")
+				return trap(TrapStack, "logic op needs two values")
 			}
 			a, b := m.stack[sp-2], m.stack[sp-1]
 			if a.K != VBool || b.K != VBool {
-				return trap("logic op needs bools")
+				return trap(TrapType, "logic op needs bools")
 			}
 			var r bool
 			if op == OpAnd {
@@ -315,8 +394,11 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 			m.stack[sp-2] = BoolVal(r)
 
 		case OpNot:
-			if sp < 1 || m.stack[sp-1].K != VBool {
-				return trap("not needs a bool")
+			if sp < 1 {
+				return trap(TrapStack, "not on empty stack")
+			}
+			if m.stack[sp-1].K != VBool {
+				return trap(TrapType, "not needs a bool")
 			}
 			m.stack[sp-1] = BoolVal(!m.stack[sp-1].Bool())
 
@@ -325,8 +407,11 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 			continue
 
 		case OpJz, OpJnz:
-			if sp < 1 || m.stack[sp-1].K != VBool {
-				return trap("conditional jump needs a bool")
+			if sp < 1 {
+				return trap(TrapStack, "conditional jump on empty stack")
+			}
+			if m.stack[sp-1].K != VBool {
+				return trap(TrapType, "conditional jump needs a bool")
 			}
 			cond := m.stack[sp-1].Bool()
 			m.stack = m.stack[:sp-1]
@@ -337,11 +422,11 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 
 		case OpCall:
 			if len(frames) >= m.limits.MaxCallDepth {
-				return trap("call depth exceeded")
+				return trap(TrapResource, "call depth exceeded")
 			}
 			callee := &p.Funcs[operand]
 			if sp < callee.NArgs {
-				return trap(fmt.Sprintf("call to %s needs %d args, stack has %d", callee.Name, callee.NArgs, sp))
+				return trap(TrapStack, fmt.Sprintf("call to %s needs %d args, stack has %d", callee.Name, callee.NArgs, sp))
 			}
 			callArgs := make([]Value, callee.NArgs)
 			copy(callArgs, m.stack[sp-callee.NArgs:])
@@ -356,18 +441,21 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 			continue
 
 		case OpBLen:
-			if sp < 1 || m.stack[sp-1].K != VBytes {
-				return trap("blen needs bytes")
+			if sp < 1 {
+				return trap(TrapStack, "blen on empty stack")
+			}
+			if m.stack[sp-1].K != VBytes {
+				return trap(TrapType, "blen needs bytes")
 			}
 			m.stack[sp-1] = IntVal(int64(len(m.stack[sp-1].B)))
 
 		case OpLdU8, OpLdI32, OpLdF32, OpLdF64:
 			if sp < 2 {
-				return trap("byte load needs buffer and offset")
+				return trap(TrapStack, "byte load needs buffer and offset")
 			}
 			buf, off := m.stack[sp-2], m.stack[sp-1]
 			if buf.K != VBytes || off.K != VInt {
-				return trap("byte load needs (bytes, int)")
+				return trap(TrapType, "byte load needs (bytes, int)")
 			}
 			var width int64
 			switch op {
@@ -379,7 +467,7 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 				width = 8
 			}
 			if off.I < 0 || off.I+width > int64(len(buf.B)) {
-				return trap(fmt.Sprintf("byte load at %d width %d out of bounds (%d)", off.I, width, len(buf.B)))
+				return trap(TrapBounds, fmt.Sprintf("byte load at %d width %d out of bounds (%d)", off.I, width, len(buf.B)))
 			}
 			var v Value
 			switch op {
@@ -396,16 +484,19 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 			m.stack[sp-2] = v
 
 		case OpBNew:
-			if sp < 1 || m.stack[sp-1].K != VInt {
-				return trap("bnew needs an int size")
+			if sp < 1 {
+				return trap(TrapStack, "bnew on empty stack")
+			}
+			if m.stack[sp-1].K != VInt {
+				return trap(TrapType, "bnew needs an int size")
 			}
 			size := m.stack[sp-1].I
 			if size < 0 {
-				return trap("bnew with negative size")
+				return trap(TrapBounds, "bnew with negative size")
 			}
 			allocUsed += size
 			if allocUsed > m.limits.MaxAlloc {
-				return trap("allocation budget exhausted")
+				return trap(TrapResource, "allocation budget exhausted")
 			}
 			v := BytesVal(make([]byte, size))
 			v.W = true
@@ -413,36 +504,36 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 
 		case OpStU8, OpStI32, OpStF32:
 			if sp < 3 {
-				return trap("byte store needs buffer, offset and value")
+				return trap(TrapStack, "byte store needs buffer, offset and value")
 			}
 			buf, off, val := m.stack[sp-3], m.stack[sp-2], m.stack[sp-1]
 			if buf.K != VBytes || off.K != VInt {
-				return trap("byte store needs (bytes, int, value)")
+				return trap(TrapType, "byte store needs (bytes, int, value)")
 			}
 			if !buf.W {
-				return trap("store into read-only buffer")
+				return trap(TrapBounds, "store into read-only buffer")
 			}
 			var width int64 = 4
 			if op == OpStU8 {
 				width = 1
 			}
 			if off.I < 0 || off.I+width > int64(len(buf.B)) {
-				return trap(fmt.Sprintf("byte store at %d out of bounds (%d)", off.I, len(buf.B)))
+				return trap(TrapBounds, fmt.Sprintf("byte store at %d out of bounds (%d)", off.I, len(buf.B)))
 			}
 			switch op {
 			case OpStU8:
 				if val.K != VInt {
-					return trap("stu8 needs an int value")
+					return trap(TrapType, "stu8 needs an int value")
 				}
 				buf.B[off.I] = byte(val.I)
 			case OpStI32:
 				if val.K != VInt {
-					return trap("sti32 needs an int value")
+					return trap(TrapType, "sti32 needs an int value")
 				}
 				binary.BigEndian.PutUint32(buf.B[off.I:], uint32(int32(val.I)))
 			case OpStF32:
 				if val.K != VFloat {
-					return trap("stf32 needs a float value")
+					return trap(TrapType, "stf32 needs a float value")
 				}
 				binary.BigEndian.PutUint32(buf.B[off.I:], math.Float32bits(float32(val.F)))
 			}
@@ -450,14 +541,14 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 
 		case OpBSlice:
 			if sp < 3 {
-				return trap("bslice needs buffer, start and end")
+				return trap(TrapStack, "bslice needs buffer, start and end")
 			}
 			buf, start, end := m.stack[sp-3], m.stack[sp-2], m.stack[sp-1]
 			if buf.K != VBytes || start.K != VInt || end.K != VInt {
-				return trap("bslice needs (bytes, int, int)")
+				return trap(TrapType, "bslice needs (bytes, int, int)")
 			}
 			if start.I < 0 || end.I < start.I || end.I > int64(len(buf.B)) {
-				return trap(fmt.Sprintf("bslice [%d:%d] out of bounds (%d)", start.I, end.I, len(buf.B)))
+				return trap(TrapBounds, fmt.Sprintf("bslice [%d:%d] out of bounds (%d)", start.I, end.I, len(buf.B)))
 			}
 			v := BytesVal(buf.B[start.I:end.I])
 			v.W = buf.W
@@ -465,15 +556,18 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 			m.stack[sp-3] = v
 
 		case OpSLen:
-			if sp < 1 || m.stack[sp-1].K != VStr {
-				return trap("slen needs a string")
+			if sp < 1 {
+				return trap(TrapStack, "slen on empty stack")
+			}
+			if m.stack[sp-1].K != VStr {
+				return trap(TrapType, "slen needs a string")
 			}
 			m.stack[sp-1] = IntVal(int64(len(m.stack[sp-1].S)))
 
 		case OpHost:
-			v, err := callHost(operand, m.stack)
+			v, kind, err := callHost(operand, m.stack)
 			if err != nil {
-				return trap(err.Error())
+				return trap(kind, err.Error())
 			}
 			if operand == HostPow {
 				m.stack = m.stack[:len(m.stack)-1]
@@ -481,7 +575,7 @@ func (m *Machine) Run(p *Program, fnIdx int, globals []Value, args []Value) (Val
 			m.stack[len(m.stack)-1] = v
 
 		default:
-			return trap(fmt.Sprintf("unimplemented opcode %v", op))
+			return trap(TrapGeneric, fmt.Sprintf("unimplemented opcode %v", op))
 		}
 		f.pc = npc
 	}
@@ -546,73 +640,73 @@ func compare(op Op, a, b Value) (bool, error) {
 	return false, fmt.Errorf("bad comparison op %v", op)
 }
 
-func callHost(id int, stack []Value) (Value, error) {
+func callHost(id int, stack []Value) (Value, TrapKind, error) {
 	sp := len(stack)
 	need := 1
 	if id == HostPow {
 		need = 2
 	}
 	if sp < need {
-		return Value{}, fmt.Errorf("host %s needs %d args", HostName(id), need)
+		return Value{}, TrapStack, fmt.Errorf("host %s needs %d args", HostName(id), need)
 	}
 	switch id {
 	case HostSqrt:
 		x := stack[sp-1]
 		if x.K != VFloat {
-			return Value{}, fmt.Errorf("sqrt needs a float")
+			return Value{}, TrapType, fmt.Errorf("sqrt needs a float")
 		}
 		if x.F < 0 {
-			return Value{}, fmt.Errorf("sqrt of negative %g", x.F)
+			return Value{}, TrapMath, fmt.Errorf("sqrt of negative %g", x.F)
 		}
-		return FloatVal(math.Sqrt(x.F)), nil
+		return FloatVal(math.Sqrt(x.F)), 0, nil
 	case HostAbsF:
 		x := stack[sp-1]
 		if x.K != VFloat {
-			return Value{}, fmt.Errorf("absf needs a float")
+			return Value{}, TrapType, fmt.Errorf("absf needs a float")
 		}
-		return FloatVal(math.Abs(x.F)), nil
+		return FloatVal(math.Abs(x.F)), 0, nil
 	case HostAbsI:
 		x := stack[sp-1]
 		if x.K != VInt {
-			return Value{}, fmt.Errorf("absi needs an int")
+			return Value{}, TrapType, fmt.Errorf("absi needs an int")
 		}
 		if x.I < 0 {
-			return IntVal(-x.I), nil
+			return IntVal(-x.I), 0, nil
 		}
-		return x, nil
+		return x, 0, nil
 	case HostPow:
 		x, y := stack[sp-2], stack[sp-1]
 		if x.K != VFloat || y.K != VFloat {
-			return Value{}, fmt.Errorf("pow needs two floats")
+			return Value{}, TrapType, fmt.Errorf("pow needs two floats")
 		}
-		return FloatVal(math.Pow(x.F, y.F)), nil
+		return FloatVal(math.Pow(x.F, y.F)), 0, nil
 	case HostFloor:
 		x := stack[sp-1]
 		if x.K != VFloat {
-			return Value{}, fmt.Errorf("floor needs a float")
+			return Value{}, TrapType, fmt.Errorf("floor needs a float")
 		}
-		return FloatVal(math.Floor(x.F)), nil
+		return FloatVal(math.Floor(x.F)), 0, nil
 	case HostCeil:
 		x := stack[sp-1]
 		if x.K != VFloat {
-			return Value{}, fmt.Errorf("ceil needs a float")
+			return Value{}, TrapType, fmt.Errorf("ceil needs a float")
 		}
-		return FloatVal(math.Ceil(x.F)), nil
+		return FloatVal(math.Ceil(x.F)), 0, nil
 	case HostLog:
 		x := stack[sp-1]
 		if x.K != VFloat {
-			return Value{}, fmt.Errorf("log needs a float")
+			return Value{}, TrapType, fmt.Errorf("log needs a float")
 		}
 		if x.F <= 0 {
-			return Value{}, fmt.Errorf("log of non-positive %g", x.F)
+			return Value{}, TrapMath, fmt.Errorf("log of non-positive %g", x.F)
 		}
-		return FloatVal(math.Log(x.F)), nil
+		return FloatVal(math.Log(x.F)), 0, nil
 	case HostExp:
 		x := stack[sp-1]
 		if x.K != VFloat {
-			return Value{}, fmt.Errorf("exp needs a float")
+			return Value{}, TrapType, fmt.Errorf("exp needs a float")
 		}
-		return FloatVal(math.Exp(x.F)), nil
+		return FloatVal(math.Exp(x.F)), 0, nil
 	}
-	return Value{}, fmt.Errorf("unknown host intrinsic %d", id)
+	return Value{}, TrapGeneric, fmt.Errorf("unknown host intrinsic %d", id)
 }

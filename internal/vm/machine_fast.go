@@ -1,0 +1,363 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// fastFrame is one activation record of the fast-path interpreter. pc
+// indexes the pre-decoded instruction stream, not the bytecode.
+type fastFrame struct {
+	ins    []finstr
+	fi     int // function index, for trap reporting
+	pc     int
+	base   int
+	locals []Value
+	args   []Value
+}
+
+// runFast is the interpreter loop for verified programs. The dataflow
+// verifier (Analyze) has proven, for every reachable instruction, that
+// the operand stack is deep enough, that execution never falls off the
+// end of a function, that every call has its arguments on the stack, and
+// that the whole program fits within info.MaxStack slots and
+// info.CallDepth frames — so this loop performs none of those checks.
+// It also interprets the pre-decoded instruction stream the verifier
+// built (operands decoded, jump targets as instruction indexes), so the
+// per-instruction byte decode disappears as well.
+//
+// Checks that are inherently dynamic stay: fuel (termination), value
+// kinds (arguments and globals are dynamically kinded), byte-buffer
+// bounds, math domain faults and the allocation budget. The differential
+// fuzz target FuzzVerifySound pins this loop to runChecked's semantics.
+func (m *Machine) runFast(p *Program, fnIdx int, globals []Value, args []Value, info *VerifyInfo) (Value, error) {
+	fuel := m.limits.MaxFuel
+	var allocUsed int64
+	if cap(m.stack) < info.MaxStack {
+		m.stack = make([]Value, 0, info.MaxStack)
+	}
+	m.stack = m.stack[:0]
+	frames := make([]fastFrame, 1, 8)
+	frames[0] = fastFrame{
+		ins:    info.fastCode[fnIdx],
+		fi:     fnIdx,
+		locals: make([]Value, p.Funcs[fnIdx].NLocals),
+		args:   args,
+	}
+
+	trap := func(kind TrapKind, msg string) (Value, error) {
+		f := &frames[len(frames)-1]
+		return Value{}, &Trap{Func: p.Funcs[f.fi].Name, PC: int(f.ins[f.pc].off), Kind: kind, Msg: msg}
+	}
+
+	for {
+		f := &frames[len(frames)-1]
+		if fuel--; fuel < 0 {
+			m.FuelUsed += m.limits.MaxFuel
+			return trap(TrapResource, "fuel exhausted")
+		}
+		in := f.ins[f.pc]
+		operand := int(in.operand)
+		sp := len(m.stack)
+
+		switch in.op {
+		case OpNop:
+
+		case OpRet:
+			var ret Value
+			if sp > f.base {
+				ret = m.stack[sp-1]
+			}
+			m.stack = m.stack[:f.base]
+			frames = frames[:len(frames)-1]
+			if len(frames) == 0 {
+				m.FuelUsed += m.limits.MaxFuel - fuel
+				return ret, nil
+			}
+			m.stack = append(m.stack, ret)
+			continue
+
+		case OpPop:
+			m.stack = m.stack[:sp-1]
+
+		case OpDup:
+			m.stack = append(m.stack, m.stack[sp-1])
+
+		case OpSwap:
+			m.stack[sp-1], m.stack[sp-2] = m.stack[sp-2], m.stack[sp-1]
+
+		case OpConst:
+			m.stack = append(m.stack, p.Consts[operand])
+
+		case OpPushI:
+			m.stack = append(m.stack, IntVal(int64(operand)))
+
+		case OpArg:
+			m.stack = append(m.stack, f.args[operand])
+
+		case OpLoad:
+			m.stack = append(m.stack, f.locals[operand])
+
+		case OpStore:
+			f.locals[operand] = m.stack[sp-1]
+			m.stack = m.stack[:sp-1]
+
+		case OpGLoad:
+			m.stack = append(m.stack, globals[operand])
+
+		case OpGStore:
+			globals[operand] = m.stack[sp-1]
+			m.stack = m.stack[:sp-1]
+
+		case OpAddI, OpSubI, OpMulI, OpDivI, OpModI:
+			a, b := m.stack[sp-2], m.stack[sp-1]
+			if a.K != VInt || b.K != VInt {
+				return trap(TrapType, fmt.Sprintf("%v needs ints, got %v and %v", in.op, a.K, b.K))
+			}
+			var r int64
+			switch in.op {
+			case OpAddI:
+				r = a.I + b.I
+			case OpSubI:
+				r = a.I - b.I
+			case OpMulI:
+				r = a.I * b.I
+			case OpDivI:
+				if b.I == 0 {
+					return trap(TrapMath, "integer divide by zero")
+				}
+				r = a.I / b.I
+			case OpModI:
+				if b.I == 0 {
+					return trap(TrapMath, "integer modulo by zero")
+				}
+				r = a.I % b.I
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = IntVal(r)
+
+		case OpNegI:
+			if m.stack[sp-1].K != VInt {
+				return trap(TrapType, "negi needs an int")
+			}
+			m.stack[sp-1].I = -m.stack[sp-1].I
+
+		case OpAddF, OpSubF, OpMulF, OpDivF:
+			a, b := m.stack[sp-2], m.stack[sp-1]
+			if a.K != VFloat || b.K != VFloat {
+				return trap(TrapType, fmt.Sprintf("%v needs floats, got %v and %v", in.op, a.K, b.K))
+			}
+			var r float64
+			switch in.op {
+			case OpAddF:
+				r = a.F + b.F
+			case OpSubF:
+				r = a.F - b.F
+			case OpMulF:
+				r = a.F * b.F
+			case OpDivF:
+				r = a.F / b.F
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = FloatVal(r)
+
+		case OpNegF:
+			if m.stack[sp-1].K != VFloat {
+				return trap(TrapType, "negf needs a float")
+			}
+			m.stack[sp-1].F = -m.stack[sp-1].F
+
+		case OpI2F:
+			if m.stack[sp-1].K != VInt {
+				return trap(TrapType, "i2f needs an int")
+			}
+			m.stack[sp-1] = FloatVal(float64(m.stack[sp-1].I))
+
+		case OpF2I:
+			if m.stack[sp-1].K != VFloat {
+				return trap(TrapType, "f2i needs a float")
+			}
+			m.stack[sp-1] = IntVal(int64(m.stack[sp-1].F))
+
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			a, b := m.stack[sp-2], m.stack[sp-1]
+			res, err := compare(in.op, a, b)
+			if err != nil {
+				return trap(TrapType, err.Error())
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = BoolVal(res)
+
+		case OpAnd, OpOr:
+			a, b := m.stack[sp-2], m.stack[sp-1]
+			if a.K != VBool || b.K != VBool {
+				return trap(TrapType, "logic op needs bools")
+			}
+			var r bool
+			if in.op == OpAnd {
+				r = a.Bool() && b.Bool()
+			} else {
+				r = a.Bool() || b.Bool()
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = BoolVal(r)
+
+		case OpNot:
+			if m.stack[sp-1].K != VBool {
+				return trap(TrapType, "not needs a bool")
+			}
+			m.stack[sp-1] = BoolVal(!m.stack[sp-1].Bool())
+
+		case OpJmp:
+			f.pc = operand
+			continue
+
+		case OpJz, OpJnz:
+			if m.stack[sp-1].K != VBool {
+				return trap(TrapType, "conditional jump needs a bool")
+			}
+			cond := m.stack[sp-1].Bool()
+			m.stack = m.stack[:sp-1]
+			if (in.op == OpJz && !cond) || (in.op == OpJnz && cond) {
+				f.pc = operand
+				continue
+			}
+
+		case OpCall:
+			callee := &p.Funcs[operand]
+			callArgs := make([]Value, callee.NArgs)
+			copy(callArgs, m.stack[sp-callee.NArgs:])
+			m.stack = m.stack[:sp-callee.NArgs]
+			f.pc++
+			frames = append(frames, fastFrame{
+				ins:    info.fastCode[operand],
+				fi:     operand,
+				base:   len(m.stack),
+				locals: make([]Value, callee.NLocals),
+				args:   callArgs,
+			})
+			continue
+
+		case OpBLen:
+			if m.stack[sp-1].K != VBytes {
+				return trap(TrapType, "blen needs bytes")
+			}
+			m.stack[sp-1] = IntVal(int64(len(m.stack[sp-1].B)))
+
+		case OpLdU8, OpLdI32, OpLdF32, OpLdF64:
+			buf, off := m.stack[sp-2], m.stack[sp-1]
+			if buf.K != VBytes || off.K != VInt {
+				return trap(TrapType, "byte load needs (bytes, int)")
+			}
+			var width int64
+			switch in.op {
+			case OpLdU8:
+				width = 1
+			case OpLdI32, OpLdF32:
+				width = 4
+			case OpLdF64:
+				width = 8
+			}
+			if off.I < 0 || off.I+width > int64(len(buf.B)) {
+				return trap(TrapBounds, fmt.Sprintf("byte load at %d width %d out of bounds (%d)", off.I, width, len(buf.B)))
+			}
+			var v Value
+			switch in.op {
+			case OpLdU8:
+				v = IntVal(int64(buf.B[off.I]))
+			case OpLdI32:
+				v = IntVal(int64(int32(binary.BigEndian.Uint32(buf.B[off.I:]))))
+			case OpLdF32:
+				v = FloatVal(float64(math.Float32frombits(binary.BigEndian.Uint32(buf.B[off.I:]))))
+			case OpLdF64:
+				v = FloatVal(math.Float64frombits(binary.BigEndian.Uint64(buf.B[off.I:])))
+			}
+			m.stack = m.stack[:sp-1]
+			m.stack[sp-2] = v
+
+		case OpBNew:
+			if m.stack[sp-1].K != VInt {
+				return trap(TrapType, "bnew needs an int size")
+			}
+			size := m.stack[sp-1].I
+			if size < 0 {
+				return trap(TrapBounds, "bnew with negative size")
+			}
+			allocUsed += size
+			if allocUsed > m.limits.MaxAlloc {
+				return trap(TrapResource, "allocation budget exhausted")
+			}
+			v := BytesVal(make([]byte, size))
+			v.W = true
+			m.stack[sp-1] = v
+
+		case OpStU8, OpStI32, OpStF32:
+			buf, off, val := m.stack[sp-3], m.stack[sp-2], m.stack[sp-1]
+			if buf.K != VBytes || off.K != VInt {
+				return trap(TrapType, "byte store needs (bytes, int, value)")
+			}
+			if !buf.W {
+				return trap(TrapBounds, "store into read-only buffer")
+			}
+			var width int64 = 4
+			if in.op == OpStU8 {
+				width = 1
+			}
+			if off.I < 0 || off.I+width > int64(len(buf.B)) {
+				return trap(TrapBounds, fmt.Sprintf("byte store at %d out of bounds (%d)", off.I, len(buf.B)))
+			}
+			switch in.op {
+			case OpStU8:
+				if val.K != VInt {
+					return trap(TrapType, "stu8 needs an int value")
+				}
+				buf.B[off.I] = byte(val.I)
+			case OpStI32:
+				if val.K != VInt {
+					return trap(TrapType, "sti32 needs an int value")
+				}
+				binary.BigEndian.PutUint32(buf.B[off.I:], uint32(int32(val.I)))
+			case OpStF32:
+				if val.K != VFloat {
+					return trap(TrapType, "stf32 needs a float value")
+				}
+				binary.BigEndian.PutUint32(buf.B[off.I:], math.Float32bits(float32(val.F)))
+			}
+			m.stack = m.stack[:sp-2]
+
+		case OpBSlice:
+			buf, start, end := m.stack[sp-3], m.stack[sp-2], m.stack[sp-1]
+			if buf.K != VBytes || start.K != VInt || end.K != VInt {
+				return trap(TrapType, "bslice needs (bytes, int, int)")
+			}
+			if start.I < 0 || end.I < start.I || end.I > int64(len(buf.B)) {
+				return trap(TrapBounds, fmt.Sprintf("bslice [%d:%d] out of bounds (%d)", start.I, end.I, len(buf.B)))
+			}
+			v := BytesVal(buf.B[start.I:end.I])
+			v.W = buf.W
+			m.stack = m.stack[:sp-2]
+			m.stack[sp-3] = v
+
+		case OpSLen:
+			if m.stack[sp-1].K != VStr {
+				return trap(TrapType, "slen needs a string")
+			}
+			m.stack[sp-1] = IntVal(int64(len(m.stack[sp-1].S)))
+
+		case OpHost:
+			v, kind, err := callHost(operand, m.stack)
+			if err != nil {
+				return trap(kind, err.Error())
+			}
+			if operand == HostPow {
+				m.stack = m.stack[:len(m.stack)-1]
+			}
+			m.stack[len(m.stack)-1] = v
+
+		default:
+			return trap(TrapGeneric, fmt.Sprintf("unimplemented opcode %v", in.op))
+		}
+		f.pc++
+	}
+}

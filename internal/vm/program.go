@@ -28,7 +28,16 @@ type Program struct {
 	NGlobals int
 	Consts   []Value
 	Funcs    []Func
+
+	// verified is stamped by Verify on success. It never travels on the
+	// wire: Decode leaves it nil, so a receiving site must re-verify
+	// before the interpreter will take the fast path (zero trust).
+	verified *VerifyInfo
 }
+
+// Verified returns the program's verification result, or nil if Verify
+// has not succeeded on this exact in-memory program.
+func (p *Program) Verified() *VerifyInfo { return p.verified }
 
 // FuncIndex returns the index of the named function, or -1.
 func (p *Program) FuncIndex(name string) int {

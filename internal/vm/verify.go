@@ -13,11 +13,27 @@ const (
 	maxConsts  = 1 << 16
 )
 
-// Verify statically checks a decoded program: every instruction must be a
-// defined opcode with in-range operands, and every jump must land on an
-// instruction boundary. A DAP runs Verify on every program it receives
-// before loading it into its execution engine.
+// Verify statically checks a decoded program and, on success, stamps it
+// with its VerifyInfo so the interpreter can use the unchecked fast
+// path. The ladder has two rungs: the structural pass (every instruction
+// is a defined opcode with in-range operands and every jump lands on an
+// instruction boundary) and the dataflow pass (stack-effect abstract
+// interpretation proving no underflow, no fall-through, no call-arity
+// violation, no recursion, no unreachable code and bounded stack use —
+// see Analyze in dataflow.go). A DAP runs Verify on every program it
+// receives before loading it into its execution engine; the QPC runs it
+// again at catalog publish time so broken operators are never placeable.
 func Verify(p *Program) error {
+	info, err := Analyze(p)
+	if err != nil {
+		return err
+	}
+	p.verified = info
+	return nil
+}
+
+// checkShape validates program-level limits before per-function passes.
+func checkShape(p *Program) error {
 	if len(p.Funcs) == 0 {
 		return fmt.Errorf("vm: program %q has no functions", p.Name)
 	}
@@ -40,44 +56,45 @@ func Verify(p *Program) error {
 			return fmt.Errorf("vm: duplicate function %q", f.Name)
 		}
 		seen[f.Name] = true
-		if err := verifyFunc(p, f); err != nil {
-			return fmt.Errorf("vm: program %q function %q: %w", p.Name, f.Name, err)
-		}
 	}
 	return nil
 }
 
-func verifyFunc(p *Program, f *Func) error {
+// scanFunc is the structural pass over one function: it decodes the code
+// into an instruction list, checking opcodes, operand ranges and jump
+// boundaries. It returns the instructions and an offset→index map for
+// the dataflow pass.
+func scanFunc(p *Program, f *Func) ([]instr, map[int]int, error) {
 	if f.NArgs < 0 || f.NArgs > maxArgs {
-		return fmt.Errorf("declares %d args (max %d)", f.NArgs, maxArgs)
+		return nil, nil, fmt.Errorf("declares %d args (max %d)", f.NArgs, maxArgs)
 	}
 	if f.NLocals < 0 || f.NLocals > maxLocals {
-		return fmt.Errorf("declares %d locals (max %d)", f.NLocals, maxLocals)
+		return nil, nil, fmt.Errorf("declares %d locals (max %d)", f.NLocals, maxLocals)
 	}
 	if len(f.Code) == 0 {
-		return fmt.Errorf("has no code")
+		return nil, nil, fmt.Errorf("has no code")
 	}
 	if len(f.Code) > maxCodeLen {
-		return fmt.Errorf("code is %d bytes (max %d)", len(f.Code), maxCodeLen)
+		return nil, nil, fmt.Errorf("code is %d bytes (max %d)", len(f.Code), maxCodeLen)
 	}
 
 	// First pass: walk instruction boundaries, checking opcodes and
 	// non-jump operand ranges.
-	starts := make(map[int]bool)
+	var ins []instr
+	idx := make(map[int]int)
 	type jump struct{ at, target int }
 	var jumps []jump
 	off := 0
 	for off < len(f.Code) {
-		starts[off] = true
 		op := Op(f.Code[off])
 		if !op.Valid() {
-			return fmt.Errorf("invalid opcode %d at offset %d", f.Code[off], off)
+			return nil, nil, fmt.Errorf("invalid opcode %d at offset %d", f.Code[off], off)
 		}
 		next := off + 1
 		var operand int
 		if op.HasOperand() {
 			if off+5 > len(f.Code) {
-				return fmt.Errorf("truncated operand for %v at offset %d", op, off)
+				return nil, nil, fmt.Errorf("truncated operand for %v at offset %d", op, off)
 			}
 			operand = int(int32(uint32(f.Code[off+1])<<24 | uint32(f.Code[off+2])<<16 |
 				uint32(f.Code[off+3])<<8 | uint32(f.Code[off+4])))
@@ -86,39 +103,41 @@ func verifyFunc(p *Program, f *Func) error {
 		switch op {
 		case OpConst:
 			if operand < 0 || operand >= len(p.Consts) {
-				return fmt.Errorf("const index %d out of range at offset %d", operand, off)
+				return nil, nil, fmt.Errorf("const index %d out of range at offset %d", operand, off)
 			}
 		case OpArg:
 			if operand < 0 || operand >= f.NArgs {
-				return fmt.Errorf("arg index %d out of range at offset %d", operand, off)
+				return nil, nil, fmt.Errorf("arg index %d out of range at offset %d", operand, off)
 			}
 		case OpLoad, OpStore:
 			if operand < 0 || operand >= f.NLocals {
-				return fmt.Errorf("local index %d out of range at offset %d", operand, off)
+				return nil, nil, fmt.Errorf("local index %d out of range at offset %d", operand, off)
 			}
 		case OpGLoad, OpGStore:
 			if operand < 0 || operand >= p.NGlobals {
-				return fmt.Errorf("global index %d out of range at offset %d", operand, off)
+				return nil, nil, fmt.Errorf("global index %d out of range at offset %d", operand, off)
 			}
 		case OpCall:
 			if operand < 0 || operand >= len(p.Funcs) {
-				return fmt.Errorf("call target %d out of range at offset %d", operand, off)
+				return nil, nil, fmt.Errorf("call target %d out of range at offset %d", operand, off)
 			}
 		case OpHost:
 			if operand < 0 || operand >= NumHost {
-				return fmt.Errorf("host intrinsic %d unknown at offset %d", operand, off)
+				return nil, nil, fmt.Errorf("host intrinsic %d unknown at offset %d", operand, off)
 			}
 		case OpJmp, OpJz, OpJnz:
 			jumps = append(jumps, jump{at: off, target: operand})
 		}
+		idx[off] = len(ins)
+		ins = append(ins, instr{off: off, next: next, op: op, operand: operand})
 		off = next
 	}
 
 	// Second pass: every jump target must be an instruction boundary.
 	for _, j := range jumps {
-		if !starts[j.target] {
-			return fmt.Errorf("jump at offset %d targets %d, not an instruction boundary", j.at, j.target)
+		if _, ok := idx[j.target]; !ok {
+			return nil, nil, fmt.Errorf("jump at offset %d targets %d, not an instruction boundary", j.at, j.target)
 		}
 	}
-	return nil
+	return ins, idx, nil
 }

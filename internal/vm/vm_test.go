@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -96,31 +97,35 @@ end`
 	}
 }
 
-func TestCallFibonacci(t *testing.T) {
+func TestCallHelperFunctions(t *testing.T) {
+	// Cross-function calls: eval(a,b) = square(a) + square(b), with
+	// square built on a further helper. (Recursion is statically
+	// rejected by the verifier; loops use jumps.)
 	src := `
-program fib
-func eval args=1 locals=0
+program calls
+func eval args=2 locals=0
   arg 0
-  pushi 2
-  lt
-  jz rec
-  arg 0
-  ret
-rec:
-  arg 0
-  pushi 1
-  subi
-  call eval
-  arg 0
-  pushi 2
-  subi
-  call eval
+  call square
+  arg 1
+  call square
   addi
   ret
+end
+func square args=1 locals=0
+  arg 0
+  arg 0
+  call mul
+  ret
+end
+func mul args=2 locals=0
+  arg 0
+  arg 1
+  muli
+  ret
 end`
-	v := mustRun(t, src, "eval", nil, []Value{IntVal(15)})
-	if v.I != 610 {
-		t.Errorf("fib(15) = %d, want 610", v.I)
+	v := mustRun(t, src, "eval", nil, []Value{IntVal(3), IntVal(4)})
+	if v.I != 25 {
+		t.Errorf("3^2+4^2 = %d, want 25", v.I)
 	}
 }
 
@@ -300,17 +305,39 @@ end`
 }
 
 func TestCallDepthTrap(t *testing.T) {
-	src := `
-program recur
-func eval args=0 locals=0
-  call eval
-  ret
-end`
-	p := MustAssemble(src)
+	// A verified 10-deep call chain whose static CallDepth exceeds this
+	// machine's limit falls back to the checked interpreter, which traps
+	// dynamically.
+	var b strings.Builder
+	b.WriteString("program chain\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&b, "func f%d args=0 locals=0\n", i)
+		if i < 9 {
+			fmt.Fprintf(&b, "call f%d\n", i+1)
+		} else {
+			b.WriteString("pushi 1\n")
+		}
+		b.WriteString("ret\nend\n")
+	}
+	p := MustAssemble(b.String())
+	if info := p.Verified(); info == nil || info.CallDepth != 10 {
+		t.Fatalf("static call depth = %+v, want 10", info)
+	}
 	m := New(Limits{MaxCallDepth: 8})
 	_, err := m.Run(p, 0, nil, nil)
 	if err == nil || !strings.Contains(err.Error(), "depth") {
 		t.Errorf("expected call depth trap, got %v", err)
+	}
+	if m.CheckedRuns != 1 || m.FastRuns != 0 {
+		t.Errorf("expected checked-path dispatch, got fast=%d checked=%d", m.FastRuns, m.CheckedRuns)
+	}
+	// With a roomy machine the same program takes the fast path.
+	m2 := New(Limits{})
+	if v, err := m2.Run(p, 0, nil, nil); err != nil || v.I != 1 {
+		t.Errorf("chain run: %v %v", v, err)
+	}
+	if m2.FastRuns != 1 {
+		t.Errorf("expected fast-path dispatch, got fast=%d", m2.FastRuns)
 	}
 }
 
@@ -348,16 +375,21 @@ end`
 }
 
 func TestTypeConfusionTraps(t *testing.T) {
+	// Kinds flowing through args are dynamic (akAny): the verifier
+	// accepts these, and the runtime kind check traps.
 	cases := []string{
-		"arg 0\narg 0\naddi\nret",   // float+float with addi
-		"arg 0\nnot\nret",           // not on float
-		"arg 0\npushi 1\naddf\nret", // float+int with addf
+		"arg 0\narg 0\naddi\nret", // float+float with addi
+		"arg 0\nnot\nret",         // not on float
 	}
 	for _, body := range cases {
 		src := "program t\nfunc eval args=1 locals=0\n" + body + "\nend"
 		if _, err := run(t, src, "eval", nil, []Value{FloatVal(1)}); err == nil {
 			t.Errorf("expected type trap for %q", body)
 		}
+	}
+	// A statically-known kind mismatch never even assembles.
+	if _, err := Assemble("program t\nfunc eval args=1 locals=0\narg 0\npushi 1\naddf\nret\nend"); err == nil {
+		t.Error("expected static rejection of int operand to addf")
 	}
 }
 

@@ -117,11 +117,11 @@ type connMetrics struct {
 // registry detaches the counters but keeps them safe to hit.
 func (c *Conn) Instrument(r *obs.Registry, prefix string) {
 	c.metrics.Store(&connMetrics{
-		framesSent: r.Counter(prefix + "_frames_sent"),
-		framesRecv: r.Counter(prefix + "_frames_recv"),
-		bytesSent:  r.Counter(prefix + "_bytes_sent"),
-		bytesRecvd: r.Counter(prefix + "_bytes_recv"),
-		timeouts:   r.Counter(prefix + "_frame_timeouts"),
+		framesSent: r.Counter(prefix + obs.MWireFramesSentSuffix),
+		framesRecv: r.Counter(prefix + obs.MWireFramesRecvSuffix),
+		bytesSent:  r.Counter(prefix + obs.MWireBytesSentSuffix),
+		bytesRecvd: r.Counter(prefix + obs.MWireBytesRecvSuffix),
+		timeouts:   r.Counter(prefix + obs.MWireFrameTimeoutsSuffix),
 	})
 }
 

@@ -247,7 +247,9 @@ func (cl *Cluster) RegisterOperator(def *OperatorDef) error {
 	if err := cl.cfg.Registry.Register(def); err != nil {
 		return err
 	}
-	cl.catalog.Repo().PutProgram(def.Program())
+	if _, err := cl.catalog.Repo().PutProgram(def.Program()); err != nil {
+		return err
+	}
 	return nil
 }
 
