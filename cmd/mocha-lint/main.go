@@ -1,7 +1,8 @@
 // mocha-lint runs the repository's custom static checks (see
-// internal/analysis): the metric-inventory check against
-// internal/obs/names.go and the wire frame-name table check. CI runs it
-// on every push; a non-empty finding list fails the build.
+// internal/analysis): the metric-inventory and operator-span-inventory
+// checks against internal/obs/names.go and the wire frame-name table
+// check. CI runs it on every push; a non-empty finding list fails the
+// build.
 //
 // Usage:
 //

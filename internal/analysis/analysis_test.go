@@ -122,6 +122,105 @@ func selfRegister(r *Registry) { r.Counter("internal_scratch") }
 	}
 }
 
+const opNamesGo = `package obs
+
+const SpanOpPrefix = "op:"
+
+const (
+	OpScan = "op:scan"
+	OpEmit = "op:emit"
+)
+`
+
+func TestExecOpsClean(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obs/names.go": opNamesGo,
+		"internal/exec/exec.go": `package exec
+
+func lower() {
+	use(obs.OpScan)
+	use(obs.OpEmit)
+}
+`,
+	})
+	fs, err := ExecOps(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("clean tree produced findings: %v", fs)
+	}
+}
+
+func TestExecOpsViolations(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obs/names.go": `package obs
+
+const (
+	OpScan  = "op:scan"
+	OpScan2 = "op:scan" // same span name twice
+	OpBad   = "notop"   // missing the op: prefix
+	OpDead  = "op:dead" // never referenced by any executor
+)
+`,
+		"internal/exec/exec.go": `package exec
+
+func lower() {
+	use(obs.OpScan)
+	use(obs.OpScan2)
+	use(obs.OpBad)
+	trace("op:raw") // span name bypassing the inventory
+}
+`,
+	})
+	fs, err := ExecOps(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := findingsWith(fs, "declared more than once"); n != 1 {
+		t.Errorf("duplicate-value findings = %d, want 1: %v", n, fs)
+	}
+	if n := findingsWith(fs, "does not start with the op: span prefix"); n != 1 {
+		t.Errorf("bad-prefix findings = %d, want 1: %v", n, fs)
+	}
+	if n := findingsWith(fs, "raw operator span literal"); n != 1 {
+		t.Errorf("raw-literal findings = %d, want 1: %v", n, fs)
+	}
+	if n := findingsWith(fs, "never used by an executor"); n != 1 {
+		t.Errorf("never-used findings = %d, want 1: %v", n, fs)
+	}
+}
+
+func TestExecOpsSkipsTestsAndObsPackage(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/obs/names.go": opNamesGo,
+		"internal/exec/exec.go": `package exec
+
+func lower() {
+	use(obs.OpScan)
+	use(obs.OpEmit)
+}
+`,
+		// Test files may spell span names raw when asserting output.
+		"internal/exec/exec_test.go": `package exec
+
+func helper() { check("op:scan[0]") }
+`,
+		// The obs package itself builds names from the prefix freely.
+		"internal/obs/trace.go": `package obs
+
+func phase(name string) bool { return len(name) > len("op:") }
+`,
+	})
+	fs, err := ExecOps(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Errorf("exempt files produced findings: %v", fs)
+	}
+}
+
 const wireOK = `package wire
 
 type MsgType uint8

@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mocha/internal/obs"
+)
+
+// ExecOps enforces the operator-name inventory contract of
+// internal/obs/names.go, the companion of ObsMetrics for EXPLAIN ANALYZE
+// operator spans:
+//
+//  1. every Op* constant declared there carries a distinct "op:"-prefixed
+//     value, so the block is an unambiguous operator vocabulary;
+//  2. every Op* constant is referenced somewhere outside package obs, so
+//     the vocabulary stays live (a dead name means an operator was
+//     removed without retiring its span name); and
+//  3. no source file outside package obs spells an operator span name as
+//     a raw "op:"-prefixed string literal — operator names must flow
+//     through the constants (the prefix itself is obs.SpanOpPrefix).
+//
+// Like the other checks this is purely syntactic and skips tests.
+func ExecOps(root string) ([]Finding, error) {
+	namesPath := filepath.Join(root, "internal", "obs", "names.go")
+	namesFile, err := parseOne(namesPath)
+	if err != nil {
+		return nil, err
+	}
+	consts := constStrings(namesFile, "Op")
+	if len(consts) == 0 {
+		return nil, fmt.Errorf("execops: no Op* constants found in %s", namesPath)
+	}
+
+	var findings []Finding
+	names := make([]string, 0, len(consts))
+	for name := range consts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	byValue := make(map[string]string) // value -> first const name
+	for _, name := range names {
+		val := consts[name]
+		if !strings.HasPrefix(val, obs.SpanOpPrefix) {
+			findings = append(findings, Finding{
+				Pos:   namesFile.fset.Position(namesFile.file.Pos()),
+				Check: "execops",
+				Msg:   fmt.Sprintf("operator constant obs.%s = %q does not start with the op: span prefix", name, val),
+			})
+		}
+		if first, dup := byValue[val]; dup {
+			findings = append(findings, Finding{
+				Pos:   namesFile.fset.Position(namesFile.file.Pos()),
+				Check: "execops",
+				Msg:   fmt.Sprintf("operator name %q declared more than once (obs.%s and obs.%s)", val, first, name),
+			})
+		} else {
+			byValue[val] = name
+		}
+	}
+
+	files, err := parseTree(root)
+	if err != nil {
+		return nil, err
+	}
+	refs := make(map[string]bool) // const name -> referenced outside obs
+	for _, pf := range files {
+		if pf.file.Name.Name == "obs" {
+			continue
+		}
+		pf := pf
+		ast.Inspect(pf.file, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				if pkg, ok := e.X.(*ast.Ident); ok && pkg.Name == "obs" {
+					if _, ok := consts[e.Sel.Name]; ok {
+						refs[e.Sel.Name] = true
+						return false
+					}
+				}
+			case *ast.BasicLit:
+				if e.Kind != token.STRING {
+					return true
+				}
+				if val := strings.Trim(e.Value, "`\""); strings.HasPrefix(val, obs.SpanOpPrefix) {
+					findings = append(findings, Finding{
+						Pos:   pf.fset.Position(e.Pos()),
+						Check: "execops",
+						Msg:   fmt.Sprintf("raw operator span literal %s; use the obs.Op* constants (or obs.SpanOpPrefix)", e.Value),
+					})
+				}
+			}
+			return true
+		})
+	}
+	for _, name := range names {
+		if !refs[name] {
+			findings = append(findings, Finding{
+				Pos:   namesFile.fset.Position(namesFile.file.Pos()),
+				Check: "execops",
+				Msg:   fmt.Sprintf("operator constant obs.%s is never used by an executor", name),
+			})
+		}
+	}
+	return findings, nil
+}

@@ -50,10 +50,14 @@ type Options struct {
 	Unshaped bool
 	// DisableDAPCodeCache forces per-query code re-shipping.
 	DisableDAPCodeCache bool
+	// Exec tunes the shared operator-tree executor (batch size, prefetch
+	// depth, serial fallback) on the QPC and every DAP.
+	Exec mocha.Tuning
 }
 
-// NewEnv builds the two-site benchmark deployment: site1 holds Polygons,
-// Graphs, Rasters and Rasters1; site2 holds Rasters2.
+// NewEnv builds the three-site benchmark deployment: site1 holds
+// Polygons, Graphs, Rasters and Rasters1; site2 holds Rasters2; site3
+// holds Rasters3 (the third leg of the Q6 multi-join).
 func NewEnv(opts Options) (*Env, error) {
 	if opts.Scale <= 0 {
 		opts.Scale = 0.1
@@ -66,6 +70,7 @@ func NewEnv(opts Options) (*Env, error) {
 	cluster, err := mocha.NewCluster(mocha.ClusterConfig{
 		Shaper:              shaper,
 		DisableDAPCodeCache: opts.DisableDAPCodeCache,
+		Exec:                opts.Exec,
 	})
 	if err != nil {
 		return nil, err
@@ -78,16 +83,26 @@ func NewEnv(opts Options) (*Env, error) {
 	if err != nil {
 		return nil, err
 	}
+	s3, err := mocha.NewStore()
+	if err != nil {
+		return nil, err
+	}
 	if err := sequoia.GenerateAll(s1, cfg); err != nil {
 		return nil, err
 	}
 	if err := sequoia.GenerateJoinPair(s1, s2, cfg); err != nil {
 		return nil, err
 	}
+	if err := sequoia.GenerateJoinThird(s3, cfg); err != nil {
+		return nil, err
+	}
 	if err := cluster.AddSite("site1", s1); err != nil {
 		return nil, err
 	}
 	if err := cluster.AddSite("site2", s2); err != nil {
+		return nil, err
+	}
+	if err := cluster.AddSite("site3", s3); err != nil {
 		return nil, err
 	}
 	for _, tbl := range []string{"Polygons", "Graphs", "Rasters", "Rasters1"} {
@@ -98,9 +113,12 @@ func NewEnv(opts Options) (*Env, error) {
 	if err := cluster.RegisterTable("site2", "Rasters2"); err != nil {
 		return nil, err
 	}
+	if err := cluster.RegisterTable("site3", "Rasters3"); err != nil {
+		return nil, err
+	}
 	env := &Env{
 		Cluster: cluster, Cfg: cfg, Shaper: shaper, opts: opts,
-		stores: map[string]*storage.Store{"site1": s1, "site2": s2},
+		stores: map[string]*storage.Store{"site1": s1, "site2": s2, "site3": s3},
 	}
 	return env, nil
 }

@@ -83,9 +83,15 @@ func Bind(sel *sqlparser.Select, cat *catalog.Catalog) (*BoundQuery, error) {
 	}
 
 	// GROUP BY columns first, so aggregate validation can use them.
+	// Names may be table-qualified ("R1.band") for multi-join queries
+	// where every bare name is ambiguous.
 	groupSet := map[int]bool{}
 	for _, name := range sel.GroupBy {
-		idx, err := b.resolveColumn("", name)
+		table := ""
+		if dot := strings.Index(name, "."); dot >= 0 {
+			table, name = name[:dot], name[dot+1:]
+		}
+		idx, err := b.resolveColumn(table, name)
 		if err != nil {
 			return nil, err
 		}

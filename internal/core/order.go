@@ -1,0 +1,50 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"mocha/internal/types"
+)
+
+// CompareTuples orders a against b under the ORDER BY keys: negative
+// when a sorts first, positive when b does, zero when the keys tie.
+// Only small (comparable) values can be ordered.
+func CompareTuples(a, b types.Tuple, keys []OrderSpec) (int, error) {
+	for _, k := range keys {
+		av, bv := a[k.Col], b[k.Col]
+		as, ok := av.(types.Small)
+		if !ok {
+			return 0, fmt.Errorf("core: cannot order by %v values", av.Kind())
+		}
+		if as.Equal(bv) {
+			continue
+		}
+		less := as.Less(bv)
+		if k.Desc {
+			less = !less
+		}
+		if less {
+			return -1, nil
+		}
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// SortTuples stable-sorts rows in place by the ORDER BY keys.
+func SortTuples(rows []types.Tuple, keys []OrderSpec) error {
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		if sortErr != nil {
+			return false
+		}
+		c, err := CompareTuples(rows[i], rows[j], keys)
+		if err != nil {
+			sortErr = err
+			return false
+		}
+		return c < 0
+	})
+	return sortErr
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"mocha/internal/core"
+	"mocha/internal/exec"
 	"mocha/internal/obs"
 	"mocha/internal/ops"
 	"mocha/internal/types"
@@ -66,6 +67,9 @@ type Config struct {
 	// DisableResume ignores stream IDs on ACTIVATE, forcing every stream
 	// back to the plain non-resumable protocol (the ablation baseline).
 	DisableResume bool
+	// Exec tunes the fragment executor: batch size and the scan
+	// read-ahead depth. Zero fields take the exec package defaults.
+	Exec exec.Tuning
 	// Metrics receives the server's dap_* counters and wire traffic
 	// counters. Nil uses the process-wide obs.Default() registry.
 	Metrics *obs.Registry

@@ -3,6 +3,7 @@ package dap
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mocha/internal/wire"
@@ -216,7 +217,9 @@ func (s *resumableSender) park(cause error) (*wire.Conn, error) {
 	}
 	st.phase = phaseParked
 	if s.tuples != nil {
-		st.tuples = *s.tuples
+		// The scan goroutine is still incrementing the counter; load it
+		// atomically to get a consistent cursor snapshot.
+		st.tuples = atomic.LoadInt64(s.tuples)
 	}
 	st.mu.Unlock()
 	s.srv.met.streamsParked.Inc()

@@ -1,13 +1,16 @@
 package dap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"mocha/internal/core"
+	"mocha/internal/exec"
 	"mocha/internal/obs"
 	"mocha/internal/types"
 	"mocha/internal/vm"
@@ -54,9 +57,6 @@ func (s *Server) HandleConn(nc net.Conn) error {
 }
 
 var errSessionClosed = errors.New("session closed")
-
-// errFragmentLimit stops a scan once a pushed-down LIMIT is satisfied.
-var errFragmentLimit = errors.New("fragment limit reached")
 
 // session is per-connection state: the deployed fragment and pending
 // semi-join keys.
@@ -239,6 +239,14 @@ func (ss *session) handle(t wire.MsgType, payload []byte) error {
 // non-empty streamID makes the stream resumable: frames are sequence-
 // numbered and retained in a replay window, and a dropped connection
 // parks the execution for a RESUME instead of failing it.
+//
+// The fragment is lowered onto the shared operator tree (exec.
+// LowerFragment): the scan runs in its own goroutine behind a bounded
+// channel, so source extraction overlaps expression evaluation and the
+// network send path. Time components come from the operators' own
+// accounting — the scan's feed time is DB time, evaluation operators'
+// self time is CPU time, and the emit sink plus the final flush is net
+// time — so no component can go negative by subtraction.
 func (ss *session) execute(streamID string) error {
 	start := time.Now()
 	frag := ss.frag
@@ -254,11 +262,6 @@ func (ss *session) execute(streamID string) error {
 
 	binder := &vmBinder{cache: ss.srv.cache, machine: vm.New(ss.srv.cfg.Limits), limits: ss.srv.cfg.Limits}
 	binder.machines = append(binder.machines, binder.machine)
-	exec, err := newFragmentExec(frag, binder)
-	if err != nil {
-		return err
-	}
-	ss.stats.MiscMicros += time.Since(start).Microseconds()
 
 	var sender wire.FrameSender = ss.conn
 	var st *retainedStream
@@ -288,71 +291,65 @@ func (ss *session) execute(streamID string) error {
 
 	writer := wire.NewBatchWriter(sender)
 	writer.SetTarget(ss.srv.cfg.BatchBytes)
-	var dbTime, cpuTime, netTime time.Duration
 
-	var emitted int
-	emit := func(out types.Tuple) error {
-		sendStart := time.Now()
-		err := writer.Write(out)
-		netTime += time.Since(sendStart)
-		if err != nil {
-			return err
-		}
-		emitted++
-		if frag.Limit > 0 && emitted >= frag.Limit {
-			return errFragmentLimit
-		}
-		return nil
+	// A pushed-down LIMIT bounds the useful scan prefix: cap the batch
+	// size at the limit so the scan's read-ahead (channel depth × batch
+	// rows) cannot race far past the point where the consumer stops it.
+	tun := ss.srv.cfg.Exec.Norm()
+	if frag.Limit > 0 && frag.Limit < tun.BatchRows {
+		tun.BatchRows = frag.Limit
 	}
-
-	scanStart := time.Now()
-	var lastTick = scanStart
-	usedIndex, scanErr := scanSource(ss.srv.cfg.Driver, frag, func(full types.Tuple) error {
-		now := time.Now()
-		dbTime += now.Sub(lastTick)
-		ss.stats.TuplesRead++
-		// Extract the fragment's columns (the middleware-schema mapping).
-		in := make(types.Tuple, len(frag.Cols))
-		var inBytes int
-		for i, c := range frag.Cols {
-			in[i] = full[c]
-			inBytes += full[c].WireSize()
-		}
-		ss.stats.BytesAccessed += int64(inBytes)
-
-		cpuStart := time.Now()
-		err := exec.process(in, ss.semiKeys, emit)
-		cpuTime += time.Since(cpuStart)
-		lastTick = time.Now()
+	var usedIndex bool
+	src := exec.NewScanSource(obs.OpScan, func(emitTup func(types.Tuple) error) error {
+		used, serr := scanSource(ss.srv.cfg.Driver, frag, func(full types.Tuple) error {
+			// The send path reads the counter concurrently when a park
+			// records its cursor position, hence the atomic add.
+			atomic.AddInt64(&ss.stats.TuplesRead, 1)
+			// Extract the fragment's columns (the middleware-schema mapping).
+			in := make(types.Tuple, len(frag.Cols))
+			var inBytes int
+			for i, c := range frag.Cols {
+				in[i] = full[c]
+				inBytes += full[c].WireSize()
+			}
+			ss.stats.BytesAccessed += int64(inBytes)
+			return emitTup(in)
+		})
+		usedIndex = used
+		return serr
+	}, tun)
+	tree, err := exec.LowerFragment(frag, binder, src, ss.semiKeys, writer.Write, tun)
+	if err != nil {
 		return err
-	})
-	if scanErr != nil && !errors.Is(scanErr, errFragmentLimit) {
-		return scanErr
+	}
+	ss.stats.MiscMicros += time.Since(start).Microseconds()
+
+	if err := exec.Run(context.Background(), tree, nil); err != nil {
+		return err
 	}
 	if usedIndex {
 		ss.srv.cfg.Logf("dap %s: table %s served by index range scan", ss.srv.cfg.Site, frag.Table)
 	}
 
-	// Aggregated fragments emit their group rows at end of scan.
-	cpuStart := time.Now()
-	if err := exec.finish(emit); err != nil {
-		return err
-	}
-	cpuTime += time.Since(cpuStart)
-
 	flushStart := time.Now()
 	if err := writer.Flush(); err != nil {
 		return err
 	}
-	netTime += time.Since(flushStart)
-
-	// The emit path is timed inside the CPU section; subtract it back out.
-	cpuTime -= netTime
-	if cpuTime < 0 {
-		cpuTime = 0
+	netTime := time.Since(flushStart)
+	var cpuTime time.Duration
+	for _, op := range tree.Ops {
+		opst := op.Stats()
+		switch opst.Name {
+		case obs.OpScan:
+			// DB time, reported from src.Feed below.
+		case obs.OpEmit:
+			netTime += opst.Self
+		default:
+			cpuTime += opst.Self
+		}
 	}
 
-	ss.stats.DBMicros = dbTime.Microseconds()
+	ss.stats.DBMicros = src.Feed().Microseconds()
 	ss.stats.CPUMicros = cpuTime.Microseconds()
 	ss.stats.NetMicros = netTime.Microseconds()
 	ss.stats.TuplesSent = writer.Tuples
@@ -383,6 +380,14 @@ func (ss *session) execute(streamID string) error {
 			DurMicros: ss.stats.CPUMicros})
 		ss.trace.Add(obs.Span{Name: "dap:net", Site: site, StartMicros: off,
 			DurMicros: ss.stats.NetMicros, Tuples: writer.Tuples})
+		// Per-operator spans: the fragment tree's own accounting, at a
+		// finer grain than the aggregate db/cpu/net components.
+		for _, op := range tree.Ops {
+			opst := op.Stats()
+			ss.trace.Add(obs.Span{Name: opst.Name, Site: site, StartMicros: off,
+				DurMicros: opst.Self.Microseconds(),
+				Tuples:    opst.RowsOut, RowsIn: opst.RowsIn, Batches: opst.Batches})
+		}
 		// Spans are per-execution, like the stats: take them so the key
 		// phase and the main fragment each report their own.
 		ss.stats.Trace = ss.trace.ID

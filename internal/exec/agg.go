@@ -1,0 +1,165 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/types"
+)
+
+type aggGroup struct {
+	keys types.Tuple
+	aggs []core.AggFn
+}
+
+// HashAggregate folds its input into per-group aggregate states and,
+// once the input is exhausted, emits one row per group — group-by keys
+// first, then aggregate results — in deterministic order (sorted by the
+// groups' encoded keys, matching the historical executors on both
+// sites). A global aggregate over an empty input emits no rows.
+type HashAggregate struct {
+	base
+	child     Operator
+	groupBy   []int
+	specs     []core.AggSpec
+	binder    core.OpBinder
+	argFns    [][]core.EvalFn
+	memo      *core.Memo
+	resetMemo bool
+	errPrefix string
+	rows      int
+
+	groups  map[string]*aggGroup
+	order   []string
+	built   bool
+	emitIdx int
+}
+
+// NewHashAggregate compiles the aggregate argument expressions against
+// binder (sharing memo with the chain below when resetMemo is false).
+func NewHashAggregate(name string, child Operator, groupBy []int, specs []core.AggSpec, binder core.OpBinder, memo *core.Memo, resetMemo bool, errPrefix string, batchRows int) (*HashAggregate, error) {
+	if batchRows <= 0 {
+		batchRows = DefaultBatchRows
+	}
+	a := &HashAggregate{
+		child: child, groupBy: groupBy, specs: specs, binder: binder,
+		memo: memo, resetMemo: resetMemo, errPrefix: errPrefix, rows: batchRows,
+		groups: make(map[string]*aggGroup),
+	}
+	a.stats.Name = name
+	for _, spec := range specs {
+		fns := make([]core.EvalFn, len(spec.Args))
+		for j, argExpr := range spec.Args {
+			fn, err := core.CompileExprMemo(argExpr, binder, memo)
+			if err != nil {
+				return nil, err
+			}
+			fns[j] = fn
+		}
+		a.argFns = append(a.argFns, fns)
+	}
+	return a, nil
+}
+
+func (a *HashAggregate) Open(ctx context.Context) error { return a.child.Open(ctx) }
+
+func (a *HashAggregate) NextBatch() ([]types.Tuple, error) {
+	if !a.built {
+		for {
+			in, err := a.child.NextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if in == nil {
+				break
+			}
+			a.stats.RowsIn += int64(len(in))
+			t0 := time.Now()
+			if a.resetMemo && a.memo != nil {
+				a.memo.Reset()
+			}
+			for _, tup := range in {
+				if err := a.accumulate(tup); err != nil {
+					a.timed(t0)
+					return nil, err
+				}
+			}
+			a.timed(t0)
+		}
+		t0 := time.Now()
+		sort.Strings(a.order)
+		a.timed(t0)
+		a.built = true
+	}
+	if a.emitIdx >= len(a.order) {
+		return nil, nil
+	}
+	defer a.timed(time.Now())
+	n := len(a.order) - a.emitIdx
+	if n > a.rows {
+		n = a.rows
+	}
+	out := make([]types.Tuple, 0, n)
+	for ; n > 0; n-- {
+		grp := a.groups[a.order[a.emitIdx]]
+		a.emitIdx++
+		row := make(types.Tuple, 0, len(grp.keys)+len(grp.aggs))
+		row = append(row, grp.keys...)
+		for i, agg := range grp.aggs {
+			v, err := agg.Summarize()
+			if err != nil {
+				return nil, fmt.Errorf("%s: aggregate %s summarize: %w", a.errPrefix, a.specs[i].Func, err)
+			}
+			row = append(row, v)
+		}
+		out = append(out, row)
+	}
+	a.out(out)
+	return out, nil
+}
+
+// accumulate folds one tuple into its group.
+func (a *HashAggregate) accumulate(in types.Tuple) error {
+	keys := make(types.Tuple, len(a.groupBy))
+	var keyBuf []byte
+	for i, g := range a.groupBy {
+		keys[i] = in[g]
+		keyBuf = in[g].AppendTo(keyBuf)
+	}
+	gk := string(keyBuf)
+	grp, ok := a.groups[gk]
+	if !ok {
+		grp = &aggGroup{keys: keys}
+		for _, spec := range a.specs {
+			agg, err := a.binder.BindAggregate(spec.Func, spec.Ret)
+			if err != nil {
+				return err
+			}
+			if err := agg.Reset(); err != nil {
+				return err
+			}
+			grp.aggs = append(grp.aggs, agg)
+		}
+		a.groups[gk] = grp
+		a.order = append(a.order, gk)
+	}
+	for i, spec := range a.specs {
+		args := make([]types.Object, len(a.argFns[i]))
+		for j, fn := range a.argFns[i] {
+			v, err := fn(in)
+			if err != nil {
+				return fmt.Errorf("%s: aggregate %s argument: %w", a.errPrefix, spec.Func, err)
+			}
+			args[j] = v
+		}
+		if err := grp.aggs[i].Update(args); err != nil {
+			return fmt.Errorf("%s: aggregate %s: %w", a.errPrefix, spec.Func, err)
+		}
+	}
+	return nil
+}
+
+func (a *HashAggregate) Close() error { return a.child.Close() }

@@ -1,0 +1,162 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mocha/internal/types"
+)
+
+// HashJoin joins its left (probe) input against a hash table built from
+// its build input. Open starts the build in a background goroutine —
+// cascading Opens therefore start every build side of a multi-join tree
+// concurrently, each consuming its own (prefetched) stream — and the
+// first NextBatch waits for the build to finish before probing. Under
+// serial tuning the build runs inline at Open, reproducing the
+// historical sequential executor.
+//
+// Self time is insert work plus probe work, measured directly — time
+// blocked pulling child batches is never included, so the historical
+// negative network-adjusted build durations cannot occur.
+type HashJoin struct {
+	base
+	left, build        Operator
+	leftCol, rightCol  int
+	leftDesc, rightDesc string
+	serial             bool
+
+	table     map[uint64][]types.Tuple
+	buildRows int64
+	buildSelf time.Duration
+	buildErr  error
+	done      chan struct{}
+	started   bool
+	joined    bool
+}
+
+// NewHashJoin creates a join step. leftDesc and rightDesc describe the
+// key columns (fragment, column index, schema column name) for kind
+// errors.
+func NewHashJoin(name string, left, build Operator, leftCol, rightCol int, leftDesc, rightDesc string, serial bool) *HashJoin {
+	h := &HashJoin{
+		left: left, build: build,
+		leftCol: leftCol, rightCol: rightCol,
+		leftDesc: leftDesc, rightDesc: rightDesc,
+		serial: serial,
+	}
+	h.stats.Name = name
+	return h
+}
+
+func (h *HashJoin) Open(ctx context.Context) error {
+	if err := h.left.Open(ctx); err != nil {
+		return err
+	}
+	if err := h.build.Open(ctx); err != nil {
+		return err
+	}
+	h.table = make(map[uint64][]types.Tuple)
+	h.done = make(chan struct{})
+	h.started = true
+	if h.serial {
+		h.runBuild()
+		return h.buildErr
+	}
+	go h.runBuild()
+	return nil
+}
+
+// runBuild materializes the build side into the hash table. Writes to
+// the join's fields happen-before any probe via the done channel.
+func (h *HashJoin) runBuild() {
+	defer close(h.done)
+	for {
+		batch, err := h.build.NextBatch()
+		if err != nil {
+			h.buildErr = err
+			return
+		}
+		if batch == nil {
+			return
+		}
+		t0 := time.Now()
+		for _, tup := range batch {
+			k, ok := tup[h.rightCol].(types.Small)
+			if !ok {
+				h.buildSelf += time.Since(t0)
+				h.buildErr = fmt.Errorf("qpc: join key of kind %v at %s", tup[h.rightCol].Kind(), h.rightDesc)
+				return
+			}
+			hk := k.Hash()
+			h.table[hk] = append(h.table[hk], tup)
+		}
+		h.buildRows += int64(len(batch))
+		h.buildSelf += time.Since(t0)
+	}
+}
+
+// waitBuild joins the build goroutine and folds its accounting in.
+func (h *HashJoin) waitBuild() error {
+	if h.joined {
+		return h.buildErr
+	}
+	<-h.done
+	h.joined = true
+	h.stats.RowsIn += h.buildRows
+	h.stats.Self += h.buildSelf
+	return h.buildErr
+}
+
+func (h *HashJoin) NextBatch() ([]types.Tuple, error) {
+	if err := h.waitBuild(); err != nil {
+		return nil, err
+	}
+	for {
+		in, err := h.left.NextBatch()
+		if err != nil || in == nil {
+			return nil, err
+		}
+		h.stats.RowsIn += int64(len(in))
+		t0 := time.Now()
+		var out []types.Tuple
+		for _, lrow := range in {
+			k, ok := lrow[h.leftCol].(types.Small)
+			if !ok {
+				h.timed(t0)
+				return nil, fmt.Errorf("qpc: join key of kind %v at %s", lrow[h.leftCol].Kind(), h.leftDesc)
+			}
+			for _, rrow := range h.table[k.Hash()] {
+				if k.Equal(rrow[h.rightCol]) {
+					joined := make(types.Tuple, 0, len(lrow)+len(rrow))
+					joined = append(joined, lrow...)
+					joined = append(joined, rrow...)
+					out = append(out, joined)
+				}
+			}
+		}
+		h.timed(t0)
+		if len(out) > 0 {
+			h.out(out)
+			return out, nil
+		}
+	}
+}
+
+func (h *HashJoin) Close() error {
+	// Join the build goroutine before closing its child: Close on the
+	// build subtree tears down prefetch goroutines the build may still be
+	// pulling from.
+	if h.started && !h.joined {
+		<-h.done
+		h.joined = true
+		h.stats.RowsIn += h.buildRows
+		h.stats.Self += h.buildSelf
+	}
+	lerr := h.left.Close()
+	berr := h.build.Close()
+	if lerr != nil {
+		return lerr
+	}
+	return berr
+}

@@ -1,0 +1,191 @@
+package exec
+
+import (
+	"fmt"
+
+	"mocha/internal/core"
+	"mocha/internal/obs"
+	"mocha/internal/types"
+)
+
+// Lowering rules (DESIGN.md §10):
+//
+//	DAP fragment:  scan → [semijoin] → [filter] → (hashagg | project) →
+//	               [limit] → emit
+//	QPC plan:      remote[i] (+prefetch[i]) → hashjoin[0..n) → [filter] →
+//	               [hashagg] → project → (topk | sort | limit)? → emit
+//
+// Operators that evaluate user expressions share one memo per contiguous
+// chain; the lowest memo user resets it per input batch. An aggregation
+// boundary starts a fresh memo: group rows are new tuples, and stale
+// identity-keyed entries from scan batches must not survive into them.
+
+// opName makes a per-instance operator name ("op:hashjoin[1]") so trees
+// with repeated operators stay distinguishable in traces and goldens.
+func opName(base string, i int) string { return fmt.Sprintf("%s[%d]", base, i) }
+
+// colName names a schema column for error messages.
+func colName(s types.Schema, i int) string {
+	if i >= 0 && i < s.Arity() {
+		return s.Columns[i].Name
+	}
+	return "?"
+}
+
+// compilePreds compiles predicate expressions against a shared memo.
+func compilePreds(exprs []*core.PExpr, binder core.OpBinder, memo *core.Memo) ([]core.EvalFn, error) {
+	preds := make([]core.EvalFn, len(exprs))
+	for i, p := range exprs {
+		fn, err := core.CompileExprMemo(p, binder, memo)
+		if err != nil {
+			return nil, err
+		}
+		preds[i] = fn
+	}
+	return preds, nil
+}
+
+// compileProjs compiles projection outputs against a shared memo.
+func compileProjs(outs []core.Output, binder core.OpBinder, memo *core.Memo) ([]core.EvalFn, []string, error) {
+	projs := make([]core.EvalFn, len(outs))
+	names := make([]string, len(outs))
+	for i, o := range outs {
+		fn, err := core.CompileExprMemo(o.Expr, binder, memo)
+		if err != nil {
+			return nil, nil, err
+		}
+		projs[i] = fn
+		names[i] = o.Name
+	}
+	return projs, names, nil
+}
+
+// LowerFragment lowers one DAP fragment onto a source operator: the
+// semi-join filter, predicates, aggregation or projection, the pushed-
+// down limit, and the emit sink, in the fragment execution order the
+// plan format documents.
+func LowerFragment(frag *core.Fragment, binder core.OpBinder, src Operator, semiKeys map[uint64][]types.Object, emit func(types.Tuple) error, tun Tuning) (*Tree, error) {
+	tun = tun.Norm()
+	memo := core.NewMemo()
+	needReset := true
+	ops := []Operator{src}
+	cur := src
+
+	if frag.SemiJoinCol >= 0 && semiKeys != nil {
+		desc := fmt.Sprintf("input column %d (%s)", frag.SemiJoinCol, colName(frag.InSchema, frag.SemiJoinCol))
+		cur = NewSemiFilter(obs.OpSemiJoin, cur, frag.SemiJoinCol, semiKeys, desc, "dap")
+		ops = append(ops, cur)
+	}
+	if len(frag.Predicates) > 0 {
+		preds, err := compilePreds(frag.Predicates, binder, memo)
+		if err != nil {
+			return nil, err
+		}
+		cur = NewFilter(obs.OpFilter, cur, preds, memo, needReset, "dap")
+		needReset = false
+		ops = append(ops, cur)
+	}
+	if len(frag.Aggregates) > 0 {
+		agg, err := NewHashAggregate(obs.OpHashAgg, cur, frag.GroupBy, frag.Aggregates, binder, memo, needReset, "dap", tun.BatchRows)
+		if err != nil {
+			return nil, err
+		}
+		cur = agg
+		ops = append(ops, cur)
+	} else {
+		projs, names, err := compileProjs(frag.Projections, binder, memo)
+		if err != nil {
+			return nil, err
+		}
+		cur = NewProject(obs.OpProject, cur, projs, names, memo, needReset, "dap")
+		ops = append(ops, cur)
+	}
+	if frag.Limit > 0 {
+		cur = NewLimit(obs.OpLimit, cur, frag.Limit)
+		ops = append(ops, cur)
+	}
+	cur = NewEmit(obs.OpEmit, cur, emit)
+	ops = append(ops, cur)
+	return &Tree{Root: cur, Ops: ops}, nil
+}
+
+// LowerPlan lowers the QPC's post-stream work onto the fragments' pull
+// feeds: per-fragment sources (each behind a bounded prefetcher unless
+// tuning is serial), the left-deep hash-join chain, plan predicates,
+// aggregation, projection, ordering/limit, and the client emit sink.
+func LowerPlan(plan *core.Plan, binder core.OpBinder, pulls []PullFunc, emit func(types.Tuple) error, tun Tuning) (*Tree, error) {
+	tun = tun.Norm()
+	if len(pulls) != len(plan.Fragments) {
+		return nil, fmt.Errorf("exec: %d sources for %d fragments", len(pulls), len(plan.Fragments))
+	}
+	var ops []Operator
+	srcs := make([]Operator, len(pulls))
+	for i, pull := range pulls {
+		var src Operator = NewSource(opName(obs.OpRemote, i), pull, tun.BatchRows)
+		ops = append(ops, src)
+		if !tun.Serial {
+			src = NewPrefetch(opName(obs.OpPrefetch, i), src, tun.Prefetch)
+			ops = append(ops, src)
+		}
+		srcs[i] = src
+	}
+
+	cur := srcs[0]
+	for i, step := range plan.Joins {
+		if step.RightFrag < 0 || step.RightFrag >= len(srcs) {
+			return nil, fmt.Errorf("exec: join %d references fragment %d of %d", i, step.RightFrag, len(srcs))
+		}
+		frag := plan.Fragments[step.RightFrag]
+		leftDesc := fmt.Sprintf("combined column %d (%s)", step.LeftCol, colName(plan.CombinedSchema, step.LeftCol))
+		rightDesc := fmt.Sprintf("fragment %d at %s, output column %d (%s)",
+			step.RightFrag, frag.Site, step.RightCol, colName(frag.OutSchema, step.RightCol))
+		cur = NewHashJoin(opName(obs.OpHashJoin, i), cur, srcs[step.RightFrag],
+			step.LeftCol, step.RightCol, leftDesc, rightDesc, tun.Serial)
+		ops = append(ops, cur)
+	}
+
+	memo := core.NewMemo()
+	needReset := true
+	if len(plan.Predicates) > 0 {
+		preds, err := compilePreds(plan.Predicates, binder, memo)
+		if err != nil {
+			return nil, err
+		}
+		cur = NewFilter(obs.OpFilter, cur, preds, memo, needReset, "qpc")
+		needReset = false
+		ops = append(ops, cur)
+	}
+	if len(plan.Aggregates) > 0 {
+		agg, err := NewHashAggregate(obs.OpHashAgg, cur, plan.GroupBy, plan.Aggregates, binder, memo, needReset, "qpc", tun.BatchRows)
+		if err != nil {
+			return nil, err
+		}
+		cur = agg
+		ops = append(ops, cur)
+		// Aggregation emits fresh rows; the projection above it starts a
+		// fresh memo.
+		memo = core.NewMemo()
+		needReset = true
+	}
+	projs, names, err := compileProjs(plan.Projections, binder, memo)
+	if err != nil {
+		return nil, err
+	}
+	cur = NewProject(obs.OpProject, cur, projs, names, memo, needReset, "qpc")
+	ops = append(ops, cur)
+
+	switch {
+	case len(plan.OrderBy) > 0 && plan.Limit >= 0:
+		cur = NewTopK(obs.OpTopK, cur, plan.OrderBy, plan.Limit, tun.BatchRows)
+		ops = append(ops, cur)
+	case len(plan.OrderBy) > 0:
+		cur = NewSort(obs.OpSort, cur, plan.OrderBy, tun.BatchRows)
+		ops = append(ops, cur)
+	case plan.Limit >= 0:
+		cur = NewLimit(obs.OpLimit, cur, plan.Limit)
+		ops = append(ops, cur)
+	}
+	cur = NewEmit(obs.OpEmit, cur, emit)
+	ops = append(ops, cur)
+	return &Tree{Root: cur, Ops: ops}, nil
+}

@@ -59,3 +59,30 @@ const (
 	MWireBytesRecvSuffix     = "_bytes_recv"
 	MWireFrameTimeoutsSuffix = "_frame_timeouts"
 )
+
+// Operator-tree span names (internal/exec). Every operator the shared
+// executor can emit spans for is declared here exactly once; the execops
+// linter (cmd/mocha-lint) enforces the inventory in both directions, so
+// this block is the complete operator vocabulary of EXPLAIN ANALYZE.
+// Multi-instance operators get a "[i]" suffix at lowering time.
+//
+// SpanOpPrefix deliberately does not share the Op* naming prefix: it is
+// the namespace marker consumers test with strings.HasPrefix, not an
+// operator name, and the execops linter treats the Op* block as the
+// exhaustive operator list.
+const SpanOpPrefix = "op:"
+
+const (
+	OpRemote   = "op:remote"   // QPC remote fragment stream source
+	OpScan     = "op:scan"     // DAP storage scan source
+	OpPrefetch = "op:prefetch" // bounded stream prefetcher
+	OpSemiJoin = "op:semijoin" // DAP semi-join key filter
+	OpFilter   = "op:filter"   // predicate filter
+	OpProject  = "op:project"  // projection
+	OpHashJoin = "op:hashjoin" // hash join (build + probe)
+	OpHashAgg  = "op:hashagg"  // hash aggregation
+	OpSort     = "op:sort"     // full sort (ORDER BY without LIMIT)
+	OpTopK     = "op:topk"     // bounded top-K (ORDER BY + LIMIT)
+	OpLimit    = "op:limit"    // row limit
+	OpEmit     = "op:emit"     // sink (client emit / batch writer)
+)

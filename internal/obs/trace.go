@@ -30,8 +30,13 @@ type Span struct {
 	DBBytes int64
 	// CodeBytes is shipped operator code (deployment volume, not CVDT).
 	CodeBytes int64
-	// Tuples is the tuple count the span carried.
+	// Tuples is the tuple count the span carried (for operator spans:
+	// rows produced).
 	Tuples int64
+	// RowsIn and Batches describe operator spans ("op:*"): tuples pulled
+	// from children and output batches produced. Zero on phase spans.
+	RowsIn  int64
+	Batches int64
 }
 
 // Trace is the span timeline of one query, identified by an ID that the

@@ -3,6 +3,7 @@ package qpc
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 
 	"mocha/internal/core"
@@ -48,7 +49,76 @@ func RenderAnalysis(plan *core.Plan, stats *QueryStats, trace *obs.Trace) string
 		stats.CVDA, stats.CVDT, stats.CVRF(), stats.ResultTuples, stats.ResultBytes)
 	fmt.Fprintf(&b, "code shipping: %d classes / %d B shipped, %d cache hits\n",
 		stats.CodeClassesShipped, stats.CodeBytesShipped, stats.CacheHits)
+	if ops := renderOperators(trace); ops != "" {
+		b.WriteString("\n")
+		b.WriteString(ops)
+	}
 	b.WriteString("\n")
 	b.WriteString(trace.Render())
+	return b.String()
+}
+
+// renderOperators formats the per-operator execution breakdown from the
+// trace's operator spans ("op:*"): rows pulled from children, rows
+// produced, output batches, and self time (work in the operator itself,
+// excluding its children), grouped by site. Empty when the trace holds
+// no operator spans (e.g. a failed execution).
+func renderOperators(trace *obs.Trace) string {
+	spans := trace.Spans()
+	var ops []obs.Span
+	for _, s := range spans {
+		if strings.HasPrefix(s.Name, obs.SpanOpPrefix) {
+			ops = append(ops, s)
+		}
+	}
+	if len(ops) == 0 {
+		return ""
+	}
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].Site != ops[j].Site {
+			return ops[i].Site < ops[j].Site
+		}
+		return ops[i].Name < ops[j].Name
+	})
+	var b strings.Builder
+	b.WriteString("operators:\n")
+	header := [6]string{"operator", "site", "rows in", "rows out", "batches", "self"}
+	widths := [6]int{}
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	rows := make([][6]string, 0, len(ops))
+	for _, s := range ops {
+		site := s.Site
+		if site == "" {
+			site = "qpc"
+		}
+		row := [6]string{
+			s.Name, site,
+			fmt.Sprintf("%d", s.RowsIn),
+			fmt.Sprintf("%d", s.Tuples),
+			fmt.Sprintf("%d", s.Batches),
+			fmt.Sprintf("%.1fms", float64(s.DurMicros)/1000),
+		}
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+		rows = append(rows, row)
+	}
+	line := func(cells [6]string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, row := range rows {
+		line(row)
+	}
 	return b.String()
 }

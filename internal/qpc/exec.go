@@ -3,11 +3,12 @@ package qpc
 import (
 	"context"
 	"fmt"
-	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"mocha/internal/core"
+	"mocha/internal/exec"
 	"mocha/internal/obs"
 	"mocha/internal/types"
 	"mocha/internal/wire"
@@ -33,9 +34,6 @@ type planExec struct {
 	// timeline, the start of its stream span.
 	activateOff []int64
 }
-
-// errLimitReached aborts the pipeline once LIMIT rows were produced.
-var errLimitReached = fmt.Errorf("qpc: limit reached")
 
 func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err error) {
 	// Every session of this query hangs off execCtx: when one fragment
@@ -206,11 +204,32 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 		e.activateOff = append(e.activateOff, e.trace.Since(time.Now()))
 	}
 
-	// Phase 4: QPC pipeline.
+	// Phase 4: lower the plan's QPC-side work (joins, predicates,
+	// aggregation, projection, ordering, limit) onto the fragment streams
+	// and run the shared operator tree: hash-join build sides build
+	// concurrently while bounded prefetchers overlap compute with network
+	// receive (serial under Tuning.Serial). On error the execution
+	// context is cancelled before the tree closes, so goroutine joins
+	// don't drain healthy streams of an already-failed query.
 	span := e.trace.Begin("pipeline", "")
-	perr := e.pipeline(execCtx, emit)
+	pipeOff := e.trace.Since(time.Now())
+	binder := core.NativeBinder{Reg: e.srv.cfg.Cat.Ops()}
+	pulls := make([]exec.PullFunc, len(e.readers))
+	for i, fs := range e.readers {
+		pulls[i] = fs.Next
+	}
+	countEmit := func(t types.Tuple) error {
+		e.stats.ResultTuples++
+		e.stats.ResultBytes += int64(t.WireSize())
+		return emit(t)
+	}
+	tree, perr := exec.LowerPlan(e.plan, binder, pulls, countEmit, e.srv.cfg.Exec)
+	if perr == nil {
+		perr = exec.Run(execCtx, tree, func(error) { cancel() })
+		e.foldTree(tree, pipeOff)
+	}
 	span.End()
-	if perr != nil && perr != errLimitReached {
+	if perr != nil {
 		return perr
 	}
 
@@ -271,264 +290,27 @@ func (e *planExec) recordRemoteSpans(name string, ds *dapSession, es *wire.ExecS
 	}
 }
 
-// pipeline consumes the remote streams and applies QPC-side operators.
-func (e *planExec) pipeline(ctx context.Context, emit func(types.Tuple) error) error {
-	binder := core.NativeBinder{Reg: e.srv.cfg.Cat.Ops()}
-	memo := core.NewMemo()
-
-	preds := make([]core.EvalFn, len(e.plan.Predicates))
-	for i, p := range e.plan.Predicates {
-		fn, err := core.CompileExprMemo(p, binder, memo)
-		if err != nil {
-			return err
+// foldTree folds the finished tree's per-operator accounting into the
+// query stats and records one trace span per operator. Join self time
+// (build inserts + probes) goes to JoinMS; evaluation operators go to
+// CPUMS; source and prefetch self time is network wait, already reported
+// as the DAPs' send time. Operator spans never carry NetBytes, so the
+// trace's span-sum == CVDT invariant is preserved by construction.
+func (e *planExec) foldTree(tree *exec.Tree, startOff int64) {
+	for _, op := range tree.Ops {
+		st := op.Stats()
+		ms := float64(st.Self.Microseconds()) / 1000
+		switch {
+		case strings.HasPrefix(st.Name, obs.OpHashJoin):
+			e.stats.JoinMS += ms
+		case strings.HasPrefix(st.Name, obs.OpRemote), strings.HasPrefix(st.Name, obs.OpPrefetch):
+		default:
+			e.stats.CPUMS += ms
 		}
-		preds[i] = fn
+		e.trace.Add(obs.Span{
+			Name: st.Name, StartMicros: startOff,
+			DurMicros: st.Self.Microseconds(),
+			Tuples:    st.RowsOut, RowsIn: st.RowsIn, Batches: st.Batches,
+		})
 	}
-	projs := make([]core.EvalFn, len(e.plan.Projections))
-	for i, o := range e.plan.Projections {
-		fn, err := core.CompileExprMemo(o.Expr, binder, memo)
-		if err != nil {
-			return err
-		}
-		projs[i] = fn
-	}
-
-	// Build hash tables for all join steps (right sides materialized).
-	type hashTable struct {
-		rightCol int
-		rows     map[uint64][]types.Tuple
-	}
-	tables := make([]hashTable, len(e.plan.Joins))
-	for i, step := range e.plan.Joins {
-		buildStart := time.Now()
-		ht := hashTable{rightCol: step.RightCol, rows: map[uint64][]types.Tuple{}}
-		r := e.readers[step.RightFrag]
-		waitBefore := r.RecvWait()
-		for {
-			tup, err := r.Next()
-			if err != nil {
-				return err
-			}
-			if tup == nil {
-				break
-			}
-			k, ok := tup[step.RightCol].(types.Small)
-			if !ok {
-				return fmt.Errorf("qpc: join key of kind %v", tup[step.RightCol].Kind())
-			}
-			ht.rows[k.Hash()] = append(ht.rows[k.Hash()], tup)
-		}
-		tables[i] = ht
-		// Build time excludes time blocked on the network (that wall
-		// time is already reported as the DAP's send time).
-		build := time.Since(buildStart) - (r.RecvWait() - waitBefore)
-		if build > 0 {
-			e.stats.JoinMS += float64(build.Microseconds()) / 1000
-		}
-	}
-
-	// Aggregation state (when aggregation runs at the QPC).
-	type qpcGroup struct {
-		keys types.Tuple
-		aggs []core.AggFn
-	}
-	var (
-		groups   map[string]*qpcGroup
-		groupOrd []string
-		aggArgs  [][]core.EvalFn
-	)
-	if len(e.plan.Aggregates) > 0 {
-		groups = map[string]*qpcGroup{}
-		for _, spec := range e.plan.Aggregates {
-			fns := make([]core.EvalFn, len(spec.Args))
-			for j, a := range spec.Args {
-				fn, err := core.CompileExprMemo(a, binder, memo)
-				if err != nil {
-					return err
-				}
-				fns[j] = fn
-			}
-			aggArgs = append(aggArgs, fns)
-		}
-	}
-
-	var ordered []types.Tuple
-	emitted := int64(0)
-	needSort := len(e.plan.OrderBy) > 0
-
-	project := func(in types.Tuple) error {
-		if groups != nil {
-			// Aggregated rows are fresh inputs; per-tuple sharing from
-			// the probe phase no longer applies.
-			memo.Reset()
-		}
-		out := make(types.Tuple, len(projs))
-		for i, p := range projs {
-			v, err := p(in)
-			if err != nil {
-				return fmt.Errorf("qpc: projection %q: %w", e.plan.Projections[i].Name, err)
-			}
-			out[i] = v
-		}
-		if needSort {
-			ordered = append(ordered, out)
-			return nil
-		}
-		e.stats.ResultTuples++
-		e.stats.ResultBytes += int64(out.WireSize())
-		if err := emit(out); err != nil {
-			return err
-		}
-		emitted++
-		if e.plan.Limit >= 0 && emitted >= int64(e.plan.Limit) {
-			return errLimitReached
-		}
-		return nil
-	}
-
-	// consume processes one combined row through filter → aggregate or
-	// project.
-	consume := func(row types.Tuple) error {
-		memo.Reset()
-		cpuStart := time.Now()
-		defer func() {
-			e.stats.CPUMS += float64(time.Since(cpuStart).Microseconds()) / 1000
-		}()
-		for _, p := range preds {
-			ok, err := core.EvalPredicate(p, row)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-		}
-		if groups != nil {
-			keys := make(types.Tuple, len(e.plan.GroupBy))
-			var keyBuf []byte
-			for i, g := range e.plan.GroupBy {
-				keys[i] = row[g]
-				keyBuf = row[g].AppendTo(keyBuf)
-			}
-			gk := string(keyBuf)
-			grp, ok := groups[gk]
-			if !ok {
-				grp = &qpcGroup{keys: keys}
-				for _, spec := range e.plan.Aggregates {
-					agg, err := binder.BindAggregate(spec.Func, spec.Ret)
-					if err != nil {
-						return err
-					}
-					if err := agg.Reset(); err != nil {
-						return err
-					}
-					grp.aggs = append(grp.aggs, agg)
-				}
-				groups[gk] = grp
-				groupOrd = append(groupOrd, gk)
-			}
-			for i := range e.plan.Aggregates {
-				args := make([]types.Object, len(aggArgs[i]))
-				for j, fn := range aggArgs[i] {
-					v, err := fn(row)
-					if err != nil {
-						return err
-					}
-					args[j] = v
-				}
-				if err := grp.aggs[i].Update(args); err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		return project(row)
-	}
-
-	// Probe pipeline: fragment 0's stream joined through each hash table.
-	left := e.readers[0]
-	for probed := 0; ; probed++ {
-		// The probe loop is pure QPC-side compute between frames; check
-		// the deadline periodically so a cancelled query stops promptly
-		// even when the remote streams keep delivering.
-		if probed%256 == 0 {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-		}
-		tup, err := left.Next()
-		if err != nil {
-			return err
-		}
-		if tup == nil {
-			break
-		}
-		rows := []types.Tuple{tup}
-		for i, step := range e.plan.Joins {
-			probeStart := time.Now()
-			var next []types.Tuple
-			for _, lrow := range rows {
-				k, ok := lrow[step.LeftCol].(types.Small)
-				if !ok {
-					return fmt.Errorf("qpc: join key of kind %v", lrow[step.LeftCol].Kind())
-				}
-				for _, rrow := range tables[i].rows[k.Hash()] {
-					if k.Equal(rrow[tables[i].rightCol]) {
-						joined := make(types.Tuple, 0, len(lrow)+len(rrow))
-						joined = append(joined, lrow...)
-						joined = append(joined, rrow...)
-						next = append(next, joined)
-					}
-				}
-			}
-			rows = next
-			e.stats.JoinMS += float64(time.Since(probeStart).Microseconds()) / 1000
-			if len(rows) == 0 {
-				break
-			}
-		}
-		for _, row := range rows {
-			if err := consume(row); err != nil {
-				return err
-			}
-		}
-	}
-
-	// Emit aggregation results.
-	if groups != nil {
-		sort.Strings(groupOrd)
-		for _, gk := range groupOrd {
-			grp := groups[gk]
-			row := make(types.Tuple, 0, len(grp.keys)+len(grp.aggs))
-			row = append(row, grp.keys...)
-			for _, agg := range grp.aggs {
-				v, err := agg.Summarize()
-				if err != nil {
-					return err
-				}
-				row = append(row, v)
-			}
-			if err := project(row); err != nil {
-				return err
-			}
-		}
-	}
-
-	// Ordered output.
-	if needSort {
-		if err := sortRows(ordered, e.plan.OrderBy); err != nil {
-			return err
-		}
-		if e.plan.Limit >= 0 && len(ordered) > e.plan.Limit {
-			ordered = ordered[:e.plan.Limit]
-		}
-		for _, row := range ordered {
-			e.stats.ResultTuples++
-			e.stats.ResultBytes += int64(row.WireSize())
-			if err := emit(row); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
 }

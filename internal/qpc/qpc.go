@@ -10,12 +10,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
-	"sort"
 	"strings"
 	"time"
 
 	"mocha/internal/catalog"
 	"mocha/internal/core"
+	"mocha/internal/exec"
 	"mocha/internal/obs"
 	"mocha/internal/sqlparser"
 	"mocha/internal/types"
@@ -59,6 +59,10 @@ type Config struct {
 	// failure aborts the query (the ablation baseline, and the PR 1
 	// behaviour).
 	DisableResume bool
+	// Exec tunes the QPC-side operator-tree executor: batch size, the
+	// per-stream prefetch bound, and the serial (non-overlapped) mode
+	// used for A/B measurement. The zero value takes defaults.
+	Exec exec.Tuning
 	// Metrics receives the server's qpc_* counters and wire traffic
 	// counters. Nil uses the process-wide obs.Default() registry.
 	Metrics *obs.Registry
@@ -378,31 +382,6 @@ func (s *Server) replanDegraded(q *Query) bool {
 	q.Schema = q2.Schema
 	q.planMS += q2.planMS
 	return true
-}
-
-// sortRows orders materialized rows by the plan's ORDER BY keys.
-func sortRows(rows []types.Tuple, keys []core.OrderSpec) error {
-	var sortErr error
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			a, b := rows[i][k.Col], rows[j][k.Col]
-			as, ok := a.(types.Small)
-			if !ok {
-				sortErr = fmt.Errorf("qpc: cannot order by %v values", a.Kind())
-				return false
-			}
-			if as.Equal(b) {
-				continue
-			}
-			less := as.Less(b)
-			if k.Desc {
-				return !less
-			}
-			return less
-		}
-		return false
-	})
-	return sortErr
 }
 
 // mergeCodeShipping folds a concurrent deployment's counters in.

@@ -153,7 +153,7 @@ func TestSortRows(t *testing.T) {
 		{types.Int(1), types.String_("c")},
 		{types.Int(2), types.String_("a")},
 	}
-	if err := sortRows(rows, []core.OrderSpec{{Col: 0}, {Col: 1, Desc: true}}); err != nil {
+	if err := core.SortTuples(rows, []core.OrderSpec{{Col: 0}, {Col: 1, Desc: true}}); err != nil {
 		t.Fatal(err)
 	}
 	want := "[(1, c) (2, b) (2, a)]"
@@ -162,7 +162,7 @@ func TestSortRows(t *testing.T) {
 	}
 	// Large objects are not orderable.
 	bad := []types.Tuple{{types.NewRaster(1, 1, []byte{1})}, {types.NewRaster(1, 1, []byte{2})}}
-	if err := sortRows(bad, []core.OrderSpec{{Col: 0}}); err == nil {
+	if err := core.SortTuples(bad, []core.OrderSpec{{Col: 0}}); err == nil {
 		t.Error("sorting rasters should fail")
 	}
 }

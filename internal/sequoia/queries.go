@@ -43,6 +43,14 @@ const Q5 = `SELECT R1.time, R1.location, Diff(AvgEnergy(R1.image), AvgEnergy(R2.
 FROM Rasters1 AS R1, Rasters2 AS R2
 WHERE R1.location = R2.location`
 
+// Q6 extends Q5's distributed join to a third site: three raster time
+// series of the same region joined on location. It is not in the paper's
+// query set — the harness uses it to exercise multi-join plans whose
+// remote streams and hash builds can proceed concurrently.
+const Q6 = `SELECT R1.time, R1.location, Diff(Diff(AvgEnergy(R1.image), AvgEnergy(R2.image)), AvgEnergy(R3.image))
+FROM Rasters1 AS R1, Rasters2 AS R2, Rasters3 AS R3
+WHERE R1.location = R2.location AND R2.location = R3.location`
+
 // Q4Calibration holds thresholds achieving a target selectivity.
 type Q4Calibration struct {
 	Target    float64

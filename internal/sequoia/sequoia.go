@@ -212,45 +212,63 @@ func GenerateRasters(store *storage.Store, cfg Config) error {
 	return nil
 }
 
-// GenerateJoinPair fills Rasters1 in store1 and Rasters2 in store2 with
-// exactly JoinCommonLocations locations present in both (each location
-// used by JoinTuplesPerLoc tuples), as in the Q5 setup.
-func GenerateJoinPair(store1, store2 *storage.Store, cfg Config) error {
+// joinCommonLocs derives the location set shared by every join table.
+// It depends only on the seed, so tables generated separately (the pair,
+// then a third site) land on the same common locations.
+func joinCommonLocs(cfg Config) []types.Rectangle {
 	rng := rand.New(rand.NewSource(cfg.Seed + 3))
 	common := make([]types.Rectangle, cfg.JoinCommonLocations)
 	for i := range common {
 		common[i] = regionRect(rng)
 	}
-	fill := func(store *storage.Store, name string, seedOff int64) error {
-		tbl, err := store.Create(name, RastersSchema())
-		if err != nil {
-			return err
-		}
-		r := rand.New(rand.NewSource(cfg.Seed + seedOff))
-		for i := 0; i < cfg.JoinRows; i++ {
-			var loc types.Rectangle
-			commonSlots := cfg.JoinCommonLocations * cfg.JoinTuplesPerLoc
-			if i < commonSlots {
-				loc = common[i%cfg.JoinCommonLocations]
-			} else {
-				loc = regionRect(r)
-			}
-			tup := types.Tuple{
-				types.Int(int32(i)),
-				types.Int(int32(i % cfg.Bands)),
-				loc,
-				synthRaster(r, cfg.JoinDim, i),
-			}
-			if _, err := tbl.Insert(tup); err != nil {
-				return fmt.Errorf("sequoia: %s row %d: %w", name, i, err)
-			}
-		}
-		return nil
-	}
-	if err := fill(store1, "Rasters1", 4); err != nil {
+	return common
+}
+
+// fillJoinTable creates one join-pair table: the first
+// JoinCommonLocations*JoinTuplesPerLoc rows cycle through the common
+// locations, the rest get private ones.
+func fillJoinTable(store *storage.Store, name string, seedOff int64, common []types.Rectangle, cfg Config) error {
+	tbl, err := store.Create(name, RastersSchema())
+	if err != nil {
 		return err
 	}
-	return fill(store2, "Rasters2", 5)
+	r := rand.New(rand.NewSource(cfg.Seed + seedOff))
+	for i := 0; i < cfg.JoinRows; i++ {
+		var loc types.Rectangle
+		commonSlots := cfg.JoinCommonLocations * cfg.JoinTuplesPerLoc
+		if i < commonSlots {
+			loc = common[i%cfg.JoinCommonLocations]
+		} else {
+			loc = regionRect(r)
+		}
+		tup := types.Tuple{
+			types.Int(int32(i)),
+			types.Int(int32(i % cfg.Bands)),
+			loc,
+			synthRaster(r, cfg.JoinDim, i),
+		}
+		if _, err := tbl.Insert(tup); err != nil {
+			return fmt.Errorf("sequoia: %s row %d: %w", name, i, err)
+		}
+	}
+	return nil
+}
+
+// GenerateJoinPair fills Rasters1 in store1 and Rasters2 in store2 with
+// exactly JoinCommonLocations locations present in both (each location
+// used by JoinTuplesPerLoc tuples), as in the Q5 setup.
+func GenerateJoinPair(store1, store2 *storage.Store, cfg Config) error {
+	common := joinCommonLocs(cfg)
+	if err := fillJoinTable(store1, "Rasters1", 4, common, cfg); err != nil {
+		return err
+	}
+	return fillJoinTable(store2, "Rasters2", 5, common, cfg)
+}
+
+// GenerateJoinThird fills Rasters3 in store3, sharing the pair's common
+// locations — the third site of a 3-fragment distributed join.
+func GenerateJoinThird(store3 *storage.Store, cfg Config) error {
+	return fillJoinTable(store3, "Rasters3", 6, joinCommonLocs(cfg), cfg)
 }
 
 // GenerateAll fills one store with Polygons, Graphs and Rasters.

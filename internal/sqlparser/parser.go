@@ -151,6 +151,15 @@ func (p *parser) parseSelect() (*Select, error) {
 			if err != nil {
 				return nil, err
 			}
+			// Qualified grouping column ("R1.band"), needed when a
+			// multi-join repeats a schema and bare names are ambiguous.
+			if p.acceptPunct(".") {
+				sub, err := p.expectIdent()
+				if err != nil {
+					return nil, err
+				}
+				col = col + "." + sub
+			}
 			sel.GroupBy = append(sel.GroupBy, col)
 			if !p.acceptPunct(",") {
 				break

@@ -138,6 +138,8 @@ type SpanXML struct {
 	DBBytes     int64  `xml:"db,attr,omitempty"`
 	CodeBytes   int64  `xml:"code,attr,omitempty"`
 	Tuples      int64  `xml:"tuples,attr,omitempty"`
+	RowsIn      int64  `xml:"rows-in,attr,omitempty"`
+	Batches     int64  `xml:"batches,attr,omitempty"`
 }
 
 // SpansToXML converts trace spans for transmission.
@@ -152,6 +154,7 @@ func SpansToXML(spans []obs.Span) []SpanXML {
 			StartMicros: s.StartMicros, DurMicros: s.DurMicros,
 			NetBytes: s.NetBytes, DBBytes: s.DBBytes,
 			CodeBytes: s.CodeBytes, Tuples: s.Tuples,
+			RowsIn: s.RowsIn, Batches: s.Batches,
 		}
 	}
 	return out
@@ -169,6 +172,7 @@ func SpansFromXML(spans []SpanXML) []obs.Span {
 			StartMicros: s.StartMicros, DurMicros: s.DurMicros,
 			NetBytes: s.NetBytes, DBBytes: s.DBBytes,
 			CodeBytes: s.CodeBytes, Tuples: s.Tuples,
+			RowsIn: s.RowsIn, Batches: s.Batches,
 		}
 	}
 	return out

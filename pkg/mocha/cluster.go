@@ -8,6 +8,7 @@ import (
 
 	"mocha/internal/catalog"
 	"mocha/internal/dap"
+	"mocha/internal/exec"
 	"mocha/internal/netsim"
 	"mocha/internal/obs"
 	"mocha/internal/ops"
@@ -29,9 +30,17 @@ type ClusterConfig struct {
 	DisableDAPCodeCache bool
 	// VMLimits sandbox shipped code at the DAPs (zero = defaults).
 	VMLimits vm.Limits
+	// Exec tunes the shared operator-tree executor on both the QPC
+	// (batch size, remote-stream prefetch depth, serial fallback) and
+	// the DAPs (batch size, scan read-ahead). Zero fields take the exec
+	// package defaults.
+	Exec exec.Tuning
 	// Logf receives diagnostics from all components.
 	Logf func(format string, args ...any)
 }
+
+// Tuning re-exports the executor tuning knobs for cluster configuration.
+type Tuning = exec.Tuning
 
 // Shaper re-exports the link model type for cluster configuration.
 type Shaper = netsim.Shaper
@@ -82,6 +91,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		Cat:      cat,
 		Dial:     cl.network.Dial,
 		Strategy: cfg.Strategy,
+		Exec:     cfg.Exec,
 		Metrics:  cl.metrics,
 		Logf:     cfg.Logf,
 	})
@@ -131,6 +141,7 @@ func (cl *Cluster) AddDriverSite(name string, driver dap.AccessDriver) error {
 		Driver:           driver,
 		Limits:           cl.cfg.VMLimits,
 		DisableCodeCache: cl.cfg.DisableDAPCodeCache,
+		Exec:             cl.cfg.Exec,
 		Metrics:          cl.metrics,
 		Logf:             cl.cfg.Logf,
 	})
@@ -277,6 +288,12 @@ func (cl *Cluster) DiscoverTables(site string) ([]string, error) {
 // Execute runs a query through the embedded QPC, materializing results.
 func (cl *Cluster) Execute(sql string) (*Result, error) { return cl.qpc.Execute(sql) }
 
+// ExecuteContext runs a query under ctx; cancelling it aborts all of
+// the query's remote streams.
+func (cl *Cluster) ExecuteContext(ctx context.Context, sql string) (*Result, error) {
+	return cl.qpc.ExecuteContext(ctx, sql)
+}
+
 // Explain returns the optimizer's plan for a query.
 func (cl *Cluster) Explain(sql string) (string, error) { return cl.qpc.Explain(sql) }
 
@@ -297,6 +314,7 @@ func (cl *Cluster) SetStrategy(s Strategy) {
 		Cat:      cl.catalog,
 		Dial:     cl.network.Dial,
 		Strategy: s,
+		Exec:     cl.cfg.Exec,
 		Metrics:  cl.metrics,
 		Logf:     cl.cfg.Logf,
 	})

@@ -1,0 +1,76 @@
+package mocha
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentExecuteSharedDAPs drives many queries through one QPC
+// against shared DAP servers at once. Every query opens its own sessions
+// and operator tree, but the DAPs, code caches, catalog and metrics
+// registry are shared — under -race this pins the executor's goroutine
+// discipline (build goroutines, prefetchers, scan read-ahead).
+func TestConcurrentExecuteSharedDAPs(t *testing.T) {
+	cl, _ := testCluster(t, ClusterConfig{})
+	queries := []string{
+		"SELECT time, band FROM Rasters WHERE band < 2",
+		"SELECT name FROM Graphs ORDER BY name DESC LIMIT 7",
+		"SELECT landuse, TotalArea(polygon) AS area FROM Polygons GROUP BY landuse",
+		`SELECT R1.time AS t1, R2.time AS t2
+FROM Rasters1 R1, Rasters2 R2 WHERE R1.location = R2.location
+ORDER BY t1, t2 LIMIT 5`,
+		`SELECT Count(R1.time)
+FROM Rasters1 R1, Rasters2 R2, Rasters3 R3
+WHERE R1.location = R2.location AND R2.location = R3.location`,
+	}
+
+	// Sequential baselines first; the concurrent runs must reproduce them.
+	want := make([][]Tuple, len(queries))
+	for i, sql := range queries {
+		res, err := cl.ExecuteContext(context.Background(), sql)
+		if err != nil {
+			t.Fatalf("baseline %d (%s): %v", i, sql, err)
+		}
+		want[i] = res.Rows
+	}
+
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*len(queries))
+	for w := 0; w < workers; w++ {
+		for qi := range queries {
+			wg.Add(1)
+			go func(w, qi int) {
+				defer wg.Done()
+				res, err := cl.ExecuteContext(context.Background(), queries[qi])
+				if err != nil {
+					errs <- fmt.Errorf("worker %d query %d: %w", w, qi, err)
+					return
+				}
+				if len(res.Rows) != len(want[qi]) {
+					errs <- fmt.Errorf("worker %d query %d: %d rows, want %d",
+						w, qi, len(res.Rows), len(want[qi]))
+					return
+				}
+				got := map[string]int{}
+				for _, k := range rowsKey(res.Rows) {
+					got[k]++
+				}
+				for _, k := range rowsKey(want[qi]) {
+					if got[k] == 0 {
+						errs <- fmt.Errorf("worker %d query %d: missing row %s", w, qi, k)
+						return
+					}
+					got[k]--
+				}
+			}(w, qi)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

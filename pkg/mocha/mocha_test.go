@@ -38,10 +38,20 @@ func testCluster(t testing.TB, cfg ClusterConfig) (*Cluster, sequoia.Config) {
 	if err := sequoia.GenerateJoinPair(s1, s2, scale); err != nil {
 		t.Fatal(err)
 	}
+	s3, err := NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sequoia.GenerateJoinThird(s3, scale); err != nil {
+		t.Fatal(err)
+	}
 	if err := cl.AddSite("site1", s1); err != nil {
 		t.Fatal(err)
 	}
 	if err := cl.AddSite("site2", s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AddSite("site3", s3); err != nil {
 		t.Fatal(err)
 	}
 	for _, tbl := range []string{"Polygons", "Graphs", "Rasters", "Rasters1"} {
@@ -50,6 +60,9 @@ func testCluster(t testing.TB, cfg ClusterConfig) (*Cluster, sequoia.Config) {
 		}
 	}
 	if err := cl.RegisterTable("site2", "Rasters2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.RegisterTable("site3", "Rasters3"); err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(cl.Close)
