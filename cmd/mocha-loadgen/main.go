@@ -1,0 +1,337 @@
+// mocha-loadgen drives heavy concurrent traffic through an embedded
+// MOCHA cluster: hundreds of wire-protocol clients issuing a mixed
+// query workload against a governed QPC (admission control plus a
+// query-memory budget that forces joins and aggregates to spill). It
+// verifies every result against a sequentially computed baseline,
+// checks the governor's high-water mark never exceeded the budget, and
+// writes the latency/throughput/spill summary to BENCH_load.json.
+//
+// Usage:
+//
+//	mocha-loadgen -clients 200 -queries 3 -mem-budget 32768 -strategy data-ship
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"mocha/internal/bench"
+	"mocha/internal/obs"
+	"mocha/internal/sequoia"
+	"mocha/pkg/mocha"
+)
+
+// workload is the query mix: a scan, an aggregation, a complex-operator
+// projection, a distributed join with ordering and a limit, an
+// aggregate over a join, and the image-heavy Q5 join (under data
+// shipping its build holds whole rasters — the query that pressures
+// the memory governor). Every query is deterministic for a given
+// scale, so one sequential baseline validates all concurrent runs.
+func workload() []string {
+	return []string{
+		`SELECT time, location FROM Rasters`,
+		sequoia.Q1,
+		`SELECT name, TotalLength(graph) FROM Graphs`,
+		`SELECT R1.time AS t1, R2.time AS t2
+		 FROM Rasters1 AS R1, Rasters2 AS R2
+		 WHERE R1.location = R2.location ORDER BY t1, t2 LIMIT 64`,
+		`SELECT R1.band AS b, Count(R2.time) AS n
+		 FROM Rasters1 AS R1, Rasters2 AS R2
+		 WHERE R1.location = R2.location GROUP BY R1.band ORDER BY b`,
+		sequoia.Q5,
+	}
+}
+
+// loadConfig parameterizes one load run.
+type loadConfig struct {
+	Clients       int
+	Queries       int
+	Scale         float64
+	MemBudget     int64
+	MaxConcurrent int
+	QueueDepth    int
+	Strategy      mocha.Strategy
+	Faults        bool
+	Seed          int
+	Logf          func(format string, args ...any)
+}
+
+// run executes the load: sequential baseline on an ungoverned cluster,
+// then Clients concurrent wire sessions against the governed one. The
+// returned problems list holds every invariant violation (failed or
+// incorrect queries, a governor high-water mark above its budget).
+func run(cfg loadConfig) (bench.LoadStatsJSON, []string, error) {
+	env, err := bench.NewEnv(bench.Options{
+		Scale:         cfg.Scale,
+		Unshaped:      true,
+		Exec:          mocha.Tuning{MemBudgetBytes: cfg.MemBudget},
+		MaxConcurrent: cfg.MaxConcurrent,
+		QueueDepth:    cfg.QueueDepth,
+	})
+	if err != nil {
+		return bench.LoadStatsJSON{}, nil, fmt.Errorf("environment: %w", err)
+	}
+	defer env.Close()
+	env.Cluster.SetStrategy(cfg.Strategy)
+
+	// Sequential baseline on an identical but ungoverned cluster: the
+	// load run's results must match these exactly, spills and all.
+	base, err := bench.NewEnv(bench.Options{Scale: cfg.Scale, Unshaped: true})
+	if err != nil {
+		return bench.LoadStatsJSON{}, nil, fmt.Errorf("baseline environment: %w", err)
+	}
+	base.Cluster.SetStrategy(cfg.Strategy)
+	pool := workload()
+	baseline := make([][]string, len(pool))
+	for i, sql := range pool {
+		res, err := base.Cluster.Execute(sql)
+		if err != nil {
+			base.Close()
+			return bench.LoadStatsJSON{}, nil, fmt.Errorf("baseline query %d: %w", i, err)
+		}
+		baseline[i] = canonRows(res.Rows)
+	}
+	base.Close()
+
+	if cfg.Faults {
+		// Every 7th connection to site2 dies at first I/O: sessions keep
+		// failing on a period, so retries and stream recovery stay busy
+		// for the whole run.
+		env.Cluster.SetFault("site2", &mocha.FaultPlan{DropEveryNthConn: 7})
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		total     int64
+		failed    int64
+		rejected  int64
+		incorrect int64
+	)
+	tenants := []string{"tenant-a", "tenant-b"}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := tenants[c%len(tenants)]
+			cl, err := env.Cluster.ConnectTenant(tenant)
+			if err != nil {
+				mu.Lock()
+				failed += int64(cfg.Queries)
+				total += int64(cfg.Queries)
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < cfg.Queries; j++ {
+				qi := (c + j + cfg.Seed) % len(pool)
+				t0 := time.Now()
+				rows, err := runQuery(cl, pool[qi])
+				lat := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				total++
+				switch {
+				case err != nil && strings.Contains(err.Error(), "admission queue full"):
+					rejected++
+				case err != nil:
+					failed++
+					cfg.Logf("mocha-loadgen: client %d query %d: %v", c, qi, err)
+				default:
+					latencies = append(latencies, lat)
+					if !sameRows(rows, baseline[qi]) {
+						incorrect++
+						cfg.Logf("mocha-loadgen: client %d query %d: result mismatch (%d rows, want %d)",
+							c, qi, len(rows), len(baseline[qi]))
+					}
+				}
+				mu.Unlock()
+				if err != nil {
+					// The session may be mid-stream; reconnect for the
+					// remaining queries.
+					cl.Close()
+					cl, err = env.Cluster.ConnectTenant(tenant)
+					if err != nil {
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	snap := env.Cluster.Metrics().Snapshot()
+	gov := env.Cluster.QPCGovernor()
+	stats := bench.LoadStatsJSON{
+		Clients:          cfg.Clients,
+		Tenants:          len(tenants),
+		QueriesTotal:     total,
+		QueriesFailed:    failed,
+		Rejected:         rejected,
+		IncorrectResults: incorrect,
+		ElapsedMS:        float64(elapsed.Microseconds()) / 1000,
+		P50MS:            percentile(latencies, 0.50),
+		P95MS:            percentile(latencies, 0.95),
+		P99MS:            percentile(latencies, 0.99),
+		SpillEvents:      snap[obs.MExecSpillEvents],
+		SpillBytes:       snap[obs.MExecSpillBytes],
+		MemBudgetBytes:   cfg.MemBudget,
+	}
+	if len(latencies) > 0 {
+		stats.MaxMS = latencies[len(latencies)-1]
+	}
+	if elapsed > 0 {
+		stats.ThroughputQPS = float64(total-failed-rejected) / elapsed.Seconds()
+	}
+	if gov != nil {
+		stats.MemHighWater = gov.HighWater()
+	}
+
+	var problems []string
+	if incorrect > 0 {
+		problems = append(problems, fmt.Sprintf("%d incorrect results", incorrect))
+	}
+	if failed > 0 {
+		problems = append(problems, fmt.Sprintf("%d failed queries", failed))
+	}
+	if gov != nil && gov.HighWater() > gov.Budget() {
+		problems = append(problems, fmt.Sprintf("QPC granted high water %d B exceeds budget %d B",
+			gov.HighWater(), gov.Budget()))
+	}
+	for _, site := range []string{"site1", "site2", "site3"} {
+		dg, err := env.Cluster.DAPGovernor(site)
+		if err != nil || dg == nil {
+			continue
+		}
+		if dg.HighWater() > dg.Budget() {
+			problems = append(problems, fmt.Sprintf("%s granted high water %d B exceeds budget %d B",
+				site, dg.HighWater(), dg.Budget()))
+		}
+	}
+	return stats, problems, nil
+}
+
+func main() {
+	clients := flag.Int("clients", 200, "concurrent wire-protocol clients")
+	queries := flag.Int("queries", 3, "queries issued by each client")
+	scale := flag.Float64("scale", 0.05, "Sequoia dataset scale")
+	memBudget := flag.Int64("mem-budget", 8<<20, "query-memory budget in bytes on the QPC and each DAP (0 = ungoverned)")
+	maxConcurrent := flag.Int("max-concurrent", 16, "admission slots on the QPC (0 = unbounded)")
+	queueDepth := flag.Int("queue-depth", 4096, "admission queue depth (0 = reject when saturated)")
+	strategy := flag.String("strategy", "auto", "operator placement: auto, code-ship or data-ship (data-ship maximizes QPC memory pressure)")
+	faults := flag.Bool("faults", false, "inject recurring connection drops on site2's link")
+	seed := flag.Int("seed", 1, "rotates which query each client starts with")
+	out := flag.String("out", "", "directory for BENCH_load.json (default: working directory)")
+	flag.Parse()
+
+	var strat mocha.Strategy
+	switch *strategy {
+	case "auto":
+		strat = mocha.StrategyAuto
+	case "code-ship":
+		strat = mocha.StrategyCodeShip
+	case "data-ship":
+		strat = mocha.StrategyDataShip
+	default:
+		log.Fatalf("mocha-loadgen: unknown strategy %q", *strategy)
+	}
+
+	stats, problems, err := run(loadConfig{
+		Clients:       *clients,
+		Queries:       *queries,
+		Scale:         *scale,
+		MemBudget:     *memBudget,
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		Strategy:      strat,
+		Faults:        *faults,
+		Seed:          *seed,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("mocha-loadgen: %v", err)
+	}
+
+	fmt.Printf("mocha-loadgen: %d clients x %d queries in %.1fs: %.1f q/s, p50 %.1fms p95 %.1fms p99 %.1fms max %.1fms\n",
+		*clients, *queries, stats.ElapsedMS/1000, stats.ThroughputQPS,
+		stats.P50MS, stats.P95MS, stats.P99MS, stats.MaxMS)
+	fmt.Printf("mocha-loadgen: %d ok, %d failed, %d rejected, %d incorrect; %d spill events / %d B spilled; high water %d / %d B budget\n",
+		stats.QueriesTotal-stats.QueriesFailed-stats.Rejected, stats.QueriesFailed,
+		stats.Rejected, stats.IncorrectResults,
+		stats.SpillEvents, stats.SpillBytes, stats.MemHighWater, stats.MemBudgetBytes)
+
+	rep := &bench.Report{Experiment: "load", Scale: *scale, Load: &stats}
+	path, err := rep.WriteJSON(*out)
+	if err != nil {
+		log.Fatalf("mocha-loadgen: write report: %v", err)
+	}
+	fmt.Printf("mocha-loadgen: wrote %s\n", path)
+
+	for _, p := range problems {
+		fmt.Fprintf(os.Stderr, "mocha-loadgen: FAIL: %s\n", p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+}
+
+// runQuery executes one query over the wire and drains its rows.
+func runQuery(cl *mocha.Client, sql string) ([]string, error) {
+	rows, err := cl.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	tups, err := rows.All()
+	if err != nil {
+		return nil, err
+	}
+	return canonRows(tups), nil
+}
+
+// canonRows renders tuples to a sorted multiset of row strings, the
+// order-insensitive form the baseline comparison uses.
+func canonRows(rows []mocha.Tuple) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%v", r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sameRows compares two canonical row multisets.
+func sameRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// percentile returns the q-th percentile of sorted values (nearest-rank).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

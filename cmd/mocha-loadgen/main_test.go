@@ -1,0 +1,73 @@
+package main
+
+import (
+	"testing"
+
+	"mocha/pkg/mocha"
+)
+
+// TestRunSmallLoad drives a miniature version of the CI load smoke:
+// governed data-ship placement under a budget small enough to spill,
+// with recurring connection drops on one site. Every query must match
+// the sequential baseline and the governor must stay under budget.
+func TestRunSmallLoad(t *testing.T) {
+	stats, problems, err := run(loadConfig{
+		Clients:       12,
+		Queries:       2,
+		Scale:         0.02,
+		MemBudget:     16 << 10,
+		MaxConcurrent: 4,
+		QueueDepth:    256,
+		Strategy:      mocha.StrategyDataShip,
+		Faults:        true,
+		Seed:          1,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range problems {
+		t.Errorf("invariant violated: %s", p)
+	}
+	if stats.QueriesTotal != 24 {
+		t.Errorf("total = %d, want 24", stats.QueriesTotal)
+	}
+	if stats.SpillEvents == 0 {
+		t.Error("no spill events under a 16 KiB data-ship budget")
+	}
+	if stats.MemHighWater == 0 || stats.MemHighWater > stats.MemBudgetBytes {
+		t.Errorf("high water %d B outside (0, budget %d B]", stats.MemHighWater, stats.MemBudgetBytes)
+	}
+	if stats.P50MS <= 0 || stats.P99MS < stats.P50MS || stats.MaxMS < stats.P99MS {
+		t.Errorf("percentiles inconsistent: p50 %.1f p99 %.1f max %.1f", stats.P50MS, stats.P99MS, stats.MaxMS)
+	}
+}
+
+// TestPercentileNearestRank pins the nearest-rank convention.
+func TestPercentileNearestRank(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.50, 5}, {0.90, 9}, {0.95, 10}, {0.99, 10}, {0.01, 1}} {
+		if got := percentile(vals, tc.q); got != tc.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestSameRows covers the multiset comparison used against baselines.
+func TestSameRows(t *testing.T) {
+	if !sameRows([]string{"a", "b"}, []string{"a", "b"}) {
+		t.Error("equal slices reported different")
+	}
+	if sameRows([]string{"a"}, []string{"a", "b"}) {
+		t.Error("length mismatch reported equal")
+	}
+	if sameRows([]string{"a", "c"}, []string{"a", "b"}) {
+		t.Error("content mismatch reported equal")
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"mocha/internal/catalog"
 	"mocha/internal/core"
+	"mocha/internal/exec"
 	"mocha/internal/netsim"
 	"mocha/internal/obs"
 	"mocha/internal/ops"
@@ -37,6 +38,9 @@ func main() {
 	breakerOpenFor := flag.Duration("breaker-open-for", 3*time.Second, "how long an open breaker fails fast before allowing a half-open probe")
 	noBreaker := flag.Bool("no-breaker", false, "disable per-site circuit breaking and degraded planning")
 	noResume := flag.Bool("no-resume", false, "disable mid-stream RESUME recovery (pre-recovery ablation baseline)")
+	memBudget := flag.Int64("mem-budget", 0, "query-memory budget in bytes shared by all queries; joins and aggregates spill past it (0 = ungoverned)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "queries admitted to execute at once (0 = unbounded)")
+	queueDepth := flag.Int("queue-depth", 0, "queries allowed to wait for an admission slot, drained round-robin per tenant (0 = reject when saturated)")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
 	quiet := flag.Bool("quiet", false, "suppress per-query logging")
 	flag.Parse()
@@ -93,6 +97,9 @@ func main() {
 			Disabled:         *noBreaker,
 		},
 		DisableResume: *noResume,
+		Exec:          exec.Tuning{MemBudgetBytes: *memBudget},
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
 		Logf:          logf,
 	})
 	obs.ServeDebug(*pprofAddr, srv.Metrics(), logf)

@@ -51,8 +51,13 @@ type Options struct {
 	// DisableDAPCodeCache forces per-query code re-shipping.
 	DisableDAPCodeCache bool
 	// Exec tunes the shared operator-tree executor (batch size, prefetch
-	// depth, serial fallback) on the QPC and every DAP.
+	// depth, serial fallback, memory budget) on the QPC and every DAP.
 	Exec mocha.Tuning
+	// MaxConcurrent bounds concurrently executing queries on the QPC
+	// (0 = unbounded).
+	MaxConcurrent int
+	// QueueDepth bounds queries waiting for an admission slot.
+	QueueDepth int
 }
 
 // NewEnv builds the three-site benchmark deployment: site1 holds
@@ -71,6 +76,8 @@ func NewEnv(opts Options) (*Env, error) {
 		Shaper:              shaper,
 		DisableDAPCodeCache: opts.DisableDAPCodeCache,
 		Exec:                opts.Exec,
+		MaxConcurrent:       opts.MaxConcurrent,
+		QueueDepth:          opts.QueueDepth,
 	})
 	if err != nil {
 		return nil, err

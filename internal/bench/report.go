@@ -38,12 +38,38 @@ type MeasurementJSON struct {
 	CacheHits          int64 `json:"cache_hits"`
 }
 
+// LoadStatsJSON summarizes a loadgen run: the heavy-traffic experiment
+// of the stress suite (mocha-loadgen). Latencies are exact percentiles
+// over every successful query; memory numbers come from the QPC's
+// governor at the end of the run.
+type LoadStatsJSON struct {
+	Clients          int     `json:"clients"`
+	Tenants          int     `json:"tenants"`
+	QueriesTotal     int64   `json:"queries_total"`
+	QueriesFailed    int64   `json:"queries_failed"`
+	Rejected         int64   `json:"rejected"`
+	IncorrectResults int64   `json:"incorrect_results"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+	ThroughputQPS    float64 `json:"throughput_qps"`
+	P50MS            float64 `json:"p50_ms"`
+	P95MS            float64 `json:"p95_ms"`
+	P99MS            float64 `json:"p99_ms"`
+	MaxMS            float64 `json:"max_ms"`
+	SpillEvents      int64   `json:"spill_events"`
+	SpillBytes       int64   `json:"spill_bytes"`
+	MemBudgetBytes   int64   `json:"mem_budget_bytes"`
+	MemHighWater     int64   `json:"mem_high_water_bytes"`
+}
+
 // Report is the machine-readable result of one experiment run.
 type Report struct {
 	Experiment   string            `json:"experiment"`
 	Scale        float64           `json:"scale"`
 	BandwidthBPS float64           `json:"bandwidth_bps,omitempty"`
 	Measurements []MeasurementJSON `json:"measurements"`
+	// Load carries a loadgen run's aggregate statistics (nil for the
+	// paper-figure experiments).
+	Load *LoadStatsJSON `json:"load,omitempty"`
 }
 
 func toJSONMeasurement(m Measurement) MeasurementJSON {

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"mocha/internal/types"
+)
+
+func TestCompareTuples(t *testing.T) {
+	a := types.Tuple{types.Int(1), types.String_("b")}
+	b := types.Tuple{types.Int(1), types.String_("a")}
+	keys := []OrderSpec{{Col: 0}, {Col: 1}}
+
+	if c, err := CompareTuples(a, b, keys); err != nil || c <= 0 {
+		t.Errorf("CompareTuples = %d, %v; want >0 (first key ties, second decides)", c, err)
+	}
+	if c, err := CompareTuples(a, a, keys); err != nil || c != 0 {
+		t.Errorf("self-compare = %d, %v; want 0", c, err)
+	}
+	desc := []OrderSpec{{Col: 1, Desc: true}}
+	if c, err := CompareTuples(a, b, desc); err != nil || c >= 0 {
+		t.Errorf("descending compare = %d, %v; want <0", c, err)
+	}
+}
+
+func TestCompareTuplesUnorderable(t *testing.T) {
+	a := types.Tuple{types.NewRaster(1, 1, []byte{7})}
+	if _, err := CompareTuples(a, a, []OrderSpec{{Col: 0}}); err == nil {
+		t.Error("ordering by a raster should fail")
+	}
+}
+
+func TestSortTuples(t *testing.T) {
+	rows := []types.Tuple{
+		{types.Int(3), types.String_("c")},
+		{types.Int(1), types.String_("a")},
+		{types.Int(2), types.String_("b")},
+	}
+	if err := SortTuples(rows, []OrderSpec{{Col: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int32{1, 2, 3} {
+		if got := int32(rows[i][0].(types.Int)); got != want {
+			t.Errorf("row %d key = %d, want %d", i, got, want)
+		}
+	}
+	bad := []types.Tuple{{types.NewRaster(1, 1, []byte{7})}, {types.NewRaster(1, 1, []byte{9})}}
+	if err := SortTuples(bad, []OrderSpec{{Col: 0}}); err == nil {
+		t.Error("sorting by a raster should fail")
+	}
+}

@@ -67,8 +67,11 @@ type Config struct {
 	// DisableResume ignores stream IDs on ACTIVATE, forcing every stream
 	// back to the plain non-resumable protocol (the ablation baseline).
 	DisableResume bool
-	// Exec tunes the fragment executor: batch size and the scan
-	// read-ahead depth. Zero fields take the exec package defaults.
+	// Exec tunes the fragment executor: batch size, the scan read-ahead
+	// depth, and the query-memory budget shared by every concurrent
+	// session (Exec.MemBudgetBytes > 0 creates the server's memory
+	// governor and arms the spilling aggregate). Zero fields take the
+	// exec package defaults.
 	Exec exec.Tuning
 	// Metrics receives the server's dap_* counters and wire traffic
 	// counters. Nil uses the process-wide obs.Default() registry.
@@ -84,6 +87,7 @@ type Server struct {
 	cache    *codeCache
 	retained *retention
 	met      dapMetrics
+	gov      *exec.Governor
 }
 
 // dapMetrics caches the server's registry handles.
@@ -123,10 +127,15 @@ func New(cfg Config) *Server {
 		cfg.RetainTTL = 10 * time.Second
 	}
 	r := cfg.Metrics
+	var gov *exec.Governor
+	if cfg.Exec.MemBudgetBytes > 0 {
+		gov = exec.NewGovernor(cfg.Exec.MemBudgetBytes, r)
+	}
 	return &Server{
 		cfg:      cfg,
 		cache:    newCodeCache(),
 		retained: newRetention(),
+		gov:      gov,
 		met: dapMetrics{
 			sessionsOpen:  r.Gauge(obs.MDapSessionsOpen),
 			sessionsTotal: r.Counter(obs.MDapSessionsTotal),
@@ -152,6 +161,10 @@ func New(cfg Config) *Server {
 
 // Metrics returns the server's registry (SHOW METRICS payload).
 func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Governor returns the server's shared query-memory governor, or nil
+// when Exec.MemBudgetBytes left the executor ungoverned.
+func (s *Server) Governor() *exec.Governor { return s.gov }
 
 // CacheStats reports cumulative code-cache behaviour.
 func (s *Server) CacheStats() (hits, misses int64) { return s.cache.stats() }

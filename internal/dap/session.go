@@ -318,7 +318,7 @@ func (ss *session) execute(streamID string) error {
 		usedIndex = used
 		return serr
 	}, tun)
-	tree, err := exec.LowerFragment(frag, binder, src, ss.semiKeys, writer.Write, tun)
+	tree, err := exec.LowerFragment(frag, binder, src, ss.semiKeys, writer.Write, tun, ss.srv.gov)
 	if err != nil {
 		return err
 	}
@@ -386,7 +386,14 @@ func (ss *session) execute(streamID string) error {
 			opst := op.Stats()
 			ss.trace.Add(obs.Span{Name: opst.Name, Site: site, StartMicros: off,
 				DurMicros: opst.Self.Microseconds(),
-				Tuples:    opst.RowsOut, RowsIn: opst.RowsIn, Batches: opst.Batches})
+				Tuples:    opst.RowsOut, RowsIn: opst.RowsIn, Batches: opst.Batches,
+				SpillBytes: opst.SpillBytes})
+			if opst.Spills > 0 {
+				// Spill pseudo-span: the operator overflowed its memory
+				// grant and wrote sorted runs to temp files.
+				ss.trace.Add(obs.Span{Name: obs.OpSpillAgg, Site: site, StartMicros: off,
+					Tuples: opst.SpillTuples, Batches: opst.Spills, SpillBytes: opst.SpillBytes})
+			}
 		}
 		// Spans are per-execution, like the stats: take them so the key
 		// phase and the main fragment each report their own.

@@ -43,6 +43,11 @@ type Tuning struct {
 	// historical one-goroutine executor. It exists for A/B measurement
 	// (the exec-overlap benchmark) and debugging.
 	Serial bool
+	// MemBudgetBytes bounds the query memory of the server's shared
+	// governor pool: hash-join builds and hash-aggregate tables account
+	// against it and spill to temp-file runs when it is exhausted.
+	// 0 (or negative) means ungoverned — no accounting, no spilling.
+	MemBudgetBytes int64
 }
 
 // Norm returns t with defaults filled in.
@@ -68,6 +73,13 @@ type OpStats struct {
 	RowsOut int64
 	Batches int64
 	Self    time.Duration
+	// Spills, SpillBytes and SpillTuples describe memory-pressure relief:
+	// the number of spill runs the operator wrote to temp files, their
+	// payload bytes, and the tuples they carried. All zero when the
+	// operator stayed within its memory grant.
+	Spills      int64
+	SpillBytes  int64
+	SpillTuples int64
 }
 
 // Operator is one node of an execution tree.

@@ -142,8 +142,8 @@ func TestHashJoinBuildsConcurrent(t *testing.T) {
 	left := NewSource("op:remote[0]", slicePull(intRows(1, 2, 3)), 8)
 	b1 := NewSource("op:remote[1]", barrierPull(&barrier, intRows(2, 3, 4)), 8)
 	b2 := NewSource("op:remote[2]", barrierPull(&barrier, intRows(3, 4, 5)), 8)
-	j1 := NewHashJoin("op:hashjoin[0]", left, b1, 0, 0, "l", "r", false)
-	j2 := NewHashJoin("op:hashjoin[1]", j1, b2, 0, 0, "l", "r", false)
+	j1 := NewHashJoin("op:hashjoin[0]", left, b1, 0, 0, "l", "r", false, nil, 4)
+	j2 := NewHashJoin("op:hashjoin[1]", j1, b2, 0, 0, "l", "r", false, nil, 4)
 
 	done := make(chan []types.Tuple, 1)
 	go func() {
@@ -175,7 +175,7 @@ func TestHashJoinSerialMatches(t *testing.T) {
 	run := func(serial bool) []types.Tuple {
 		left := NewSource("op:remote[0]", slicePull(intRows(1, 2, 2, 3)), 2)
 		build := NewSource("op:remote[1]", slicePull(intRows(2, 3, 3)), 2)
-		j := NewHashJoin("op:hashjoin[0]", left, build, 0, 0, "l", "r", serial)
+		j := NewHashJoin("op:hashjoin[0]", left, build, 0, 0, "l", "r", serial, nil, 4)
 		return collect(t, j, []Operator{left, build, j})
 	}
 	conc, ser := run(false), run(true)
@@ -193,7 +193,7 @@ func TestHashJoinKeyKindErrors(t *testing.T) {
 	left := NewSource("op:remote[0]", slicePull(intRows(1)), 8)
 	build := NewSource("op:remote[1]", slicePull([]types.Tuple{raster}), 8)
 	j := NewHashJoin("op:hashjoin[0]", left, build, 0, 0,
-		"combined column 0 (a)", "fragment 1 at site2, output column 0 (img)", false)
+		"combined column 0 (a)", "fragment 1 at site2, output column 0 (img)", false, nil, 4)
 	err := Run(context.Background(), &Tree{Root: j, Ops: []Operator{left, build, j}}, nil)
 	if err == nil || !strings.Contains(err.Error(), "fragment 1 at site2, output column 0 (img)") {
 		t.Errorf("build key error = %v", err)
@@ -202,7 +202,7 @@ func TestHashJoinKeyKindErrors(t *testing.T) {
 	left = NewSource("op:remote[0]", slicePull([]types.Tuple{raster}), 8)
 	build = NewSource("op:remote[1]", slicePull(intRows(1)), 8)
 	j = NewHashJoin("op:hashjoin[0]", left, build, 0, 0,
-		"combined column 0 (a)", "fragment 1 at site2, output column 0 (img)", false)
+		"combined column 0 (a)", "fragment 1 at site2, output column 0 (img)", false, nil, 4)
 	err = Run(context.Background(), &Tree{Root: j, Ops: []Operator{left, build, j}}, nil)
 	if err == nil || !strings.Contains(err.Error(), "combined column 0 (a)") {
 		t.Errorf("probe key error = %v", err)
@@ -348,7 +348,7 @@ func TestHashAggregateGroups(t *testing.T) {
 	agg, err := NewHashAggregate("op:hashagg", src, []int{0}, []core.AggSpec{{
 		Name: "n", Func: "Count", Ret: types.KindInt,
 		Args: []*core.PExpr{core.NewCol(1, types.KindInt)},
-	}}, binder, memo, true, "qpc", 4)
+	}}, binder, memo, true, "qpc", 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,7 +64,9 @@ func compileProjs(outs []core.Output, binder core.OpBinder, memo *core.Memo) ([]
 // semi-join filter, predicates, aggregation or projection, the pushed-
 // down limit, and the emit sink, in the fragment execution order the
 // plan format documents.
-func LowerFragment(frag *core.Fragment, binder core.OpBinder, src Operator, semiKeys map[uint64][]types.Object, emit func(types.Tuple) error, tun Tuning) (*Tree, error) {
+// gov, when non-nil, bounds the memory-hungry operators' memory (each
+// gets its own grant on the shared pool) and arms their spill paths.
+func LowerFragment(frag *core.Fragment, binder core.OpBinder, src Operator, semiKeys map[uint64][]types.Object, emit func(types.Tuple) error, tun Tuning, gov *Governor) (*Tree, error) {
 	tun = tun.Norm()
 	memo := core.NewMemo()
 	needReset := true
@@ -86,7 +88,7 @@ func LowerFragment(frag *core.Fragment, binder core.OpBinder, src Operator, semi
 		ops = append(ops, cur)
 	}
 	if len(frag.Aggregates) > 0 {
-		agg, err := NewHashAggregate(obs.OpHashAgg, cur, frag.GroupBy, frag.Aggregates, binder, memo, needReset, "dap", tun.BatchRows)
+		agg, err := NewHashAggregate(obs.OpHashAgg, cur, frag.GroupBy, frag.Aggregates, binder, memo, needReset, "dap", tun.BatchRows, gov.Grant(obs.OpHashAgg))
 		if err != nil {
 			return nil, err
 		}
@@ -113,7 +115,9 @@ func LowerFragment(frag *core.Fragment, binder core.OpBinder, src Operator, semi
 // feeds: per-fragment sources (each behind a bounded prefetcher unless
 // tuning is serial), the left-deep hash-join chain, plan predicates,
 // aggregation, projection, ordering/limit, and the client emit sink.
-func LowerPlan(plan *core.Plan, binder core.OpBinder, pulls []PullFunc, emit func(types.Tuple) error, tun Tuning) (*Tree, error) {
+// gov, when non-nil, bounds the memory-hungry operators' memory (each
+// gets its own grant on the shared pool) and arms their spill paths.
+func LowerPlan(plan *core.Plan, binder core.OpBinder, pulls []PullFunc, emit func(types.Tuple) error, tun Tuning, gov *Governor) (*Tree, error) {
 	tun = tun.Norm()
 	if len(pulls) != len(plan.Fragments) {
 		return nil, fmt.Errorf("exec: %d sources for %d fragments", len(pulls), len(plan.Fragments))
@@ -139,8 +143,10 @@ func LowerPlan(plan *core.Plan, binder core.OpBinder, pulls []PullFunc, emit fun
 		leftDesc := fmt.Sprintf("combined column %d (%s)", step.LeftCol, colName(plan.CombinedSchema, step.LeftCol))
 		rightDesc := fmt.Sprintf("fragment %d at %s, output column %d (%s)",
 			step.RightFrag, frag.Site, step.RightCol, colName(frag.OutSchema, step.RightCol))
-		cur = NewHashJoin(opName(obs.OpHashJoin, i), cur, srcs[step.RightFrag],
-			step.LeftCol, step.RightCol, leftDesc, rightDesc, tun.Serial)
+		name := opName(obs.OpHashJoin, i)
+		cur = NewHashJoin(name, cur, srcs[step.RightFrag],
+			step.LeftCol, step.RightCol, leftDesc, rightDesc, tun.Serial,
+			gov.Grant(name), tun.BatchRows)
 		ops = append(ops, cur)
 	}
 
@@ -156,7 +162,7 @@ func LowerPlan(plan *core.Plan, binder core.OpBinder, pulls []PullFunc, emit fun
 		ops = append(ops, cur)
 	}
 	if len(plan.Aggregates) > 0 {
-		agg, err := NewHashAggregate(obs.OpHashAgg, cur, plan.GroupBy, plan.Aggregates, binder, memo, needReset, "qpc", tun.BatchRows)
+		agg, err := NewHashAggregate(obs.OpHashAgg, cur, plan.GroupBy, plan.Aggregates, binder, memo, needReset, "qpc", tun.BatchRows, gov.Grant(obs.OpHashAgg))
 		if err != nil {
 			return nil, err
 		}

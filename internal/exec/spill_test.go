@@ -1,0 +1,225 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"mocha/internal/core"
+	"mocha/internal/obs"
+	"mocha/internal/ops"
+	"mocha/internal/types"
+)
+
+// checkLeaks fails the test if goroutines started during it are still
+// alive shortly after it ends (stdlib-only leak check: operators must
+// join their build and prefetch goroutines on Close).
+func checkLeaks(t *testing.T) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= base {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d live, started with %d\n%s",
+			runtime.NumGoroutine(), base, buf[:n])
+	})
+}
+
+// kvRows builds (key, payload) tuples with padded string payloads, big
+// enough that a few dozen rows overflow a sub-kilobyte budget.
+func kvRows(n, keyMod int) []types.Tuple {
+	rows := make([]types.Tuple, n)
+	for i := 0; i < n; i++ {
+		rows[i] = types.Tuple{
+			types.Int(i % keyMod),
+			types.String_(fmt.Sprintf("payload-%04d-%s", i, strings.Repeat("x", 48))),
+		}
+	}
+	return rows
+}
+
+// runJoin executes probe ⋈ build on column 0 under the given grant and
+// returns the emitted rows plus the join's stats.
+func runJoin(t *testing.T, probe, build []types.Tuple, gr *Grant) ([]types.Tuple, *OpStats) {
+	t.Helper()
+	left := NewSource("op:remote[0]", slicePull(probe), 8)
+	right := NewSource("op:remote[1]", slicePull(build), 8)
+	j := NewHashJoin("op:hashjoin[0]", left, right, 0, 0, "probe key", "build key", false, gr, 8)
+	got := collect(t, j, []Operator{left, right, j})
+	return got, j.Stats()
+}
+
+// TestHashJoinSpillMatchesInMemory pins the spill path's byte-identical
+// guarantee: with a budget that forces a Grace-style partition spill,
+// the join emits exactly the same rows in exactly the same order as the
+// ungoverned in-memory build.
+func TestHashJoinSpillMatchesInMemory(t *testing.T) {
+	checkLeaks(t)
+	probe, build := kvRows(80, 13), kvRows(60, 13)
+	want, wantSt := runJoin(t, probe, build, nil)
+	if wantSt.Spills != 0 {
+		t.Fatalf("ungoverned join spilled: %+v", wantSt)
+	}
+
+	g := NewGovernor(1024, obs.NewRegistry())
+	got, st := runJoin(t, probe, build, g.Grant("op:hashjoin[0]"))
+	if st.Spills == 0 {
+		t.Fatal("1 KiB budget did not force a spill")
+	}
+	if st.SpillBytes == 0 || st.SpillTuples == 0 {
+		t.Errorf("spill accounting empty: %+v", st)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("spilled join diverged from in-memory:\n got %d rows %v\nwant %d rows %v",
+			len(got), got[:min(3, len(got))], len(want), want[:min(3, len(want))])
+	}
+	if g.Granted() != 0 {
+		t.Errorf("granted = %d after close", g.Granted())
+	}
+	if g.HighWater() > g.Budget() {
+		t.Errorf("high water %d over budget %d", g.HighWater(), g.Budget())
+	}
+}
+
+// runAgg executes SELECT $0, Count($1), Sum($1) GROUP BY $0.
+func runAgg(t *testing.T, rows []types.Tuple, gr *Grant) ([]types.Tuple, *OpStats) {
+	t.Helper()
+	binder := core.NativeBinder{Reg: ops.Builtins()}
+	memo := core.NewMemo()
+	src := NewSource("op:remote[0]", slicePull(rows), 8)
+	agg, err := NewHashAggregate("op:hashagg", src, []int{0}, []core.AggSpec{
+		{Name: "n", Func: "Count", Ret: types.KindInt,
+			Args: []*core.PExpr{core.NewCol(1, types.KindString)}},
+	}, binder, memo, true, "qpc", 8, gr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, agg, []Operator{src, agg})
+	return got, agg.Stats()
+}
+
+// TestHashAggSpillMatchesInMemory: the hybrid aggregate spill must not
+// change the result — same groups, same values, same order.
+func TestHashAggSpillMatchesInMemory(t *testing.T) {
+	checkLeaks(t)
+	rows := kvRows(300, 97) // 97 wide groups overflow a 1 KiB table
+	want, wantSt := runAgg(t, rows, nil)
+	if wantSt.Spills != 0 {
+		t.Fatalf("ungoverned aggregate spilled: %+v", wantSt)
+	}
+	if len(want) != 97 {
+		t.Fatalf("baseline groups = %d", len(want))
+	}
+
+	g := NewGovernor(1024, obs.NewRegistry())
+	got, st := runAgg(t, rows, g.Grant("op:hashagg"))
+	if st.Spills == 0 {
+		t.Fatal("1 KiB budget did not force an aggregate spill")
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("spilled aggregate diverged from in-memory:\n got %v\nwant %v", got, want)
+	}
+	if g.Granted() != 0 {
+		t.Errorf("granted = %d after close", g.Granted())
+	}
+	if g.HighWater() > g.Budget() {
+		t.Errorf("high water %d over budget %d", g.HighWater(), g.Budget())
+	}
+}
+
+// TestHashJoinCancelMidBuildCleans pins the satellite fix: cancelling
+// the query mid-build stops the build goroutine, Close joins it, every
+// spill file is released and the grant drains — no goroutine leak, no
+// memory held.
+func TestHashJoinCancelMidBuildCleans(t *testing.T) {
+	checkLeaks(t)
+	g := NewGovernor(1024, obs.NewRegistry())
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	buildPull := func() (types.Tuple, error) {
+		n++
+		if n == 40 {
+			cancel() // mid-build, after the table started filling
+		}
+		if n > 200 {
+			return nil, nil
+		}
+		return types.Tuple{types.Int(n % 7), types.String_(strings.Repeat("y", 64))}, nil
+	}
+	left := NewSource("op:remote[0]", slicePull(kvRows(50, 7)), 8)
+	right := NewSource("op:remote[1]", buildPull, 8)
+	j := NewHashJoin("op:hashjoin[0]", left, right, 0, 0, "l", "r", false, g.Grant("op:hashjoin[0]"), 8)
+	err := Run(ctx, &Tree{Root: j, Ops: []Operator{left, right, j}}, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if g.Granted() != 0 {
+		t.Errorf("granted = %d after cancelled query closed", g.Granted())
+	}
+}
+
+// TestHashJoinCancelMidProbeCleans cancels after rows have started
+// flowing out of a spilled join, exercising teardown with open run
+// files and a live merge.
+func TestHashJoinCancelMidProbeCleans(t *testing.T) {
+	checkLeaks(t)
+	g := NewGovernor(512, obs.NewRegistry())
+	ctx, cancel := context.WithCancel(context.Background())
+	probe, build := kvRows(100, 11), kvRows(80, 11)
+	left := NewSource("op:remote[0]", slicePull(probe), 8)
+	right := NewSource("op:remote[1]", slicePull(build), 8)
+	j := NewHashJoin("op:hashjoin[0]", left, right, 0, 0, "l", "r", false, g.Grant("op:hashjoin[0]"), 8)
+	emitted := 0
+	tree := &Tree{Root: NewEmit("op:emit", j, func(types.Tuple) error {
+		emitted++
+		if emitted == 5 {
+			cancel()
+		}
+		return nil
+	}), Ops: []Operator{left, right, j}}
+	err := Run(ctx, tree, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled (emitted %d)", err, emitted)
+	}
+	if g.Granted() != 0 {
+		t.Errorf("granted = %d after cancelled query closed", g.Granted())
+	}
+}
+
+// TestSpillOverBudgetSingleRecord: when even one record exceeds the
+// whole budget the query fails with the typed OverBudgetError instead
+// of looping or deadlocking.
+func TestSpillOverBudgetSingleRecord(t *testing.T) {
+	checkLeaks(t)
+	g := NewGovernor(64, obs.NewRegistry())
+	big := []types.Tuple{{types.Int(1), types.String_(strings.Repeat("z", 4096))}}
+	left := NewSource("op:remote[0]", slicePull(big), 8)
+	right := NewSource("op:remote[1]", slicePull(big), 8)
+	j := NewHashJoin("op:hashjoin[0]", left, right, 0, 0, "l", "r", false, g.Grant("op:hashjoin[0]"), 8)
+	err := Run(context.Background(), &Tree{Root: j, Ops: []Operator{left, right, j}}, nil)
+	var obe *OverBudgetError
+	if !errors.As(err, &obe) {
+		t.Fatalf("err = %v, want OverBudgetError", err)
+	}
+	if g.Granted() != 0 {
+		t.Errorf("granted = %d after failed query closed", g.Granted())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -28,6 +28,17 @@ const (
 	MVMFastpathRuns = "vm_fastpath_runs"
 	MVMCheckedRuns  = "vm_checked_runs"
 
+	// Shared executor memory governor and spilling operators
+	// (internal/exec). One governor serves every concurrent query on a
+	// server (QPC or DAP); granted/high-water track the shared pool, the
+	// spill counters the operator-level pressure relief.
+	MExecMemGrantedBytes   = "exec_mem_granted_bytes"
+	MExecMemHighWaterBytes = "exec_mem_high_water_bytes"
+	MExecMemDenied         = "exec_mem_denied"
+	MExecSpillEvents       = "exec_spill_events"
+	MExecSpillBytes        = "exec_spill_bytes"
+	MExecSpillTuples       = "exec_spill_tuples"
+
 	// QPC (internal/qpc).
 	MQpcQueriesTotal         = "qpc_queries_total"
 	MQpcQueriesFailed        = "qpc_queries_failed"
@@ -44,6 +55,14 @@ const (
 	MQpcBreakerOpened        = "qpc_breaker_opened"
 	MQpcBreakerReclosed      = "qpc_breaker_reclosed"
 	MQpcBreakerOpenSites     = "qpc_breaker_open_sites"
+
+	// QPC admission control (internal/qpc): the bounded, per-tenant-fair
+	// queue in front of query execution.
+	MQpcAdmissionRunning  = "qpc_admission_running"
+	MQpcAdmissionQueued   = "qpc_admission_queued"
+	MQpcAdmissionAdmitted = "qpc_admission_admitted"
+	MQpcAdmissionRejected = "qpc_admission_rejected"
+	MQpcAdmissionWaitMS   = "qpc_admission_wait_ms"
 
 	// Network simulator (internal/netsim).
 	MNetsimDials        = "netsim_dials"
@@ -85,4 +104,12 @@ const (
 	OpTopK     = "op:topk"     // bounded top-K (ORDER BY + LIMIT)
 	OpLimit    = "op:limit"    // row limit
 	OpEmit     = "op:emit"     // sink (client emit / batch writer)
+
+	// Spill pseudo-operators: emitted alongside a governed operator's
+	// span when it overflowed its memory grant and wrote partitioned
+	// runs to temp files (Grace partitions for joins, sorted raw-record
+	// runs for aggregates). Tuples = spilled tuples, Batches = runs,
+	// SpillBytes = run payload bytes.
+	OpSpillJoin = "op:spill:join" // hash join partition/run spill
+	OpSpillAgg  = "op:spill:agg"  // hash aggregate sorted-run spill
 )

@@ -37,6 +37,10 @@ type Span struct {
 	// from children and output batches produced. Zero on phase spans.
 	RowsIn  int64
 	Batches int64
+	// SpillBytes is the payload volume an operator wrote to temp-file
+	// spill runs when its memory grant overflowed. Zero when the
+	// operator stayed in memory.
+	SpillBytes int64
 }
 
 // Trace is the span timeline of one query, identified by an ID that the

@@ -1,0 +1,187 @@
+package qpc
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mocha/internal/obs"
+)
+
+// AdmissionRejectedError reports that a query was turned away at the
+// QPC's admission queue: every execution slot was busy and the bounded
+// wait queue was full. Clients can back off and retry; the queue bound
+// is what keeps an overloaded QPC's latency and memory flat instead of
+// letting work pile up without limit.
+type AdmissionRejectedError struct {
+	// Tenant is the fairness class of the rejected query.
+	Tenant string
+	// Queued and Depth are the queue's occupancy and bound at rejection.
+	Queued, Depth int
+}
+
+func (e *AdmissionRejectedError) Error() string {
+	return fmt.Sprintf("qpc: admission queue full (%d/%d queued, tenant %q): try again later",
+		e.Queued, e.Depth, e.Tenant)
+}
+
+// tenantKey is the context key carrying the session's tenant.
+type tenantKey struct{}
+
+// WithTenant tags ctx with the client's admission fairness class.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	if tenant == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, tenantKey{}, tenant)
+}
+
+// TenantFrom returns the tenant ctx carries ("" for the default class).
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantKey{}).(string)
+	return t
+}
+
+// admWaiter is one queued query. granted records the slot handoff so a
+// cancellation racing an admit releases the slot instead of leaking it.
+type admWaiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+// admission is the QPC's bounded, per-tenant-fair admission queue.
+// MaxConcurrent slots execute; past that, queries wait in per-tenant
+// FIFO queues served round-robin across tenants, so a flood from one
+// tenant cannot starve another. Past QueueDepth waiters, queries are
+// rejected immediately with AdmissionRejectedError.
+type admission struct {
+	mu            sync.Mutex
+	maxConcurrent int
+	queueDepth    int
+	running       int
+	queued        int
+	tenants       map[string][]*admWaiter
+	order         []string // round-robin tenant scan order
+	cursor        int
+
+	runningGauge *obs.Gauge
+	queuedGauge  *obs.Gauge
+	admitted     *obs.Counter
+	rejected     *obs.Counter
+	waitMS       *obs.Histogram
+}
+
+// newAdmission creates the queue; this is the single registration site
+// for the qpc_admission_* metrics.
+func newAdmission(maxConcurrent, queueDepth int, r *obs.Registry) *admission {
+	if r == nil {
+		r = obs.Default()
+	}
+	return &admission{
+		maxConcurrent: maxConcurrent,
+		queueDepth:    queueDepth,
+		tenants:       make(map[string][]*admWaiter),
+		runningGauge:  r.Gauge(obs.MQpcAdmissionRunning),
+		queuedGauge:   r.Gauge(obs.MQpcAdmissionQueued),
+		admitted:      r.Counter(obs.MQpcAdmissionAdmitted),
+		rejected:      r.Counter(obs.MQpcAdmissionRejected),
+		waitMS:        r.Histogram(obs.MQpcAdmissionWaitMS),
+	}
+}
+
+// acquire takes an execution slot for tenant, waiting in the bounded
+// queue if every slot is busy. It returns AdmissionRejectedError when
+// the queue is full and ctx's error when the wait is cancelled.
+func (a *admission) acquire(ctx context.Context, tenant string) error {
+	start := time.Now()
+	a.mu.Lock()
+	if a.running < a.maxConcurrent {
+		a.running++
+		a.runningGauge.Set(int64(a.running))
+		a.admitted.Inc()
+		a.waitMS.Observe(0)
+		a.mu.Unlock()
+		return nil
+	}
+	if a.queued >= a.queueDepth {
+		a.rejected.Inc()
+		err := &AdmissionRejectedError{Tenant: tenant, Queued: a.queued, Depth: a.queueDepth}
+		a.mu.Unlock()
+		return err
+	}
+	w := &admWaiter{ch: make(chan struct{})}
+	if _, ok := a.tenants[tenant]; !ok {
+		a.ensureOrder(tenant)
+	}
+	a.tenants[tenant] = append(a.tenants[tenant], w)
+	a.queued++
+	a.queuedGauge.Set(int64(a.queued))
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		a.waitMS.Observe(time.Since(start).Milliseconds())
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The admit raced the cancellation: the slot was already
+			// handed to us, give it back.
+			a.releaseLocked()
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+		q := a.tenants[tenant]
+		for i, o := range q {
+			if o == w {
+				a.tenants[tenant] = append(q[:i:i], q[i+1:]...)
+				break
+			}
+		}
+		a.queued--
+		a.queuedGauge.Set(int64(a.queued))
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// ensureOrder adds tenant to the round-robin scan order once.
+func (a *admission) ensureOrder(tenant string) {
+	for _, t := range a.order {
+		if t == tenant {
+			return
+		}
+	}
+	a.order = append(a.order, tenant)
+}
+
+// release returns a slot; if queries are waiting, the slot transfers to
+// the next tenant's oldest waiter (round-robin across tenants).
+func (a *admission) release() {
+	a.mu.Lock()
+	a.releaseLocked()
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked() {
+	for i := 0; i < len(a.order); i++ {
+		idx := (a.cursor + i) % len(a.order)
+		tenant := a.order[idx]
+		q := a.tenants[tenant]
+		if len(q) == 0 {
+			continue
+		}
+		w := q[0]
+		a.tenants[tenant] = q[1:]
+		a.cursor = (idx + 1) % len(a.order)
+		a.queued--
+		a.queuedGauge.Set(int64(a.queued))
+		a.admitted.Inc()
+		w.granted = true
+		close(w.ch)
+		return
+	}
+	a.running--
+	a.runningGauge.Set(int64(a.running))
+}

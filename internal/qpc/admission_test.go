@@ -1,0 +1,138 @@
+package qpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mocha/internal/obs"
+)
+
+// queuedCount reads the queue occupancy under the admission lock.
+func queuedCount(a *admission) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.queued
+}
+
+func waitQueued(t *testing.T, a *admission, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if queuedCount(a) == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached %d waiters (at %d)", want, queuedCount(a))
+}
+
+// TestAdmissionRejectsWhenSaturated: with no queue, the second query is
+// turned away with the typed error while the first holds the only slot.
+func TestAdmissionRejectsWhenSaturated(t *testing.T) {
+	a := newAdmission(1, 0, obs.NewRegistry())
+	if err := a.acquire(context.Background(), "tenant-a"); err != nil {
+		t.Fatal(err)
+	}
+	err := a.acquire(context.Background(), "tenant-b")
+	var rej *AdmissionRejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v, want AdmissionRejectedError", err)
+	}
+	if rej.Tenant != "tenant-b" || rej.Depth != 0 {
+		t.Errorf("rejection = %+v", rej)
+	}
+	a.release()
+	if err := a.acquire(context.Background(), "tenant-b"); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	a.release()
+}
+
+// TestAdmissionRoundRobinFairness queues two waiters from tenant a and
+// one from tenant b behind a single slot; releases must alternate
+// tenants (a, b, a), not drain one tenant's queue first.
+func TestAdmissionRoundRobinFairness(t *testing.T) {
+	a := newAdmission(1, 8, obs.NewRegistry())
+	if err := a.acquire(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	grants := make(chan string, 3)
+	enqueue := func(tenant string, n int) {
+		go func() {
+			if err := a.acquire(context.Background(), tenant); err != nil {
+				t.Errorf("%s: %v", tenant, err)
+				return
+			}
+			grants <- tenant
+		}()
+		waitQueued(t, a, n)
+	}
+	// Deterministic arrival order: a1, a2, b1.
+	enqueue("tenant-a", 1)
+	enqueue("tenant-a", 2)
+	enqueue("tenant-b", 3)
+
+	var got []string
+	for i := 0; i < 3; i++ {
+		a.release()
+		select {
+		case tn := <-grants:
+			got = append(got, tn)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("waiter %d never admitted (got %v)", i, got)
+		}
+	}
+	a.release() // the last admitted query finishes
+	want := []string{"tenant-a", "tenant-b", "tenant-a"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("admit order = %v, want %v", got, want)
+		}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.running != 0 || a.queued != 0 {
+		t.Errorf("running=%d queued=%d after drain", a.running, a.queued)
+	}
+}
+
+// TestAdmissionCancelWhileQueued: a cancelled waiter leaves the queue
+// without consuming a slot, and the next release still hands the slot
+// to a live waiter.
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(1, 8, obs.NewRegistry())
+	if err := a.acquire(context.Background(), ""); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- a.acquire(ctx, "tenant-a") }()
+	waitQueued(t, a, 1)
+	live := make(chan error, 1)
+	go func() { live <- a.acquire(context.Background(), "tenant-b") }()
+	waitQueued(t, a, 2)
+
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v", err)
+	}
+	waitQueued(t, a, 1)
+
+	a.release() // slot transfers to tenant-b, not the departed waiter
+	select {
+	case err := <-live:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("live waiter never admitted after cancel + release")
+	}
+	a.release()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.running != 0 || a.queued != 0 {
+		t.Errorf("running=%d queued=%d after drain", a.running, a.queued)
+	}
+}

@@ -82,23 +82,28 @@ func renderOperators(trace *obs.Trace) string {
 	})
 	var b strings.Builder
 	b.WriteString("operators:\n")
-	header := [6]string{"operator", "site", "rows in", "rows out", "batches", "self"}
-	widths := [6]int{}
+	header := [7]string{"operator", "site", "rows in", "rows out", "batches", "self", "spilled"}
+	widths := [7]int{}
 	for i, h := range header {
 		widths[i] = len(h)
 	}
-	rows := make([][6]string, 0, len(ops))
+	rows := make([][7]string, 0, len(ops))
 	for _, s := range ops {
 		site := s.Site
 		if site == "" {
 			site = "qpc"
 		}
-		row := [6]string{
+		spilled := "-"
+		if s.SpillBytes > 0 {
+			spilled = fmt.Sprintf("%d B", s.SpillBytes)
+		}
+		row := [7]string{
 			s.Name, site,
 			fmt.Sprintf("%d", s.RowsIn),
 			fmt.Sprintf("%d", s.Tuples),
 			fmt.Sprintf("%d", s.Batches),
 			fmt.Sprintf("%.1fms", float64(s.DurMicros)/1000),
+			spilled,
 		}
 		for i, c := range row {
 			if len(c) > widths[i] {
@@ -107,7 +112,7 @@ func renderOperators(trace *obs.Trace) string {
 		}
 		rows = append(rows, row)
 	}
-	line := func(cells [6]string) {
+	line := func(cells [7]string) {
 		for i, c := range cells {
 			if i > 0 {
 				b.WriteString("  ")

@@ -223,7 +223,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 		e.stats.ResultBytes += int64(t.WireSize())
 		return emit(t)
 	}
-	tree, perr := exec.LowerPlan(e.plan, binder, pulls, countEmit, e.srv.cfg.Exec)
+	tree, perr := exec.LowerPlan(e.plan, binder, pulls, countEmit, e.srv.cfg.Exec, e.srv.gov)
 	if perr == nil {
 		perr = exec.Run(execCtx, tree, func(error) { cancel() })
 		e.foldTree(tree, pipeOff)
@@ -311,6 +311,25 @@ func (e *planExec) foldTree(tree *exec.Tree, startOff int64) {
 			Name: st.Name, StartMicros: startOff,
 			DurMicros: st.Self.Microseconds(),
 			Tuples:    st.RowsOut, RowsIn: st.RowsIn, Batches: st.Batches,
+			SpillBytes: st.SpillBytes,
 		})
+		addSpillSpan(e.trace, st, startOff)
 	}
+}
+
+// addSpillSpan records the spill pseudo-span for an operator that
+// overflowed its memory grant: Tuples = spilled tuples, Batches = runs
+// written, SpillBytes = run payload bytes.
+func addSpillSpan(tr *obs.Trace, st *exec.OpStats, startOff int64) {
+	if st.Spills == 0 {
+		return
+	}
+	name := obs.OpSpillJoin
+	if strings.HasPrefix(st.Name, obs.OpHashAgg) {
+		name = obs.OpSpillAgg
+	}
+	tr.Add(obs.Span{
+		Name: name, StartMicros: startOff,
+		Tuples: st.SpillTuples, Batches: st.Spills, SpillBytes: st.SpillBytes,
+	})
 }

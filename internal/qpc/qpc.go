@@ -60,9 +60,20 @@ type Config struct {
 	// behaviour).
 	DisableResume bool
 	// Exec tunes the QPC-side operator-tree executor: batch size, the
-	// per-stream prefetch bound, and the serial (non-overlapped) mode
-	// used for A/B measurement. The zero value takes defaults.
+	// per-stream prefetch bound, the serial (non-overlapped) mode used
+	// for A/B measurement, and the query-memory budget shared by every
+	// concurrent query (Exec.MemBudgetBytes > 0 creates the server's
+	// memory governor and arms the spilling operators). The zero value
+	// takes defaults.
 	Exec exec.Tuning
+	// MaxConcurrent caps the queries executing simultaneously. Zero
+	// disables admission control entirely (no cap, no queue).
+	MaxConcurrent int
+	// QueueDepth bounds how many queries may wait for a slot beyond
+	// MaxConcurrent. Zero means no queue: when every slot is busy, new
+	// queries are rejected immediately with AdmissionRejectedError.
+	// Queued queries are admitted round-robin across tenants.
+	QueueDepth int
 	// Metrics receives the server's qpc_* counters and wire traffic
 	// counters. Nil uses the process-wide obs.Default() registry.
 	Metrics *obs.Registry
@@ -76,6 +87,8 @@ type Server struct {
 	opt    *core.Optimizer
 	health *HealthRegistry
 	met    qpcMetrics
+	gov    *exec.Governor
+	adm    *admission
 }
 
 // qpcMetrics caches the server's registry handles. The retry counters
@@ -120,7 +133,15 @@ func New(cfg Config) *Server {
 	r := cfg.Metrics
 	health := newHealthRegistry(cfg.Breaker, r)
 	opt.Health = health
-	return &Server{cfg: cfg, opt: opt, health: health, met: qpcMetrics{
+	var gov *exec.Governor
+	if cfg.Exec.MemBudgetBytes > 0 {
+		gov = exec.NewGovernor(cfg.Exec.MemBudgetBytes, r)
+	}
+	var adm *admission
+	if cfg.MaxConcurrent > 0 {
+		adm = newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, r)
+	}
+	return &Server{cfg: cfg, opt: opt, health: health, gov: gov, adm: adm, met: qpcMetrics{
 		queriesTotal:     r.Counter(obs.MQpcQueriesTotal),
 		queriesFailed:    r.Counter(obs.MQpcQueriesFailed),
 		retries:          r.Counter(obs.MQpcRetries),
@@ -143,6 +164,10 @@ func (s *Server) Health() *HealthRegistry { return s.health }
 
 // Metrics returns the server's registry (SHOW METRICS payload).
 func (s *Server) Metrics() *obs.Registry { return s.cfg.Metrics }
+
+// Governor returns the server's shared query-memory governor, or nil
+// when Exec.MemBudgetBytes left the executor ungoverned.
+func (s *Server) Governor() *exec.Governor { return s.gov }
 
 // QueryStats is the measured execution breakdown, mirroring section 5.2:
 // DB, CPU, Net and Misc time components plus the volume measurements
@@ -322,6 +347,15 @@ func (q *Query) RunTraced(ctx context.Context, emit func(types.Tuple) error) (*Q
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
+	}
+	if adm := q.srv.adm; adm != nil {
+		// One admission slot covers the whole call, including a
+		// degraded-site re-plan's rerun: the retry is the same query, not
+		// new load.
+		if err := adm.acquire(ctx, TenantFrom(ctx)); err != nil {
+			return nil, obs.NewTrace(""), err
+		}
+		defer adm.release()
 	}
 	q.srv.met.queriesTotal.Inc()
 	stats := &QueryStats{PlanMS: q.planMS}

@@ -34,9 +34,17 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// ServeConn handles a single client connection outside Serve's accept
+// loop, for hosts that own the listener (e.g. an embedded cluster that
+// swaps QPC instances under a stable address).
+func (s *Server) ServeConn(nc net.Conn) error { return s.handleClient(nc) }
+
 func (s *Server) handleClient(nc net.Conn) error {
 	conn := wire.NewConn(nc)
 	defer conn.Close()
+	// The session context carries the client's tenant (from HELLO) into
+	// the admission queue's fairness accounting.
+	ctx := context.Background()
 	for {
 		t, payload, err := conn.Recv()
 		if err != nil {
@@ -47,6 +55,11 @@ func (s *Server) handleClient(nc net.Conn) error {
 		}
 		switch t {
 		case wire.MsgHello:
+			var hello wire.Hello
+			if err := wire.DecodeXML(payload, &hello); err != nil {
+				return err
+			}
+			ctx = WithTenant(context.Background(), hello.Tenant)
 			ack, err := wire.EncodeXML(&wire.Hello{Role: "qpc", Site: "qpc"})
 			if err != nil {
 				return err
@@ -55,7 +68,7 @@ func (s *Server) handleClient(nc net.Conn) error {
 				return err
 			}
 		case wire.MsgQuery:
-			if err := s.serveQuery(conn, string(payload)); err != nil {
+			if err := s.serveQuery(ctx, conn, string(payload)); err != nil {
 				conn.SendError(err)
 			}
 		case wire.MsgClose:
@@ -66,12 +79,12 @@ func (s *Server) handleClient(nc net.Conn) error {
 	}
 }
 
-func (s *Server) serveQuery(conn *wire.Conn, sql string) error {
+func (s *Server) serveQuery(ctx context.Context, conn *wire.Conn, sql string) error {
 	// EXPLAIN ANALYZE <query> executes the query, discarding rows, and
 	// returns the plan with the measured breakdown and span timeline.
 	// Checked before the plain EXPLAIN prefix, which it extends.
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "EXPLAIN ANALYZE "); ok {
-		text, err := s.ExplainAnalyze(context.Background(), rest)
+		text, err := s.ExplainAnalyze(ctx, rest)
 		if err != nil {
 			return err
 		}
@@ -117,7 +130,7 @@ func (s *Server) serveQuery(conn *wire.Conn, sql string) error {
 		return err
 	}
 	w := wire.NewBatchWriter(conn)
-	stats, err := q.Run(w.Write)
+	stats, err := q.RunContext(ctx, w.Write)
 	if err != nil {
 		return err
 	}

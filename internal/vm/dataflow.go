@@ -152,7 +152,7 @@ func (s *absState) clone() *absState {
 // funcResult accumulates per-function facts needed for the
 // interprocedural bounds pass.
 type funcResult struct {
-	localPeak int  // max stack depth within this frame alone
+	localPeak int // max stack depth within this frame alone
 	retKind   absKind
 	retSeen   bool
 	callSites []callSite

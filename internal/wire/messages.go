@@ -21,6 +21,11 @@ type Hello struct {
 	// query's cross-site timeline. Sessions are opened per query, so
 	// tagging the handshake covers every frame that follows.
 	Trace string `xml:"trace,attr,omitempty"`
+	// Tenant identifies the client's fairness class for the QPC's
+	// admission queue: under saturation, queued queries are admitted
+	// round-robin across tenants, so one aggressive tenant cannot
+	// starve the rest. Empty means the default tenant.
+	Tenant string `xml:"tenant,attr,omitempty"`
 }
 
 // CodeCheck asks a DAP which of the listed classes it is missing or holds
@@ -140,6 +145,7 @@ type SpanXML struct {
 	Tuples      int64  `xml:"tuples,attr,omitempty"`
 	RowsIn      int64  `xml:"rows-in,attr,omitempty"`
 	Batches     int64  `xml:"batches,attr,omitempty"`
+	SpillBytes  int64  `xml:"spill,attr,omitempty"`
 }
 
 // SpansToXML converts trace spans for transmission.
@@ -155,6 +161,7 @@ func SpansToXML(spans []obs.Span) []SpanXML {
 			NetBytes: s.NetBytes, DBBytes: s.DBBytes,
 			CodeBytes: s.CodeBytes, Tuples: s.Tuples,
 			RowsIn: s.RowsIn, Batches: s.Batches,
+			SpillBytes: s.SpillBytes,
 		}
 	}
 	return out
@@ -173,6 +180,7 @@ func SpansFromXML(spans []SpanXML) []obs.Span {
 			NetBytes: s.NetBytes, DBBytes: s.DBBytes,
 			CodeBytes: s.CodeBytes, Tuples: s.Tuples,
 			RowsIn: s.RowsIn, Batches: s.Batches,
+			SpillBytes: s.SpillBytes,
 		}
 	}
 	return out

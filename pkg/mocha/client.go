@@ -26,8 +26,16 @@ func Dial(addr string) (*Client, error) {
 // NewClient wraps an established connection and performs the HELLO
 // handshake.
 func NewClient(nc net.Conn) (*Client, error) {
+	return NewClientTenant(nc, "")
+}
+
+// NewClientTenant is NewClient with a tenant name carried in the HELLO
+// handshake. The QPC's admission queue schedules waiting queries
+// round-robin across tenants, so each tenant gets a fair share of
+// slots under saturation. An empty tenant joins the anonymous pool.
+func NewClientTenant(nc net.Conn, tenant string) (*Client, error) {
 	conn := wire.NewConn(nc)
-	hello, err := wire.EncodeXML(&wire.Hello{Role: "client", Site: "client"})
+	hello, err := wire.EncodeXML(&wire.Hello{Role: "client", Site: "client", Tenant: tenant})
 	if err != nil {
 		nc.Close()
 		return nil, err

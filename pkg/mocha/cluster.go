@@ -32,9 +32,18 @@ type ClusterConfig struct {
 	VMLimits vm.Limits
 	// Exec tunes the shared operator-tree executor on both the QPC
 	// (batch size, remote-stream prefetch depth, serial fallback) and
-	// the DAPs (batch size, scan read-ahead). Zero fields take the exec
-	// package defaults.
+	// the DAPs (batch size, scan read-ahead). Exec.MemBudgetBytes > 0
+	// gives the QPC and every DAP a query-memory governor of that size;
+	// joins and aggregates that overflow it spill to disk.
+	// Zero fields take the exec package defaults.
 	Exec exec.Tuning
+	// MaxConcurrent bounds the queries executing at once on the QPC
+	// (admission control). Zero means unbounded.
+	MaxConcurrent int
+	// QueueDepth bounds the queries waiting for an admission slot; the
+	// queue drains with per-tenant round-robin fairness. Zero rejects
+	// immediately once MaxConcurrent queries are running.
+	QueueDepth int
 	// Logf receives diagnostics from all components.
 	Logf func(format string, args ...any)
 }
@@ -44,6 +53,14 @@ type Tuning = exec.Tuning
 
 // Shaper re-exports the link model type for cluster configuration.
 type Shaper = netsim.Shaper
+
+// Governor re-exports the query-memory governor for budget inspection
+// in tests and tools (granted bytes, high-water mark, spill counters).
+type Governor = exec.Governor
+
+// FaultPlan re-exports the network fault-injection plan for chaos and
+// recovery testing against a cluster's in-memory links.
+type FaultPlan = netsim.FaultPlan
 
 // Ethernet10Mbps is the paper's testbed link model.
 func Ethernet10Mbps() *Shaper { return netsim.Ethernet10Mbps }
@@ -88,12 +105,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	cl.network.Instrument(cl.metrics)
 	cl.qpc = qpc.New(qpc.Config{
-		Cat:      cat,
-		Dial:     cl.network.Dial,
-		Strategy: cfg.Strategy,
-		Exec:     cfg.Exec,
-		Metrics:  cl.metrics,
-		Logf:     cfg.Logf,
+		Cat:           cat,
+		Dial:          cl.network.Dial,
+		Strategy:      cfg.Strategy,
+		Exec:          cfg.Exec,
+		MaxConcurrent: cfg.MaxConcurrent,
+		QueueDepth:    cfg.QueueDepth,
+		Metrics:       cl.metrics,
+		Logf:          cfg.Logf,
 	})
 	// Expose the QPC to in-process wire clients.
 	l, err := cl.network.Listen("qpc")
@@ -102,8 +121,30 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	cl.qpcAddr = "qpc"
 	cl.listeners = append(cl.listeners, l)
-	go cl.qpc.Serve(l)
+	// The cluster owns the accept loop so each connection is served by
+	// whichever QPC is current — SetStrategy swaps the instance without
+	// disturbing the address wire clients dial.
+	go func() {
+		for {
+			nc, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				if err := cl.qpcServer().ServeConn(nc); err != nil {
+					cl.cfg.Logf("qpc: client session: %v", err)
+				}
+			}()
+		}
+	}()
 	return cl, nil
+}
+
+// qpcServer returns the current QPC instance under the cluster lock.
+func (cl *Cluster) qpcServer() *qpc.Server {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.qpc
 }
 
 // Catalog exposes the cluster's metadata catalog.
@@ -268,7 +309,7 @@ func (cl *Cluster) RegisterOperator(def *OperatorDef) error {
 // procedural interface of section 3.2) and registers every table that is
 // not yet in the catalog. It returns the names it registered.
 func (cl *Cluster) DiscoverTables(site string) ([]string, error) {
-	names, err := cl.qpc.ProcCall(site, "list-tables")
+	names, err := cl.qpcServer().ProcCall(site, "list-tables")
 	if err != nil {
 		return nil, err
 	}
@@ -286,37 +327,63 @@ func (cl *Cluster) DiscoverTables(site string) ([]string, error) {
 }
 
 // Execute runs a query through the embedded QPC, materializing results.
-func (cl *Cluster) Execute(sql string) (*Result, error) { return cl.qpc.Execute(sql) }
+func (cl *Cluster) Execute(sql string) (*Result, error) { return cl.qpcServer().Execute(sql) }
 
 // ExecuteContext runs a query under ctx; cancelling it aborts all of
 // the query's remote streams.
 func (cl *Cluster) ExecuteContext(ctx context.Context, sql string) (*Result, error) {
-	return cl.qpc.ExecuteContext(ctx, sql)
+	return cl.qpcServer().ExecuteContext(ctx, sql)
 }
 
 // Explain returns the optimizer's plan for a query.
-func (cl *Cluster) Explain(sql string) (string, error) { return cl.qpc.Explain(sql) }
+func (cl *Cluster) Explain(sql string) (string, error) { return cl.qpcServer().Explain(sql) }
 
 // ExplainAnalyze executes a query (discarding rows) and returns the plan
 // annotated with the measured breakdown and cross-site span timeline.
 func (cl *Cluster) ExplainAnalyze(sql string) (string, error) {
-	return cl.qpc.ExplainAnalyze(context.Background(), sql)
+	return cl.qpcServer().ExplainAnalyze(context.Background(), sql)
 }
 
 // Metrics exposes the cluster's private metrics registry.
 func (cl *Cluster) Metrics() *obs.Registry { return cl.metrics }
 
+// QPCGovernor returns the QPC's query-memory governor, or nil when
+// Exec.MemBudgetBytes left the executor ungoverned.
+func (cl *Cluster) QPCGovernor() *Governor { return cl.qpcServer().Governor() }
+
+// DAPGovernor returns a site's query-memory governor (nil when the
+// executor is ungoverned), or an error for an unknown site.
+func (cl *Cluster) DAPGovernor(site string) (*Governor, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	srv, ok := cl.daps[site]
+	if !ok {
+		return nil, fmt.Errorf("mocha: unknown site %q", site)
+	}
+	return srv.Governor(), nil
+}
+
+// SetFault installs (or, with a nil plan, clears) a fault-injection
+// plan on the network link to a site's DAP.
+func (cl *Cluster) SetFault(site string, plan *FaultPlan) {
+	cl.network.SetFault("dap-"+site, plan)
+}
+
 // SetStrategy changes the placement policy for subsequent queries. The
 // replacement QPC reports into the same metrics registry, so counters
 // accumulate across strategy changes.
 func (cl *Cluster) SetStrategy(s Strategy) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	cl.qpc = qpc.New(qpc.Config{
-		Cat:      cl.catalog,
-		Dial:     cl.network.Dial,
-		Strategy: s,
-		Exec:     cl.cfg.Exec,
-		Metrics:  cl.metrics,
-		Logf:     cl.cfg.Logf,
+		Cat:           cl.catalog,
+		Dial:          cl.network.Dial,
+		Strategy:      s,
+		Exec:          cl.cfg.Exec,
+		MaxConcurrent: cl.cfg.MaxConcurrent,
+		QueueDepth:    cl.cfg.QueueDepth,
+		Metrics:       cl.metrics,
+		Logf:          cl.cfg.Logf,
 	})
 }
 
@@ -328,6 +395,17 @@ func (cl *Cluster) Connect() (*Client, error) {
 		return nil, err
 	}
 	return NewClient(nc)
+}
+
+// ConnectTenant opens a wire-protocol session that identifies itself
+// with a tenant name in the HELLO handshake; the QPC's admission queue
+// uses it for round-robin fairness between tenants.
+func (cl *Cluster) ConnectTenant(tenant string) (*Client, error) {
+	nc, err := cl.network.Dial(cl.qpcAddr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClientTenant(nc, tenant)
 }
 
 // DAPCacheStats reports one site's code-cache hits and misses.

@@ -1,0 +1,258 @@
+package mocha
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mocha/internal/obs"
+	"mocha/internal/sequoia"
+)
+
+// spillBudget is small enough that the Q5/Q6 data-shipped join builds
+// (raster tuples of ~4 KiB each, hundreds of kilobytes in total) and
+// the wide aggregates must spill, yet comfortably above any single
+// record, so no query can fail with OverBudgetError.
+const spillBudget = 48 << 10
+
+// spillLadderQueries is the Sequoia ladder the spill differential runs:
+// every benchmark query plus the 3-fragment multi-join and an aggregate
+// over a joined stream.
+func spillLadderQueries(scale sequoia.Config) []struct{ label, sql string } {
+	return []struct{ label, sql string }{
+		{"Q1", sequoia.Q1},
+		{"Q2", sequoia.Q2(scale)},
+		{"Q3", sequoia.Q3},
+		{"Q4", sequoia.Q4(12, 300)},
+		{"Q5", sequoia.Q5},
+		{"Q6", sequoia.Q6},
+		{"agg_over_join", `SELECT R1.band AS b, Count(R2.time) AS n
+FROM Rasters1 R1, Rasters2 R2 WHERE R1.location = R2.location
+GROUP BY R1.band ORDER BY b`},
+	}
+}
+
+// TestDifferentialSpillLadder is the spill-path differential: the whole
+// Sequoia ladder under a budget tiny enough to force joins and
+// aggregates through the spill path must produce results identical —
+// same rows, same order — to an ungoverned in-memory cluster, under
+// both placement strategies.
+func TestDifferentialSpillLadder(t *testing.T) {
+	baseline, scale := testCluster(t, ClusterConfig{})
+	governed, _ := testCluster(t, ClusterConfig{Exec: Tuning{MemBudgetBytes: spillBudget}})
+
+	for _, q := range spillLadderQueries(scale) {
+		t.Run(q.label, func(t *testing.T) {
+			for _, strat := range []Strategy{StrategyCodeShip, StrategyDataShip} {
+				baseline.SetStrategy(strat)
+				want, err := baseline.Execute(q.sql)
+				if err != nil {
+					t.Fatalf("%s baseline under %v: %v", q.label, strat, err)
+				}
+				governed.SetStrategy(strat)
+				got, err := governed.Execute(q.sql)
+				if err != nil {
+					t.Fatalf("%s governed under %v: %v", q.label, strat, err)
+				}
+				if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+					t.Errorf("%s under %v: spill path diverged from in-memory (%d vs %d rows)",
+						q.label, strat, len(got.Rows), len(want.Rows))
+				}
+			}
+		})
+	}
+
+	// The ladder must actually have exercised the spill path, and the
+	// governed pools must have stayed pinned under their budgets.
+	if n := governed.Metrics().Counter(obs.MExecSpillEvents).Value(); n == 0 {
+		t.Errorf("no spill events under a %d B budget", int64(spillBudget))
+	}
+	if gov := governed.QPCGovernor(); gov == nil {
+		t.Fatal("governed cluster has no QPC governor")
+	} else if gov.HighWater() > gov.Budget() {
+		t.Errorf("QPC high water %d exceeds budget %d", gov.HighWater(), gov.Budget())
+	}
+	for _, site := range []string{"site1", "site2", "site3"} {
+		gov, err := governed.DAPGovernor(site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gov.HighWater() > gov.Budget() {
+			t.Errorf("%s high water %d exceeds budget %d", site, gov.HighWater(), gov.Budget())
+		}
+	}
+	if n := baseline.Metrics().Counter(obs.MExecSpillEvents).Value(); n != 0 {
+		t.Errorf("ungoverned baseline spilled %d times", n)
+	}
+}
+
+// TestDifferentialSpillRecovery combines the spill path with mid-stream
+// recovery: the governed join query keeps its exact result when site2's
+// link dies halfway through the stream and the DAP resumes it from the
+// replay window.
+func TestDifferentialSpillRecovery(t *testing.T) {
+	// 16 KiB: tighter than the ladder budget because this test runs Q5
+	// alone — the budget must sit below Q5's own data-shipped build
+	// (a few raster tuples of ~4 KiB) to force the spill.
+	cl, _ := testCluster(t, ClusterConfig{Exec: Tuning{MemBudgetBytes: 16 << 10}})
+	cl.SetStrategy(StrategyDataShip) // ship rasters: big stream, QPC-side join
+	want, err := cl.Execute(sequoia.Q5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fail site2's next connection halfway through the volume the
+	// baseline moved; the stream must resume and the spilled join must
+	// still reproduce the exact baseline rows.
+	cl.SetFault("site2", &FaultPlan{DropFirstConnAfterBytes: want.Stats.CVDT / 2})
+	got, err := cl.Execute(sequoia.Q5)
+	cl.SetFault("site2", nil)
+	if err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+		t.Errorf("recovered spill run diverged (%d vs %d rows)", len(got.Rows), len(want.Rows))
+	}
+	if n := cl.Metrics().Counter(obs.MDapStreamResumes).Value(); n == 0 {
+		t.Error("fault injected but no stream resume happened")
+	}
+	if n := cl.Metrics().Counter(obs.MExecSpillEvents).Value(); n == 0 {
+		t.Error("no spill events under the tiny budget")
+	}
+}
+
+// TestDifferentialSpillConcurrentStress floods one governed, admission-
+// controlled cluster with 64 concurrent queries. Every result must match
+// its sequential baseline, the governor's high-water mark must respect
+// the budget (the bounded-RSS pin), and the pool must drain to zero.
+func TestDifferentialSpillConcurrentStress(t *testing.T) {
+	cl, _ := testCluster(t, ClusterConfig{
+		Exec:          Tuning{MemBudgetBytes: 256 << 10},
+		MaxConcurrent: 8,
+		QueueDepth:    128,
+	})
+	queries := []string{
+		"SELECT time, band FROM Rasters WHERE band < 2",
+		"SELECT landuse, TotalArea(polygon) AS area FROM Polygons GROUP BY landuse",
+		sequoia.Q5,
+		`SELECT R1.band AS b, Count(R2.time) AS n
+FROM Rasters1 R1, Rasters2 R2 WHERE R1.location = R2.location
+GROUP BY R1.band ORDER BY b`,
+	}
+	want := make([]string, len(queries))
+	for i, sql := range queries {
+		res, err := cl.Execute(sql)
+		if err != nil {
+			t.Fatalf("baseline %d: %v", i, err)
+		}
+		want[i] = fmt.Sprint(res.Rows)
+	}
+
+	const workers = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qi := w % len(queries)
+			res, err := cl.ExecuteContext(context.Background(), queries[qi])
+			if err != nil {
+				errs <- fmt.Errorf("worker %d query %d: %w", w, qi, err)
+				return
+			}
+			if fmt.Sprint(res.Rows) != want[qi] {
+				errs <- fmt.Errorf("worker %d query %d: result diverged", w, qi)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	gov := cl.QPCGovernor()
+	if gov.HighWater() > gov.Budget() {
+		t.Errorf("QPC high water %d exceeds budget %d under 64-way load", gov.HighWater(), gov.Budget())
+	}
+	if g := gov.Granted(); g != 0 {
+		t.Errorf("granted = %d after all queries finished", g)
+	}
+	for _, site := range []string{"site1", "site2", "site3"} {
+		dg, err := cl.DAPGovernor(site)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dg.HighWater() > dg.Budget() {
+			t.Errorf("%s high water %d exceeds budget %d", site, dg.HighWater(), dg.Budget())
+		}
+		if g := dg.Granted(); g != 0 {
+			t.Errorf("%s granted = %d after all queries finished", site, g)
+		}
+	}
+}
+
+// TestDifferentialSpillTenantFairness saturates a one-slot QPC from two
+// wire-protocol tenants with asymmetric demand (six clients vs two).
+// The admission queue's round-robin must keep the light tenant at a
+// fair share: both tenants complete at least 40% of the work.
+func TestDifferentialSpillTenantFairness(t *testing.T) {
+	cl, _ := testCluster(t, ClusterConfig{
+		MaxConcurrent: 1,
+		QueueDepth:    64,
+	})
+	const sql = "SELECT name FROM Graphs LIMIT 3"
+
+	var aDone, bDone atomic.Int64
+	deadline := time.Now().Add(1500 * time.Millisecond)
+	var wg sync.WaitGroup
+	worker := func(tenant string, counter *atomic.Int64) {
+		defer wg.Done()
+		c, err := cl.ConnectTenant(tenant)
+		if err != nil {
+			t.Errorf("%s connect: %v", tenant, err)
+			return
+		}
+		defer c.Close()
+		for time.Now().Before(deadline) {
+			rows, err := c.Query(sql)
+			if err != nil {
+				t.Errorf("%s query: %v", tenant, err)
+				return
+			}
+			if _, err := rows.All(); err != nil {
+				t.Errorf("%s drain: %v", tenant, err)
+				return
+			}
+			counter.Add(1)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go worker("tenant-a", &aDone)
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go worker("tenant-b", &bDone)
+	}
+	wg.Wait()
+
+	a, b := aDone.Load(), bDone.Load()
+	total := a + b
+	if total < 20 {
+		t.Fatalf("only %d queries completed; window too short to judge fairness", total)
+	}
+	for _, tc := range []struct {
+		tenant string
+		n      int64
+	}{{"tenant-a", a}, {"tenant-b", b}} {
+		if share := float64(tc.n) / float64(total); share < 0.40 {
+			t.Errorf("%s completed %d/%d = %.0f%%; round-robin should hold each tenant at >= 40%%",
+				tc.tenant, tc.n, total, share*100)
+		}
+	}
+}
