@@ -32,6 +32,8 @@ func main() {
 	site1 := flag.String("site1", "localhost:7701", "DAP address for site1 in the catalog")
 	site2 := flag.String("site2", "localhost:7702", "DAP address for site2 in the catalog")
 	seed := flag.Int64("seed", 42, "generator seed")
+	partitions := flag.Int("partitions", 1, "range-partition Rasters on time into N shards across the sites (1 = single table)")
+	replicas := flag.Int("replicas", 1, "replica sites per Rasters shard (capped at the site count)")
 	flag.Parse()
 
 	cfg := sequoia.Scaled(*scale)
@@ -53,6 +55,19 @@ func main() {
 	}
 	if err := sequoia.GenerateJoinPair(s1, s2, cfg); err != nil {
 		log.Fatal(err)
+	}
+
+	stores := map[string]*storage.Store{"site1": s1, "site2": s2}
+	var spec *mocha.PartitionSpec
+	if *partitions > 1 {
+		src, ok := s1.Table("Rasters")
+		if !ok {
+			log.Fatal("missing table Rasters")
+		}
+		spec, err = shardRasters(src, stores, *partitions, *replicas)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	reg := ops.Builtins()
@@ -78,9 +93,17 @@ func main() {
 			table, stats.RowCount, stats.AvgTupleBytes(), site)
 	}
 	for _, tbl := range []string{"Polygons", "Graphs", "Rasters", "Rasters1"} {
+		if tbl == "Rasters" && spec != nil {
+			continue
+		}
 		register(s1, "site1", tbl)
 	}
 	register(s2, "site2", "Rasters2")
+	if spec != nil {
+		if err := registerPartitioned(cat, stores, "Rasters", spec); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	if err := s1.Close(); err != nil {
 		log.Fatal(err)
@@ -93,4 +116,103 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("catalog written to", catPath)
+}
+
+// shardRasters range-partitions the generated Rasters table on time into
+// n shards with k-way replication, assigning each shard's replica set
+// round-robin over the sites so primaries alternate.
+func shardRasters(src *storage.Table, stores map[string]*storage.Store, n, k int) (*mocha.PartitionSpec, error) {
+	sites := []string{"site1", "site2"}
+	if k < 1 {
+		k = 1
+	}
+	if k > len(sites) {
+		k = len(sites)
+	}
+	ti := src.Schema().ColumnIndex("time")
+	if ti < 0 {
+		return nil, fmt.Errorf("Rasters has no time column")
+	}
+	it, err := src.Scan()
+	if err != nil {
+		return nil, err
+	}
+	var lo, hi int64
+	first := true
+	for {
+		tup, _, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tup == nil {
+			break
+		}
+		v := int64(tup[ti].(mocha.Int))
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	cuts := make([]int64, 0, n-1)
+	for i := 1; i < n; i++ {
+		cuts = append(cuts, lo+(hi-lo+1)*int64(i)/int64(n))
+	}
+	sets := make([][]string, n)
+	for i := range sets {
+		for j := 0; j < k; j++ {
+			sets[i] = append(sets[i], sites[(i+j)%len(sites)])
+		}
+	}
+	spec := mocha.RangePlacement("Rasters", "time", cuts, sets)
+	if err := mocha.SplitTable(src, spec, stores, nil, ""); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// registerPartitioned catalogs a sharded logical table: schema from the
+// first shard's primary, statistics summed over every shard once, and
+// the placement recorded so the QPC plans scatter/gather over it.
+func registerPartitioned(cat *catalog.Catalog, stores map[string]*storage.Store, name string, spec *mocha.PartitionSpec) error {
+	var schema mocha.Schema
+	total := catalog.TableStats{}
+	sums := map[string]int64{}
+	for pi, part := range spec.Parts {
+		tbl, ok := stores[part.Replicas[0]].Table(part.Table)
+		if !ok {
+			return fmt.Errorf("missing shard table %s", part.Table)
+		}
+		if pi == 0 {
+			schema = tbl.Schema()
+		}
+		stats, err := mocha.ComputeTableStats(tbl)
+		if err != nil {
+			return err
+		}
+		total.RowCount += stats.RowCount
+		for _, c := range stats.Columns {
+			sums[c.Name] += int64(c.AvgBytes) * stats.RowCount
+		}
+		fmt.Printf("  %-10s %8d rows  @ %v\n", part.Table, stats.RowCount, part.Replicas)
+	}
+	for _, c := range schema.Columns {
+		avg := 0
+		if total.RowCount > 0 {
+			avg = int(sums[c.Name] / total.RowCount)
+		}
+		total.Columns = append(total.Columns, catalog.ColumnStats{Name: c.Name, AvgBytes: avg})
+	}
+	if err := cat.AddTable(&catalog.TableDef{
+		Name: name, URI: "mocha://partitioned/" + name,
+		Site: spec.Parts[0].Replicas[0], Schema: schema,
+		Stats: total, Placement: spec.Clone(),
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("  %-10s %8d rows, %5d avg bytes/row  (%d shards)\n",
+		name, total.RowCount, total.AvgTupleBytes(), len(spec.Parts))
+	return nil
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mocha/internal/catalog"
+	"mocha/internal/ops"
+)
+
+// TestMainPartitionedCatalogRoundTrip runs the generator end to end
+// with partitioning enabled and reloads the catalog it wrote: the
+// placement (shard tables, replica sets, range bounds) must survive
+// the XML round trip, because the standalone QPC plans scatter/gather
+// from exactly this file.
+func TestMainPartitionedCatalogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	oldArgs := os.Args
+	defer func() { os.Args = oldArgs }()
+	os.Args = []string{"mocha-datagen", "-out", dir, "-scale", "0.02",
+		"-partitions", "3", "-replicas", "2"}
+	flag.CommandLine = flag.NewFlagSet(os.Args[0], flag.ExitOnError)
+	main()
+
+	reg := ops.Builtins()
+	cat := catalog.New(reg, catalog.NewRepositoryFromRegistry(reg))
+	if err := cat.Load(filepath.Join(dir, "catalog.xml")); err != nil {
+		t.Fatal(err)
+	}
+	def, ok := cat.Table("Rasters")
+	if !ok {
+		t.Fatal("reloaded catalog lost the Rasters table")
+	}
+	if def.Placement == nil {
+		t.Fatal("reloaded catalog lost the placement")
+	}
+	if len(def.Placement.Parts) != 3 {
+		t.Fatalf("placement has %d shards, want 3", len(def.Placement.Parts))
+	}
+	if def.Placement.Key != "time" || def.Placement.Kind != catalog.PlaceRange {
+		t.Fatalf("placement = kind %v on %q, want range on time", def.Placement.Kind, def.Placement.Key)
+	}
+	var rows int64
+	for i, part := range def.Placement.Parts {
+		if len(part.Replicas) != 2 {
+			t.Errorf("shard %d has %d replicas, want 2", i, len(part.Replicas))
+		}
+		if part.Table == "" {
+			t.Errorf("shard %d has no physical table", i)
+		}
+	}
+	if rows = def.Stats.RowCount; rows == 0 {
+		t.Error("partitioned table registered with zero rows")
+	}
+	// Interior shards carry both bounds; the ends stay half-open.
+	if def.Placement.Parts[0].HasLo || !def.Placement.Parts[2].HasLo {
+		t.Error("range bounds did not survive the round trip")
+	}
+	// The shard tables were materialized in the site stores on disk.
+	for _, site := range []string{"site1", "site2"} {
+		if _, err := os.Stat(filepath.Join(dir, site)); err != nil {
+			t.Errorf("missing %s store: %v", site, err)
+		}
+	}
+}

@@ -58,6 +58,7 @@ type loadConfig struct {
 	QueueDepth    int
 	Strategy      mocha.Strategy
 	Faults        bool
+	Partitions    int
 	Seed          int
 	Logf          func(format string, args ...any)
 }
@@ -68,11 +69,12 @@ type loadConfig struct {
 // incorrect queries, a governor high-water mark above its budget).
 func run(cfg loadConfig) (bench.LoadStatsJSON, []string, error) {
 	env, err := bench.NewEnv(bench.Options{
-		Scale:         cfg.Scale,
-		Unshaped:      true,
-		Exec:          mocha.Tuning{MemBudgetBytes: cfg.MemBudget},
-		MaxConcurrent: cfg.MaxConcurrent,
-		QueueDepth:    cfg.QueueDepth,
+		Scale:            cfg.Scale,
+		Unshaped:         true,
+		Exec:             mocha.Tuning{MemBudgetBytes: cfg.MemBudget},
+		MaxConcurrent:    cfg.MaxConcurrent,
+		QueueDepth:       cfg.QueueDepth,
+		RasterPartitions: cfg.Partitions,
 	})
 	if err != nil {
 		return bench.LoadStatsJSON{}, nil, fmt.Errorf("environment: %w", err)
@@ -80,8 +82,9 @@ func run(cfg loadConfig) (bench.LoadStatsJSON, []string, error) {
 	defer env.Close()
 	env.Cluster.SetStrategy(cfg.Strategy)
 
-	// Sequential baseline on an identical but ungoverned cluster: the
-	// load run's results must match these exactly, spills and all.
+	// Sequential baseline on an ungoverned, unpartitioned cluster: the
+	// load run's results must match these exactly — spills, scattered
+	// shard reads and all.
 	base, err := bench.NewEnv(bench.Options{Scale: cfg.Scale, Unshaped: true})
 	if err != nil {
 		return bench.LoadStatsJSON{}, nil, fmt.Errorf("baseline environment: %w", err)
@@ -229,6 +232,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 4096, "admission queue depth (0 = reject when saturated)")
 	strategy := flag.String("strategy", "auto", "operator placement: auto, code-ship or data-ship (data-ship maximizes QPC memory pressure)")
 	faults := flag.Bool("faults", false, "inject recurring connection drops on site2's link")
+	partitions := flag.Int("partitions", 0, "range-partition Rasters into N replicated shards across the sites (0 = single table)")
 	seed := flag.Int("seed", 1, "rotates which query each client starts with")
 	out := flag.String("out", "", "directory for BENCH_load.json (default: working directory)")
 	flag.Parse()
@@ -254,6 +258,7 @@ func main() {
 		QueueDepth:    *queueDepth,
 		Strategy:      strat,
 		Faults:        *faults,
+		Partitions:    *partitions,
 		Seed:          *seed,
 		Logf:          log.Printf,
 	})

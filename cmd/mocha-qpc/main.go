@@ -38,6 +38,7 @@ func main() {
 	breakerOpenFor := flag.Duration("breaker-open-for", 3*time.Second, "how long an open breaker fails fast before allowing a half-open probe")
 	noBreaker := flag.Bool("no-breaker", false, "disable per-site circuit breaking and degraded planning")
 	noResume := flag.Bool("no-resume", false, "disable mid-stream RESUME recovery (pre-recovery ablation baseline)")
+	heartbeat := flag.Duration("heartbeat-interval", 0, "probe every catalog site this often to demote dead replicas ahead of queries (0 = disabled)")
 	memBudget := flag.Int64("mem-budget", 0, "query-memory budget in bytes shared by all queries; joins and aggregates spill past it (0 = ungoverned)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "queries admitted to execute at once (0 = unbounded)")
 	queueDepth := flag.Int("queue-depth", 0, "queries allowed to wait for an admission slot, drained round-robin per tenant (0 = reject when saturated)")
@@ -96,11 +97,12 @@ func main() {
 			OpenFor:          *breakerOpenFor,
 			Disabled:         *noBreaker,
 		},
-		DisableResume: *noResume,
-		Exec:          exec.Tuning{MemBudgetBytes: *memBudget},
-		MaxConcurrent: *maxConcurrent,
-		QueueDepth:    *queueDepth,
-		Logf:          logf,
+		DisableResume:     *noResume,
+		HeartbeatInterval: *heartbeat,
+		Exec:              exec.Tuning{MemBudgetBytes: *memBudget},
+		MaxConcurrent:     *maxConcurrent,
+		QueueDepth:        *queueDepth,
+		Logf:              logf,
 	})
 	obs.ServeDebug(*pprofAddr, srv.Metrics(), logf)
 	l, err := net.Listen("tcp", *listen)

@@ -58,6 +58,10 @@ type Options struct {
 	MaxConcurrent int
 	// QueueDepth bounds queries waiting for an admission slot.
 	QueueDepth int
+	// RasterPartitions range-partitions Rasters on time into N shards
+	// scattered over the three sites with 2-way replication (0 or 1 =
+	// the standard single-site table).
+	RasterPartitions int
 }
 
 // NewEnv builds the three-site benchmark deployment: site1 holds
@@ -113,6 +117,9 @@ func NewEnv(opts Options) (*Env, error) {
 		return nil, err
 	}
 	for _, tbl := range []string{"Polygons", "Graphs", "Rasters", "Rasters1"} {
+		if tbl == "Rasters" && opts.RasterPartitions > 1 {
+			continue
+		}
 		if err := cluster.RegisterTable("site1", tbl); err != nil {
 			return nil, err
 		}
@@ -123,11 +130,72 @@ func NewEnv(opts Options) (*Env, error) {
 	if err := cluster.RegisterTable("site3", "Rasters3"); err != nil {
 		return nil, err
 	}
+	if opts.RasterPartitions > 1 {
+		stores := map[string]*storage.Store{"site1": s1, "site2": s2, "site3": s3}
+		spec, err := shardRasters(stores, opts.RasterPartitions)
+		if err != nil {
+			return nil, err
+		}
+		if err := cluster.RegisterPartitionedTable("Rasters", spec); err != nil {
+			return nil, err
+		}
+	}
 	env := &Env{
 		Cluster: cluster, Cfg: cfg, Shaper: shaper, opts: opts,
 		stores: map[string]*storage.Store{"site1": s1, "site2": s2, "site3": s3},
 	}
 	return env, nil
+}
+
+// shardRasters range-partitions site1's generated Rasters table on time
+// into n shards, each replicated on two sites assigned round-robin so
+// primaries alternate across the fleet.
+func shardRasters(stores map[string]*storage.Store, n int) (*mocha.PartitionSpec, error) {
+	sites := []string{"site1", "site2", "site3"}
+	src, ok := stores["site1"].Table("Rasters")
+	if !ok {
+		return nil, fmt.Errorf("bench: missing generated Rasters table")
+	}
+	ti := src.Schema().ColumnIndex("time")
+	if ti < 0 {
+		return nil, fmt.Errorf("bench: Rasters has no time column")
+	}
+	it, err := src.Scan()
+	if err != nil {
+		return nil, err
+	}
+	var lo, hi int64
+	first := true
+	for {
+		tup, _, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if tup == nil {
+			break
+		}
+		v := int64(tup[ti].(mocha.Int))
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	cuts := make([]int64, 0, n-1)
+	for i := 1; i < n; i++ {
+		cuts = append(cuts, lo+(hi-lo+1)*int64(i)/int64(n))
+	}
+	sets := make([][]string, n)
+	for i := range sets {
+		sets[i] = []string{sites[i%len(sites)], sites[(i+1)%len(sites)]}
+	}
+	spec := mocha.RangePlacement("Rasters", "time", cuts, sets)
+	if err := mocha.SplitTable(src, spec, stores, nil, ""); err != nil {
+		return nil, err
+	}
+	return spec, nil
 }
 
 // Close releases the environment.

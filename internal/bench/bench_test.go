@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -56,6 +57,41 @@ func TestFig9VolumesShape(t *testing.T) {
 	}
 	if !strings.HasPrefix(cvrf(vol.Rows[4]), "3.9") && !strings.HasPrefix(cvrf(vol.Rows[4]), "4.0") { // Q3 code ship
 		t.Errorf("Q3 code-ship CVRF = %s", cvrf(vol.Rows[4]))
+	}
+}
+
+// TestPartitionedEnv builds the fleet with Rasters range-sharded
+// 3-way and checks a scattered scan matches the standard layout's
+// rows while the plan really fans out.
+func TestPartitionedEnv(t *testing.T) {
+	env, err := NewEnv(Options{Scale: 0.02, Unshaped: true, RasterPartitions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(env.Close)
+	plain, err := NewEnv(Options{Scale: 0.02, Unshaped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(plain.Close)
+
+	got, err := env.Cluster.Execute("SELECT time, band FROM Rasters ORDER BY time, band")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Cluster.Execute("SELECT time, band FROM Rasters ORDER BY time, band")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) == 0 || fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+		t.Fatalf("sharded scan diverged from the standard layout (%d vs %d rows)", len(got.Rows), len(want.Rows))
+	}
+	out, err := env.Cluster.Explain("SELECT time, band FROM Rasters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "partitions: 3/3") {
+		t.Errorf("plan lost the scatter:\n%s", out)
 	}
 }
 

@@ -58,6 +58,11 @@ type TableDef struct {
 	Site   string // name of the data site whose DAP serves this table
 	Schema types.Schema
 	Stats  TableStats
+	// Placement, when non-nil, shards the table across the fleet: rows
+	// live in per-partition physical tables on replica sites, and Site
+	// only names the primary replica of the first partition (a
+	// compatibility anchor for code that wants "the" site).
+	Placement *Placement
 }
 
 // Site describes a data site: the network address its DAP listens on.
@@ -108,6 +113,19 @@ func (c *Catalog) SiteByName(name string) (*Site, bool) {
 	return s, ok
 }
 
+// Sites lists registered data sites, sorted by name (the heartbeat
+// prober's worklist).
+func (c *Catalog) Sites() []*Site {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Site, 0, len(c.sites))
+	for _, s := range c.sites {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // AddTable registers a table definition.
 func (c *Catalog) AddTable(t *TableDef) error {
 	c.mu.Lock()
@@ -118,6 +136,15 @@ func (c *Catalog) AddTable(t *TableDef) error {
 	}
 	if _, ok := c.sites[strings.ToLower(t.Site)]; !ok {
 		return fmt.Errorf("catalog: table %s references unknown site %q", t.Name, t.Site)
+	}
+	if t.Placement != nil {
+		known := func(site string) bool {
+			_, ok := c.sites[strings.ToLower(site)]
+			return ok
+		}
+		if err := t.Placement.Validate(t.Schema, known); err != nil {
+			return fmt.Errorf("catalog: table %s placement: %w", t.Name, err)
+		}
 	}
 	c.tables[key] = t
 	return nil
@@ -183,11 +210,12 @@ type siteDoc struct {
 }
 
 type tableDoc struct {
-	Name    string     `xml:"name,attr"`
-	URI     string     `xml:"uri,attr"`
-	Site    string     `xml:"site,attr"`
-	Columns []colDoc   `xml:"column"`
-	Stats   TableStats `xml:"stats"`
+	Name      string     `xml:"name,attr"`
+	URI       string     `xml:"uri,attr"`
+	Site      string     `xml:"site,attr"`
+	Columns   []colDoc   `xml:"column"`
+	Stats     TableStats `xml:"stats"`
+	Placement *Placement `xml:"placement"`
 }
 
 type colDoc struct {
@@ -209,7 +237,7 @@ func (c *Catalog) Save(path string) error {
 		doc.Sites = append(doc.Sites, siteDoc{Name: s.Name, Addr: s.Addr})
 	}
 	for _, t := range c.tables {
-		td := tableDoc{Name: t.Name, URI: t.URI, Site: t.Site, Stats: t.Stats}
+		td := tableDoc{Name: t.Name, URI: t.URI, Site: t.Site, Stats: t.Stats, Placement: t.Placement.Clone()}
 		for _, col := range t.Schema.Columns {
 			td.Columns = append(td.Columns, colDoc{Name: col.Name, Kind: col.Kind.String()})
 		}
@@ -254,7 +282,7 @@ func (c *Catalog) Load(path string) error {
 			}
 			schema.Columns = append(schema.Columns, types.Column{Name: col.Name, Kind: k})
 		}
-		if err := c.AddTable(&TableDef{Name: td.Name, URI: td.URI, Site: td.Site, Schema: schema, Stats: td.Stats}); err != nil {
+		if err := c.AddTable(&TableDef{Name: td.Name, URI: td.URI, Site: td.Site, Schema: schema, Stats: td.Stats, Placement: td.Placement}); err != nil {
 			return err
 		}
 	}

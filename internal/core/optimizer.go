@@ -79,13 +79,14 @@ type planner struct {
 	virtKey map[string]int
 
 	// Per-table working state.
-	dapPreds  [][]*PExpr      // predicates placed at each table's DAP
-	dapPlace  [][]OpPlacement // their placement stats (parallel)
-	qpcPreds  []*PExpr        // predicates placed at the QPC (extended space)
-	items     []BoundItem     // rewritten items
-	aggsAtQPC []AggSpec       // aggregation if kept at QPC (extended space)
-	groupBy   []int
-	pushAgg   bool
+	dapPreds   [][]*PExpr      // predicates placed at each table's DAP
+	dapPlace   [][]OpPlacement // their placement stats (parallel)
+	prunePreds [][]*PExpr      // every single-table pred (source space), for partition pruning
+	qpcPreds   []*PExpr        // predicates placed at the QPC (extended space)
+	items      []BoundItem     // rewritten items
+	aggsAtQPC  []AggSpec       // aggregation if kept at QPC (extended space)
+	groupBy    []int
+	pushAgg    bool
 }
 
 // Plan builds the physical plan for a bound query.
@@ -103,14 +104,20 @@ func (o *Optimizer) Plan(q *BoundQuery) (*Plan, error) {
 	}
 	p.dapPreds = make([][]*PExpr, len(q.Tables))
 	p.dapPlace = make([][]OpPlacement, len(q.Tables))
+	p.prunePreds = make([][]*PExpr, len(q.Tables))
 	return p.build()
 }
 
 func (p *planner) tableStats(ti int) catalog.TableStats { return p.q.Tables[ti].Def.Stats }
 
 // siteDegraded reports whether table ti's site is degraded per the
-// health oracle.
+// health oracle. Partitioned tables are never degraded at plan time:
+// a sick replica is handled by execution-time failover to a sibling,
+// not by re-planning the whole table under data shipping.
 func (p *planner) siteDegraded(ti int) bool {
+	if p.q.Tables[ti].Def.Placement != nil {
+		return false
+	}
 	return p.opt.Health != nil && p.opt.Health.Degraded(p.q.Tables[ti].Def.Site)
 }
 
@@ -481,6 +488,10 @@ func (p *planner) build() (*Plan, error) {
 // placeSingleTablePred decides where one single-table predicate runs.
 func (p *planner) placeSingleTablePred(pred BoundPred) {
 	ti := pred.Tables[0]
+	// Every single-table predicate constrains the partition key the same
+	// way wherever it executes, so record it for pruning regardless of
+	// its placement.
+	p.prunePreds[ti] = append(p.prunePreds[ti], p.inlineVirtuals(pred.Expr))
 	strat := p.strategyFor(ti)
 	if strat == StrategyDataShip {
 		p.qpcPreds = append(p.qpcPreds, p.pushCalls(pred.Expr))
@@ -727,6 +738,25 @@ func (p *planner) buildFragment(ti int, semiJoin bool, joinPreds []BoundPred) (*
 	if err := p.attachCode(frag); err != nil {
 		return nil, nil, err
 	}
+
+	// Scatter targets for partitioned tables: prune by the single-table
+	// predicates, then record one target per surviving partition.
+	if pl := bt.Def.Placement; pl != nil {
+		keyExt := bt.Offset + bt.Def.Schema.ColumnIndex(pl.Key)
+		keep := PrunePartitions(pl, keyExt, p.prunePreds[ti])
+		frag.PartsTotal = len(pl.Parts)
+		frag.PartKey = pl.Key
+		for _, pi := range keep {
+			part := pl.Parts[pi]
+			frag.Parts = append(frag.Parts, PartTarget{
+				ID: pi, Table: part.Table, Site: part.Replicas[0],
+				Replicas: append([]string(nil), part.Replicas...),
+			})
+		}
+		if len(frag.Parts) > 0 {
+			frag.Site = frag.Parts[0].Site
+		}
+	}
 	return frag, outCols, nil
 }
 
@@ -856,9 +886,11 @@ func (p *planner) wantSemiJoin(order []int, joinPreds []BoundPred) bool {
 	}
 	// The semi-join protocol runs two coordinated phases per site and its
 	// key streams cannot be restarted past the replay window; keep
-	// degraded sites on the simple single-stream protocol.
+	// degraded sites on the simple single-stream protocol. Partitioned
+	// tables scatter over many sessions, which the 2-site key exchange
+	// cannot coordinate either.
 	for _, ti := range order {
-		if p.siteDegraded(ti) {
+		if p.siteDegraded(ti) || p.q.Tables[ti].Def.Placement != nil {
 			return false
 		}
 	}
@@ -888,16 +920,23 @@ func (p *planner) estimate(plan *Plan, order []int) {
 	for fi, ti := range order {
 		frag := plan.Fragments[fi]
 		stats := p.tableStats(ti)
+		// Partition pruning scales every volume by the surviving
+		// fraction: only k of N shards are accessed or shipped.
+		frac := 1.0
+		if frag.PartsTotal > 0 {
+			frac = float64(len(frag.Parts)) / float64(frag.PartsTotal)
+		}
+		rows := int64(frac * float64(stats.RowCount))
 		var inBytes int64
 		for _, c := range frag.Cols {
 			inBytes += int64(colAvgBytes(p.q.Tables[ti].Def.Schema.Columns[c], stats))
 		}
-		cvda += stats.RowCount * inBytes
-		v := int64(p.fragVolumeEstimate(ti))
+		cvda += rows * inBytes
+		v := int64(frac * p.fragVolumeEstimate(ti))
 		if p.pushAgg && len(frag.Aggregates) > 0 {
 			g := p.opt.Model.DefaultGroups
-			if g > stats.RowCount {
-				g = stats.RowCount
+			if g > rows {
+				g = rows
 			}
 			var outRow int64
 			for _, c := range frag.OutSchema.Columns {
@@ -917,16 +956,16 @@ func (p *planner) estimate(plan *Plan, order []int) {
 		for i := range p.dapPreds[ti] {
 			sf *= p.dapPlace[ti][i].SF
 		}
-		selOnly += int64(sf * float64(stats.RowCount) * float64(stats.AvgTupleBytes()))
+		selOnly += int64(sf * float64(rows) * float64(stats.AvgTupleBytes()))
 		// Costs: DAP compute (in the MVM) plus transfer.
 		for i := range p.dapPreds[ti] {
-			cost += p.opt.Model.CompMS(stats.RowCount*int64(p.dapPlace[ti][i].ArgBytes), p.dapPlace[ti][i].CompCostPerByte, true)
+			cost += p.opt.Model.CompMS(rows*int64(p.dapPlace[ti][i].ArgBytes), p.dapPlace[ti][i].CompCostPerByte, true)
 		}
 		for _, o := range frag.Projections {
 			if call := firstCall(o.Expr); call != nil {
 				if d, ok := p.opt.Cat.Ops().Lookup(call.Func); ok {
 					argBytes := exprArgBytes(p.inlineVirtuals(o.Expr), p.extSchema(), p.extStats(ti))
-					cost += p.opt.Model.CompMS(stats.RowCount*int64(argBytes), d.CPUCostPerByte, true)
+					cost += p.opt.Model.CompMS(rows*int64(argBytes), d.CPUCostPerByte, true)
 				}
 			}
 		}
@@ -948,6 +987,14 @@ func Explain(plan *Plan) string {
 			b.WriteString(" [degraded: data shipping forced by site health]")
 		}
 		b.WriteByte('\n')
+		if f.PartsTotal > 0 {
+			targets := make([]string, len(f.Parts))
+			for j, pt := range f.Parts {
+				targets[j] = fmt.Sprintf("p%d @ %s", pt.ID, pt.Site)
+			}
+			fmt.Fprintf(&b, "    partitions: %d/%d on %s [%s]\n",
+				len(f.Parts), f.PartsTotal, f.PartKey, strings.Join(targets, ", "))
+		}
 		for _, p := range f.Predicates {
 			fmt.Fprintf(&b, "    filter %s\n", p)
 		}

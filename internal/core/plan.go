@@ -68,6 +68,25 @@ type Fragment struct {
 	// optimizer's health oracle reported its site degraded (breaker
 	// open), overriding the VRF-based placement.
 	Degraded bool
+	// Parts, when non-empty, scatter the fragment across a partitioned
+	// table: one target per surviving (post-pruning) partition, in
+	// partition order. Site/Table then only name the primary of the
+	// first target; execution clones the fragment per target.
+	Parts []PartTarget
+	// PartsTotal is the partition count before pruning (0 for an
+	// unpartitioned fragment); PartKey names the partition key column.
+	PartsTotal int
+	PartKey    string
+}
+
+// PartTarget is one partition the scatter phase must read: its physical
+// table, the primary replica site the plan prefers, and the full
+// replica set failover may fall back to (primary first).
+type PartTarget struct {
+	ID       int
+	Table    string
+	Site     string
+	Replicas []string
 }
 
 // JoinStep joins the accumulated left input with fragment RightFrag's
@@ -163,6 +182,7 @@ type fragmentXML struct {
 	SemiJoinCol int         `xml:"semijoin-col,attr"`
 	Limit       int         `xml:"limit,attr"`
 	Degraded    bool        `xml:"degraded,attr,omitempty"`
+	Parts       *partsXML   `xml:"parts,omitempty"`
 	Cols        []int       `xml:"extract>col"`
 	InSchema    schemaXML   `xml:"in-schema"`
 	Predicates  []exprXML   `xml:"predicates>expr"`
@@ -171,6 +191,25 @@ type fragmentXML struct {
 	Projections []outputXML `xml:"projections>output"`
 	Code        []CodeRef   `xml:"code>class"`
 	OutSchema   schemaXML   `xml:"out-schema"`
+}
+
+// partsXML carries a fragment's scatter targets: total pre-pruning
+// partition count, key column and one <part> per surviving partition.
+type partsXML struct {
+	Total int       `xml:"total,attr"`
+	Key   string    `xml:"key,attr,omitempty"`
+	Parts []partXML `xml:"part"`
+}
+
+type partXML struct {
+	ID       int       `xml:"id,attr"`
+	Table    string    `xml:"table,attr"`
+	Site     string    `xml:"site,attr"`
+	Replicas []siteRef `xml:"replica"`
+}
+
+type siteRef struct {
+	Name string `xml:"name,attr"`
 }
 
 type joinXML struct {
@@ -291,7 +330,7 @@ func exprsFromXML(xs []exprXML) ([]*PExpr, error) {
 }
 
 func fragmentToXML(f *Fragment) fragmentXML {
-	return fragmentXML{
+	x := fragmentXML{
 		Site: f.Site, Table: f.Table, SemiJoinCol: f.SemiJoinCol, Limit: f.Limit,
 		Degraded: f.Degraded,
 		Cols:     f.Cols, InSchema: schemaToXML(f.InSchema),
@@ -299,6 +338,18 @@ func fragmentToXML(f *Fragment) fragmentXML {
 		Aggregates: aggsToXML(f.Aggregates), Projections: outputsToXML(f.Projections),
 		Code: f.Code, OutSchema: schemaToXML(f.OutSchema),
 	}
+	if f.PartsTotal > 0 {
+		px := &partsXML{Total: f.PartsTotal, Key: f.PartKey}
+		for _, pt := range f.Parts {
+			p := partXML{ID: pt.ID, Table: pt.Table, Site: pt.Site}
+			for _, r := range pt.Replicas {
+				p.Replicas = append(p.Replicas, siteRef{Name: r})
+			}
+			px.Parts = append(px.Parts, p)
+		}
+		x.Parts = px
+	}
+	return x
 }
 
 func fragmentFromXML(x fragmentXML) (*Fragment, error) {
@@ -322,12 +373,24 @@ func fragmentFromXML(x fragmentXML) (*Fragment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fragment{
+	f := &Fragment{
 		Site: x.Site, Table: x.Table, SemiJoinCol: x.SemiJoinCol, Limit: x.Limit,
 		Degraded: x.Degraded,
 		Cols:     x.Cols, InSchema: in, Predicates: preds, GroupBy: x.GroupBy,
 		Aggregates: aggs, Projections: projs, Code: x.Code, OutSchema: out,
-	}, nil
+	}
+	if x.Parts != nil {
+		f.PartsTotal = x.Parts.Total
+		f.PartKey = x.Parts.Key
+		for _, p := range x.Parts.Parts {
+			pt := PartTarget{ID: p.ID, Table: p.Table, Site: p.Site}
+			for _, r := range p.Replicas {
+				pt.Replicas = append(pt.Replicas, r.Name)
+			}
+			f.Parts = append(f.Parts, pt)
+		}
+	}
+	return f, nil
 }
 
 // EncodeFragment renders a fragment as an XML plan document for

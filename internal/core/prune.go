@@ -1,0 +1,161 @@
+package core
+
+import (
+	"sort"
+
+	"mocha/internal/catalog"
+	"mocha/internal/types"
+)
+
+// PrunePartitions computes which partitions of a placement can hold
+// rows satisfying the conjunction of preds, where keyCol is the
+// partition key's column index in the predicates' input space. Any
+// predicate shape the pruner cannot reason about simply constrains
+// nothing — the result falls back to every partition, never fewer than
+// the truth requires. The returned indexes are ascending.
+//
+// Range placements prune on =, <, <=, > and >= comparisons between the
+// key column and an integer literal (either operand order) and on
+// AND/OR combinations of those. Hash placements prune only on key
+// equality, through the same canonical hash that routed rows at load
+// time.
+func PrunePartitions(pl *catalog.Placement, keyCol int, preds []*PExpr) []int {
+	n := len(pl.Parts)
+	keep := allParts(n)
+	for _, pred := range preds {
+		keep = intersectParts(keep, prunablePred(pl, keyCol, pred))
+	}
+	out := make([]int, 0, len(keep))
+	for i := range keep {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func allParts(n int) map[int]bool {
+	m := make(map[int]bool, n)
+	for i := 0; i < n; i++ {
+		m[i] = true
+	}
+	return m
+}
+
+func intersectParts(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for i := range a {
+		if b[i] {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func unionParts(a, b map[int]bool) map[int]bool {
+	out := map[int]bool{}
+	for i := range a {
+		out[i] = true
+	}
+	for i := range b {
+		out[i] = true
+	}
+	return out
+}
+
+// prunablePred returns the partitions a single predicate tree admits.
+func prunablePred(pl *catalog.Placement, keyCol int, e *PExpr) map[int]bool {
+	n := len(pl.Parts)
+	if e == nil || e.Kind != ExprBinop {
+		return allParts(n)
+	}
+	switch e.Op {
+	case "AND":
+		return intersectParts(prunablePred(pl, keyCol, e.Args[0]), prunablePred(pl, keyCol, e.Args[1]))
+	case "OR":
+		return unionParts(prunablePred(pl, keyCol, e.Args[0]), prunablePred(pl, keyCol, e.Args[1]))
+	}
+	op, val, ok := keyComparison(e, keyCol)
+	if !ok {
+		return allParts(n)
+	}
+	switch pl.Kind {
+	case catalog.PlaceHash:
+		if op != "=" {
+			return allParts(n)
+		}
+		b, ok := catalog.HashBucket(val, n)
+		if !ok {
+			return allParts(n)
+		}
+		return map[int]bool{b: true}
+	case catalog.PlaceRange:
+		k, ok := catalog.IntKey(val)
+		if !ok {
+			return allParts(n)
+		}
+		// Express the comparison as an inclusive interval [lo, hi] on
+		// the key (either bound may be open).
+		var lo, hi int64
+		var hasLo, hasHi bool
+		switch op {
+		case "=":
+			lo, hi, hasLo, hasHi = k, k, true, true
+		case "<":
+			hi, hasHi = k-1, true
+		case "<=":
+			hi, hasHi = k, true
+		case ">":
+			lo, hasLo = k+1, true
+		case ">=":
+			lo, hasLo = k, true
+		default:
+			return allParts(n)
+		}
+		out := map[int]bool{}
+		for i := range pl.Parts {
+			if pl.HoldsRange(i, lo, hasLo, hi, hasHi) {
+				out[i] = true
+			}
+		}
+		return out
+	}
+	return allParts(n)
+}
+
+// keyComparison matches a comparison between the key column and a
+// literal, normalizing `const op col` to `col op' const`.
+func keyComparison(e *PExpr, keyCol int) (op string, val types.Object, ok bool) {
+	if len(e.Args) != 2 {
+		return "", nil, false
+	}
+	l, r := e.Args[0], e.Args[1]
+	switch {
+	case l.Kind == ExprCol && l.Col == keyCol && r.Kind == ExprConst:
+		return e.Op, r.Const, comparisonOp(e.Op)
+	case r.Kind == ExprCol && r.Col == keyCol && l.Kind == ExprConst:
+		return flipOp(e.Op), l.Const, comparisonOp(e.Op)
+	}
+	return "", nil, false
+}
+
+func comparisonOp(op string) bool {
+	switch op {
+	case "=", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func flipOp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}

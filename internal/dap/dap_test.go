@@ -382,3 +382,97 @@ func TestDAPGroupedAggregation(t *testing.T) {
 		}
 	}
 }
+
+// TestDAPServeShardEcho drives the TCP accept loop end to end with a
+// partitioned activation: a real listener, a scan fragment activated
+// with shard coordinates, and an EOS that echoes them back so the QPC
+// can verify which shard it drained.
+func TestDAPServeShardEcho(t *testing.T) {
+	store, err := storage.OpenStore("", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := store.Create("Rasters__p1", types.NewSchema(
+		types.Column{Name: "time", Kind: types.KindInt},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := tbl.Insert(types.Tuple{types.Int(int32(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := obs.NewRegistry()
+	srv := New(Config{Site: "test", Driver: &StorageDriver{Store: store}, Metrics: reg})
+	if srv.Metrics() != reg {
+		t.Error("Metrics() lost the configured registry")
+	}
+	if srv.Governor() != nil {
+		t.Error("ungoverned server grew a governor")
+	}
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	nc, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn := wire.NewConn(nc)
+	t.Cleanup(func() { conn.Close() })
+	hello(t, conn)
+
+	schema := types.NewSchema(types.Column{Name: "time", Kind: types.KindInt})
+	frag := &core.Fragment{
+		Site: "test", Table: "Rasters__p1",
+		Cols: []int{0}, InSchema: schema, SemiJoinCol: -1,
+		Projections: []core.Output{{Name: "time", Expr: core.NewCol(0, types.KindInt)}},
+		OutSchema:   schema,
+	}
+	data, err := core.EncodeFragment(frag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.Send(wire.MsgDeployPlan, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Expect(wire.MsgAck); err != nil {
+		t.Fatal(err)
+	}
+	act, _ := wire.EncodeXML(&wire.Activate{Stream: "q1/0", Part: 1, Of: 3})
+	if err := conn.Send(wire.MsgActivate, act); err != nil {
+		t.Fatal(err)
+	}
+	r := wire.NewBatchReader(conn, schema)
+	n := 0
+	for {
+		tup, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tup == nil {
+			break
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("streamed %d rows, want 5", n)
+	}
+	var stats wire.ExecStats
+	if err := wire.DecodeXML(r.EOSPayload, &stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Part != 1 || stats.Of != 3 {
+		t.Errorf("EOS echoed part %d/%d, want 1/3", stats.Part, stats.Of)
+	}
+
+	l.Close()
+	if err := <-served; err != nil {
+		t.Errorf("Serve on a closed listener returned %v", err)
+	}
+}

@@ -200,6 +200,9 @@ func (ss *session) handle(t wire.MsgType, payload []byte) error {
 		if ss.srv.cfg.DisableResume {
 			act.Stream = ""
 		}
+		// Echo a placement-aware activation's shard coordinates in the
+		// stats frame so the QPC can verify the stream's provenance.
+		ss.stats.Part, ss.stats.Of = act.Part, act.Of
 		err := ss.execute(act.Stream)
 		ss.frag = nil
 		ss.semiKeys = nil

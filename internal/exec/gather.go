@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"context"
+	"time"
+
+	"mocha/internal/types"
+)
+
+// Gather unions the streams of a scattered fragment's partitions. Open
+// cascades to every child immediately — each partition stream starts
+// flowing (and, when wrapped in a Prefetch, buffering) concurrently —
+// but batches are delivered child by child in partition order. The
+// concatenation order is deterministic, so a partitioned scan is
+// byte-identical to a single table stored in partition-concatenation
+// order, preserving the sort/topk/agg/join ordering contracts
+// downstream. Its self time is the residual wait on children, which
+// prefetching could not hide.
+type Gather struct {
+	base
+	children []Operator
+	cur      int
+}
+
+// NewGather unions children in order. Zero children is a legal empty
+// stream (every partition pruned away).
+func NewGather(name string, children []Operator) *Gather {
+	g := &Gather{children: children}
+	g.stats.Name = name
+	return g
+}
+
+func (g *Gather) Open(ctx context.Context) error {
+	for _, c := range g.children {
+		// On failure the tree's Close cascade reaps the children already
+		// opened; every child must stay closable either way.
+		if err := c.Open(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Gather) NextBatch() ([]types.Tuple, error) {
+	defer g.timed(time.Now())
+	for g.cur < len(g.children) {
+		batch, err := g.children[g.cur].NextBatch()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			g.cur++
+			continue
+		}
+		g.stats.RowsIn += int64(len(batch))
+		g.out(batch)
+		return batch, nil
+	}
+	return nil, nil
+}
+
+func (g *Gather) Close() error {
+	var first error
+	for _, c := range g.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,105 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mocha/internal/types"
+)
+
+// Gather contract tests: partition streams are delivered concatenated
+// in child order (deterministic, so a scattered scan matches a single
+// table stored in partition-concatenation order), children all open
+// eagerly so prefetchers overlap, and a child error surfaces.
+
+func gatherOver(batches ...[]types.Tuple) (*Gather, []Operator) {
+	children := make([]Operator, len(batches))
+	ops := make([]Operator, 0, len(batches)+1)
+	for i, rows := range batches {
+		children[i] = NewSource(partOpName("op:remote", 0, i), slicePull(rows), 2)
+		ops = append(ops, children[i])
+	}
+	g := NewGather("op:gather[0]", children)
+	return g, append(ops, g)
+}
+
+func TestGatherConcatenatesInPartitionOrder(t *testing.T) {
+	g, ops := gatherOver(intRows(1, 2, 3), intRows(4, 5), intRows(6))
+	got := collect(t, g, ops)
+	if fmt.Sprint(got) != fmt.Sprint(intRows(1, 2, 3, 4, 5, 6)) {
+		t.Errorf("gathered %v", got)
+	}
+	st := g.Stats()
+	if st.RowsIn != 6 || st.RowsOut != 6 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGatherSkipsEmptyChildren(t *testing.T) {
+	g, ops := gatherOver(nil, intRows(7, 8), nil, intRows(9), nil)
+	got := collect(t, g, ops)
+	if fmt.Sprint(got) != fmt.Sprint(intRows(7, 8, 9)) {
+		t.Errorf("gathered %v", got)
+	}
+}
+
+func TestGatherZeroChildrenIsEmptyStream(t *testing.T) {
+	// Every partition pruned away: a legal empty stream.
+	g := NewGather("op:gather[0]", nil)
+	got := collect(t, g, []Operator{g})
+	if len(got) != 0 {
+		t.Errorf("empty gather yielded %v", got)
+	}
+}
+
+func TestGatherOpensAllChildrenEagerly(t *testing.T) {
+	// All children must open at Open time — that is what lets their
+	// prefetchers start pulling concurrently before delivery reaches
+	// them.
+	var mu sync.Mutex
+	opened := 0
+	children := make([]Operator, 3)
+	for i := range children {
+		children[i] = &hookOp{Operator: NewSource(partOpName("op:remote", 0, i), slicePull(intRows(i)), 2),
+			onOpen: func() { mu.Lock(); opened++; mu.Unlock() }}
+	}
+	g := NewGather("op:gather[0]", children)
+	if err := g.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if opened != 3 {
+		t.Errorf("Open reached %d of 3 children", opened)
+	}
+}
+
+func TestGatherChildError(t *testing.T) {
+	boom := errors.New("partition stream died")
+	bad := NewSource(partOpName("op:remote", 0, 1), func() (types.Tuple, error) {
+		return nil, boom
+	}, 2)
+	ok := NewSource(partOpName("op:remote", 0, 0), slicePull(intRows(1)), 2)
+	g := NewGather("op:gather[0]", []Operator{ok, bad})
+	tree := &Tree{Root: NewEmit("op:emit", g, func(types.Tuple) error { return nil }),
+		Ops: []Operator{ok, bad, g}}
+	err := Run(context.Background(), tree, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("child error lost: %v", err)
+	}
+}
+
+// hookOp wraps an operator to observe Open calls.
+type hookOp struct {
+	Operator
+	onOpen func()
+}
+
+func (h *hookOp) Open(ctx context.Context) error {
+	h.onOpen()
+	return h.Operator.Open(ctx)
+}

@@ -24,6 +24,12 @@ import (
 // with repeated operators stay distinguishable in traces and goldens.
 func opName(base string, i int) string { return fmt.Sprintf("%s[%d]", base, i) }
 
+// partOpName names a per-partition operator instance ("op:remote[0.2]"
+// is fragment 0's stream from partition 2).
+func partOpName(base string, frag, part int) string {
+	return fmt.Sprintf("%s[%d.%d]", base, frag, part)
+}
+
 // colName names a schema column for error messages.
 func colName(s types.Schema, i int) string {
 	if i >= 0 && i < s.Arity() {
@@ -115,23 +121,45 @@ func LowerFragment(frag *core.Fragment, binder core.OpBinder, src Operator, semi
 // feeds: per-fragment sources (each behind a bounded prefetcher unless
 // tuning is serial), the left-deep hash-join chain, plan predicates,
 // aggregation, projection, ordering/limit, and the client emit sink.
+// pulls holds one feed per fragment for unpartitioned plans; a
+// scattered fragment passes one feed per partition and gets a Gather
+// union over per-partition sources (each independently prefetched, so
+// all partition streams flow concurrently while delivery stays in
+// deterministic partition order). A fragment whose partitions were all
+// pruned away passes an empty list and lowers to an empty stream.
 // gov, when non-nil, bounds the memory-hungry operators' memory (each
 // gets its own grant on the shared pool) and arms their spill paths.
-func LowerPlan(plan *core.Plan, binder core.OpBinder, pulls []PullFunc, emit func(types.Tuple) error, tun Tuning, gov *Governor) (*Tree, error) {
+func LowerPlan(plan *core.Plan, binder core.OpBinder, pulls [][]PullFunc, emit func(types.Tuple) error, tun Tuning, gov *Governor) (*Tree, error) {
 	tun = tun.Norm()
 	if len(pulls) != len(plan.Fragments) {
 		return nil, fmt.Errorf("exec: %d sources for %d fragments", len(pulls), len(plan.Fragments))
 	}
 	var ops []Operator
 	srcs := make([]Operator, len(pulls))
-	for i, pull := range pulls {
-		var src Operator = NewSource(opName(obs.OpRemote, i), pull, tun.BatchRows)
-		ops = append(ops, src)
-		if !tun.Serial {
-			src = NewPrefetch(opName(obs.OpPrefetch, i), src, tun.Prefetch)
+	for i, feeds := range pulls {
+		if len(feeds) == 1 && plan.Fragments[i].PartsTotal == 0 {
+			var src Operator = NewSource(opName(obs.OpRemote, i), feeds[0], tun.BatchRows)
 			ops = append(ops, src)
+			if !tun.Serial {
+				src = NewPrefetch(opName(obs.OpPrefetch, i), src, tun.Prefetch)
+				ops = append(ops, src)
+			}
+			srcs[i] = src
+			continue
 		}
-		srcs[i] = src
+		children := make([]Operator, len(feeds))
+		for j, pull := range feeds {
+			var c Operator = NewSource(partOpName(obs.OpRemote, i, j), pull, tun.BatchRows)
+			ops = append(ops, c)
+			if !tun.Serial {
+				c = NewPrefetch(partOpName(obs.OpPrefetch, i, j), c, tun.Prefetch)
+				ops = append(ops, c)
+			}
+			children[j] = c
+		}
+		g := NewGather(opName(obs.OpGather, i), children)
+		ops = append(ops, g)
+		srcs[i] = g
 	}
 
 	cur := srcs[0]

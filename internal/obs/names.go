@@ -55,6 +55,9 @@ const (
 	MQpcBreakerOpened        = "qpc_breaker_opened"
 	MQpcBreakerReclosed      = "qpc_breaker_reclosed"
 	MQpcBreakerOpenSites     = "qpc_breaker_open_sites"
+	MQpcReplicaFailovers     = "qpc_replica_failovers"
+	MQpcHeartbeatProbes      = "qpc_heartbeat_probes"
+	MQpcHeartbeatFailures    = "qpc_heartbeat_failures"
 
 	// QPC admission control (internal/qpc): the bounded, per-tenant-fair
 	// queue in front of query execution.
@@ -104,6 +107,7 @@ const (
 	OpTopK     = "op:topk"     // bounded top-K (ORDER BY + LIMIT)
 	OpLimit    = "op:limit"    // row limit
 	OpEmit     = "op:emit"     // sink (client emit / batch writer)
+	OpGather   = "op:gather"   // partition scatter union (concatenates part streams)
 
 	// Spill pseudo-operators: emitted alongside a governed operator's
 	// span when it overflowed its memory grant and wrote partitioned

@@ -167,10 +167,21 @@ func (ds *dapSession) activate(out types.Schema) (*wire.BatchReader, error) {
 // replay window retained under that ID, so a broken connection can be
 // resumed instead of failing the query.
 func (ds *dapSession) activateStream(out types.Schema, streamID string) (*wire.BatchReader, error) {
+	return ds.activatePart(out, streamID, 0, 0)
+}
+
+// activatePart starts fragment execution for one shard of a scattered
+// fragment. of > 0 tags the activation with the shard's partition ID
+// and the pre-pruning partition count; the DAP echoes both in its EOS
+// stats so the QPC can verify each gathered stream's provenance.
+func (ds *dapSession) activatePart(out types.Schema, streamID string, part, of int) (*wire.BatchReader, error) {
+	if of <= 0 {
+		part, of = 0, 0 // normalize the unpartitioned sentinel off the wire
+	}
 	var payload []byte
-	if streamID != "" {
+	if streamID != "" || of > 0 {
 		var err error
-		payload, err = wire.EncodeXML(&wire.Activate{Stream: streamID})
+		payload, err = wire.EncodeXML(&wire.Activate{Stream: streamID, Part: part, Of: of})
 		if err != nil {
 			return nil, err
 		}

@@ -28,11 +28,66 @@ type planExec struct {
 	ctx    context.Context
 	budget *retryBudget
 
+	// units are the physical activations: one per fragment for
+	// unpartitioned plans, one per surviving partition for scattered
+	// fragments. sessions, readers and activateOff are indexed by unit.
+	units    []*execUnit
 	sessions []*dapSession
 	readers  []*fragmentStream
 	// activateOff[i] is reader i's activation offset on the trace
 	// timeline, the start of its stream span.
 	activateOff []int64
+}
+
+// execUnit is one physical activation: a whole fragment, or one shard
+// of a fragment scattered over a partitioned table.
+type execUnit struct {
+	fragIdx int
+	part    int // partition ID; -1 for an unpartitioned fragment
+	of      int // pre-pruning partition count; 0 for unpartitioned
+	// replicas lists the shard's candidate sites in pick order — the
+	// selected primary first, siblings after — so setup and mid-stream
+	// failover walk the same ladder. Unpartitioned units hold only the
+	// fragment's one site.
+	replicas []string
+	// frag is the physical fragment this unit deploys. For a scattered
+	// shard it is a per-unit copy naming the partition's physical table
+	// and chosen replica; mutating its Site during failover is safe. For
+	// an unpartitioned fragment it aliases the shared plan fragment.
+	frag *core.Fragment
+}
+
+// buildUnits expands the plan's fragments into physical activations,
+// choosing each shard's serving replica through the health registry's
+// load balancer.
+func buildUnits(plan *core.Plan, health *HealthRegistry) []*execUnit {
+	var units []*execUnit
+	for i, frag := range plan.Fragments {
+		if frag.PartsTotal == 0 {
+			units = append(units, &execUnit{
+				fragIdx: i, part: -1,
+				replicas: []string{frag.Site}, frag: frag,
+			})
+			continue
+		}
+		for _, pt := range frag.Parts {
+			pf := *frag
+			pf.Table = pt.Table
+			pf.Site = health.PickReplica(pt.Replicas)
+			pf.Parts, pf.PartsTotal, pf.PartKey = nil, 0, ""
+			reps := []string{pf.Site}
+			for _, r := range pt.Replicas {
+				if r != pf.Site {
+					reps = append(reps, r)
+				}
+			}
+			units = append(units, &execUnit{
+				fragIdx: i, part: pt.ID, of: frag.PartsTotal,
+				replicas: reps, frag: &pf,
+			})
+		}
+	}
+	return units
 }
 
 func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err error) {
@@ -72,40 +127,16 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	e.ctx = execCtx
 	e.budget = budget
 	err = timedPhase(e.stats, func() error {
-		e.sessions = make([]*dapSession, len(e.plan.Fragments))
-		partials := make([]QueryStats, len(e.plan.Fragments))
-		errs := make([]error, len(e.plan.Fragments))
+		e.units = buildUnits(e.plan, e.srv.health)
+		e.sessions = make([]*dapSession, len(e.units))
+		partials := make([]QueryStats, len(e.units))
+		errs := make([]error, len(e.units))
 		var wg sync.WaitGroup
-		for i := range e.plan.Fragments {
+		for i := range e.units {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				frag := e.plan.Fragments[i]
-				what := fmt.Sprintf("qpc: session setup at %s", frag.Site)
-				errs[i] = retryTransient(execCtx, policy, budget, e.srv.health, frag.Site, what, func() error {
-					// A retried attempt starts its accounting from scratch:
-					// the aborted attempt's cache checks and shipped classes
-					// must not inflate the query's counters (the shipped
-					// bytes it wasted go to a process metric instead).
-					if partials[i] != (QueryStats{}) {
-						e.srv.met.wastedCodeBytes.Add(int64(partials[i].CodeBytesShipped))
-						partials[i] = QueryStats{}
-					}
-					span := e.trace.Begin("deploy", frag.Site)
-					ds, err := e.srv.openSession(execCtx, frag.Site, e.trace.ID)
-					if err != nil {
-						return err
-					}
-					ds.openOff = e.trace.Since(time.Now())
-					if err := e.srv.deployCode(ds, frag.Code, &partials[i]); err != nil {
-						ds.close()
-						return err
-					}
-					span.AddBytes(0, 0, int64(partials[i].CodeBytesShipped))
-					span.End()
-					e.sessions[i] = ds
-					return nil
-				})
+				errs[i] = e.setupUnit(execCtx, i, &partials[i])
 			}(i)
 		}
 		wg.Wait()
@@ -142,7 +173,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 			kwg.Add(1)
 			go func(i int) {
 				defer kwg.Done()
-				keySets[i], keyES[i], keyErrs[i] = e.srv.runKeyPhase(e.sessions[i], e.plan.Fragments[i], &keyStats[i])
+				keySets[i], keyES[i], keyErrs[i] = e.srv.runKeyPhase(e.sessions[i], e.units[i].frag, &keyStats[i])
 			}(i)
 		}
 		kwg.Wait()
@@ -152,14 +183,14 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 				e.recordRemoteSpans("keys:recv", e.sessions[i], keyES[i], e.sessions[i].openOff)
 			}
 			if keyErrs[i] != nil {
-				return fmt.Errorf("qpc: key phase at %s: %w", e.plan.Fragments[i].Site, keyErrs[i])
+				return fmt.Errorf("qpc: key phase at %s: %w", e.units[i].frag.Site, keyErrs[i])
 			}
 		}
 		keys0, keys1 := keySets[0], keySets[1]
 		common := intersectKeys(keys0, keys1)
 		e.srv.cfg.Logf("qpc: semi-join keys: %d ∩ %d = %d", len(keys0), len(keys1), len(common))
 		for i, ds := range e.sessions {
-			if err := ds.deployPlan(e.plan.Fragments[i]); err != nil {
+			if err := ds.deployPlan(e.units[i].frag); err != nil {
 				return err
 			}
 			span := e.trace.Begin("keys:send", ds.site)
@@ -174,7 +205,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	} else {
 		err := timedPhase(e.stats, func() error {
 			for i, ds := range e.sessions {
-				if err := ds.deployPlan(e.plan.Fragments[i]); err != nil {
+				if err := ds.deployPlan(e.units[i].frag); err != nil {
 					return err
 				}
 			}
@@ -185,21 +216,23 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 		}
 	}
 
-	// Phase 3: activate every fragment; streams begin. Unless resume is
+	// Phase 3: activate every unit; streams begin. Unless resume is
 	// disabled, each stream gets an ID derived from the trace ID so a
 	// broken connection can be resumed against the DAP's replay window.
+	// Scattered activations carry their shard coordinates, which the DAP
+	// echoes in its EOS stats for provenance checking.
 	for i, ds := range e.sessions {
-		frag := e.plan.Fragments[i]
+		u := e.units[i]
 		streamID := ""
 		if !e.srv.cfg.DisableResume {
 			streamID = fmt.Sprintf("%s/%d", e.trace.ID, i)
 		}
-		r, err := ds.activateStream(frag.OutSchema, streamID)
+		r, err := ds.activatePart(u.frag.OutSchema, streamID, u.part, u.of)
 		if err != nil {
 			return err
 		}
 		e.readers = append(e.readers, &fragmentStream{
-			e: e, idx: i, frag: frag, id: streamID, ds: ds, r: r,
+			e: e, idx: i, frag: u.frag, id: streamID, ds: ds, r: r, unit: u,
 		})
 		e.activateOff = append(e.activateOff, e.trace.Since(time.Now()))
 	}
@@ -214,9 +247,14 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	span := e.trace.Begin("pipeline", "")
 	pipeOff := e.trace.Since(time.Now())
 	binder := core.NativeBinder{Reg: e.srv.cfg.Cat.Ops()}
-	pulls := make([]exec.PullFunc, len(e.readers))
+	// Feeds group by plan fragment: a scattered fragment contributes one
+	// feed per surviving partition (unioned by a Gather in partition
+	// order); a fully pruned fragment contributes none and lowers to an
+	// empty stream.
+	pulls := make([][]exec.PullFunc, len(e.plan.Fragments))
 	for i, fs := range e.readers {
-		pulls[i] = fs.Next
+		fi := e.units[i].fragIdx
+		pulls[fi] = append(pulls[fi], fs.Next)
 	}
 	countEmit := func(t types.Tuple) error {
 		e.stats.ResultTuples++
@@ -255,14 +293,77 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	return nil
 }
 
-// drainFragment folds one fragment stream's EOS report into the query
+// setupUnit opens unit i's session, validates the site's code cache and
+// ships missing classes, retrying transient failures under the shared
+// policy. A partitioned unit that exhausts its chosen replica walks the
+// rest of its replica ladder (each hop is a replica failover) before
+// giving up with a typed partition-unavailable error.
+func (e *planExec) setupUnit(execCtx context.Context, i int, partial *QueryStats) error {
+	u := e.units[i]
+	var lastErr error
+	for ci, site := range u.replicas {
+		if ci > 0 {
+			if execCtx.Err() != nil {
+				break
+			}
+			u.frag.Site = site
+			e.srv.met.replicaFailovers.Inc()
+			e.srv.cfg.Logf("qpc: partition %d of %s failing over setup from %s to %s",
+				u.part, e.plan.Fragments[u.fragIdx].Table, u.replicas[ci-1], site)
+		}
+		what := fmt.Sprintf("qpc: session setup at %s", site)
+		err := retryTransient(execCtx, e.srv.cfg.Retry, e.budget, e.srv.health, site, what, func() error {
+			// A retried attempt starts its accounting from scratch:
+			// the aborted attempt's cache checks and shipped classes
+			// must not inflate the query's counters (the shipped
+			// bytes it wasted go to a process metric instead).
+			if *partial != (QueryStats{}) {
+				e.srv.met.wastedCodeBytes.Add(int64(partial.CodeBytesShipped))
+				*partial = QueryStats{}
+			}
+			span := e.trace.Begin("deploy", site)
+			ds, err := e.srv.openSession(execCtx, site, e.trace.ID)
+			if err != nil {
+				return err
+			}
+			ds.openOff = e.trace.Since(time.Now())
+			if err := e.srv.deployCode(ds, u.frag.Code, partial); err != nil {
+				ds.close()
+				return err
+			}
+			span.AddBytes(0, 0, int64(partial.CodeBytesShipped))
+			span.End()
+			e.sessions[i] = ds
+			return nil
+		})
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	if u.of > 0 {
+		return &PartitionUnavailableError{
+			Table: e.plan.Fragments[u.fragIdx].Table,
+			Part:  u.part, Sites: u.replicas, Last: lastErr,
+		}
+	}
+	return lastErr
+}
+
+// drainFragment folds one unit stream's EOS report into the query
 // stats and records its trace spans: a QPC-side stream span carrying the
 // fragment's wire volume, plus the DAP's own spans re-anchored onto the
-// query timeline.
+// query timeline. A scattered unit's report must echo the shard
+// coordinates its activation carried — a mismatch means the gather
+// would silently union the wrong partition.
 func (e *planExec) drainFragment(i int, r *wire.BatchReader, countVolumes bool) error {
 	es, err := drainStats(r, e.stats, countVolumes)
 	if err != nil {
 		return err
+	}
+	if u := e.units[i]; u.of > 0 && (es.Part != u.part || es.Of != u.of) {
+		return fmt.Errorf("qpc: stream from %s reported shard %d/%d, activated as %d/%d",
+			es.Site, es.Part, es.Of, u.part, u.of)
 	}
 	e.recordRemoteSpans("stream", e.sessions[i], es, e.activateOff[i])
 	return nil
@@ -293,8 +394,8 @@ func (e *planExec) recordRemoteSpans(name string, ds *dapSession, es *wire.ExecS
 // foldTree folds the finished tree's per-operator accounting into the
 // query stats and records one trace span per operator. Join self time
 // (build inserts + probes) goes to JoinMS; evaluation operators go to
-// CPUMS; source and prefetch self time is network wait, already reported
-// as the DAPs' send time. Operator spans never carry NetBytes, so the
+// CPUMS; source, prefetch and gather self time is network wait, already
+// reported as the DAPs' send time. Operator spans never carry NetBytes, so the
 // trace's span-sum == CVDT invariant is preserved by construction.
 func (e *planExec) foldTree(tree *exec.Tree, startOff int64) {
 	for _, op := range tree.Ops {
@@ -303,7 +404,8 @@ func (e *planExec) foldTree(tree *exec.Tree, startOff int64) {
 		switch {
 		case strings.HasPrefix(st.Name, obs.OpHashJoin):
 			e.stats.JoinMS += ms
-		case strings.HasPrefix(st.Name, obs.OpRemote), strings.HasPrefix(st.Name, obs.OpPrefetch):
+		case strings.HasPrefix(st.Name, obs.OpRemote), strings.HasPrefix(st.Name, obs.OpPrefetch),
+			strings.HasPrefix(st.Name, obs.OpGather):
 		default:
 			e.stats.CPUMS += ms
 		}

@@ -118,6 +118,37 @@ func TestGoldenExplainAnalyzeRecovery(t *testing.T) {
 	})
 }
 
+// TestGoldenExplainPartitioned pins the plan and analysis renderings of
+// scattered queries: the partitions line (surviving/total shards with
+// their serving replicas), and the per-shard remote spans in the
+// analysis.
+func TestGoldenExplainPartitioned(t *testing.T) {
+	t.Run("scatter", func(t *testing.T) {
+		h := newPartitionHarness(t, nil)
+		text, err := h.srv.Explain(partScanQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "explain_partitioned_scatter", normalizeAnalysis(text))
+	})
+	t.Run("pruned", func(t *testing.T) {
+		h := newPartitionHarness(t, nil)
+		text, err := h.srv.Explain("SELECT time, band FROM Rasters WHERE time < 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "explain_partitioned_pruned", normalizeAnalysis(text))
+	})
+	t.Run("analyze_scatter", func(t *testing.T) {
+		h := newPartitionHarness(t, nil)
+		text, err := h.srv.ExplainAnalyze(context.Background(), partScanQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "explain_analyze_partitioned_scatter", normalizeAnalysis(text))
+	})
+}
+
 func TestGoldenExplainAnalyze(t *testing.T) {
 	t.Run("single_site", func(t *testing.T) {
 		s := testQPC(t, core.StrategyAuto)

@@ -64,6 +64,7 @@ type siteHealth struct {
 	failures   int64
 	lastErr    string
 	ewmaMicros float64 // rolling latency of successful operations
+	picks      int64   // times PickReplica chose this site
 }
 
 // HealthRegistry tracks per-site health and breaker state for a QPC.
@@ -185,6 +186,41 @@ func (h *HealthRegistry) FailFast(site string) bool {
 		return true
 	}
 	return h.pol.now().Sub(sh.openedAt) < h.pol.OpenFor
+}
+
+// PickReplica chooses which of a partition's replica sites should serve
+// a read. Healthy sites (breaker closed) are preferred; among the
+// eligible, the least-picked wins, spreading partition reads across a
+// replica set without any per-query coordination. When every replica's
+// breaker is open the least-picked of them all is returned — a plan
+// still needs some site to try, and the attempt doubles as the probe.
+func (h *HealthRegistry) PickReplica(sites []string) string {
+	if len(sites) == 0 {
+		return ""
+	}
+	if h == nil || len(sites) == 1 {
+		return sites[0]
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for pass := 0; pass < 2; pass++ {
+		var best *siteHealth
+		bestName := ""
+		for _, name := range sites {
+			sh := h.site(name)
+			if pass == 0 && sh.open {
+				continue
+			}
+			if best == nil || sh.picks < best.picks {
+				best, bestName = sh, name
+			}
+		}
+		if best != nil {
+			best.picks++
+			return bestName
+		}
+	}
+	return sites[0] // unreachable: pass 1 always finds a site
 }
 
 // State renders the site's breaker state: "closed", "open" or

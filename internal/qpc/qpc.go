@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"mocha/internal/catalog"
@@ -54,6 +55,13 @@ type Config struct {
 	// half-open probe succeeds. The zero value takes defaults; set
 	// Breaker.Disabled to turn health tracking off.
 	Breaker BreakerPolicy
+	// HeartbeatInterval, when positive, starts a background prober that
+	// dials and handshakes every catalog site at this interval, feeding
+	// the health registry between queries: a dead site's breaker trips
+	// from heartbeats alone, so replica selection demotes it before any
+	// query pays to discover the corpse. Stop the prober with Close.
+	// Zero disables heartbeating.
+	HeartbeatInterval time.Duration
 	// DisableResume turns off the resumable stream protocol: fragments
 	// are activated without stream IDs, so any mid-stream connection
 	// failure aborts the query (the ablation baseline, and the PR 1
@@ -89,6 +97,9 @@ type Server struct {
 	met    qpcMetrics
 	gov    *exec.Governor
 	adm    *admission
+
+	hb        *heartbeat
+	closeOnce sync.Once
 }
 
 // qpcMetrics caches the server's registry handles. The retry counters
@@ -114,6 +125,13 @@ type qpcMetrics struct {
 	resumeFailed       *obs.Counter
 	restartWastedBytes *obs.Counter
 	degradedReplans    *obs.Counter
+
+	// Placement counters: shard streams moved to a sibling replica
+	// (at setup or mid-stream), and the background heartbeat prober's
+	// probe and failure totals.
+	replicaFailovers  *obs.Counter
+	heartbeatProbes   *obs.Counter
+	heartbeatFailures *obs.Counter
 }
 
 // New creates a QPC.
@@ -141,7 +159,7 @@ func New(cfg Config) *Server {
 	if cfg.MaxConcurrent > 0 {
 		adm = newAdmission(cfg.MaxConcurrent, cfg.QueueDepth, r)
 	}
-	return &Server{cfg: cfg, opt: opt, health: health, gov: gov, adm: adm, met: qpcMetrics{
+	srv := &Server{cfg: cfg, opt: opt, health: health, gov: gov, adm: adm, met: qpcMetrics{
 		queriesTotal:     r.Counter(obs.MQpcQueriesTotal),
 		queriesFailed:    r.Counter(obs.MQpcQueriesFailed),
 		retries:          r.Counter(obs.MQpcRetries),
@@ -155,7 +173,26 @@ func New(cfg Config) *Server {
 		resumeFailed:       r.Counter(obs.MQpcResumeFailed),
 		restartWastedBytes: r.Counter(obs.MQpcRestartWastedBytes),
 		degradedReplans:    r.Counter(obs.MQpcDegradedReplans),
+
+		replicaFailovers:  r.Counter(obs.MQpcReplicaFailovers),
+		heartbeatProbes:   r.Counter(obs.MQpcHeartbeatProbes),
+		heartbeatFailures: r.Counter(obs.MQpcHeartbeatFailures),
 	}}
+	if cfg.HeartbeatInterval > 0 {
+		srv.hb = startHeartbeat(srv, cfg.HeartbeatInterval)
+	}
+	return srv
+}
+
+// Close stops the server's background heartbeat prober, when one is
+// running. Safe to call more than once; queries in flight are not
+// affected.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.hb != nil {
+			s.hb.stopAndWait()
+		}
+	})
 }
 
 // Health exposes the per-site breaker registry (operational overrides
@@ -400,6 +437,12 @@ func (q *Query) RunTraced(ctx context.Context, emit func(types.Tuple) error) (*Q
 func (s *Server) replanDegraded(q *Query) bool {
 	stale := false
 	for _, f := range q.Plan.Fragments {
+		// Scattered fragments never re-plan for a sick replica: replica
+		// failover is their recovery path, and a partition whose whole
+		// replica set is down is unavailable, not data-shippable.
+		if f.PartsTotal > 0 {
+			continue
+		}
 		if !f.Degraded && s.health.Degraded(f.Site) {
 			stale = true
 			break

@@ -2,6 +2,7 @@ package qpc
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"mocha/internal/core"
@@ -25,6 +26,10 @@ type fragmentStream struct {
 	id   string
 	ds   *dapSession
 	r    *wire.BatchReader
+	// unit is the activation this stream serves; a scattered unit with
+	// sibling replicas can fail over to one when its serving replica
+	// dies or trips its breaker.
+	unit *execUnit
 
 	delivered int64 // tuples handed to the pipeline
 	rxBytes   int64 // payload bytes of delivered tuples
@@ -74,16 +79,25 @@ func (fs *fragmentStream) RecvWait() time.Duration {
 func (fs *fragmentStream) EOS() []byte { return fs.r.EOSPayload }
 
 // recover reconnects after a transient mid-stream failure and resumes
-// (or, when the DAP's window has evicted, restarts) the stream.
+// (or, when the DAP's window has evicted, restarts) the stream. A
+// scattered stream whose serving replica is beyond saving — breaker
+// open, retry budget dry, or resume exhausted — fails over to a sibling
+// replica instead of failing the query.
 func (fs *fragmentStream) recover(cause error) error {
 	e := fs.e
 	site := fs.frag.Site
 	health := e.srv.health
 	health.ReportFailure(site, cause)
 	if health.FailFast(site) {
+		if fs.canFailover() {
+			return fs.failover(cause)
+		}
 		return fmt.Errorf("qpc: fragment stream at %s interrupted and breaker open: %w", site, cause)
 	}
 	if !e.budget.take() {
+		if fs.canFailover() {
+			return fs.failover(cause)
+		}
 		return &BudgetExhaustedError{Op: fmt.Sprintf("qpc: resuming stream at %s", site), Last: cause}
 	}
 
@@ -113,6 +127,9 @@ func (fs *fragmentStream) recover(cause error) error {
 	})
 	if err != nil {
 		e.srv.met.resumeFailed.Inc()
+		if fs.canFailover() {
+			return fs.failover(err)
+		}
 		return err
 	}
 	e.sessions[fs.idx] = ds
@@ -165,7 +182,11 @@ func (fs *fragmentStream) restart(ds *dapSession) error {
 	}
 	fs.restarts++
 	newID := fmt.Sprintf("%s~r%d", fs.id, fs.restarts)
-	r, err := ds.activateStream(fs.frag.OutSchema, newID)
+	part, of := 0, 0
+	if fs.unit != nil {
+		part, of = fs.unit.part, fs.unit.of
+	}
+	r, err := ds.activatePart(fs.frag.OutSchema, newID, part, of)
 	if err != nil {
 		return err
 	}
@@ -184,3 +205,88 @@ func carryOver(old, next *wire.BatchReader) {
 		next.Prime(rest)
 	}
 }
+
+// canFailover reports whether the stream may abandon its serving
+// replica for a sibling: it must be a scattered shard with siblings,
+// and a resumable plain stream (a semi-join participant's key exchange
+// cannot be replayed against a different site — unreachable today, as
+// the optimizer never plans semi-joins over placed tables).
+func (fs *fragmentStream) canFailover() bool {
+	return fs.unit != nil && len(fs.unit.replicas) > 1 &&
+		fs.id != "" && fs.frag.SemiJoinCol < 0
+}
+
+// failover demotes the stream's serving replica and restarts the shard
+// on a sibling: fresh session, code and plan deployment, and a full
+// replay with the already-delivered prefix discarded tuple-by-tuple —
+// the PR 3 restart machinery pointed at a different site. Rows a shard
+// emits are deterministic and identical across replicas, so the
+// pipeline observes one uninterrupted stream. Every sibling dead or
+// fail-fast yields a typed partition-unavailable error.
+func (fs *fragmentStream) failover(cause error) error {
+	e := fs.e
+	u := fs.unit
+	from := fs.frag.Site
+	health := e.srv.health
+	table := e.plan.Fragments[u.fragIdx].Table
+	span := e.trace.Begin("failover", from)
+	defer span.End()
+	if e.sessions[fs.idx] != nil {
+		e.sessions[fs.idx] = nil
+		fs.ds.close()
+	}
+	fs.baseWait += fs.r.RecvWait
+	lastErr := cause
+	for _, sib := range u.replicas {
+		if sib == from || health.FailFast(sib) {
+			continue
+		}
+		if e.ctx.Err() != nil {
+			break
+		}
+		ds, err := e.srv.openSession(e.ctx, sib, e.trace.ID)
+		if err != nil {
+			health.ReportFailure(sib, err)
+			lastErr = err
+			continue
+		}
+		ds.openOff = e.trace.Since(time.Now())
+		fs.frag.Site = sib
+		if err := fs.restart(ds); err != nil {
+			ds.close()
+			health.ReportFailure(sib, err)
+			fs.frag.Site = from
+			lastErr = err
+			continue
+		}
+		e.sessions[fs.idx] = ds
+		fs.ds = ds
+		e.srv.met.replicaFailovers.Inc()
+		e.srv.cfg.Logf("qpc: partition %d of %s failed over from %s to %s", u.part, table, from, sib)
+		return nil
+	}
+	return &PartitionUnavailableError{Table: table, Part: u.part, Sites: u.replicas, Last: lastErr}
+}
+
+// PartitionUnavailableError marks a query that failed because one shard
+// of a partitioned table could not be served by any replica — the
+// serving replica died mid-stream (or never answered) and every
+// sibling was dead or fail-fast too. It unwraps to the last transport
+// failure.
+type PartitionUnavailableError struct {
+	// Table is the logical (partitioned) table name.
+	Table string
+	// Part is the partition whose replica set was exhausted.
+	Part int
+	// Sites lists the replica sites that were tried or skipped.
+	Sites []string
+	// Last is the final transport failure.
+	Last error
+}
+
+func (e *PartitionUnavailableError) Error() string {
+	return fmt.Sprintf("qpc: partition %d of %s unavailable on every replica (%s): %v",
+		e.Part, e.Table, strings.Join(e.Sites, ", "), e.Last)
+}
+
+func (e *PartitionUnavailableError) Unwrap() error { return e.Last }

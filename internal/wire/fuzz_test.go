@@ -65,6 +65,12 @@ func FuzzFrame(f *testing.F) {
 	f.Add(frame(MsgSeqEOS, AppendSeq(2, stats)))
 	resume, _ := EncodeXML(Resume{Stream: "q0/0", LastSeq: 7})
 	f.Add(frame(MsgResume, resume))
+	// Placement-bearing frames: a shard activation with partition
+	// coordinates and an EOS echoing them back.
+	activate, _ := EncodeXML(Activate{Stream: "q0/0", Part: 1, Of: 4})
+	f.Add(frame(MsgActivate, activate))
+	shardStats, _ := EncodeXML(ExecStats{Site: "site1", Part: 1, Of: 4, BytesSent: 99})
+	f.Add(frame(MsgSeqEOS, AppendSeq(3, shardStats)))
 	ack, _ := EncodeXML(ResumeAck{OK: true, FromSeq: 8})
 	f.Add(frame(MsgResumeAck, ack))
 	nack, _ := EncodeXML(ResumeAck{OK: false, Reason: "replay window evicted"})
@@ -125,6 +131,9 @@ func FuzzFrame(f *testing.F) {
 					var s ExecStats
 					_ = DecodeXML(body, &s)
 				}
+			case MsgActivate:
+				var a Activate
+				_ = DecodeXML(payload, &a)
 			case MsgResume:
 				var r Resume
 				_ = DecodeXML(payload, &r)

@@ -131,6 +131,11 @@ type ExecStats struct {
 	// session start — the QPC re-anchors them onto its own timeline.
 	Trace string    `xml:"trace,attr,omitempty"`
 	Spans []SpanXML `xml:"span,omitempty"`
+	// Part and Of echo a placement-aware activation's partition ID and
+	// pre-pruning partition count (Of > 0 marks a partitioned stream),
+	// letting the QPC verify each gathered stream's shard.
+	Part int `xml:"part,attr,omitempty"`
+	Of   int `xml:"of,attr,omitempty"`
 }
 
 // SpanXML is the wire form of an obs.Span.

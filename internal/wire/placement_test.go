@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mocha/internal/obs"
+	"mocha/internal/types"
+)
+
+// Round-trips for the placement-bearing wire objects: the ACTIVATE
+// payload carrying a shard's partition coordinates, and the EOS stats
+// echoing them back. Both ride XML with omitempty attributes, so the
+// canonical forms (identifier-shaped names, non-negative coordinates,
+// Of > 0 marking a partitioned stream) must survive encode/decode
+// unchanged. Arbitrary runes are the fuzzer's business (FuzzFrame);
+// the generators here produce the shapes the QPC actually sends.
+
+func TestQuickActivateRoundTrip(t *testing.T) {
+	f := func(q uint32, frag, part, of uint8) bool {
+		in := Activate{
+			Stream: fmt.Sprintf("q%08x/%d", q, frag),
+			Part:   int(part), Of: int(of),
+		}
+		data, err := EncodeXML(&in)
+		if err != nil {
+			return false
+		}
+		var out Activate
+		if err := DecodeXML(data, &out); err != nil {
+			return false
+		}
+		return out.Stream == in.Stream && out.Part == in.Part && out.Of == in.Of
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickExecStatsShardEchoRoundTrip(t *testing.T) {
+	f := func(site uint16, part, of uint8, sent, read int64) bool {
+		in := ExecStats{
+			Site: fmt.Sprintf("site%d", site), Part: int(part), Of: int(of),
+			BytesSent: sent, TuplesRead: read,
+		}
+		data, err := EncodeXML(&in)
+		if err != nil {
+			return false
+		}
+		var out ExecStats
+		if err := DecodeXML(data, &out); err != nil {
+			return false
+		}
+		return out.Site == in.Site && out.Part == in.Part && out.Of == in.Of &&
+			out.BytesSent == in.BytesSent && out.TuplesRead == in.TuplesRead
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExecStatsSpansRoundTrip pins the shard-stats payload a gathered
+// partition stream actually carries: partition coordinates plus the
+// DAP-side trace spans, all surviving the XML hop.
+func TestExecStatsSpansRoundTrip(t *testing.T) {
+	spans := []obs.Span{
+		{Name: "dap:exec", Site: "site2", StartMicros: 10, DurMicros: 250,
+			NetBytes: 4096, DBBytes: 8192, Tuples: 17, Batches: 2},
+		{Name: "dap:code", Site: "site2", CodeBytes: 321, SpillBytes: 64, RowsIn: 5},
+	}
+	in := ExecStats{Site: "site2", Part: 2, Of: 3, BytesSent: 4096, Spans: SpansToXML(spans)}
+	data, err := EncodeXML(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out ExecStats
+	if err := DecodeXML(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := SpansFromXML(out.Spans)
+	if len(got) != len(spans) {
+		t.Fatalf("got %d spans, want %d", len(got), len(spans))
+	}
+	for i := range spans {
+		if got[i] != spans[i] {
+			t.Errorf("span %d diverged:\n in  %+v\n out %+v", i, spans[i], got[i])
+		}
+	}
+	if SpansToXML(nil) != nil || SpansFromXML(nil) != nil {
+		t.Error("empty span lists should stay nil on the wire")
+	}
+}
+
+// TestBatchWriterTargetGranularity pins the flush-threshold override a
+// partitioned DAP uses for finer replay granularity: a small target
+// flushes per few tuples, and a non-positive target restores the
+// default (one flush for the whole stream).
+func TestBatchWriterTargetGranularity(t *testing.T) {
+	rows := make([]types.Tuple, 64)
+	for i := range rows {
+		rows[i] = types.Tuple{types.Int(i), types.String_("some padding payload")}
+	}
+	send := func(target int) int {
+		var sink countSender
+		w := NewBatchWriter(&sink)
+		w.SetTarget(target)
+		for _, tup := range rows {
+			if err := w.Write(tup); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if w.Tuples != int64(len(rows)) || w.DataBytes == 0 {
+			t.Fatalf("target %d: wrote %d tuples, %d B", target, w.Tuples, w.DataBytes)
+		}
+		return sink.frames
+	}
+	if fine := send(64); fine < 8 {
+		t.Errorf("64 B target produced only %d frames", fine)
+	}
+	if coarse := send(0); coarse != 1 {
+		t.Errorf("default target produced %d frames, want 1", coarse)
+	}
+}
+
+type countSender struct{ frames int }
+
+func (c *countSender) Send(MsgType, []byte) error { c.frames++; return nil }
+
+// TestBatchReaderPrimePending pins the tuple hand-off a replica
+// failover performs: tuples decoded but undelivered on the dying
+// reader are Primed into its replacement, so none are lost or
+// duplicated across the switch.
+func TestBatchReaderPrimePending(t *testing.T) {
+	batch := EncodeBatch([]types.Tuple{
+		{types.Int(1), types.String_("a")},
+		{types.Int(2), types.String_("b")},
+		{types.Int(3), types.String_("c")},
+	})
+	stats, _ := EncodeXML(ExecStats{Site: "site1"})
+	stream := append(frame(MsgTupleBatch, batch), frame(MsgEOS, stats)...)
+	r := NewBatchReader(NewConn(&byteConn{r: bytes.NewReader(stream)}), fuzzSchema)
+	first, err := r.Next()
+	if err != nil || first == nil {
+		t.Fatalf("first tuple: %v, %v", first, err)
+	}
+	left := r.Pending()
+	if len(left) != 2 {
+		t.Fatalf("pending = %d tuples, want 2", len(left))
+	}
+	r2 := NewBatchReader(NewConn(&byteConn{r: bytes.NewReader(frame(MsgEOS, stats))}), fuzzSchema)
+	r2.Prime(left)
+	var got []types.Tuple
+	for {
+		tup, err := r2.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tup == nil {
+			break
+		}
+		got = append(got, tup)
+	}
+	if len(got) != 2 || int(got[0][0].(types.Int)) != 2 || int(got[1][0].(types.Int)) != 3 {
+		t.Fatalf("primed reader delivered %v", got)
+	}
+}
+
+// TestActivateUnpartitionedStaysBare pins the wire form of the common
+// case: a resumable but unpartitioned activation encodes no part/of
+// attributes at all, so pre-placement DAPs keep understanding it.
+func TestActivateUnpartitionedStaysBare(t *testing.T) {
+	data, err := EncodeXML(&Activate{Stream: "q1/0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, attr := range []string{"part=", "of="} {
+		if strings.Contains(string(data), attr) {
+			t.Errorf("unpartitioned activate leaked %q: %s", attr, data)
+		}
+	}
+	var out Activate
+	if err := DecodeXML(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Stream != "q1/0" || out.Part != 0 || out.Of != 0 {
+		t.Errorf("bare activate decoded to %+v", out)
+	}
+}

@@ -38,9 +38,18 @@ func CutSeq(payload []byte) (uint64, []byte, error) {
 // empty Stream) activates a plain, non-resumable stream — the pre-resume
 // wire behaviour. A stream ID makes the DAP retain a replay window so
 // the stream can survive a dropped connection.
+//
+// Placement-aware activation: when the deployed fragment reads one
+// shard of a partitioned table, Part/Of carry the shard's partition ID
+// and the pre-pruning partition count (Of > 0 marks the activation as
+// partitioned; an unpartitioned activation leaves both zero). The DAP
+// echoes them in its ExecStats so the QPC can verify each gathered
+// stream came from the shard it activated.
 type Activate struct {
 	XMLName xml.Name `xml:"activate"`
 	Stream  string   `xml:"stream,attr,omitempty"`
+	Part    int      `xml:"part,attr,omitempty"`
+	Of      int      `xml:"of,attr,omitempty"`
 }
 
 // Resume asks a DAP to continue a retained stream on this connection,

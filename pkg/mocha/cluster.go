@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"mocha/internal/catalog"
 	"mocha/internal/dap"
@@ -44,6 +45,25 @@ type ClusterConfig struct {
 	// queue drains with per-tenant round-robin fairness. Zero rejects
 	// immediately once MaxConcurrent queries are running.
 	QueueDepth int
+	// QueryTimeout bounds each query end to end (zero = unbounded).
+	QueryTimeout time.Duration
+	// FrameTimeout bounds each frame read/write on QPC↔DAP links, so a
+	// dead replica fails a stream (triggering replica failover on
+	// partitioned tables) instead of hanging it. Zero = unbounded.
+	FrameTimeout time.Duration
+	// Retry configures the QPC's retry-with-backoff for idempotent
+	// phases. Zero value takes the qpc defaults.
+	Retry RetryPolicy
+	// Breaker configures the per-site circuit breaker; with partitioned
+	// tables an open breaker demotes the replica in PickReplica and
+	// triggers failover for its in-flight streams. Zero value takes the
+	// qpc defaults.
+	Breaker BreakerPolicy
+	// HeartbeatInterval, when positive, runs a background prober that
+	// handshakes every site at this interval, so dead replicas are
+	// demoted between queries rather than discovered by one. Stop it
+	// with Close. Zero disables heartbeating.
+	HeartbeatInterval time.Duration
 	// Logf receives diagnostics from all components.
 	Logf func(format string, args ...any)
 }
@@ -61,6 +81,17 @@ type Governor = exec.Governor
 // FaultPlan re-exports the network fault-injection plan for chaos and
 // recovery testing against a cluster's in-memory links.
 type FaultPlan = netsim.FaultPlan
+
+// RetryPolicy re-exports the QPC retry knobs for cluster configuration.
+type RetryPolicy = qpc.RetryPolicy
+
+// BreakerPolicy re-exports the per-site circuit-breaker knobs for
+// cluster configuration.
+type BreakerPolicy = qpc.BreakerPolicy
+
+// HealthRegistry re-exports the QPC's per-site health/breaker registry
+// (operational overrides like ForceOpen, and replica demotion state).
+type HealthRegistry = qpc.HealthRegistry
 
 // Ethernet10Mbps is the paper's testbed link model.
 func Ethernet10Mbps() *Shaper { return netsim.Ethernet10Mbps }
@@ -104,16 +135,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		drivers: make(map[string]dap.AccessDriver),
 	}
 	cl.network.Instrument(cl.metrics)
-	cl.qpc = qpc.New(qpc.Config{
-		Cat:           cat,
-		Dial:          cl.network.Dial,
-		Strategy:      cfg.Strategy,
-		Exec:          cfg.Exec,
-		MaxConcurrent: cfg.MaxConcurrent,
-		QueueDepth:    cfg.QueueDepth,
-		Metrics:       cl.metrics,
-		Logf:          cfg.Logf,
-	})
+	cl.qpc = qpc.New(cl.qpcConfig(cfg.Strategy))
 	// Expose the QPC to in-process wire clients.
 	l, err := cl.network.Listen("qpc")
 	if err != nil {
@@ -140,12 +162,35 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	return cl, nil
 }
 
+// qpcConfig assembles a QPC configuration from the cluster's knobs.
+func (cl *Cluster) qpcConfig(s Strategy) qpc.Config {
+	return qpc.Config{
+		Cat:               cl.catalog,
+		Dial:              cl.network.Dial,
+		Strategy:          s,
+		Exec:              cl.cfg.Exec,
+		MaxConcurrent:     cl.cfg.MaxConcurrent,
+		QueueDepth:        cl.cfg.QueueDepth,
+		QueryTimeout:      cl.cfg.QueryTimeout,
+		FrameTimeout:      cl.cfg.FrameTimeout,
+		Retry:             cl.cfg.Retry,
+		Breaker:           cl.cfg.Breaker,
+		HeartbeatInterval: cl.cfg.HeartbeatInterval,
+		Metrics:           cl.metrics,
+		Logf:              cl.cfg.Logf,
+	}
+}
+
 // qpcServer returns the current QPC instance under the cluster lock.
 func (cl *Cluster) qpcServer() *qpc.Server {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	return cl.qpc
 }
+
+// Health exposes the QPC's per-site breaker registry: breaker state,
+// ForceOpen/Reset overrides, and the replica load balancer's view.
+func (cl *Cluster) Health() *HealthRegistry { return cl.qpcServer().Health() }
 
 // Catalog exposes the cluster's metadata catalog.
 func (cl *Cluster) Catalog() *catalog.Catalog { return cl.catalog }
@@ -375,16 +420,8 @@ func (cl *Cluster) SetFault(site string, plan *FaultPlan) {
 func (cl *Cluster) SetStrategy(s Strategy) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	cl.qpc = qpc.New(qpc.Config{
-		Cat:           cl.catalog,
-		Dial:          cl.network.Dial,
-		Strategy:      s,
-		Exec:          cl.cfg.Exec,
-		MaxConcurrent: cl.cfg.MaxConcurrent,
-		QueueDepth:    cl.cfg.QueueDepth,
-		Metrics:       cl.metrics,
-		Logf:          cl.cfg.Logf,
-	})
+	cl.qpc.Close() // stop the replaced instance's heartbeat prober
+	cl.qpc = qpc.New(cl.qpcConfig(s))
 }
 
 // Connect opens a wire-protocol client session to the embedded QPC,
@@ -424,6 +461,7 @@ func (cl *Cluster) DAPCacheStats(site string) (hits, misses int64, err error) {
 func (cl *Cluster) Close() {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	cl.qpc.Close()
 	for _, l := range cl.listeners {
 		l.Close()
 	}

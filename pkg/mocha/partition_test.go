@@ -1,0 +1,272 @@
+package mocha
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mocha/internal/obs"
+	"mocha/internal/sequoia"
+	"mocha/internal/storage"
+)
+
+// Partitioned differential ladder: the full Sequoia query ladder over a
+// cluster whose Rasters table is range- or hash-partitioned across three
+// DAP sites with every shard replicated 2-way, compared byte-for-byte
+// against an oracle cluster that serves Rasters from a single DAP in
+// partition-concatenation order — the layout a scattered, gathered scan
+// reproduces exactly.
+
+// partitionScale is the ladder's data scale: enough distinct week
+// numbers (0..3) to populate four range shards, with raster images small
+// enough to keep five cluster pairs cheap.
+func partitionScale() sequoia.Config {
+	scale := sequoia.TestScale()
+	scale.JoinDim = 64
+	scale.RasterRows = 4 * scale.Bands
+	scale.RasterDim = 64
+	return scale
+}
+
+// partitionSites assigns shard i's replica pair round-robin over the
+// three sites, primary first.
+func partitionSites(i int) []string {
+	sites := []string{"site1", "site2", "site3"}
+	return []string{sites[i%3], sites[(i+1)%3]}
+}
+
+// timeCuts derives n-1 evenly spaced range cuts over the generated time
+// domain, so every range shard is non-empty.
+func timeCuts(t *testing.T, src *storage.Table, n int) []int64 {
+	t.Helper()
+	it, err := src.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lo, hi int64
+	first := true
+	for {
+		tup, _, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tup == nil {
+			break
+		}
+		v := int64(tup[0].(Int))
+		if first || v < lo {
+			lo = v
+		}
+		if first || v > hi {
+			hi = v
+		}
+		first = false
+	}
+	cuts := make([]int64, 0, n-1)
+	for i := 1; i < n; i++ {
+		cuts = append(cuts, lo+(hi-lo+1)*int64(i)/int64(n))
+	}
+	return cuts
+}
+
+// partitionedPair builds the differential's two clusters from identical
+// generated data: one with Rasters sharded per mkSpec and replicated
+// across the sites, one (the oracle) holding the same rows as a single
+// site1 table in partition-concatenation order. Every other Sequoia
+// table keeps the standard layout in both.
+func partitionedPair(t *testing.T, mkSpec func(src *storage.Table) *PartitionSpec, cfg ClusterConfig) (part, oracle *Cluster, spec *PartitionSpec) {
+	t.Helper()
+	scale := partitionScale()
+	scratch, err := NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sequoia.GenerateRasters(scratch, scale); err != nil {
+		t.Fatal(err)
+	}
+	src, _ := scratch.Table("Rasters")
+	spec = mkSpec(src)
+
+	baseStores := func() map[string]*storage.Store {
+		m := map[string]*storage.Store{}
+		for _, site := range []string{"site1", "site2", "site3"} {
+			st, err := NewStore()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m[site] = st
+		}
+		if err := sequoia.GeneratePolygons(m["site1"], scale); err != nil {
+			t.Fatal(err)
+		}
+		if err := sequoia.GenerateGraphs(m["site1"], scale); err != nil {
+			t.Fatal(err)
+		}
+		if err := sequoia.GenerateJoinPair(m["site1"], m["site2"], scale); err != nil {
+			t.Fatal(err)
+		}
+		if err := sequoia.GenerateJoinThird(m["site3"], scale); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	buildCluster := func(c ClusterConfig, stores map[string]*storage.Store) *Cluster {
+		cl, err := NewCluster(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, site := range []string{"site1", "site2", "site3"} {
+			if err := cl.AddSite(site, stores[site]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, tbl := range []string{"Polygons", "Graphs", "Rasters1"} {
+			if err := cl.RegisterTable("site1", tbl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := cl.RegisterTable("site2", "Rasters2"); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.RegisterTable("site3", "Rasters3"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(cl.Close)
+		return cl
+	}
+
+	partStores := baseStores()
+	oracleStores := baseStores()
+	if err := SplitTable(src, spec, partStores, oracleStores["site1"], "Rasters"); err != nil {
+		t.Fatal(err)
+	}
+	part = buildCluster(cfg, partStores)
+	if err := part.RegisterPartitionedTable("Rasters", spec); err != nil {
+		t.Fatal(err)
+	}
+	oracle = buildCluster(ClusterConfig{}, oracleStores)
+	if err := oracle.RegisterTable("site1", "Rasters"); err != nil {
+		t.Fatal(err)
+	}
+	return part, oracle, spec
+}
+
+// partitionLadderQueries is the spill ladder plus queries aimed at the
+// partitioned table itself: full scatter scan, key-pruned scans, a
+// scattered top-k and per-shard aggregate pushdown.
+func partitionLadderQueries(scale sequoia.Config) []struct{ label, sql string } {
+	return append(spillLadderQueries(scale), []struct{ label, sql string }{
+		{"part_scan", `SELECT time, band FROM Rasters`},
+		{"part_pruned_range", `SELECT time, band FROM Rasters WHERE time <= 1`},
+		{"part_pruned_point", `SELECT time, band FROM Rasters WHERE time = 2`},
+		{"part_topk", `SELECT time, band FROM Rasters ORDER BY time DESC, band LIMIT 7`},
+		{"part_agg", `SELECT time, AvgEnergy(image) FROM Rasters WHERE AvgEnergy(image) < 200`},
+		{"part_group", `SELECT time AS w, Count(band) AS n FROM Rasters GROUP BY time ORDER BY w`},
+	}...)
+}
+
+// TestPartitionedDifferentialLadder runs the ladder over 2/3/4-way range
+// and 3-way hash partitionings of Rasters, under both placement
+// strategies, plus a 48 KiB memory-budget variant that forces the spill
+// path through the scattered plans. Every query must match the oracle
+// byte for byte — same rows, same order.
+func TestPartitionedDifferentialLadder(t *testing.T) {
+	scale := partitionScale()
+	variants := []struct {
+		name   string
+		mk     func(src *storage.Table) *PartitionSpec
+		cfg    ClusterConfig
+		budget int64
+	}{
+		{name: "range2", mk: func(src *storage.Table) *PartitionSpec {
+			return RangePlacement("Rasters", "time", timeCuts(t, src, 2),
+				[][]string{partitionSites(0), partitionSites(1)})
+		}},
+		{name: "range3", mk: func(src *storage.Table) *PartitionSpec {
+			return RangePlacement("Rasters", "time", timeCuts(t, src, 3),
+				[][]string{partitionSites(0), partitionSites(1), partitionSites(2)})
+		}},
+		{name: "range4", mk: func(src *storage.Table) *PartitionSpec {
+			return RangePlacement("Rasters", "time", timeCuts(t, src, 4),
+				[][]string{partitionSites(0), partitionSites(1), partitionSites(2), partitionSites(3)})
+		}},
+		{name: "hash3", mk: func(src *storage.Table) *PartitionSpec {
+			return HashPlacement("Rasters", "time",
+				[][]string{partitionSites(0), partitionSites(1), partitionSites(2)})
+		}},
+		{name: "range3_spill48k", budget: 48 << 10,
+			cfg: ClusterConfig{Exec: Tuning{MemBudgetBytes: 48 << 10}},
+			mk: func(src *storage.Table) *PartitionSpec {
+				return RangePlacement("Rasters", "time", timeCuts(t, src, 3),
+					[][]string{partitionSites(0), partitionSites(1), partitionSites(2)})
+			}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			part, oracle, spec := partitionedPair(t, v.mk, v.cfg)
+			for _, q := range partitionLadderQueries(scale) {
+				for _, strat := range []Strategy{StrategyCodeShip, StrategyDataShip} {
+					part.SetStrategy(strat)
+					got, err := part.Execute(q.sql)
+					if err != nil {
+						t.Fatalf("%s partitioned under %v: %v", q.label, strat, err)
+					}
+					oracle.SetStrategy(strat)
+					want, err := oracle.Execute(q.sql)
+					if err != nil {
+						t.Fatalf("%s oracle under %v: %v", q.label, strat, err)
+					}
+					if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+						t.Errorf("%s under %v: partitioned result diverged from oracle (%d vs %d rows)",
+							q.label, strat, len(got.Rows), len(want.Rows))
+					}
+				}
+			}
+			// The scattered scan must really fan out over every shard.
+			out, err := part.Explain(`SELECT time, band FROM Rasters`)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(out, fmt.Sprintf("partitions: %d/%d", len(spec.Parts), len(spec.Parts))) {
+				t.Errorf("explain lost the scatter:\n%s", out)
+			}
+			if v.budget > 0 {
+				if n := part.Metrics().Counter(obs.MExecSpillEvents).Value(); n == 0 {
+					t.Errorf("no spill events under a %d B budget", v.budget)
+				}
+			}
+		})
+	}
+}
+
+// TestPartitionPruningReducesVolume pins that pruning pays: the
+// key-pruned query accesses strictly less data at the sources than the
+// full scatter scan, and the plan names only the surviving shards.
+func TestPartitionPruningReducesVolume(t *testing.T) {
+	part, _, _ := partitionedPair(t, func(src *storage.Table) *PartitionSpec {
+		return RangePlacement("Rasters", "time", timeCuts(t, src, 4),
+			[][]string{partitionSites(0), partitionSites(1), partitionSites(2), partitionSites(3)})
+	}, ClusterConfig{})
+	full, err := part.Execute(`SELECT time, band FROM Rasters`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := part.Execute(`SELECT time, band FROM Rasters WHERE time = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pruned.Rows) == 0 {
+		t.Fatal("pruned query returned nothing")
+	}
+	if pruned.Stats.CVDA*2 > full.Stats.CVDA {
+		t.Errorf("pruned CVDA %d vs full %d: pruning should skip most shards",
+			pruned.Stats.CVDA, full.Stats.CVDA)
+	}
+	out, err := part.Explain(`SELECT time, band FROM Rasters WHERE time = 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "partitions: 1/4") {
+		t.Errorf("explain should show 1/4 partitions:\n%s", out)
+	}
+}
