@@ -5,6 +5,9 @@
 //
 //	mocha-cli -qpc localhost:7700 -e "SELECT time FROM Rasters LIMIT 5"
 //	mocha-cli -qpc localhost:7700 -verify Perimeter   # audit a class
+//	mocha-cli -qpc localhost:7700 releases list       # release history, all classes
+//	mocha-cli -qpc localhost:7700 releases show Clip  # one class: tag, digest, caps, markers
+//	mocha-cli -qpc localhost:7700 rollouts            # rollout history with abort evidence
 //	mocha-cli -qpc localhost:7700            # REPL on stdin
 package main
 
@@ -34,6 +37,18 @@ func main() {
 
 	if *verify != "" {
 		if err := runQuery(client, "VERIFY "+*verify, false); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Positional release verbs map onto the QPC's SHOW statements.
+	if args := flag.Args(); len(args) > 0 {
+		sql, err := releaseVerb(args)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := runQuery(client, sql, false); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -72,6 +87,26 @@ func main() {
 		}
 		fmt.Print("    -> ")
 	}
+}
+
+// releaseVerb translates the positional release/rollout verbs to SQL.
+func releaseVerb(args []string) (string, error) {
+	switch args[0] {
+	case "releases":
+		if len(args) == 2 && args[1] == "list" {
+			return "SHOW RELEASES", nil
+		}
+		if len(args) == 3 && args[1] == "show" {
+			return "SHOW RELEASES " + args[2], nil
+		}
+		return "", fmt.Errorf("usage: mocha-cli releases list | releases show <class>")
+	case "rollouts":
+		if len(args) == 1 {
+			return "SHOW ROLLOUTS", nil
+		}
+		return "", fmt.Errorf("usage: mocha-cli rollouts")
+	}
+	return "", fmt.Errorf("unknown command %q (want releases or rollouts)", args[0])
 }
 
 func runQuery(client *mocha.Client, sql string, showStats bool) error {

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestReleaseVerb(t *testing.T) {
+	good := map[string][]string{
+		"SHOW RELEASES":           {"releases", "list"},
+		"SHOW RELEASES AvgEnergy": {"releases", "show", "AvgEnergy"},
+		"SHOW ROLLOUTS":           {"rollouts"},
+	}
+	for want, args := range good {
+		got, err := releaseVerb(args)
+		if err != nil || got != want {
+			t.Errorf("releaseVerb(%v) = %q, %v; want %q", args, got, err, want)
+		}
+	}
+	bad := [][]string{
+		{"releases"},
+		{"releases", "show"},
+		{"releases", "drop", "AvgEnergy"},
+		{"rollouts", "extra"},
+		{"frobnicate"},
+	}
+	for _, args := range bad {
+		if _, err := releaseVerb(args); err == nil {
+			t.Errorf("releaseVerb(%v) accepted", args)
+		}
+	}
+}

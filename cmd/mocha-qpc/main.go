@@ -40,6 +40,11 @@ func main() {
 	noResume := flag.Bool("no-resume", false, "disable mid-stream RESUME recovery (pre-recovery ablation baseline)")
 	heartbeat := flag.Duration("heartbeat-interval", 0, "probe every catalog site this often to demote dead replicas ahead of queries (0 = disabled)")
 	memBudget := flag.Int64("mem-budget", 0, "query-memory budget in bytes shared by all queries; joins and aggregates spill past it (0 = ungoverned)")
+	classesDir := flag.String("classes-dir", "", "load operator releases from this directory (manifest.xml + .mvmc blobs; re-verified on load)")
+	rolloutMinSamples := flag.Int("rollout-min-samples", 0, "canary/active comparisons before the latency check may abort a rollout (0 = default)")
+	rolloutLatencyFactor := flag.Float64("rollout-latency-factor", 0, "abort a rollout when canary op self-time exceeds this multiple of active (0 = default)")
+	rolloutPromoteAfter := flag.Int("rollout-promote-after", 0, "clean comparisons that auto-promote a canary (-1 = never, 0 = default)")
+	rolloutMaxErrors := flag.Int("rollout-max-canary-errors", 0, "canary-only failures tolerated before auto-rollback")
 	maxConcurrent := flag.Int("max-concurrent", 0, "queries admitted to execute at once (0 = unbounded)")
 	queueDepth := flag.Int("queue-depth", 0, "queries allowed to wait for an admission slot, drained round-robin per tenant (0 = reject when saturated)")
 	pprofAddr := flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address (empty = disabled)")
@@ -62,6 +67,11 @@ func main() {
 	cat := catalog.New(reg, catalog.NewRepositoryFromRegistry(reg))
 	if err := cat.Load(*catalogPath); err != nil {
 		log.Fatalf("load catalog: %v", err)
+	}
+	if *classesDir != "" {
+		if err := cat.Repo().LoadDir(*classesDir); err != nil {
+			log.Fatalf("load classes: %v", err)
+		}
 	}
 	fmt.Printf("mocha-qpc: %d tables, %d operators, strategy=%v\n",
 		len(cat.TableNames()), len(reg.Names()), strat)
@@ -99,10 +109,16 @@ func main() {
 		},
 		DisableResume:     *noResume,
 		HeartbeatInterval: *heartbeat,
-		Exec:              exec.Tuning{MemBudgetBytes: *memBudget},
-		MaxConcurrent:     *maxConcurrent,
-		QueueDepth:        *queueDepth,
-		Logf:              logf,
+		Rollout: qpc.RolloutPolicy{
+			MinSamples:      *rolloutMinSamples,
+			LatencyFactor:   *rolloutLatencyFactor,
+			PromoteAfter:    *rolloutPromoteAfter,
+			MaxCanaryErrors: *rolloutMaxErrors,
+		},
+		Exec:          exec.Tuning{MemBudgetBytes: *memBudget},
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queueDepth,
+		Logf:          logf,
 	})
 	obs.ServeDebug(*pprofAddr, srv.Metrics(), logf)
 	l, err := net.Listen("tcp", *listen)

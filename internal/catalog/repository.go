@@ -2,8 +2,6 @@ package catalog
 
 import (
 	"fmt"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -15,7 +13,8 @@ import (
 
 // Class is one deployable unit of middleware code: the MVM analogue of a
 // compiled Java class file stored in the well-known code repository of
-// section 3.6.
+// section 3.6. A Class is a view of one Release: Version is the release
+// tag and Checksum its content digest.
 type Class struct {
 	Name     string
 	Version  string
@@ -25,16 +24,49 @@ type Class struct {
 	Caps     []string // host capabilities from the verifier's manifest
 }
 
-// Repository is the well-known code repository: administrators register
-// classes here once, and the QPC deploys them to remote sites on demand.
+// classHistory is the full release record of one operator: every
+// publication in order, plus the active and canary pointers (-1 = none).
+type classHistory struct {
+	name     string // display name
+	releases []*Release
+	active   int
+	canary   int
+}
+
+// tagIndex resolves a tag to its release index, or -1.
+func (h *classHistory) tagIndex(tag string) int {
+	for i, rel := range h.releases {
+		if rel.Tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// digestIndex resolves a content digest to its release index, or -1.
+func (h *classHistory) digestIndex(digest string) int {
+	for i, rel := range h.releases {
+		if rel.Digest == digest {
+			return i
+		}
+	}
+	return -1
+}
+
+// Repository is the well-known code repository: a versioned,
+// content-addressed release store. Administrators publish classes here;
+// the QPC deploys them to remote sites on demand. Every publication is
+// an immutable release — same-name/different-blob publishes never
+// clobber history — and per-class active/canary pointers select which
+// release new queries plan against.
 type Repository struct {
 	mu      sync.RWMutex
-	classes map[string]*Class
+	classes map[string]*classHistory
 }
 
 // NewRepository returns an empty repository.
 func NewRepository() *Repository {
-	return &Repository{classes: make(map[string]*Class)}
+	return &Repository{classes: make(map[string]*classHistory)}
 }
 
 // NewRepositoryFromRegistry registers every operator program of an
@@ -52,12 +84,12 @@ func NewRepositoryFromRegistry(reg *ops.Registry) *Repository {
 	return r
 }
 
-// PutProgram registers (or upgrades) a compiled program. Publication is
-// the trust boundary of the code repository: a program that fails the
-// static verifier never becomes a class, so every site that later pulls
-// the class knows it passed the ladder at least once (and re-verifies
-// locally anyway, since the stamp does not travel on the wire).
-func (r *Repository) PutProgram(p *vm.Program) (*Class, error) {
+// publish verifies p and records it as a release of its class. A blob
+// already in the history is reused (publication is idempotent by
+// digest); a new blob always allocates a new release, with the requested
+// tag disambiguated if another blob already holds it. When activate is
+// set the release becomes the class's active version.
+func (r *Repository) publish(p *vm.Program, tag string, activate bool) (*Release, error) {
 	info := p.Verified()
 	if info == nil {
 		if err := vm.Verify(p); err != nil {
@@ -65,26 +97,203 @@ func (r *Repository) PutProgram(p *vm.Program) (*Class, error) {
 		}
 		info = p.Verified()
 	}
-	cls := &Class{
-		Name:     p.Name,
-		Version:  p.Version,
-		Checksum: p.Checksum(),
-		ModTime:  time.Now(),
-		Blob:     p.Encode(),
-		Caps:     append([]string(nil), info.Capabilities...),
-	}
+	digest := p.Checksum()
+
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.classes[strings.ToLower(p.Name)] = cls
-	return cls, nil
+	key := strings.ToLower(p.Name)
+	h, ok := r.classes[key]
+	if !ok {
+		h = &classHistory{name: p.Name, active: -1, canary: -1}
+		r.classes[key] = h
+	}
+	if idx := h.digestIndex(digest); idx >= 0 {
+		if activate {
+			h.active = idx
+			if h.canary == idx {
+				h.canary = -1
+			}
+		}
+		return h.releases[idx], nil
+	}
+	if tag == "" {
+		tag = p.Version
+	}
+	tag = sanitizeTag(tag)
+	if tag == "" {
+		tag = fmt.Sprintf("r%d", len(h.releases)+1)
+	}
+	// The regression this store exists to prevent: a same-name publish
+	// with different bytes must never replace an existing release. A
+	// reused tag gets a "+rN" suffix so both releases stay addressable.
+	if h.tagIndex(tag) >= 0 {
+		tag = fmt.Sprintf("%s+r%d", tag, len(h.releases)+1)
+	}
+	rel := &Release{
+		Class:     h.name,
+		Tag:       tag,
+		Digest:    digest,
+		Caps:      append([]string(nil), info.Capabilities...),
+		Published: time.Now(),
+		Seq:       len(h.releases) + 1,
+		Blob:      p.Encode(),
+	}
+	h.releases = append(h.releases, rel)
+	if activate {
+		h.active = len(h.releases) - 1
+	}
+	return rel, nil
 }
 
-// Get resolves a class by name.
+// PutProgram publishes a compiled program and activates it (the
+// administrator's publish-and-go path). Publication is the trust
+// boundary of the code repository: a program that fails the static
+// verifier never becomes a release, so every site that later pulls the
+// class knows it passed the ladder at least once (and re-verifies
+// locally anyway, since the stamp does not travel on the wire).
+func (r *Repository) PutProgram(p *vm.Program) (*Class, error) {
+	rel, err := r.publish(p, "", true)
+	if err != nil {
+		return nil, err
+	}
+	return rel.AsClass(), nil
+}
+
+// StageProgram publishes a compiled program as a release without
+// activating it — canary material for a ROLLOUT. An empty tag derives
+// from the program's version directive.
+func (r *Repository) StageProgram(p *vm.Program, tag string) (*Release, error) {
+	return r.publish(p, tag, false)
+}
+
+// Get resolves a class by name to its active release.
 func (r *Repository) Get(name string) (*Class, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	c, ok := r.classes[strings.ToLower(name)]
-	return c, ok
+	h, ok := r.classes[strings.ToLower(name)]
+	if !ok || h.active < 0 {
+		return nil, false
+	}
+	return h.releases[h.active].AsClass(), true
+}
+
+// Resolve addresses a class release by name and content digest — the
+// deploy-by-digest path, which keeps in-flight queries pinned to the
+// release they planned against regardless of later pointer moves.
+func (r *Repository) Resolve(name, digest string) (*Class, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.classes[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	idx := h.digestIndex(digest)
+	if idx < 0 {
+		return nil, false
+	}
+	return h.releases[idx].AsClass(), true
+}
+
+// Releases returns the full publication history of a class, oldest
+// first.
+func (r *Repository) Releases(name string) []*Release {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.classes[strings.ToLower(name)]
+	if !ok {
+		return nil
+	}
+	return append([]*Release(nil), h.releases...)
+}
+
+// GetRelease resolves one release of a class by tag.
+func (r *Repository) GetRelease(name, tag string) (*Release, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.classes[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	idx := h.tagIndex(tag)
+	if idx < 0 {
+		return nil, false
+	}
+	return h.releases[idx], true
+}
+
+// ActiveRelease returns the class's active release, if any.
+func (r *Repository) ActiveRelease(name string) (*Release, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.classes[strings.ToLower(name)]
+	if !ok || h.active < 0 {
+		return nil, false
+	}
+	return h.releases[h.active], true
+}
+
+// CanaryRelease returns the class's canary release, if any.
+func (r *Repository) CanaryRelease(name string) (*Release, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	h, ok := r.classes[strings.ToLower(name)]
+	if !ok || h.canary < 0 {
+		return nil, false
+	}
+	return h.releases[h.canary], true
+}
+
+// SetCanary points the class's canary at the release with the given
+// tag. The canary must differ from the active release — canarying the
+// version already serving traffic compares nothing.
+func (r *Repository) SetCanary(name, tag string) (*Release, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.classes[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no class named %q in the code repository", name)
+	}
+	idx := h.tagIndex(tag)
+	if idx < 0 {
+		return nil, fmt.Errorf("catalog: class %s has no release tagged %q", h.name, tag)
+	}
+	if idx == h.active {
+		return nil, fmt.Errorf("catalog: release %s@%s is already active", h.name, tag)
+	}
+	h.canary = idx
+	return h.releases[idx], nil
+}
+
+// ClearCanary drops the class's canary pointer (the rollback path).
+// The release itself stays in the history, so in-flight queries pinned
+// to its digest still resolve. Reports whether a canary was set.
+func (r *Repository) ClearCanary(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.classes[strings.ToLower(name)]
+	if !ok || h.canary < 0 {
+		return false
+	}
+	h.canary = -1
+	return true
+}
+
+// Promote moves the class's active pointer to the release with the
+// given tag and clears the canary — the successful end of a rollout.
+func (r *Repository) Promote(name, tag string) (*Release, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.classes[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("catalog: no class named %q in the code repository", name)
+	}
+	idx := h.tagIndex(tag)
+	if idx < 0 {
+		return nil, fmt.Errorf("catalog: class %s has no release tagged %q", h.name, tag)
+	}
+	h.active = idx
+	h.canary = -1
+	return h.releases[idx], nil
 }
 
 // Names lists registered classes, sorted.
@@ -92,50 +301,9 @@ func (r *Repository) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]string, 0, len(r.classes))
-	for _, c := range r.classes {
-		out = append(out, c.Name)
+	for _, h := range r.classes {
+		out = append(out, h.name)
 	}
 	sort.Strings(out)
 	return out
-}
-
-// SaveDir writes each class blob as a .mvmc file in dir.
-func (r *Repository) SaveDir(dir string) error {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return err
-	}
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for _, c := range r.classes {
-		path := filepath.Join(dir, c.Name+".mvmc")
-		if err := os.WriteFile(path, c.Blob, 0o644); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// LoadDir registers every .mvmc file found in dir.
-func (r *Repository) LoadDir(dir string) error {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return err
-	}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".mvmc") {
-			continue
-		}
-		blob, err := os.ReadFile(filepath.Join(dir, e.Name()))
-		if err != nil {
-			return err
-		}
-		p, err := vm.Decode(blob)
-		if err != nil {
-			return fmt.Errorf("catalog: class file %s: %w", e.Name(), err)
-		}
-		if _, err := r.PutProgram(p); err != nil {
-			return fmt.Errorf("catalog: class file %s: %w", e.Name(), err)
-		}
-	}
-	return nil
 }

@@ -110,6 +110,9 @@ type dapMetrics struct {
 	replayedBytes   *obs.Counter
 	retainExpired   *obs.Counter
 	windowEvicted   *obs.Counter
+
+	invalidateRequests *obs.Counter
+	invalidateDropped  *obs.Counter
 }
 
 // New creates a DAP server.
@@ -155,6 +158,9 @@ func New(cfg Config) *Server {
 			replayedBytes:   r.Counter(obs.MDapStreamReplayedBytes),
 			retainExpired:   r.Counter(obs.MDapStreamRetainExpired),
 			windowEvicted:   r.Counter(obs.MDapStreamWindowEvicted),
+
+			invalidateRequests: r.Counter(obs.MDapCacheInvalidateRequests),
+			invalidateDropped:  r.Counter(obs.MDapCacheInvalidateDropped),
 		},
 	}
 }
@@ -168,6 +174,11 @@ func (s *Server) Governor() *exec.Governor { return s.gov }
 
 // CacheStats reports cumulative code-cache behaviour.
 func (s *Server) CacheStats() (hits, misses int64) { return s.cache.stats() }
+
+// HasClass reports whether the exact class release (by content digest)
+// is currently cached — rollout tests use it to check that a canary
+// deployed by digest, and that a rollback's invalidation landed.
+func (s *Server) HasClass(name, checksum string) bool { return s.cache.has(name, checksum) }
 
 // Serve accepts QPC connections until the listener closes.
 func (s *Server) Serve(l net.Listener) error {
@@ -187,12 +198,19 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
+// cacheVersionCap bounds how many release blobs of one class a DAP
+// retains at once; past it the oldest-loaded version is evicted.
+const cacheVersionCap = 8
+
 // codeCache holds loaded classes across sessions — the code-caching
-// future-work extension of section 3.6, keyed by class name and
-// validated by checksum.
+// future-work extension of section 3.6. It is two-level: class name →
+// content digest → loaded program, so different releases of the same
+// operator coexist (a canary query and an active query may run
+// concurrently without clobbering each other's bytecode) and a rollback
+// can withdraw exactly one release by digest.
 type codeCache struct {
 	mu      sync.RWMutex
-	classes map[string]*loadedClass
+	classes map[string]map[string]*loadedClass
 	hits    int64
 	misses  int64
 }
@@ -200,29 +218,68 @@ type codeCache struct {
 type loadedClass struct {
 	prog     *vm.Program
 	checksum string
+	loadSeq  int64 // monotonic load order, for version eviction
 }
 
 func newCodeCache() *codeCache {
-	return &codeCache{classes: make(map[string]*loadedClass)}
+	return &codeCache{classes: make(map[string]map[string]*loadedClass)}
 }
 
-func (c *codeCache) get(name string) (*loadedClass, bool) {
+// get resolves a loaded class. A non-empty checksum demands that exact
+// release; an empty checksum (legacy fragments without code refs)
+// accepts the most recently loaded version.
+func (c *codeCache) get(name, checksum string) (*loadedClass, bool) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	lc, ok := c.classes[strings.ToLower(name)]
-	return lc, ok
+	versions := c.classes[strings.ToLower(name)]
+	if len(versions) == 0 {
+		return nil, false
+	}
+	if checksum != "" {
+		lc, ok := versions[checksum]
+		return lc, ok
+	}
+	var newest *loadedClass
+	for _, lc := range versions {
+		if newest == nil || lc.loadSeq > newest.loadSeq {
+			newest = lc
+		}
+	}
+	return newest, true
 }
 
 func (c *codeCache) put(p *vm.Program) *loadedClass {
-	lc := &loadedClass{prog: p, checksum: p.Checksum()}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.classes[strings.ToLower(p.Name)] = lc
+	key := strings.ToLower(p.Name)
+	versions := c.classes[key]
+	if versions == nil {
+		versions = make(map[string]*loadedClass)
+		c.classes[key] = versions
+	}
+	var seq int64
+	for _, lc := range versions {
+		if lc.loadSeq > seq {
+			seq = lc.loadSeq
+		}
+	}
+	lc := &loadedClass{prog: p, checksum: p.Checksum(), loadSeq: seq + 1}
+	versions[lc.checksum] = lc
+	for len(versions) > cacheVersionCap {
+		oldest := ""
+		for d, v := range versions {
+			if oldest == "" || v.loadSeq < versions[oldest].loadSeq {
+				oldest = d
+			}
+		}
+		delete(versions, oldest)
+	}
 	return lc
 }
 
-// needs reports whether the named class version must be shipped, and
-// updates hit/miss counters.
+// needs reports whether the referenced class release must be shipped,
+// and updates hit/miss counters. The hit test is by exact content
+// digest: holding some other release of the class does not satisfy it.
 func (c *codeCache) needs(ref core.CodeRef, disabled bool) bool {
 	if disabled {
 		c.mu.Lock()
@@ -232,13 +289,40 @@ func (c *codeCache) needs(ref core.CodeRef, disabled bool) bool {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	lc, ok := c.classes[strings.ToLower(ref.Name)]
-	if ok && lc.checksum == ref.Checksum {
+	if _, ok := c.classes[strings.ToLower(ref.Name)][ref.Checksum]; ok {
 		c.hits++
 		return false
 	}
 	c.misses++
 	return true
+}
+
+// invalidate drops every cached blob whose digest appears in digests
+// (any class), returning how many were dropped.
+func (c *codeCache) invalidate(digests []string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for _, d := range digests {
+		for key, versions := range c.classes {
+			if _, ok := versions[d]; ok {
+				delete(versions, d)
+				dropped++
+				if len(versions) == 0 {
+					delete(c.classes, key)
+				}
+			}
+		}
+	}
+	return dropped
+}
+
+// has reports whether an exact class release is cached.
+func (c *codeCache) has(name, checksum string) bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	_, ok := c.classes[strings.ToLower(name)][checksum]
+	return ok
 }
 
 func (c *codeCache) stats() (hits, misses int64) {
@@ -249,12 +333,21 @@ func (c *codeCache) stats() (hits, misses int64) {
 
 // vmBinder binds plan operators against the DAP's loaded classes. This is
 // the only way a DAP can evaluate user-defined operators: if the class
-// was never shipped, binding fails.
+// was never shipped, binding fails. refs pins each class name to the
+// content digest the fragment's code refs named, so a query always
+// executes exactly the release it was planned (or canaried) against,
+// even while another release of the same operator is cached.
 type vmBinder struct {
 	cache    *codeCache
+	refs     map[string]string // lower class name → content digest
 	machine  *vm.Machine
 	limits   vm.Limits
 	machines []*vm.Machine // every machine created for this fragment
+}
+
+// resolve looks up the release the fragment pinned for name.
+func (b *vmBinder) resolve(name string) (*loadedClass, bool) {
+	return b.cache.get(name, b.refs[strings.ToLower(name)])
 }
 
 // runCounts sums interpreter dispatch counters across every machine the
@@ -269,7 +362,7 @@ func (b *vmBinder) runCounts() (fast, checked int64) {
 
 // BindScalar implements core.OpBinder.
 func (b *vmBinder) BindScalar(name string, ret types.Kind) (core.ScalarFn, error) {
-	lc, ok := b.cache.get(name)
+	lc, ok := b.resolve(name)
 	if !ok {
 		return nil, fmt.Errorf("dap: class %s not loaded (code shipping required)", name)
 	}
@@ -282,7 +375,7 @@ func (b *vmBinder) BindScalar(name string, ret types.Kind) (core.ScalarFn, error
 
 // BindAggregate implements core.OpBinder.
 func (b *vmBinder) BindAggregate(name string, ret types.Kind) (core.AggFn, error) {
-	lc, ok := b.cache.get(name)
+	lc, ok := b.resolve(name)
 	if !ok {
 		return nil, fmt.Errorf("dap: class %s not loaded (code shipping required)", name)
 	}

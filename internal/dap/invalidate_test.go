@@ -1,0 +1,75 @@
+package dap
+
+import (
+	"testing"
+
+	"mocha/internal/wire"
+)
+
+// TestDAPCodeInvalidate: a CODE_INVALIDATE frame drops exactly the named
+// digests from the code cache (rollback hygiene — a withdrawn release
+// must not survive as a stale cache hit), acks the drop count, and the
+// next CODE_CHECK re-requests the class.
+func TestDAPCodeInvalidate(t *testing.T) {
+	conn, srv := testDAP(t, Config{})
+	hello(t, conn)
+	frag, cls := avgEnergyFragment(t)
+	deployAndRun(t, conn, frag, cls)
+	if !srv.HasClass(cls.Name, cls.Checksum) {
+		t.Fatal("deployed class not cached")
+	}
+	if srv.HasClass(cls.Name, "deadbeef") {
+		t.Fatal("phantom digest reported cached")
+	}
+
+	payload, _ := wire.EncodeXML(&wire.CodeInvalidate{Digests: []string{cls.Checksum, "deadbeef"}})
+	if err := conn.Send(wire.MsgCodeInvalidate, payload); err != nil {
+		t.Fatal(err)
+	}
+	ackData, err := conn.Expect(wire.MsgCodeInvalidateAck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack wire.CodeInvalidateAck
+	if err := wire.DecodeXML(ackData, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Dropped != 1 {
+		t.Errorf("ack.Dropped = %d, want 1 (only the real digest was cached)", ack.Dropped)
+	}
+	if srv.HasClass(cls.Name, cls.Checksum) {
+		t.Error("invalidated digest still cached")
+	}
+
+	// The class must be re-shipped now: CODE_CHECK reports it needed.
+	check, _ := wire.EncodeXML(&wire.CodeCheck{Classes: []wire.CodeCheckItem{
+		{Name: cls.Name, Version: cls.Version, Checksum: cls.Checksum},
+	}})
+	conn.Send(wire.MsgCodeCheck, check)
+	ackData, err = conn.Expect(wire.MsgCodeCheckAck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ca wire.CodeCheckAck
+	wire.DecodeXML(ackData, &ca)
+	if len(ca.Needed) != 1 {
+		t.Errorf("invalidated class not re-requested: %v", ca.Needed)
+	}
+
+	// Idempotent: a second invalidation has nothing left to drop.
+	conn.Send(wire.MsgCodeInvalidate, payload)
+	ackData, err = conn.Expect(wire.MsgCodeInvalidateAck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack = wire.CodeInvalidateAck{}
+	wire.DecodeXML(ackData, &ack)
+	if ack.Dropped != 0 {
+		t.Errorf("second invalidate dropped %d", ack.Dropped)
+	}
+	// After invalidation the class redeploys cleanly and runs again.
+	deployAndRun(t, conn, frag, cls)
+	if !srv.HasClass(cls.Name, cls.Checksum) {
+		t.Error("redeployed class not cached")
+	}
+}

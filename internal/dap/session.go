@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -230,6 +231,23 @@ func (ss *session) handle(t wire.MsgType, payload []byte) error {
 		}
 		return ss.conn.Send(wire.MsgProcResult, data)
 
+	case wire.MsgCodeInvalidate:
+		var req wire.CodeInvalidate
+		if err := wire.DecodeXML(payload, &req); err != nil {
+			return err
+		}
+		dropped := ss.srv.cache.invalidate(req.Digests)
+		ss.srv.met.invalidateRequests.Inc()
+		ss.srv.met.invalidateDropped.Add(int64(dropped))
+		if dropped > 0 {
+			ss.srv.cfg.Logf("dap %s: invalidated %d cached class release(s)", ss.srv.cfg.Site, dropped)
+		}
+		data, err := wire.EncodeXML(&wire.CodeInvalidateAck{Dropped: dropped})
+		if err != nil {
+			return err
+		}
+		return ss.conn.Send(wire.MsgCodeInvalidateAck, data)
+
 	case wire.MsgClose:
 		return errSessionClosed
 
@@ -263,7 +281,14 @@ func (ss *session) execute(streamID string) error {
 		}
 	}
 
-	binder := &vmBinder{cache: ss.srv.cache, machine: vm.New(ss.srv.cfg.Limits), limits: ss.srv.cfg.Limits}
+	// Pin every operator to the exact release digest the fragment's code
+	// refs named: a concurrent rollout may have several releases of one
+	// class cached, and this query must run only the one it shipped with.
+	refs := make(map[string]string, len(frag.Code))
+	for _, cr := range frag.Code {
+		refs[strings.ToLower(cr.Name)] = cr.Checksum
+	}
+	binder := &vmBinder{cache: ss.srv.cache, refs: refs, machine: vm.New(ss.srv.cfg.Limits), limits: ss.srv.cfg.Limits}
 	binder.machines = append(binder.machines, binder.machine)
 
 	var sender wire.FrameSender = ss.conn

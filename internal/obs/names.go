@@ -24,6 +24,11 @@ const (
 	MDapStreamRetainExpired = "dap_stream_retain_expired"
 	MDapStreamWindowEvicted = "dap_stream_window_evicted"
 
+	// DAP code-cache invalidation (release rollback): CODE_INVALIDATE
+	// requests handled, and cached blobs actually dropped by digest.
+	MDapCacheInvalidateRequests = "dap_cache_invalidate_requests"
+	MDapCacheInvalidateDropped  = "dap_cache_invalidate_dropped"
+
 	// MVM interpreter dispatch, counted by the DAP executor.
 	MVMFastpathRuns = "vm_fastpath_runs"
 	MVMCheckedRuns  = "vm_checked_runs"
@@ -58,6 +63,16 @@ const (
 	MQpcReplicaFailovers     = "qpc_replica_failovers"
 	MQpcHeartbeatProbes      = "qpc_heartbeat_probes"
 	MQpcHeartbeatFailures    = "qpc_heartbeat_failures"
+
+	// QPC canary-rollout controller (internal/qpc): queries routed to the
+	// canary release, shadow runs of the active release for comparison,
+	// result/error divergences detected, rollouts aborted (auto-rollback)
+	// and rollouts promoted.
+	MQpcRolloutCanaryQueries = "qpc_rollout_canary_queries"
+	MQpcRolloutShadowRuns    = "qpc_rollout_shadow_runs"
+	MQpcRolloutDivergences   = "qpc_rollout_divergences"
+	MQpcRolloutAborts        = "qpc_rollout_aborts"
+	MQpcRolloutPromotions    = "qpc_rollout_promotions"
 
 	// QPC admission control (internal/qpc): the bounded, per-tenant-fair
 	// queue in front of query execution.

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"strings"
 	"time"
 
+	"mocha/internal/catalog"
 	"mocha/internal/core"
 	"mocha/internal/types"
 	"mocha/internal/wire"
@@ -105,8 +107,23 @@ func (s *Server) deployCode(ds *dapSession, refs []core.CodeRef, stats *QuerySta
 		return err
 	}
 	stats.CacheHits += len(refs) - len(ack.Needed)
+	// Resolve each needed class by the exact digest the plan pinned, so a
+	// fragment deployed mid-rollout (or re-deployed by a stream restart
+	// after failover) always ships the release its plan was routed to —
+	// never whichever release is active at ship time.
+	byName := make(map[string]core.CodeRef, len(refs))
+	for _, r := range refs {
+		byName[strings.ToLower(r.Name)] = r
+	}
 	for _, name := range ack.Needed {
-		cls, ok := s.cfg.Cat.Repo().Get(name)
+		var cls *catalog.Class
+		ok := false
+		if ref, have := byName[strings.ToLower(name)]; have && ref.Checksum != "" {
+			cls, ok = s.cfg.Cat.Repo().Resolve(ref.Name, ref.Checksum)
+		}
+		if !ok {
+			cls, ok = s.cfg.Cat.Repo().Get(name)
+		}
 		if !ok {
 			return fmt.Errorf("qpc: class %s vanished from the repository", name)
 		}

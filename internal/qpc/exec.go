@@ -28,6 +28,11 @@ type planExec struct {
 	ctx    context.Context
 	budget *retryBudget
 
+	// overrides maps a lower-cased class name to the code ref this run
+	// must ship instead of the plan's (canary routing). Applied to the
+	// built units before deployment; nil means run the plan as prepared.
+	overrides map[string]core.CodeRef
+
 	// units are the physical activations: one per fragment for
 	// unpartitioned plans, one per surviving partition for scattered
 	// fragments. sessions, readers and activateOff are indexed by unit.
@@ -90,6 +95,38 @@ func buildUnits(plan *core.Plan, health *HealthRegistry) []*execUnit {
 	return units
 }
 
+// applyOverrides substitutes canary code refs into the built units'
+// fragments. Each affected fragment is cloned first: unpartitioned
+// units alias the shared plan fragment, and the substitution must stay
+// local to this execution (the prepared plan keeps its active refs, and
+// failover mutating the clone's Site never touches the plan either).
+func (e *planExec) applyOverrides() {
+	if len(e.overrides) == 0 {
+		return
+	}
+	for _, u := range e.units {
+		touched := false
+		for _, ref := range u.frag.Code {
+			if _, ok := e.overrides[strings.ToLower(ref.Name)]; ok {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		pf := *u.frag
+		pf.Code = make([]core.CodeRef, len(u.frag.Code))
+		copy(pf.Code, u.frag.Code)
+		for i, ref := range pf.Code {
+			if over, ok := e.overrides[strings.ToLower(ref.Name)]; ok {
+				pf.Code[i] = over
+			}
+		}
+		u.frag = &pf
+	}
+}
+
 func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err error) {
 	// Every session of this query hangs off execCtx: when one fragment
 	// fails, cancelling it immediately unblocks any frame I/O on the
@@ -128,6 +165,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	e.budget = budget
 	err = timedPhase(e.stats, func() error {
 		e.units = buildUnits(e.plan, e.srv.health)
+		e.applyOverrides()
 		e.sessions = make([]*dapSession, len(e.units))
 		partials := make([]QueryStats, len(e.units))
 		errs := make([]error, len(e.units))

@@ -9,6 +9,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"strings"
 	"sync"
@@ -82,6 +83,9 @@ type Config struct {
 	// queries are rejected immediately with AdmissionRejectedError.
 	// Queued queries are admitted round-robin across tenants.
 	QueueDepth int
+	// Rollout tunes the canary-release controller (divergence thresholds
+	// and auto-promotion). The zero value takes defaults.
+	Rollout RolloutPolicy
 	// Metrics receives the server's qpc_* counters and wire traffic
 	// counters. Nil uses the process-wide obs.Default() registry.
 	Metrics *obs.Registry
@@ -91,12 +95,13 @@ type Config struct {
 
 // Server is a QPC instance.
 type Server struct {
-	cfg    Config
-	opt    *core.Optimizer
-	health *HealthRegistry
-	met    qpcMetrics
-	gov    *exec.Governor
-	adm    *admission
+	cfg      Config
+	opt      *core.Optimizer
+	health   *HealthRegistry
+	met      qpcMetrics
+	gov      *exec.Governor
+	adm      *admission
+	rollouts *rolloutController
 
 	hb        *heartbeat
 	closeOnce sync.Once
@@ -132,6 +137,16 @@ type qpcMetrics struct {
 	replicaFailovers  *obs.Counter
 	heartbeatProbes   *obs.Counter
 	heartbeatFailures *obs.Counter
+
+	// Canary-rollout counters: queries routed to a canary release, active
+	// shadow runs performed for comparison, divergences detected (result
+	// digest, canary failure, or latency regression), rollouts aborted
+	// and rollouts promoted.
+	rolloutCanaryQueries *obs.Counter
+	rolloutShadowRuns    *obs.Counter
+	rolloutDivergences   *obs.Counter
+	rolloutAborts        *obs.Counter
+	rolloutPromotions    *obs.Counter
 }
 
 // New creates a QPC.
@@ -177,7 +192,14 @@ func New(cfg Config) *Server {
 		replicaFailovers:  r.Counter(obs.MQpcReplicaFailovers),
 		heartbeatProbes:   r.Counter(obs.MQpcHeartbeatProbes),
 		heartbeatFailures: r.Counter(obs.MQpcHeartbeatFailures),
+
+		rolloutCanaryQueries: r.Counter(obs.MQpcRolloutCanaryQueries),
+		rolloutShadowRuns:    r.Counter(obs.MQpcRolloutShadowRuns),
+		rolloutDivergences:   r.Counter(obs.MQpcRolloutDivergences),
+		rolloutAborts:        r.Counter(obs.MQpcRolloutAborts),
+		rolloutPromotions:    r.Counter(obs.MQpcRolloutPromotions),
 	}}
+	srv.rollouts = newRolloutController(srv, cfg.Rollout)
 	if cfg.HeartbeatInterval > 0 {
 		srv.hb = startHeartbeat(srv, cfg.HeartbeatInterval)
 	}
@@ -233,6 +255,12 @@ type QueryStats struct {
 	CodeClassesShipped int `xml:"code-classes-shipped"`
 	CodeBytesShipped   int `xml:"code-bytes-shipped"`
 	CacheHits          int `xml:"cache-hits"`
+
+	// ResultDigest is the FNV-64a digest of the result rows' wire
+	// encoding, in emission order. The rollout controller compares it
+	// between the canary and active releases of an operator class; it is
+	// also the client-visible fingerprint for result-equality checks.
+	ResultDigest string `xml:"result-digest,omitempty"`
 }
 
 // CVRF returns the measured cumulative volume reduction factor.
@@ -378,6 +406,13 @@ func (q *Query) RunContext(ctx context.Context, emit func(types.Tuple) error) (*
 // RunTraced executes like RunContext and additionally returns the
 // query's trace: the cross-site span timeline assembled from the QPC's
 // own phases and every DAP session's reported spans.
+//
+// When a rollout is running for an operator class the plan ships, the
+// query may be routed to the canary release. The routing decision is
+// made exactly once, here, by hashing the query's freshly minted ID
+// against the rollout fraction: everything downstream (deployment,
+// stream restarts, replica failover) re-derives code from the plan's
+// pinned digests, so a query never mixes releases mid-flight.
 func (q *Query) RunTraced(ctx context.Context, emit func(types.Tuple) error) (*QueryStats, *obs.Trace, error) {
 	start := time.Now()
 	if d := q.srv.cfg.QueryTimeout; d > 0 {
@@ -395,16 +430,42 @@ func (q *Query) RunTraced(ctx context.Context, emit func(types.Tuple) error) (*Q
 		defer adm.release()
 	}
 	q.srv.met.queriesTotal.Inc()
+	qid := obs.NewTraceID()
+	if dec := q.srv.rollouts.route(q.Plan, qid); dec != nil {
+		return q.runCanary(ctx, start, qid, dec, emit)
+	}
+	stats, trace, err := q.runRelease(ctx, qid, emit, nil, true)
+	if err != nil {
+		q.srv.met.queriesFailed.Inc()
+		return nil, trace, q.wrapDeadline(ctx, start, err)
+	}
+	q.finish(start, stats)
+	q.srv.rollouts.observeActive(q.Plan, q.Plan.SQL, stats.ResultDigest, opSelfMicros(trace), nil)
+	return stats, trace, nil
+}
+
+// runRelease executes the prepared plan once, hashing every emitted row
+// into the result digest. overrides substitutes canary code refs into
+// the shipped fragments; a nil map runs the plan exactly as prepared
+// (the active release). allowReplan enables the degraded-site re-plan
+// fallback — canary runs disable it, because a re-plan re-prepares the
+// query and would lose the pinned release.
+func (q *Query) runRelease(ctx context.Context, traceID string, emit func(types.Tuple) error,
+	overrides map[string]core.CodeRef, allowReplan bool) (*QueryStats, *obs.Trace, error) {
 	stats := &QueryStats{PlanMS: q.planMS}
-	trace := obs.NewTrace("")
+	trace := obs.NewTrace(traceID)
+	h := fnv.New64a()
+	var hashBuf []byte
 	var emitted int64
 	counting := func(t types.Tuple) error {
 		emitted++
+		hashBuf = t.AppendTo(hashBuf[:0])
+		h.Write(hashBuf)
 		return emit(t)
 	}
-	exec := &planExec{srv: q.srv, plan: q.Plan, stats: stats, trace: trace}
-	err := exec.run(ctx, counting)
-	if err != nil && emitted == 0 && ctx.Err() == nil && q.srv.replanDegraded(q) {
+	pe := &planExec{srv: q.srv, plan: q.Plan, stats: stats, trace: trace, overrides: overrides}
+	err := pe.run(ctx, counting)
+	if err != nil && allowReplan && emitted == 0 && ctx.Err() == nil && q.srv.replanDegraded(q) {
 		// A site's breaker opened during the failed run and no rows have
 		// reached the client yet: re-plan once with the health oracle's
 		// current view (degraded fragments fall back to data shipping)
@@ -413,21 +474,106 @@ func (q *Query) RunTraced(ctx context.Context, emit func(types.Tuple) error) (*Q
 		q.srv.cfg.Logf("qpc: re-planning under degraded-site placement after: %v", err)
 		stats = &QueryStats{PlanMS: q.planMS}
 		trace = obs.NewTrace("")
-		exec = &planExec{srv: q.srv, plan: q.Plan, stats: stats, trace: trace}
-		err = exec.run(ctx, counting)
+		pe = &planExec{srv: q.srv, plan: q.Plan, stats: stats, trace: trace}
+		err = pe.run(ctx, counting)
 	}
 	if err != nil {
-		q.srv.met.queriesFailed.Inc()
-		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-			return nil, trace, fmt.Errorf("qpc: query aborted after %s (deadline exceeded): %w",
-				time.Since(start).Round(time.Millisecond), err)
-		}
-		return nil, trace, err
+		return stats, trace, err
 	}
+	stats.ResultDigest = fmt.Sprintf("%016x", h.Sum64())
+	return stats, trace, nil
+}
+
+// finish stamps the wall-clock totals on a delivered run's stats.
+func (q *Query) finish(start time.Time, stats *QueryStats) {
 	stats.TotalMS = float64(time.Since(start).Microseconds())/1000 + q.planMS
 	stats.MiscMS += q.planMS + stats.DeployMS
 	q.srv.met.queryMS.Observe(int64(stats.TotalMS))
-	return stats, trace, nil
+}
+
+// wrapDeadline annotates an execution error that was caused by the
+// query deadline expiring.
+func (q *Query) wrapDeadline(ctx context.Context, start time.Time, err error) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("qpc: query aborted after %s (deadline exceeded): %w",
+			time.Since(start).Round(time.Millisecond), err)
+	}
+	return err
+}
+
+// runCanary executes a query that routing pinned to a canary release.
+// The canary's rows are buffered, never streamed: the client only ever
+// receives output that matches the active release's behaviour. A canary
+// run whose result digest matches the recorded active oracle for the
+// same SQL is delivered directly; otherwise an authoritative shadow run
+// of the active release decides — on divergence the active rows are
+// delivered (byte-identical to a no-rollout run) and the rollout
+// auto-rolls back with the evidence.
+func (q *Query) runCanary(ctx context.Context, start time.Time, qid string,
+	dec *canaryDecision, emit func(types.Tuple) error) (*QueryStats, *obs.Trace, error) {
+	srv := q.srv
+	srv.met.rolloutCanaryQueries.Inc()
+	var canRows []types.Tuple
+	canStats, canTrace, canErr := q.runRelease(ctx, qid+"-c", func(t types.Tuple) error {
+		canRows = append(canRows, t)
+		return nil
+	}, dec.overrides, false)
+	canTrace.Add(obs.Span{Name: "rollout:canary", Site: dec.st.Class})
+	can := runOutcome{err: canErr, micros: opSelfMicros(canTrace)}
+	if canErr == nil {
+		can.digest = canStats.ResultDigest
+		switch srv.rollouts.checkOracle(dec, q.Plan.SQL, can) {
+		case oracleMatch, oracleUnstable:
+			if err := replayRows(canRows, emit); err != nil {
+				srv.met.queriesFailed.Inc()
+				return nil, canTrace, err
+			}
+			q.finish(start, canStats)
+			return canStats, canTrace, nil
+		}
+	} else {
+		srv.rollouts.checkOracleErr(dec)
+	}
+	// No usable oracle, a stale mismatch, or a canary failure: run the
+	// active release as the authority and judge.
+	srv.met.rolloutShadowRuns.Inc()
+	var actRows []types.Tuple
+	actStats, actTrace, actErr := q.runRelease(ctx, qid, func(t types.Tuple) error {
+		actRows = append(actRows, t)
+		return nil
+	}, nil, true)
+	act := runOutcome{err: actErr, micros: opSelfMicros(actTrace)}
+	if actErr == nil {
+		act.digest = actStats.ResultDigest
+	}
+	if srv.rollouts.judge(dec, q.Plan.SQL, can, act) {
+		if err := replayRows(canRows, emit); err != nil {
+			srv.met.queriesFailed.Inc()
+			return nil, canTrace, err
+		}
+		q.finish(start, canStats)
+		return canStats, canTrace, nil
+	}
+	if actErr != nil {
+		srv.met.queriesFailed.Inc()
+		return nil, actTrace, q.wrapDeadline(ctx, start, actErr)
+	}
+	if err := replayRows(actRows, emit); err != nil {
+		srv.met.queriesFailed.Inc()
+		return nil, actTrace, err
+	}
+	q.finish(start, actStats)
+	return actStats, actTrace, nil
+}
+
+// replayRows delivers buffered rows to the client's emit callback.
+func replayRows(rows []types.Tuple, emit func(types.Tuple) error) error {
+	for _, t := range rows {
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // replanDegraded re-prepares q when its current plan places work at a

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 
 	"mocha/internal/catalog"
@@ -117,6 +118,50 @@ func (s *Server) serveQuery(ctx context.Context, conn *wire.Conn, sql string) er
 		}
 		return s.sendTextResult(conn, "verify", text)
 	}
+	// SHOW ROLLOUTS reports every rollout this server has run, newest
+	// first, with the abort evidence for auto-rollbacks.
+	if strings.EqualFold(strings.TrimSpace(sql), "SHOW ROLLOUTS") {
+		return s.sendTextResult(conn, "rollout", s.RolloutReport())
+	}
+	// SHOW RELEASES [<class>] lists the release history of one class or
+	// of the whole repository: tag, digest, capability manifest, publish
+	// time and the active/canary markers.
+	if strings.EqualFold(strings.TrimSpace(sql), "SHOW RELEASES") {
+		text, err := s.ReleasesReport("")
+		if err != nil {
+			return err
+		}
+		return s.sendTextResult(conn, "release", text)
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "SHOW RELEASES "); ok {
+		text, err := s.ReleasesReport(strings.TrimSpace(rest))
+		if err != nil {
+			return err
+		}
+		return s.sendTextResult(conn, "release", text)
+	}
+	// ROLLOUT <class> <tag> AT <fraction> starts canarying a staged
+	// release on that fraction of eligible queries.
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "ROLLOUT "); ok {
+		return s.serveRollout(conn, rest)
+	}
+	// ROLLBACK <class> manually withdraws a running rollout's canary.
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "ROLLBACK "); ok {
+		text, err := s.AbortRollout(strings.TrimSpace(rest), "manual ROLLBACK")
+		if err != nil {
+			return err
+		}
+		return s.sendTextResult(conn, "rollout", text)
+	}
+	// PROMOTE <class> manually promotes a running rollout's canary to
+	// the active release.
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(sql), "PROMOTE "); ok {
+		text, err := s.PromoteRollout(strings.TrimSpace(rest))
+		if err != nil {
+			return err
+		}
+		return s.sendTextResult(conn, "rollout", text)
+	}
 	q, err := s.Prepare(sql)
 	if err != nil {
 		return err
@@ -142,6 +187,28 @@ func (s *Server) serveQuery(ctx context.Context, conn *wire.Conn, sql string) er
 		return err
 	}
 	return conn.Send(wire.MsgEOS, statsData)
+}
+
+// serveRollout parses "ROLLOUT <class> <tag> AT <fraction>" (fraction
+// as a percentage, e.g. "25", or a ratio, e.g. "0.25") and starts the
+// rollout.
+func (s *Server) serveRollout(conn *wire.Conn, rest string) error {
+	fields := strings.Fields(rest)
+	if len(fields) != 4 || !strings.EqualFold(fields[2], "AT") {
+		return errors.New("qpc: usage: ROLLOUT <class> <tag> AT <fraction>")
+	}
+	frac, err := strconv.ParseFloat(strings.TrimSuffix(fields[3], "%"), 64)
+	if err != nil {
+		return fmt.Errorf("qpc: bad rollout fraction %q: %w", fields[3], err)
+	}
+	if frac > 1 {
+		frac /= 100 // "25" and "25%" mean a quarter of eligible queries
+	}
+	text, err := s.StartRollout(fields[0], fields[1], frac)
+	if err != nil {
+		return err
+	}
+	return s.sendTextResult(conn, "rollout", text)
 }
 
 func (s *Server) serveDescribe(conn *wire.Conn, name string) error {

@@ -75,6 +75,12 @@ func FuzzFrame(f *testing.F) {
 	f.Add(frame(MsgResumeAck, ack))
 	nack, _ := EncodeXML(ResumeAck{OK: false, Reason: "replay window evicted"})
 	f.Add(frame(MsgResumeAck, nack))
+	// Release-rollback frames: a cache invalidation naming withdrawn
+	// content digests and its drop-count acknowledgement.
+	inval, _ := EncodeXML(CodeInvalidate{Digests: []string{"deadbeefcafef00d", "0123456789abcdef"}})
+	f.Add(frame(MsgCodeInvalidate, inval))
+	invalAck, _ := EncodeXML(CodeInvalidateAck{Dropped: 2})
+	f.Add(frame(MsgCodeInvalidateAck, invalAck))
 	// Malformed: truncated header, truncated body, hostile length prefix,
 	// unknown type, huge tuple count with no tuples, multiple frames,
 	// and seq frames truncated inside the sequence-number prefix.
@@ -140,6 +146,12 @@ func FuzzFrame(f *testing.F) {
 			case MsgResumeAck:
 				var a ResumeAck
 				_ = DecodeXML(payload, &a)
+			case MsgCodeInvalidate:
+				var ci CodeInvalidate
+				_ = DecodeXML(payload, &ci)
+			case MsgCodeInvalidateAck:
+				var ca CodeInvalidateAck
+				_ = DecodeXML(payload, &ca)
 			case MsgResultSchema:
 				var m SchemaMsg
 				if err := DecodeXML(payload, &m); err == nil {

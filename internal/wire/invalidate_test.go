@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestCodeInvalidateRoundTrip property-tests the rollback-invalidation
+// payloads: any digest list and drop count must survive the XML codec.
+// Digests are hex-rendered (as the real release digests are), so the
+// property covers arbitrary digest values rather than arbitrary text.
+func TestCodeInvalidateRoundTrip(t *testing.T) {
+	f := func(vals []uint64, dropped uint16) bool {
+		digests := make([]string, len(vals))
+		for i, v := range vals {
+			digests[i] = fmt.Sprintf("%016x", v)
+		}
+		data, err := EncodeXML(CodeInvalidate{Digests: digests})
+		if err != nil {
+			return false
+		}
+		var ci CodeInvalidate
+		if err := DecodeXML(data, &ci); err != nil {
+			return false
+		}
+		if len(ci.Digests) != len(digests) {
+			return false
+		}
+		for i := range digests {
+			if ci.Digests[i] != digests[i] {
+				return false
+			}
+		}
+		ackData, err := EncodeXML(CodeInvalidateAck{Dropped: int(dropped)})
+		if err != nil {
+			return false
+		}
+		var ack CodeInvalidateAck
+		if err := DecodeXML(ackData, &ack); err != nil {
+			return false
+		}
+		return ack.Dropped == int(dropped)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCodeInvalidateNames pins the frame-type names (wirecheck material
+// and on-the-wire debugging).
+func TestCodeInvalidateNames(t *testing.T) {
+	if MsgCodeInvalidate.String() != "CODE_INVALIDATE" {
+		t.Errorf("MsgCodeInvalidate = %q", MsgCodeInvalidate.String())
+	}
+	if MsgCodeInvalidateAck.String() != "CODE_INVALIDATE_ACK" {
+		t.Errorf("MsgCodeInvalidateAck = %q", MsgCodeInvalidateAck.String())
+	}
+}

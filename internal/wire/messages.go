@@ -49,6 +49,20 @@ type CodeCheckAck struct {
 	Needed  []string `xml:"needed"`
 }
 
+// CodeInvalidate asks a DAP to drop cached code blobs by content digest
+// — the rollback path of a canary release. Digest-keyed caches make this
+// a no-op for sites that never loaded the withdrawn release.
+type CodeInvalidate struct {
+	XMLName xml.Name `xml:"code-invalidate"`
+	Digests []string `xml:"digest"`
+}
+
+// CodeInvalidateAck reports how many cached blobs the DAP dropped.
+type CodeInvalidateAck struct {
+	XMLName xml.Name `xml:"code-invalidate-ack"`
+	Dropped int      `xml:"dropped,attr"`
+}
+
 // SchemaMsg carries a result or fragment schema.
 type SchemaMsg struct {
 	XMLName xml.Name    `xml:"schema"`

@@ -41,12 +41,14 @@ const (
 	MsgError        // carries an error string; terminates the request
 	MsgAck
 	MsgClose
-	MsgProcCall   // QPC → DAP: procedural request (XML), section 3.2
-	MsgProcResult // DAP → QPC: procedural response (XML)
-	MsgSeqBatch   // data stream: 8-byte sequence number + TupleBatch payload
-	MsgSeqEOS     // end of resumable stream: 8-byte sequence number + stats XML
-	MsgResume     // QPC → DAP: resume a retained stream past the last acked seq
-	MsgResumeAck  // DAP → QPC: whether the replay window still covers the gap
+	MsgProcCall          // QPC → DAP: procedural request (XML), section 3.2
+	MsgProcResult        // DAP → QPC: procedural response (XML)
+	MsgSeqBatch          // data stream: 8-byte sequence number + TupleBatch payload
+	MsgSeqEOS            // end of resumable stream: 8-byte sequence number + stats XML
+	MsgResume            // QPC → DAP: resume a retained stream past the last acked seq
+	MsgResumeAck         // DAP → QPC: whether the replay window still covers the gap
+	MsgCodeInvalidate    // QPC → DAP: drop cached code blobs by content digest
+	MsgCodeInvalidateAck // DAP → QPC: how many cached blobs were dropped
 )
 
 var msgNames = map[MsgType]string{
@@ -59,6 +61,7 @@ var msgNames = map[MsgType]string{
 	MsgProcCall: "PROC_CALL", MsgProcResult: "PROC_RESULT",
 	MsgSeqBatch: "SEQ_BATCH", MsgSeqEOS: "SEQ_EOS",
 	MsgResume: "RESUME", MsgResumeAck: "RESUME_ACK",
+	MsgCodeInvalidate: "CODE_INVALIDATE", MsgCodeInvalidateAck: "CODE_INVALIDATE_ACK",
 }
 
 func (t MsgType) String() string {

@@ -64,6 +64,9 @@ type ClusterConfig struct {
 	// demoted between queries rather than discovered by one. Stop it
 	// with Close. Zero disables heartbeating.
 	HeartbeatInterval time.Duration
+	// Rollout tunes the QPC's canary-release controller (divergence
+	// thresholds, auto-promotion). Zero value takes the qpc defaults.
+	Rollout RolloutPolicy
 	// Logf receives diagnostics from all components.
 	Logf func(format string, args ...any)
 }
@@ -88,6 +91,16 @@ type RetryPolicy = qpc.RetryPolicy
 // BreakerPolicy re-exports the per-site circuit-breaker knobs for
 // cluster configuration.
 type BreakerPolicy = qpc.BreakerPolicy
+
+// RolloutPolicy re-exports the QPC canary-rollout knobs for cluster
+// configuration.
+type RolloutPolicy = qpc.RolloutPolicy
+
+// RolloutAbortedError re-exports the typed auto-rollback evidence.
+type RolloutAbortedError = qpc.RolloutAbortedError
+
+// Release re-exports a code-repository release record.
+type Release = catalog.Release
 
 // HealthRegistry re-exports the QPC's per-site health/breaker registry
 // (operational overrides like ForceOpen, and replica demotion state).
@@ -176,6 +189,7 @@ func (cl *Cluster) qpcConfig(s Strategy) qpc.Config {
 		Retry:             cl.cfg.Retry,
 		Breaker:           cl.cfg.Breaker,
 		HeartbeatInterval: cl.cfg.HeartbeatInterval,
+		Rollout:           cl.cfg.Rollout,
 		Metrics:           cl.metrics,
 		Logf:              cl.cfg.Logf,
 	}
@@ -348,6 +362,75 @@ func (cl *Cluster) RegisterOperator(def *OperatorDef) error {
 		return err
 	}
 	return nil
+}
+
+// StageOperator assembles an upgraded operator's MVM source and stages
+// it as a new, inactive release of its class in the well-known code
+// repository under the given tag. Queries keep running the class's
+// active release until a rollout (or promotion) routes traffic to the
+// staged one.
+func (cl *Cluster) StageOperator(def *OperatorDef, tag string) (*Release, error) {
+	if def.Source == "" {
+		return nil, fmt.Errorf("mocha: operator %s has no MVM source", def.Name)
+	}
+	p, err := vm.Assemble(def.Source)
+	if err != nil {
+		return nil, err
+	}
+	return cl.catalog.Repo().StageProgram(p, tag)
+}
+
+// Rollout starts canarying a staged release: the given fraction of the
+// queries whose plans ship the class route to it, each checked against
+// the active release's behaviour, with auto-rollback on divergence.
+func (cl *Cluster) Rollout(class, tag string, fraction float64) error {
+	_, err := cl.qpcServer().StartRollout(class, tag, fraction)
+	return err
+}
+
+// AbortRollout manually rolls a running rollout back.
+func (cl *Cluster) AbortRollout(class, reason string) error {
+	_, err := cl.qpcServer().AbortRollout(class, reason)
+	return err
+}
+
+// PromoteRollout manually promotes a running rollout's canary release
+// to active.
+func (cl *Cluster) PromoteRollout(class string) error {
+	_, err := cl.qpcServer().PromoteRollout(class)
+	return err
+}
+
+// RolloutReport renders the QPC's SHOW ROLLOUTS text.
+func (cl *Cluster) RolloutReport() string { return cl.qpcServer().RolloutReport() }
+
+// RolloutStatus reports a class's latest rollout status ("running",
+// "aborted", "promoted"), or "" when none was started.
+func (cl *Cluster) RolloutStatus(class string) string { return cl.qpcServer().RolloutStatus(class) }
+
+// RolloutAbort returns the typed rollback evidence for a class's latest
+// rollout, or nil when it has not aborted.
+func (cl *Cluster) RolloutAbort(class string) *RolloutAbortedError {
+	return cl.qpcServer().RolloutAbort(class)
+}
+
+// ReleasesReport renders the release history of one class (or of the
+// whole repository when class is empty).
+func (cl *Cluster) ReleasesReport(class string) (string, error) {
+	return cl.qpcServer().ReleasesReport(class)
+}
+
+// DAPHasClass reports whether a site's code cache currently holds the
+// exact (name, checksum) release — rollback-invalidation and
+// version-consistency checks in tests.
+func (cl *Cluster) DAPHasClass(site, name, checksum string) (bool, error) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	srv, ok := cl.daps[site]
+	if !ok {
+		return false, fmt.Errorf("mocha: unknown site %q", site)
+	}
+	return srv.HasClass(name, checksum), nil
 }
 
 // DiscoverTables asks a site's DAP to enumerate its tables (the
