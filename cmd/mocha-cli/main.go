@@ -8,6 +8,7 @@
 //	mocha-cli -qpc localhost:7700 releases list       # release history, all classes
 //	mocha-cli -qpc localhost:7700 releases show Clip  # one class: tag, digest, caps, markers
 //	mocha-cli -qpc localhost:7700 rollouts            # rollout history with abort evidence
+//	mocha-cli -qpc localhost:7700 verify Perimeter    # same audit as -verify, verb form
 //	mocha-cli -qpc localhost:7700            # REPL on stdin
 package main
 
@@ -105,8 +106,13 @@ func releaseVerb(args []string) (string, error) {
 			return "SHOW ROLLOUTS", nil
 		}
 		return "", fmt.Errorf("usage: mocha-cli rollouts")
+	case "verify":
+		if len(args) == 2 {
+			return "VERIFY " + args[1], nil
+		}
+		return "", fmt.Errorf("usage: mocha-cli verify <class>")
 	}
-	return "", fmt.Errorf("unknown command %q (want releases or rollouts)", args[0])
+	return "", fmt.Errorf("unknown command %q (want releases, rollouts or verify)", args[0])
 }
 
 func runQuery(client *mocha.Client, sql string, showStats bool) error {

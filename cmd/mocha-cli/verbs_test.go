@@ -7,6 +7,7 @@ func TestReleaseVerb(t *testing.T) {
 		"SHOW RELEASES":           {"releases", "list"},
 		"SHOW RELEASES AvgEnergy": {"releases", "show", "AvgEnergy"},
 		"SHOW ROLLOUTS":           {"rollouts"},
+		"VERIFY Perimeter":        {"verify", "Perimeter"},
 	}
 	for want, args := range good {
 		got, err := releaseVerb(args)
@@ -19,6 +20,8 @@ func TestReleaseVerb(t *testing.T) {
 		{"releases", "show"},
 		{"releases", "drop", "AvgEnergy"},
 		{"rollouts", "extra"},
+		{"verify"},
+		{"verify", "Perimeter", "extra"},
 		{"frobnicate"},
 	}
 	for _, args := range bad {

@@ -1,8 +1,9 @@
 // mocha-lint runs the repository's custom static checks (see
 // internal/analysis): the metric-inventory and operator-span-inventory
-// checks against internal/obs/names.go and the wire frame-name table
-// check. CI runs it on every push; a non-empty finding list fails the
-// build.
+// checks against internal/obs/names.go, the wire frame-name table
+// check, and the MVM cost-table inventory check against
+// internal/vm/cost.go. CI runs it on every push; a non-empty finding
+// list fails the build.
 //
 // Usage:
 //

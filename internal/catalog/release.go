@@ -30,6 +30,9 @@ type Release struct {
 	Digest string
 	// Caps is the verifier's host-capability manifest for the blob.
 	Caps []string
+	// Cost is the verifier's static cost-and-resource summary for the
+	// blob, stamped at publish and re-checked on LoadDir like Digest.
+	Cost vm.CostInfo
 	// Published is the publication time.
 	Published time.Time
 	// Seq is the 1-based publication order within the class.
@@ -48,6 +51,7 @@ func (r *Release) AsClass() *Class {
 		ModTime:  r.Published,
 		Blob:     r.Blob,
 		Caps:     r.Caps,
+		Cost:     r.Cost,
 	}
 }
 
@@ -108,6 +112,7 @@ type manifestRelease struct {
 	Tag       string `xml:"tag,attr"`
 	Digest    string `xml:"digest,attr"`
 	Caps      string `xml:"caps,attr,omitempty"`
+	Cost      string `xml:"cost,attr,omitempty"`
 	Published string `xml:"published,attr,omitempty"`
 	File      string `xml:"file,attr"`
 }
@@ -151,6 +156,7 @@ func (r *Repository) SaveDir(dir string) error {
 				Tag:       rel.Tag,
 				Digest:    rel.Digest,
 				Caps:      strings.Join(rel.Caps, ","),
+				Cost:      rel.Cost.String(),
 				Published: rel.Published.UTC().Format(time.RFC3339Nano),
 				File:      file,
 			})
@@ -214,12 +220,22 @@ func (r *Repository) LoadDir(dir string) error {
 			if !strings.EqualFold(p.Name, mc.Name) {
 				return fmt.Errorf("catalog: release %s@%s: blob is program %q", mc.Name, mr.Tag, p.Name)
 			}
+			// The cost stamp is re-checked like the digest: the recomputed
+			// analysis must reproduce the manifest's summary exactly, so a
+			// manifest promising a cheaper (or better-bounded) program than
+			// the blob delivers is refused. Legacy manifests without a
+			// stamp are accepted and filled from the recomputation.
+			if mr.Cost != "" && mr.Cost != info.Cost.String() {
+				return fmt.Errorf("catalog: release %s@%s: blob cost %q does not match manifest cost %q",
+					mc.Name, mr.Tag, info.Cost.String(), mr.Cost)
+			}
 			pub, _ := time.Parse(time.RFC3339Nano, mr.Published)
 			h.releases = append(h.releases, &Release{
 				Class:     mc.Name,
 				Tag:       mr.Tag,
 				Digest:    mr.Digest,
 				Caps:      append([]string(nil), info.Capabilities...),
+				Cost:      info.Cost,
 				Published: pub,
 				Seq:       i + 1,
 				Blob:      blob,

@@ -306,3 +306,54 @@ func TestGetReleaseByTag(t *testing.T) {
 		t.Error("unknown class resolved")
 	}
 }
+
+// TestLoadDirCostStamp pins the cost side of the zero-trust reload: the
+// manifest carries the verifier's static cost summary, a round trip
+// preserves it, and a manifest whose cost stamp disagrees with the
+// recomputed analysis is refused — a manifest cannot promise a cheaper
+// program than the blob delivers.
+func TestLoadDirCostStamp(t *testing.T) {
+	repo := NewRepository()
+	rel, err := repo.PutProgram(prog(t, "Costed", "1.0", 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Cost.IsZero() || !rel.Cost.Bounded {
+		t.Fatalf("publish did not stamp a bounded cost: %+v", rel.Cost)
+	}
+	dir := t.TempDir()
+	if err := repo.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(manifest), `cost="`+rel.Cost.String()+`"`) {
+		t.Fatalf("manifest missing cost stamp %q:\n%s", rel.Cost.String(), manifest)
+	}
+
+	repo2 := NewRepository()
+	if err := repo2.LoadDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	rel2, ok := repo2.ActiveRelease("Costed")
+	if !ok || rel2.Cost != rel.Cost {
+		t.Fatalf("cost lost in round trip: %+v vs %+v", rel2.Cost, rel.Cost)
+	}
+
+	// Tamper: claim a one-instruction budget in the manifest.
+	cheaper := rel.Cost
+	cheaper.BudgetInstrs = 1
+	doctored := strings.Replace(string(manifest), rel.Cost.String(), cheaper.String(), 1)
+	if doctored == string(manifest) {
+		t.Fatal("failed to doctor manifest")
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), []byte(doctored), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRepository().LoadDir(dir); err == nil ||
+		!strings.Contains(err.Error(), "cost") {
+		t.Fatalf("doctored cost stamp accepted: %v", err)
+	}
+}

@@ -22,6 +22,10 @@ type Class struct {
 	ModTime  time.Time
 	Blob     []byte   // serialized vm.Program
 	Caps     []string // host capabilities from the verifier's manifest
+	// Cost is the verifier's static cost-and-resource summary, stamped
+	// at publish and carried into plan code references so the optimizer
+	// and governor can price the class without re-analyzing it.
+	Cost vm.CostInfo
 }
 
 // classHistory is the full release record of one operator: every
@@ -134,6 +138,7 @@ func (r *Repository) publish(p *vm.Program, tag string, activate bool) (*Release
 		Tag:       tag,
 		Digest:    digest,
 		Caps:      append([]string(nil), info.Capabilities...),
+		Cost:      info.Cost,
 		Published: time.Now(),
 		Seq:       len(h.releases) + 1,
 		Blob:      p.Encode(),

@@ -7,6 +7,7 @@ import (
 
 	"mocha/internal/catalog"
 	"mocha/internal/types"
+	"mocha/internal/vm"
 )
 
 // Strategy selects the operator-placement policy. The evaluation of the
@@ -792,10 +793,14 @@ func (p *planner) attachCode(frag *Fragment) error {
 		if !ok {
 			return fmt.Errorf("core: operator %s has no class in the code repository", n)
 		}
-		frag.Code = append(frag.Code, CodeRef{
+		ref := CodeRef{
 			Name: cls.Name, Version: cls.Version, Checksum: cls.Checksum,
 			Caps: strings.Join(cls.Caps, ","),
-		})
+		}
+		if !cls.Cost.IsZero() {
+			ref.Cost = cls.Cost.String()
+		}
+		frag.Code = append(frag.Code, ref)
 	}
 	return nil
 }
@@ -957,14 +962,24 @@ func (p *planner) estimate(plan *Plan, order []int) {
 			sf *= p.dapPlace[ti][i].SF
 		}
 		selOnly += int64(sf * float64(rows) * float64(stats.AvgTupleBytes()))
-		// Costs: DAP compute (in the MVM) plus transfer.
+		// Costs: DAP compute (in the MVM) plus transfer. Shipped code
+		// with a static cost stamp is priced from verifier-derived
+		// instruction counts (CompMSStatic); anything without one falls
+		// back to the catalog's per-byte constant.
 		for i := range p.dapPreds[ti] {
-			cost += p.opt.Model.CompMS(rows*int64(p.dapPlace[ti][i].ArgBytes), p.dapPlace[ti][i].CompCostPerByte, true)
+			pl := p.dapPlace[ti][i]
+			if ci, ok := fragStaticCost(frag, pl.Func); ok {
+				cost += p.opt.Model.CompMSStatic(rows, int64(pl.ArgBytes), ci)
+			} else {
+				cost += p.opt.Model.CompMS(rows*int64(pl.ArgBytes), pl.CompCostPerByte, true)
+			}
 		}
 		for _, o := range frag.Projections {
 			if call := firstCall(o.Expr); call != nil {
-				if d, ok := p.opt.Cat.Ops().Lookup(call.Func); ok {
-					argBytes := exprArgBytes(p.inlineVirtuals(o.Expr), p.extSchema(), p.extStats(ti))
+				argBytes := exprArgBytes(p.inlineVirtuals(o.Expr), p.extSchema(), p.extStats(ti))
+				if ci, ok := fragStaticCost(frag, call.Func); ok {
+					cost += p.opt.Model.CompMSStatic(rows, int64(argBytes), ci)
+				} else if d, ok := p.opt.Cat.Ops().Lookup(call.Func); ok {
 					cost += p.opt.Model.CompMS(rows*int64(argBytes), d.CPUCostPerByte, true)
 				}
 			}
@@ -972,6 +987,47 @@ func (p *planner) estimate(plan *Plan, order []int) {
 		cost += p.opt.Model.NetworkMS(v)
 	}
 	plan.Est = PlanEstimates{CVDA: cvda, CVDT: cvdt, CVDTSelOnly: selOnly, Cost: cost}
+}
+
+// fragStaticCost resolves the verifier's static cost summary for an
+// operator the fragment ships, from the code refs attachCode pinned.
+// False for simple predicates (no class) and legacy refs (no stamp).
+func fragStaticCost(frag *Fragment, fn string) (vm.CostInfo, bool) {
+	if fn == "" {
+		return vm.CostInfo{}, false
+	}
+	for _, ref := range frag.Code {
+		if ref.Cost != "" && strings.EqualFold(ref.Name, fn) {
+			if ci, err := vm.ParseCostInfo(ref.Cost); err == nil {
+				return ci, true
+			}
+		}
+	}
+	return vm.CostInfo{}, false
+}
+
+// staticCostLine renders the verifier-derived static cost of a
+// fragment's shipped classes for EXPLAIN. Every value is an integer
+// copied from the release manifest, so the line is byte-deterministic
+// across runs (the golden tests rely on that).
+func staticCostLine(code []CodeRef) string {
+	var parts []string
+	for _, ref := range code {
+		if ref.Cost == "" {
+			continue
+		}
+		ci, err := vm.ParseCostInfo(ref.Cost)
+		if err != nil {
+			continue
+		}
+		instrs := "unbounded"
+		if ci.Bounded {
+			instrs = fmt.Sprintf("%d", ci.BudgetInstrs)
+		}
+		parts = append(parts, fmt.Sprintf("%s instrs=%s fixed=%d per-byte=%d scratch=%dB %s",
+			ref.Name, instrs, ci.FixedUnits, ci.PerTripUnits, ci.ScratchBytes, ci.Purity))
+	}
+	return strings.Join(parts, "; ")
 }
 
 // Explain renders a human-readable plan summary.
@@ -1013,6 +1069,9 @@ func Explain(plan *Plan) string {
 				}
 			}
 			fmt.Fprintf(&b, "    ship code: %s\n", strings.Join(names, ", "))
+			if line := staticCostLine(f.Code); line != "" {
+				fmt.Fprintf(&b, "    static cost: %s\n", line)
+			}
 		}
 	}
 	for _, j := range plan.Joins {

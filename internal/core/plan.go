@@ -16,6 +16,11 @@ type CodeRef struct {
 	// Caps is the verifier's capability manifest: the host intrinsics the
 	// class may invoke, comma-joined. Empty means pure stack code.
 	Caps string `xml:"caps,attr,omitempty"`
+	// Cost is the verifier's static cost-and-resource summary in its
+	// canonical vm.CostInfo encoding, stamped from the release manifest
+	// so every plan consumer (optimizer, governor, rollout judge) can
+	// price the class without holding the blob. Empty on legacy refs.
+	Cost string `xml:"cost,attr,omitempty"`
 }
 
 // Output is one computed output column.

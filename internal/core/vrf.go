@@ -6,6 +6,7 @@ import (
 	"mocha/internal/catalog"
 	"mocha/internal/ops"
 	"mocha/internal/types"
+	"mocha/internal/vm"
 )
 
 // This file implements the paper's cost model (section 4):
@@ -35,7 +36,22 @@ type CostModel struct {
 	// DefaultGroups estimates GROUP BY output cardinality when the
 	// catalog lacks distinct counts.
 	DefaultGroups int64
+	// InstrsPerMS is how many interpreted MVM instructions one
+	// millisecond of DAP CPU executes — the rate that converts
+	// verifier-derived static cost units into modeled time. Zero falls
+	// back to defaultInstrsPerMS.
+	InstrsPerMS float64
 }
+
+// defaultInstrsPerMS models a DAP interpreting 50M MVM instructions per
+// second.
+const defaultInstrsPerMS = 50_000
+
+// simplePredCostPerByte prices a simple comparison predicate that has
+// no operator class behind it. It is the only cost literal outside the
+// MVM cost table and the operator catalog (enforced by the costtable
+// linter).
+const simplePredCostPerByte = 0.05
 
 // DefaultCostModel mirrors the paper's testbed: a 10 Mbps link.
 func DefaultCostModel() CostModel {
@@ -44,6 +60,7 @@ func DefaultCostModel() CostModel {
 		CPUBytesPerMS: 500_000,
 		VMOverhead:    3,
 		DefaultGroups: 100,
+		InstrsPerMS:   defaultInstrsPerMS,
 	}
 }
 
@@ -63,6 +80,21 @@ func (m CostModel) CompMS(argBytes int64, costPerByte float64, inVM bool) float6
 		ms *= m.VMOverhead
 	}
 	return ms
+}
+
+// CompMSStatic prices invocations of a shipped operator from its
+// verifier-derived static cost summary: FixedUnits per invocation plus
+// PerTripUnits per argument byte (an input-dependent loop steps roughly
+// once per byte of its input), at InstrsPerMS interpreted instructions
+// per millisecond. VMOverhead does not apply — the units already count
+// MVM instructions, so the interpretation rate is the overhead.
+func (m CostModel) CompMSStatic(invocations, argBytes int64, c vm.CostInfo) float64 {
+	rate := m.InstrsPerMS
+	if rate <= 0 {
+		rate = defaultInstrsPerMS
+	}
+	units := float64(c.FixedUnits) + float64(c.PerTripUnits)*float64(argBytes)
+	return float64(invocations) * units / rate
 }
 
 // OpPlacement is the optimizer's per-operator analysis.
@@ -184,7 +216,7 @@ func projectionPlacement(call *PExpr, schema types.Schema, stats catalog.TableSt
 //	VRF = SF·outBytes / (outBytes + argOnlyBytes) ≪ SF.
 func predicatePlacement(e *PExpr, table string, outBytes, argOnlyBytes int, cat *catalog.Catalog) OpPlacement {
 	sf := predicateSelectivity(e, table, cat)
-	p := OpPlacement{SF: sf, ArgBytes: outBytes + argOnlyBytes, CompCostPerByte: 0.05}
+	p := OpPlacement{SF: sf, ArgBytes: outBytes + argOnlyBytes, CompCostPerByte: simplePredCostPerByte}
 	if call := firstCall(e); call != nil {
 		p.Func = call.Func
 		if d, ok := cat.Ops().Lookup(call.Func); ok {

@@ -7,6 +7,7 @@ import (
 	"mocha/internal/catalog"
 	"mocha/internal/ops"
 	"mocha/internal/types"
+	"mocha/internal/vm"
 )
 
 // TestQuickPredicateVRFBounds: for any selectivity and attribute sizes,
@@ -95,5 +96,22 @@ func TestPlacementRankOrdering(t *testing.T) {
 	}
 	if !(cheapSelective.Rank(m, 100) < expensiveSelective.Rank(m, 100)) {
 		t.Error("cheap predicate should rank before expensive one at equal SF")
+	}
+}
+
+// TestCompMSStatic pins the static pricing formula and its rate
+// fallback: invocations x (fixed + pertrip x argBytes) interpreted
+// instructions at InstrsPerMS, with a zero/negative rate falling back
+// to the default.
+func TestCompMSStatic(t *testing.T) {
+	ci := vm.CostInfo{FixedUnits: 100, PerTripUnits: 2}
+	m := DefaultCostModel()
+	want := 10 * (100.0 + 2.0*50) / m.InstrsPerMS
+	if got := m.CompMSStatic(10, 50, ci); got != want {
+		t.Errorf("CompMSStatic = %v, want %v", got, want)
+	}
+	m.InstrsPerMS = 0
+	if got := m.CompMSStatic(10, 50, ci); got != want {
+		t.Errorf("CompMSStatic with zero rate = %v, want default-rate %v", got, want)
 	}
 }

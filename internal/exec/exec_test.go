@@ -393,3 +393,29 @@ func TestRunContextCancel(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestSortOperator(t *testing.T) {
+	vals := []int{5, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5}
+	keys := []core.OrderSpec{{Col: 0}}
+	src := NewSource("op:remote[0]", slicePull(intRows(vals...)), 3)
+	sort := NewSort("op:sort", src, keys, 4)
+	got := collect(t, sort, []Operator{src, sort})
+
+	want := intRows(vals...)
+	if err := core.SortTuples(want, keys); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("sort = %v, want %v", got, want)
+	}
+}
+
+func TestSortUnorderable(t *testing.T) {
+	raster := types.Tuple{types.NewRaster(1, 1, []byte{1})}
+	src := NewSource("op:remote[0]", slicePull([]types.Tuple{raster, raster}), 8)
+	sort := NewSort("op:sort", src, []core.OrderSpec{{Col: 0}}, 4)
+	err := Run(context.Background(), &Tree{Root: sort, Ops: []Operator{src, sort}}, nil)
+	if err == nil {
+		t.Error("sorting unorderable values succeeded")
+	}
+}

@@ -335,3 +335,14 @@ func TestMakeRectEquivalence(t *testing.T) {
 		t.Errorf("MakeRect: native %v shipped %v want %v", native, shipped, want)
 	}
 }
+
+func TestEstimateResultBytes(t *testing.T) {
+	fixed := Def{ResultBytes: 8, ResultRatio: 2}
+	if got := fixed.EstimateResultBytes(100); got != 8 {
+		t.Errorf("fixed result = %d, want 8", got)
+	}
+	ratio := Def{ResultRatio: 0.5}
+	if got := ratio.EstimateResultBytes(100); got != 50 {
+		t.Errorf("ratio result = %d, want 50", got)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"mocha/internal/exec"
 	"mocha/internal/obs"
 	"mocha/internal/types"
+	"mocha/internal/vm"
 	"mocha/internal/wire"
 )
 
@@ -100,6 +101,28 @@ func buildUnits(plan *core.Plan, health *HealthRegistry) []*execUnit {
 // units alias the shared plan fragment, and the substitution must stay
 // local to this execution (the prepared plan keeps its active refs, and
 // failover mutating the clone's Site never touches the plan either).
+// staticScratchBytes sums the verifier's static scratch bounds over
+// every class the plan ships (with canary overrides applied — a canary
+// release may bound differently than the active one). Refs without a
+// cost stamp contribute nothing: legacy manifests stay admissible.
+func staticScratchBytes(plan *core.Plan, overrides map[string]core.CodeRef) int64 {
+	var total int64
+	for _, frag := range plan.Fragments {
+		for _, ref := range frag.Code {
+			if over, ok := overrides[strings.ToLower(ref.Name)]; ok {
+				ref = over
+			}
+			if ref.Cost == "" {
+				continue
+			}
+			if ci, err := vm.ParseCostInfo(ref.Cost); err == nil {
+				total += ci.ScratchBytes
+			}
+		}
+	}
+	return total
+}
+
 func (e *planExec) applyOverrides() {
 	if len(e.overrides) == 0 {
 		return
@@ -128,6 +151,25 @@ func (e *planExec) applyOverrides() {
 }
 
 func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err error) {
+	// Admission: under a memory budget, reserve the plan's static
+	// scratch — the verifier-derived operand-stack + frame bound of
+	// every shipped class, stamped in the code refs — before any setup
+	// work. A query whose shipped code cannot even frame up within the
+	// budget fails here with a typed OverBudgetError instead of
+	// discovering the shortfall mid-query; the reservation is held for
+	// the query's lifetime so spillable operators size their grants
+	// against what is genuinely left.
+	if e.srv.gov != nil {
+		if need := staticScratchBytes(e.plan, e.overrides); need > 0 {
+			grant := e.srv.gov.Grant("admission:static-scratch")
+			if aerr := grant.Acquire(ctx, need); aerr != nil {
+				grant.Close()
+				return fmt.Errorf("admission: static scratch reservation: %w", aerr)
+			}
+			defer grant.Close()
+		}
+	}
+
 	// Every session of this query hangs off execCtx: when one fragment
 	// fails, cancelling it immediately unblocks any frame I/O on the
 	// surviving sessions so cleanup cannot hang on a sick link.

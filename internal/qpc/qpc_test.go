@@ -223,7 +223,10 @@ func TestVerifyClassVerb(t *testing.T) {
 		out.WriteByte('\n')
 	}
 	text := out.String()
-	for _, want := range []string{"class Perimeter", "verdict: VERIFIED", "host capabilities: sqrt", "static bounds:"} {
+	for _, want := range []string{
+		"class Perimeter", "verdict: VERIFIED", "host capabilities: sqrt",
+		"static bounds:", "static cost: instrs=", "purity=", "cost=",
+	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("VERIFY output missing %q:\n%s", want, text)
 		}
@@ -231,5 +234,28 @@ func TestVerifyClassVerb(t *testing.T) {
 
 	if _, err := s.VerifyClass("NoSuchOp"); err == nil {
 		t.Error("VERIFY of unknown class should error")
+	}
+}
+
+func TestProcCall(t *testing.T) {
+	s := testQPC(t, core.StrategyAuto)
+	lines, err := s.ProcCall("site1", "list-tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, l := range lines {
+		if strings.Contains(l, "Rasters") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("list-tables = %v, want Rasters listed", lines)
+	}
+	if _, err := s.ProcCall("site1", "ping"); err != nil {
+		t.Errorf("ping: %v", err)
+	}
+	if _, err := s.ProcCall("nosuch", "ping"); err == nil {
+		t.Error("proc call to unknown site succeeded")
 	}
 }

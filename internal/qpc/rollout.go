@@ -11,6 +11,7 @@ import (
 
 	"mocha/internal/core"
 	"mocha/internal/obs"
+	"mocha/internal/vm"
 	"mocha/internal/wire"
 )
 
@@ -95,6 +96,22 @@ const (
 // oracleCap bounds the per-rollout result-digest oracle map.
 const oracleCap = 256
 
+// staticCostRefBytes is the reference input size at which two releases'
+// static budgets are compared: per-trip units are scaled as if every
+// input-dependent loop stepped once per byte of a 1 KiB argument.
+const staticCostRefBytes = 1024
+
+// instrsPerMicro converts static instruction units into the judge's µs
+// scale (50 interpreted MVM instructions per microsecond, matching the
+// optimizer's defaultInstrsPerMS).
+const instrsPerMicro = 50.0
+
+// staticUnits folds a release's static cost summary to one comparable
+// number: fixed units plus per-trip units at the reference input size.
+func staticUnits(c vm.CostInfo) int64 {
+	return c.FixedUnits + c.PerTripUnits*staticCostRefBytes
+}
+
 // oracleEntry is the recorded active-release behaviour for one SQL
 // text: its result digest and smoothed operator self time. A query
 // whose active runs ever produced two different digests is marked
@@ -113,7 +130,17 @@ type rolloutState struct {
 	Tag      string
 	Digest   string
 	Caps     string
+	Cost     string // canary's static cost stamp, propagated into overrides
 	Fraction float64
+
+	// CanaryStaticUnits/ActiveStaticUnits are the releases' verifier-
+	// derived worst-case instruction budgets at the reference input size
+	// — the judge's prior. A canary whose static budget already exceeds
+	// LatencyFactor× the active's seeds the latency EWMAs from these
+	// units, so one confirming live sample aborts the rollout instead of
+	// waiting for MinSamples queries to burn through a known-costly v2.
+	CanaryStaticUnits int64
+	ActiveStaticUnits int64
 
 	StartedAt time.Time
 	EndedAt   time.Time
@@ -213,14 +240,36 @@ func (c *rolloutController) start(class, tag string, fraction float64) (*rollout
 		return nil, err
 	}
 	st := &rolloutState{
-		Class:     rel.Class,
-		Tag:       rel.Tag,
-		Digest:    rel.Digest,
-		Caps:      strings.Join(rel.Caps, ","),
-		Fraction:  fraction,
-		StartedAt: time.Now(),
-		Status:    rolloutRunning,
-		oracles:   make(map[string]*oracleEntry),
+		Class:             rel.Class,
+		Tag:               rel.Tag,
+		Digest:            rel.Digest,
+		Caps:              strings.Join(rel.Caps, ","),
+		Cost:              rel.Cost.String(),
+		Fraction:          fraction,
+		CanaryStaticUnits: staticUnits(rel.Cost),
+		StartedAt:         time.Now(),
+		Status:            rolloutRunning,
+		oracles:           make(map[string]*oracleEntry),
+	}
+	if act, ok := repo.ActiveRelease(class); ok {
+		st.ActiveStaticUnits = staticUnits(act.Cost)
+	}
+	// Static prior: when the canary's own verifier-derived budget is
+	// already past the abort threshold, seed the latency EWMAs from the
+	// static units and leave the judge one sample short of MinSamples —
+	// the first confirming live comparison aborts, instead of MinSamples
+	// queries paying for a canary the verifier had already priced as a
+	// regression. A canary within the threshold starts unseeded: live
+	// samples alone judge it.
+	if st.ActiveStaticUnits > 0 &&
+		float64(st.CanaryStaticUnits) > c.policy.LatencyFactor*float64(st.ActiveStaticUnits) {
+		st.canaryEWMA = float64(st.CanaryStaticUnits) / instrsPerMicro
+		st.activeEWMA = float64(st.ActiveStaticUnits) / instrsPerMicro
+		if c.policy.MinSamples > 1 {
+			st.latencySamples = c.policy.MinSamples - 1
+		}
+		c.srv.cfg.Logf("qpc: rollout %s@%s: static budget %d units exceeds %.1f× active %d units; latency prior armed",
+			rel.Class, rel.Tag, st.CanaryStaticUnits, c.policy.LatencyFactor, st.ActiveStaticUnits)
 	}
 	c.current[key] = st
 	c.history = append(c.history, st)
@@ -246,7 +295,7 @@ func (c *rolloutController) route(plan *core.Plan, qid string) *canaryDecision {
 		return &canaryDecision{
 			st: st,
 			overrides: map[string]core.CodeRef{
-				key: {Name: st.Class, Version: st.Tag, Checksum: st.Digest, Caps: st.Caps},
+				key: {Name: st.Class, Version: st.Tag, Checksum: st.Digest, Caps: st.Caps, Cost: st.Cost},
 			},
 		}
 	}
@@ -526,6 +575,10 @@ func (c *rolloutController) report() string {
 		b.WriteString("\n")
 		fmt.Fprintf(&b, "  canary queries %d (shadow runs %d), comparisons %d, matches %d, canary errors %d\n",
 			st.CanaryRuns, st.ShadowRuns, st.Comparisons, st.Matches, st.CanaryErrors)
+		if st.CanaryStaticUnits > 0 || st.ActiveStaticUnits > 0 {
+			fmt.Fprintf(&b, "  static budget: canary %d units, active %d units (at %dB reference input)\n",
+				st.CanaryStaticUnits, st.ActiveStaticUnits, staticCostRefBytes)
+		}
 		if st.Abort != nil {
 			fmt.Fprintf(&b, "  abort: %s", st.Abort.Reason)
 			if st.Abort.SQL != "" {

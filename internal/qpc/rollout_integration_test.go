@@ -486,3 +486,85 @@ func TestRolloutJudgeMatrix(t *testing.T) {
 		t.Error("promotion did not activate the canary release")
 	}
 }
+
+// busyLoop stages a semantically-identical but statically far costlier
+// v2: a bounded 20000-iteration counter loop prefixed to eval, which the
+// verifier prices into the release's instruction budget.
+func busyLoop(src string) string {
+	return strings.Replace(src, "func eval args=1 locals=3",
+		`func eval args=1 locals=4
+  pushi 0
+  store 3
+busy:
+  load 3
+  pushi 20000
+  lt
+  jz busydone
+  load 3
+  pushi 1
+  addi
+  store 3
+  jmp busy
+busydone:`, 1)
+}
+
+// TestRolloutStaticCostPrior pins the verifier-seeded latency judge: a
+// canary whose static instruction budget exceeds LatencyFactor× the
+// active release's starts with the latency EWMAs seeded from the static
+// units and one sample short of MinSamples, so the FIRST confirming
+// live comparison aborts the rollout — long before MinSamples queries
+// have paid for the regression. A canary within budget stays unseeded.
+func TestRolloutStaticCostPrior(t *testing.T) {
+	newCtrl := func(tag string, mutate func(string) string) *rolloutController {
+		reg := ops.Builtins()
+		cat := catalog.New(reg, catalog.NewRepositoryFromRegistry(reg))
+		srv := New(Config{Cat: cat, Rollout: RolloutPolicy{PromoteAfter: -1}})
+		stageAvgEnergyV2(t, cat, tag, mutate)
+		return srv.rollouts
+	}
+
+	// Costly canary: seeded prior, abort on the first live comparison.
+	c := newCtrl("v2", busyLoop)
+	st, err := c.start("AvgEnergy", "v2", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CanaryStaticUnits <= 0 || st.ActiveStaticUnits <= 0 {
+		t.Fatalf("static units not recorded: canary %d, active %d", st.CanaryStaticUnits, st.ActiveStaticUnits)
+	}
+	if float64(st.CanaryStaticUnits) <= c.policy.LatencyFactor*float64(st.ActiveStaticUnits) {
+		t.Fatalf("busy-loop canary budget %d not past %.1fx active %d",
+			st.CanaryStaticUnits, c.policy.LatencyFactor, st.ActiveStaticUnits)
+	}
+	if st.latencySamples != c.policy.MinSamples-1 {
+		t.Fatalf("latencySamples = %d, want MinSamples-1 = %d", st.latencySamples, c.policy.MinSamples-1)
+	}
+	if st.canaryEWMA <= 0 || st.activeEWMA <= 0 {
+		t.Fatalf("EWMA priors not seeded: canary %v, active %v", st.canaryEWMA, st.activeEWMA)
+	}
+	dec := &canaryDecision{st: st}
+	// One live comparison, matching digests, timings consistent with the
+	// static story: that single sample condemns the canary.
+	c.judge(dec, "q1", runOutcome{digest: "d", micros: 6000}, runOutcome{digest: "d", micros: 120})
+	if st.Status != rolloutAborted || !strings.Contains(st.Abort.Reason, "latency regression") {
+		t.Fatalf("status = %s (%+v), want latency abort on first comparison", st.Status, st.Abort)
+	}
+	if st.Comparisons >= c.policy.MinSamples {
+		t.Errorf("took %d live comparisons; the static prior should need fewer than MinSamples=%d",
+			st.Comparisons, c.policy.MinSamples)
+	}
+	if rep := c.report(); !strings.Contains(rep, "static budget:") {
+		t.Errorf("report missing static budget line:\n%s", rep)
+	}
+
+	// Comparable canary: no seeding; live samples alone judge it.
+	c2 := newCtrl("v2", noopPrefix)
+	st2, err := c2.start("AvgEnergy", "v2", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.latencySamples != 0 || st2.canaryEWMA != 0 || st2.activeEWMA != 0 {
+		t.Fatalf("comparable canary was seeded: samples=%d canary=%v active=%v",
+			st2.latencySamples, st2.canaryEWMA, st2.activeEWMA)
+	}
+}

@@ -1,0 +1,104 @@
+package qpc
+
+import (
+	"errors"
+	"testing"
+
+	"mocha/internal/catalog"
+	"mocha/internal/core"
+	"mocha/internal/dap"
+	"mocha/internal/exec"
+	"mocha/internal/netsim"
+	"mocha/internal/ops"
+	"mocha/internal/sequoia"
+	"mocha/internal/storage"
+)
+
+// testQPCBudget wires the standard one-DAP test server but with the
+// query-memory governor armed at the given budget.
+func testQPCBudget(t *testing.T, budget int64) *Server {
+	t.Helper()
+	network := netsim.NewNetwork(nil)
+	store, err := storage.OpenStore("", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sequoia.GenerateAll(store, sequoia.TestScale()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := network.Listen("dap1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go dap.New(dap.Config{Site: "site1", Driver: &dap.StorageDriver{Store: store}}).Serve(l)
+	t.Cleanup(func() { l.Close() })
+
+	reg := ops.Builtins()
+	cat := catalog.New(reg, catalog.NewRepositoryFromRegistry(reg))
+	cat.AddSite(&catalog.Site{Name: "site1", Addr: "dap1"})
+	registerStoreTables(t, cat, store, "site1", "Rasters")
+	return New(Config{
+		Cat: cat, Dial: network.Dial, Strategy: core.StrategyAuto,
+		Exec: exec.Tuning{MemBudgetBytes: budget},
+	})
+}
+
+// TestAdmissionStaticScratch pins the admission contract: under a
+// governor, a code-shipping plan reserves its verifier-derived static
+// scratch before any setup work, so a budget smaller than the shipped
+// code's frame bound rejects the query up front with OverBudgetError
+// instead of failing mid-stream — and a sufficient budget admits it.
+func TestAdmissionStaticScratch(t *testing.T) {
+	// AvgEnergy's static scratch bound is a few hundred bytes; 64 bytes
+	// cannot even hold one value slot.
+	s := testQPCBudget(t, 64)
+	_, err := s.Execute(codeShipQuery)
+	if err == nil {
+		t.Fatal("expected over-budget admission failure, query succeeded")
+	}
+	var ob *exec.OverBudgetError
+	if !errors.As(err, &ob) {
+		t.Fatalf("want OverBudgetError, got %v", err)
+	}
+	if ob.Op != "admission:static-scratch" {
+		t.Fatalf("over-budget op = %q, want admission:static-scratch", ob.Op)
+	}
+
+	// A generous budget admits and runs the same query.
+	s2 := testQPCBudget(t, 1<<20)
+	if s2.Governor() == nil {
+		t.Fatal("budgeted server has no governor")
+	}
+	res, err := s2.Execute(codeShipQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+// TestStaticScratchBytes checks the plan fold directly: stamped refs
+// sum, unstamped and malformed refs contribute nothing, and a canary
+// override replaces the active ref's bound (case-insensitively).
+func TestStaticScratchBytes(t *testing.T) {
+	plan := &core.Plan{Fragments: []*core.Fragment{
+		{Code: []core.CodeRef{
+			{Name: "AvgEnergy", Cost: "instrs=100;fixed=10;pertrip=2;scratch=448;alloc=0;purity=pure"},
+			{Name: "Legacy"}, // no stamp: admissible, contributes 0
+		}},
+		{Code: []core.CodeRef{
+			{Name: "Perimeter", Cost: "not a cost string"}, // malformed: ignored
+			{Name: "Overlap", Cost: "instrs=unbounded;fixed=5;pertrip=1;scratch=100;alloc=unbounded;purity=pure"},
+		}},
+	}}
+	if got := staticScratchBytes(plan, nil); got != 548 {
+		t.Fatalf("staticScratchBytes = %d, want 548", got)
+	}
+	over := map[string]core.CodeRef{
+		"avgenergy": {Name: "AvgEnergy", Cost: "instrs=200;fixed=20;pertrip=4;scratch=960;alloc=0;purity=pure"},
+	}
+	if got := staticScratchBytes(plan, over); got != 1060 {
+		t.Fatalf("staticScratchBytes with override = %d, want 1060", got)
+	}
+}

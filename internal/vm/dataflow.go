@@ -95,6 +95,10 @@ type VerifyInfo struct {
 	MaxStack int
 	// CallDepth is the worst-case frame nesting from any entry point.
 	CallDepth int
+	// Cost is the static cost-and-resource summary derived by the cost
+	// pass (see cost.go): per-invocation instruction budget, weighted
+	// cost units, scratch/allocation bounds and purity.
+	Cost CostInfo
 	// Funcs holds per-function verification detail, in program order.
 	Funcs []FuncInfo
 
@@ -120,6 +124,12 @@ type FuncInfo struct {
 	MaxStack  int    // worst-case stack depth including callees
 	CallDepth int    // worst-case frame nesting rooted at this function
 	Ret       string // abstract kind of the returned value
+
+	// Static cost facts from the cost pass (cost.go).
+	Bounded      bool  // every loop reachable from here statically bounded
+	BudgetInstrs int64 // per-invocation instruction budget (saturating)
+	FixedUnits   int64 // weighted units outside input-dependent loops
+	PerTripUnits int64 // weighted units per input-dependent-loop trip
 }
 
 // CapString renders the capability manifest as a comma-separated list
@@ -224,18 +234,27 @@ func Analyze(p *Program) (*VerifyInfo, error) {
 		}
 	}
 
-	info := &VerifyInfo{Funcs: make([]FuncInfo, len(p.Funcs))}
+	// Cost pass: natural loops, trip counts, instruction budgets,
+	// scratch/allocation bounds and purity (cost.go). Runs on the same
+	// decoded instruction lists, callees-first.
+	fcosts, progCost := costAnalyze(p, instrs, index, order, total)
+
+	info := &VerifyInfo{Funcs: make([]FuncInfo, len(p.Funcs)), Cost: progCost}
 	for i := range p.Funcs {
 		ret := akAny
 		if results[i].retSeen {
 			ret = results[i].retKind
 		}
 		info.Funcs[i] = FuncInfo{
-			Name:      p.Funcs[i].Name,
-			NArgs:     p.Funcs[i].NArgs,
-			MaxStack:  total[i],
-			CallDepth: depth[i],
-			Ret:       ret.String(),
+			Name:         p.Funcs[i].Name,
+			NArgs:        p.Funcs[i].NArgs,
+			MaxStack:     total[i],
+			CallDepth:    depth[i],
+			Ret:          ret.String(),
+			Bounded:      fcosts[i].bounded,
+			BudgetInstrs: fcosts[i].budget,
+			FixedUnits:   fcosts[i].fixed,
+			PerTripUnits: fcosts[i].perTrip,
 		}
 		if total[i] > info.MaxStack {
 			info.MaxStack = total[i]

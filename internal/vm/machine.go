@@ -95,6 +95,12 @@ type Machine struct {
 	// FuelUsed accumulates instructions executed across invocations, for
 	// CPU-cost reporting.
 	FuelUsed int64
+	// LastRunInstrs is the number of instructions the most recent
+	// invocation executed, counted identically on the checked and fast
+	// paths and set on every exit — normal return and trap alike. The
+	// bound-soundness fuzz oracle (FuzzCostSound) compares it against
+	// the verifier's static per-invocation budget.
+	LastRunInstrs int64
 	// FastRuns and CheckedRuns count invocations dispatched to the
 	// verified fast path vs the fully-checked interpreter.
 	FastRuns    int64
@@ -167,6 +173,9 @@ func (m *Machine) runChecked(p *Program, entry *Func, globals []Value, args []Va
 	frames[0] = frame{fn: entry, locals: make([]Value, entry.NLocals), args: args}
 
 	trap := func(kind TrapKind, msg string) (Value, error) {
+		if m.LastRunInstrs = m.limits.MaxFuel - fuel; fuel < 0 {
+			m.LastRunInstrs = m.limits.MaxFuel
+		}
 		f := &frames[len(frames)-1]
 		return Value{}, &Trap{Func: f.fn.Name, PC: f.pc, Kind: kind, Msg: msg}
 	}
@@ -209,7 +218,8 @@ func (m *Machine) runChecked(p *Program, entry *Func, globals []Value, args []Va
 			m.stack = m.stack[:f.base]
 			frames = frames[:len(frames)-1]
 			if len(frames) == 0 {
-				m.FuelUsed += m.limits.MaxFuel - fuel
+				m.LastRunInstrs = m.limits.MaxFuel - fuel
+				m.FuelUsed += m.LastRunInstrs
 				return ret, nil
 			}
 			if !push(ret) {

@@ -47,6 +47,9 @@ func (m *Machine) runFast(p *Program, fnIdx int, globals []Value, args []Value, 
 	}
 
 	trap := func(kind TrapKind, msg string) (Value, error) {
+		if m.LastRunInstrs = m.limits.MaxFuel - fuel; fuel < 0 {
+			m.LastRunInstrs = m.limits.MaxFuel
+		}
 		f := &frames[len(frames)-1]
 		return Value{}, &Trap{Func: p.Funcs[f.fi].Name, PC: int(f.ins[f.pc].off), Kind: kind, Msg: msg}
 	}
@@ -72,7 +75,8 @@ func (m *Machine) runFast(p *Program, fnIdx int, globals []Value, args []Value, 
 			m.stack = m.stack[:f.base]
 			frames = frames[:len(frames)-1]
 			if len(frames) == 0 {
-				m.FuelUsed += m.limits.MaxFuel - fuel
+				m.LastRunInstrs = m.limits.MaxFuel - fuel
+				m.FuelUsed += m.LastRunInstrs
 				return ret, nil
 			}
 			m.stack = append(m.stack, ret)
