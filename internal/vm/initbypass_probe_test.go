@@ -1,0 +1,46 @@
+package vm
+
+import "testing"
+
+// Probe: jump directly to the init store, bypassing the pushi the
+// classifier reads the init value from.
+func TestInitBypassProbe(t *testing.T) {
+	src := `program s
+func eval args=0 locals=1
+pushi 0
+pushi 1
+eq
+jz alt
+pushi 0
+jmp S
+alt:
+pushi -100000
+S:
+store 0
+h:
+load 0
+pushi 10
+lt
+jz done
+load 0
+pushi 1
+addi
+store 0
+jmp h
+done:
+pushi 0
+ret
+end`
+	p := MustAssemble(src)
+	if err := Verify(p); err != nil {
+		t.Fatalf("verify rejected: %v", err)
+	}
+	info := p.verified
+	t.Logf("bounded=%v budget=%d", info.Funcs[0].Bounded, info.Funcs[0].BudgetInstrs)
+	m := New(DefaultLimits)
+	_, err := m.runChecked(p, &p.Funcs[0], nil, nil)
+	t.Logf("executed=%d err=%v", m.LastRunInstrs, err)
+	if info.Funcs[0].Bounded && m.LastRunInstrs > info.Funcs[0].BudgetInstrs {
+		t.Fatalf("UNSOUND: executed %d > budget %d", m.LastRunInstrs, info.Funcs[0].BudgetInstrs)
+	}
+}
