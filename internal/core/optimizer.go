@@ -53,6 +53,9 @@ type Optimizer struct {
 	Cat      *catalog.Catalog
 	Strategy Strategy
 	Model    CostModel
+	// Search selects the cut-search mode: ranked whole-plan DAG cuts
+	// (the default) or the legacy greedy per-operator policy.
+	Search CutSearch
 	// Health, when set, demotes degraded sites to data shipping.
 	Health HealthOracle
 }
@@ -78,6 +81,11 @@ type planner struct {
 	q       *BoundQuery
 	cols    []colInfo
 	virtKey map[string]int
+
+	// cut is the whole-plan placement decision (DESIGN.md §15): every
+	// push/keep choice the emission pass makes is a lookup here.
+	cut     *Cut
+	predSeq []int // per-table predicate ordinal during emission
 
 	// Per-table working state.
 	dapPreds   [][]*PExpr      // predicates placed at each table's DAP
@@ -106,6 +114,8 @@ func (o *Optimizer) Plan(q *BoundQuery) (*Plan, error) {
 	p.dapPreds = make([][]*PExpr, len(q.Tables))
 	p.dapPlace = make([][]OpPlacement, len(q.Tables))
 	p.prunePreds = make([][]*PExpr, len(q.Tables))
+	p.predSeq = make([]int, len(q.Tables))
+	p.cut = p.buildCut()
 	return p.build()
 }
 
@@ -182,10 +192,11 @@ func (p *planner) inlineVirtuals(e *PExpr) *PExpr {
 }
 
 // pushCalls rewrites an expression, replacing each maximal single-table
-// call whose placement policy chooses the DAP with a virtual column
-// reference. This is how AvgEnergy(R1.image) inside a cross-site Diff()
-// gets decomposed: the inner call ships to R1's DAP, the outer Diff stays
-// at the QPC reading the 8-byte virtual column.
+// call the cut runs below with a virtual column reference. This is how
+// AvgEnergy(R1.image) inside a cross-site Diff() gets decomposed: the
+// inner call ships to R1's DAP, the outer Diff stays at the QPC reading
+// the 8-byte virtual column. Whether a call is below its table's cut
+// was decided up front by the DAG-cut search (cut.go).
 func (p *planner) pushCalls(e *PExpr) *PExpr {
 	return e.Rewrite(func(x *PExpr) *PExpr {
 		if x.Kind != ExprCall {
@@ -196,22 +207,11 @@ func (p *planner) pushCalls(e *PExpr) *PExpr {
 		if ti < 0 {
 			return x
 		}
-		if !p.shouldPushCall(full, ti) {
+		if !p.cut.pushesCall(ti, full) {
 			return x
 		}
 		return NewCol(p.addVirtual(ti, full), full.Ret)
 	})
-}
-
-func (p *planner) shouldPushCall(call *PExpr, ti int) bool {
-	switch p.strategyFor(ti) {
-	case StrategyCodeShip:
-		return true
-	case StrategyDataShip:
-		return false
-	}
-	place := projectionPlacement(call, p.extSchema(), p.extStats(ti), p.opt.Cat.Ops())
-	return place.VRF < 1
 }
 
 // addVirtual registers (or reuses) a virtual column for a pushed
@@ -241,34 +241,13 @@ func (p *planner) addVirtual(ti int, expr *PExpr) int {
 func (p *planner) build() (*Plan, error) {
 	q := p.q
 
-	// Step 1: decide whole-query aggregation placement (section 3.8
-	// aggregates are evaluated wherever the plan puts them; with tables
-	// unpartitioned, a pushed aggregation is complete at the DAP).
+	// Step 1: whole-query aggregation placement comes straight off the
+	// cut (section 3.8 aggregates are evaluated wherever the plan puts
+	// them; with tables unpartitioned, a pushed aggregation is complete
+	// at the DAP; aggregation over joins is pinned above every cut).
 	p.groupBy = q.GroupBy
-	if q.HasAggregate {
-		if len(q.Tables) != 1 {
-			p.pushAgg = false // aggregation over joins runs at the QPC
-		} else {
-			var aggs []AggSpec
-			for _, it := range q.Items {
-				if it.Agg != nil {
-					aggs = append(aggs, *it.Agg)
-				}
-			}
-			var keyBytes int
-			for _, g := range q.GroupBy {
-				keyBytes += p.cols[g].avgBytes
-			}
-			switch p.strategyFor(0) {
-			case StrategyCodeShip:
-				p.pushAgg = true
-			case StrategyDataShip:
-				p.pushAgg = false
-			default:
-				place := aggregatePlacement(aggs, keyBytes, p.extSchema(), p.extStats(0), p.opt.Model, p.opt.Cat.Ops())
-				p.pushAgg = place.VRF < 1
-			}
-		}
+	if q.HasAggregate && len(q.Tables) == 1 {
+		p.pushAgg = p.cut.table(0).PushAgg
 	}
 
 	// Step 2: decompose scalar expressions, creating virtual columns for
@@ -486,43 +465,24 @@ func (p *planner) build() (*Plan, error) {
 	return plan, nil
 }
 
-// placeSingleTablePred decides where one single-table predicate runs.
+// placeSingleTablePred emits one single-table predicate on the side of
+// the cut the search chose for it. Decisions were made up front in
+// query order, so the per-table ordinal aligns with the cut's.
 func (p *planner) placeSingleTablePred(pred BoundPred) {
 	ti := pred.Tables[0]
 	// Every single-table predicate constrains the partition key the same
 	// way wherever it executes, so record it for pruning regardless of
 	// its placement.
 	p.prunePreds[ti] = append(p.prunePreds[ti], p.inlineVirtuals(pred.Expr))
-	strat := p.strategyFor(ti)
-	if strat == StrategyDataShip {
-		p.qpcPreds = append(p.qpcPreds, p.pushCalls(pred.Expr))
-		return
-	}
-	inlined := p.inlineVirtuals(pred.Expr)
-	place := p.predVRF(inlined, ti)
-	if strat == StrategyCodeShip || place.VRF < 1 {
-		p.dapPreds[ti] = append(p.dapPreds[ti], inlined)
-		p.dapPlace[ti] = append(p.dapPlace[ti], place)
+	tc := p.cut.table(ti)
+	seq := p.predSeq[ti]
+	p.predSeq[ti]++
+	if seq < len(tc.PushPred) && tc.PushPred[seq] {
+		p.dapPreds[ti] = append(p.dapPreds[ti], p.inlineVirtuals(pred.Expr))
+		p.dapPlace[ti] = append(p.dapPlace[ti], tc.PredPlace[seq])
 		return
 	}
 	p.qpcPreds = append(p.qpcPreds, p.pushCalls(pred.Expr))
-}
-
-// predVRF computes the placement stats for a predicate over table ti.
-func (p *planner) predVRF(e *PExpr, ti int) OpPlacement {
-	// Approximate the shipped row as the columns the QPC side currently
-	// needs from this table (raw outputs of the fragment).
-	needed := p.neededAtQPC(ti)
-	var outBytes, argOnly int
-	for col := range needed {
-		outBytes += p.cols[col].avgBytes
-	}
-	for _, col := range e.Columns() {
-		if !needed[col] && p.cols[col].table == ti {
-			argOnly += p.cols[col].avgBytes
-		}
-	}
-	return predicatePlacement(e, p.q.Tables[ti].Def.Name, outBytes, argOnly, p.opt.Cat)
 }
 
 // neededAtQPC returns the extended columns of table ti the QPC stage
@@ -575,7 +535,8 @@ func (p *planner) neededAtQPC(ti int) map[int]bool {
 func (p *planner) buildFragment(ti int, semiJoin bool, joinPreds []BoundPred) (*Fragment, []int, error) {
 	bt := p.q.Tables[ti]
 	frag := &Fragment{Site: bt.Def.Site, Table: bt.Def.Name, SemiJoinCol: -1,
-		Degraded: p.siteDegraded(ti)}
+		Degraded: p.siteDegraded(ti),
+		CutPoint: p.cut.table(ti).Point, CutAlts: p.cut.table(ti).Alts}
 
 	needed := p.neededAtQPC(ti)
 
@@ -975,8 +936,11 @@ func (p *planner) estimate(plan *Plan, order []int) {
 			}
 		}
 		for _, o := range frag.Projections {
-			if call := firstCall(o.Expr); call != nil {
-				argBytes := exprArgBytes(p.inlineVirtuals(o.Expr), p.extSchema(), p.extStats(ti))
+			// Every call in the projection executes at the DAP — nested
+			// and sibling calls each consume their own argument volume,
+			// not just the first one found.
+			for _, call := range allCalls(p.inlineVirtuals(o.Expr)) {
+				argBytes := exprArgBytes(call, p.extSchema(), p.extStats(ti))
 				if ci, ok := fragStaticCost(frag, call.Func); ok {
 					cost += p.opt.Model.CompMSStatic(rows, int64(argBytes), ci)
 				} else if d, ok := p.opt.Cat.Ops().Lookup(call.Func); ok {
@@ -1050,6 +1014,9 @@ func Explain(plan *Plan) string {
 			}
 			fmt.Fprintf(&b, "    partitions: %d/%d on %s [%s]\n",
 				len(f.Parts), f.PartsTotal, f.PartKey, strings.Join(targets, ", "))
+		}
+		if f.CutPoint != "" {
+			fmt.Fprintf(&b, "    cut: %s (%d cut(s) priced)\n", f.CutPoint, f.CutAlts)
 		}
 		for _, p := range f.Predicates {
 			fmt.Fprintf(&b, "    filter %s\n", p)

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/xml"
 	"fmt"
+	"strings"
 
 	"mocha/internal/types"
 )
@@ -82,6 +83,12 @@ type Fragment struct {
 	// unpartitioned fragment); PartKey names the partition key column.
 	PartsTotal int
 	PartKey    string
+	// CutPoint is the human-readable split point the DAG-cut search
+	// chose for this fragment's table ("scan-only" when every operator
+	// stayed above the cut); CutAlts is how many feasible cuts the
+	// ranker priced (1 under forced strategies and for degraded sites).
+	CutPoint string
+	CutAlts  int
 }
 
 // PartTarget is one partition the scatter phase must read: its physical
@@ -187,6 +194,12 @@ type fragmentXML struct {
 	SemiJoinCol int         `xml:"semijoin-col,attr"`
 	Limit       int         `xml:"limit,attr"`
 	Degraded    bool        `xml:"degraded,attr,omitempty"`
+	// Requires lists the plan features (space-separated tokens) a
+	// consumer must understand to execute this fragment faithfully. A
+	// decoder that does not know a token must refuse the document, not
+	// silently drop what it cannot parse.
+	Requires    string      `xml:"requires,attr,omitempty"`
+	Cut         *cutXML     `xml:"cut,omitempty"`
 	Parts       *partsXML   `xml:"parts,omitempty"`
 	Cols        []int       `xml:"extract>col"`
 	InSchema    schemaXML   `xml:"in-schema"`
@@ -196,6 +209,51 @@ type fragmentXML struct {
 	Projections []outputXML `xml:"projections>output"`
 	Code        []CodeRef   `xml:"code>class"`
 	OutSchema   schemaXML   `xml:"out-schema"`
+}
+
+// cutXML carries the DAG-cut annotation: the chosen split point and how
+// many feasible cuts the ranker priced before choosing it.
+type cutXML struct {
+	Point string `xml:"point,attr"`
+	Alts  int    `xml:"alts,attr"`
+}
+
+// featureDagCut marks a plan document whose fragments carry DAG-cut
+// annotations; decoders that do not understand cuts must refuse it.
+const featureDagCut = "dag-cut"
+
+// supportedPlanFeatures lists every `requires` token this build's
+// decoder understands. Unknown tokens make decoding fail with
+// *UnsupportedPlanFeatureError rather than silently misreading the plan.
+var supportedPlanFeatures = map[string]bool{
+	featureDagCut: true,
+}
+
+// UnsupportedPlanFeatureError reports a plan document that declares
+// `requires` tokens this decoder does not implement. It is a typed
+// error so an old QPC/DAP can distinguish "plan from the future" from
+// a malformed document.
+type UnsupportedPlanFeatureError struct {
+	Features []string
+}
+
+func (e *UnsupportedPlanFeatureError) Error() string {
+	return fmt.Sprintf("core: plan requires unsupported features %v", e.Features)
+}
+
+// checkRequires validates a space-separated `requires` attribute
+// against supportedPlanFeatures.
+func checkRequires(requires string) error {
+	var unknown []string
+	for _, tok := range strings.Fields(requires) {
+		if !supportedPlanFeatures[tok] {
+			unknown = append(unknown, tok)
+		}
+	}
+	if len(unknown) > 0 {
+		return &UnsupportedPlanFeatureError{Features: unknown}
+	}
+	return nil
 }
 
 // partsXML carries a fragment's scatter targets: total pre-pruning
@@ -230,6 +288,7 @@ type orderXML struct {
 
 type planXML struct {
 	XMLName        xml.Name      `xml:"plan"`
+	Requires       string        `xml:"requires,attr,omitempty"`
 	SQL            string        `xml:"sql"`
 	Fragments      []fragmentXML `xml:"fragment"`
 	Joins          []joinXML     `xml:"join"`
@@ -354,10 +413,17 @@ func fragmentToXML(f *Fragment) fragmentXML {
 		}
 		x.Parts = px
 	}
+	if f.CutPoint != "" {
+		x.Requires = featureDagCut
+		x.Cut = &cutXML{Point: f.CutPoint, Alts: f.CutAlts}
+	}
 	return x
 }
 
 func fragmentFromXML(x fragmentXML) (*Fragment, error) {
+	if err := checkRequires(x.Requires); err != nil {
+		return nil, err
+	}
 	in, err := schemaFromXML(x.InSchema)
 	if err != nil {
 		return nil, err
@@ -395,6 +461,10 @@ func fragmentFromXML(x fragmentXML) (*Fragment, error) {
 			f.Parts = append(f.Parts, pt)
 		}
 	}
+	if x.Cut != nil {
+		f.CutPoint = x.Cut.Point
+		f.CutAlts = x.Cut.Alts
+	}
 	return f, nil
 }
 
@@ -423,7 +493,11 @@ func EncodePlan(p *Plan) ([]byte, error) {
 		Limit: p.Limit, ResultSchema: schemaToXML(p.ResultSchema),
 	}
 	for _, f := range p.Fragments {
-		x.Fragments = append(x.Fragments, fragmentToXML(f))
+		fx := fragmentToXML(f)
+		if fx.Requires != "" {
+			x.Requires = fx.Requires
+		}
+		x.Fragments = append(x.Fragments, fx)
 	}
 	for _, j := range p.Joins {
 		x.Joins = append(x.Joins, joinXML(j))
@@ -439,6 +513,9 @@ func DecodePlan(data []byte) (*Plan, error) {
 	var x planXML
 	if err := xml.Unmarshal(data, &x); err != nil {
 		return nil, fmt.Errorf("core: parse plan: %w", err)
+	}
+	if err := checkRequires(x.Requires); err != nil {
+		return nil, err
 	}
 	p := &Plan{SQL: x.SQL, GroupBy: x.GroupBy, Limit: x.Limit}
 	var err error

@@ -165,7 +165,9 @@ func callResultBytes(e *PExpr, reg *ops.Registry, argBytes int) int {
 }
 
 // firstCall returns the first user-defined call within an expression, or
-// nil for a simple expression.
+// nil for a simple expression. It identifies the predicate's dominant
+// operator (the one the catalog keys selectivity by); anything that
+// prices compute must use allCalls instead.
 func firstCall(e *PExpr) *PExpr {
 	var found *PExpr
 	e.Walk(func(x *PExpr) {
@@ -174,6 +176,20 @@ func firstCall(e *PExpr) *PExpr {
 		}
 	})
 	return found
+}
+
+// allCalls returns every user-defined call within an expression, in
+// walk order. Nested and sibling calls all execute, so cost estimation
+// must price each of them — pricing only the first silently skews
+// placement rank for composed expressions.
+func allCalls(e *PExpr) []*PExpr {
+	var out []*PExpr
+	e.Walk(func(x *PExpr) {
+		if x.Kind == ExprCall {
+			out = append(out, x)
+		}
+	})
+	return out
 }
 
 // predicateSelectivity estimates a predicate's selectivity: the
@@ -217,10 +233,18 @@ func projectionPlacement(call *PExpr, schema types.Schema, stats catalog.TableSt
 func predicatePlacement(e *PExpr, table string, outBytes, argOnlyBytes int, cat *catalog.Catalog) OpPlacement {
 	sf := predicateSelectivity(e, table, cat)
 	p := OpPlacement{SF: sf, ArgBytes: outBytes + argOnlyBytes, CompCostPerByte: simplePredCostPerByte}
-	if call := firstCall(e); call != nil {
-		p.Func = call.Func
-		if d, ok := cat.Ops().Lookup(call.Func); ok {
-			p.CompCostPerByte = d.CPUCostPerByte
+	if calls := allCalls(e); len(calls) > 0 {
+		// The first call names the predicate (selectivity is keyed by
+		// it), but every call it contains burns CPU: sum their costs.
+		p.Func = calls[0].Func
+		var sum float64
+		for _, call := range calls {
+			if d, ok := cat.Ops().Lookup(call.Func); ok {
+				sum += d.CPUCostPerByte
+			}
+		}
+		if sum > 0 {
+			p.CompCostPerByte = sum
 		}
 	}
 	p.ResBytes = int(sf * float64(outBytes))

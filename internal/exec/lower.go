@@ -2,11 +2,153 @@ package exec
 
 import (
 	"fmt"
+	"strings"
 
 	"mocha/internal/core"
 	"mocha/internal/obs"
 	"mocha/internal/types"
+	"mocha/internal/vm"
 )
+
+// ---- plan→site seam ----
+//
+// Everything below is the single place a cut plan meets concrete sites
+// (DESIGN.md §15.4). The optimizer annotates each fragment with its cut;
+// this seam derives the physical consequences — one activation unit per
+// site (or per surviving shard of a scattered fragment), replica choice,
+// rollout (canary) code-ref pinning, the governor's static scratch
+// reservation, and semi-join participation — so callers never interpret
+// plan structure ad hoc.
+
+// Unit is one physical activation of a plan: a whole fragment, or one
+// shard of a fragment scattered over a partitioned table.
+type Unit struct {
+	FragIdx int
+	Part    int // partition ID; -1 for an unpartitioned fragment
+	Of      int // pre-pruning partition count; 0 for unpartitioned
+	// Replicas lists the shard's candidate sites in pick order — the
+	// selected primary first, siblings after — so setup and mid-stream
+	// failover walk the same ladder. Unpartitioned units hold only the
+	// fragment's one site.
+	Replicas []string
+	// Frag is the physical fragment this unit deploys. For a scattered
+	// shard it is a per-unit copy naming the partition's physical table
+	// and chosen replica; mutating its Site during failover is safe. For
+	// an unpartitioned fragment it aliases the shared plan fragment
+	// until ApplyOverrides clones it.
+	Frag *core.Fragment
+}
+
+// SitePlan is a plan bound to concrete sites: the activation units one
+// execution will deploy, activate and stream from.
+type SitePlan struct {
+	Plan  *core.Plan
+	Units []*Unit
+}
+
+// BindPlan expands the plan's fragments into physical activation units,
+// choosing each scattered shard's serving replica through pick (the
+// health registry's load balancer; pick receives the shard's replica
+// set and returns the site to serve it).
+func BindPlan(plan *core.Plan, pick func(replicas []string) string) *SitePlan {
+	sp := &SitePlan{Plan: plan}
+	for i, frag := range plan.Fragments {
+		if frag.PartsTotal == 0 {
+			sp.Units = append(sp.Units, &Unit{
+				FragIdx: i, Part: -1,
+				Replicas: []string{frag.Site}, Frag: frag,
+			})
+			continue
+		}
+		for _, pt := range frag.Parts {
+			pf := *frag
+			pf.Table = pt.Table
+			pf.Site = pick(pt.Replicas)
+			pf.Parts, pf.PartsTotal, pf.PartKey = nil, 0, ""
+			reps := []string{pf.Site}
+			for _, r := range pt.Replicas {
+				if r != pf.Site {
+					reps = append(reps, r)
+				}
+			}
+			sp.Units = append(sp.Units, &Unit{
+				FragIdx: i, Part: pt.ID, Of: frag.PartsTotal,
+				Replicas: reps, Frag: &pf,
+			})
+		}
+	}
+	return sp
+}
+
+// ApplyOverrides substitutes rollout (canary) code refs into the bound
+// units' fragments, keyed by lower-cased class name. Each affected
+// fragment is cloned first: unpartitioned units alias the shared plan
+// fragment, and the substitution must stay local to this execution (the
+// prepared plan keeps its active refs, and failover mutating the
+// clone's Site never touches the plan either).
+func (sp *SitePlan) ApplyOverrides(overrides map[string]core.CodeRef) {
+	if len(overrides) == 0 {
+		return
+	}
+	for _, u := range sp.Units {
+		touched := false
+		for _, ref := range u.Frag.Code {
+			if _, ok := overrides[strings.ToLower(ref.Name)]; ok {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		pf := *u.Frag
+		pf.Code = make([]core.CodeRef, len(u.Frag.Code))
+		copy(pf.Code, u.Frag.Code)
+		for i, ref := range pf.Code {
+			if over, ok := overrides[strings.ToLower(ref.Name)]; ok {
+				pf.Code[i] = over
+			}
+		}
+		u.Frag = &pf
+	}
+}
+
+// StaticScratchBytes sums the verifier's static scratch bounds over
+// every class the plan ships below its cuts (with canary overrides
+// applied — a canary release may bound differently than the active
+// one). The governor's admission control reserves this before any setup
+// work. Refs without a cost stamp contribute nothing: legacy manifests
+// stay admissible.
+func StaticScratchBytes(plan *core.Plan, overrides map[string]core.CodeRef) int64 {
+	var total int64
+	for _, frag := range plan.Fragments {
+		for _, ref := range frag.Code {
+			if over, ok := overrides[strings.ToLower(ref.Name)]; ok {
+				ref = over
+			}
+			if ref.Cost == "" {
+				continue
+			}
+			if ci, err := vm.ParseCostInfo(ref.Cost); err == nil {
+				total += ci.ScratchBytes
+			}
+		}
+	}
+	return total
+}
+
+// SemiJoinParticipants returns the fragments the plan marks as 2-way
+// semi-join participants (section 5.4): those whose cut keeps a
+// semi-join filter column below it.
+func SemiJoinParticipants(plan *core.Plan) []int {
+	var out []int
+	for i, f := range plan.Fragments {
+		if f.SemiJoinCol >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // Lowering rules (DESIGN.md §10):
 //

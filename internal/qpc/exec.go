@@ -11,7 +11,6 @@ import (
 	"mocha/internal/exec"
 	"mocha/internal/obs"
 	"mocha/internal/types"
-	"mocha/internal/vm"
 	"mocha/internal/wire"
 )
 
@@ -34,120 +33,16 @@ type planExec struct {
 	// built units before deployment; nil means run the plan as prepared.
 	overrides map[string]core.CodeRef
 
-	// units are the physical activations: one per fragment for
-	// unpartitioned plans, one per surviving partition for scattered
-	// fragments. sessions, readers and activateOff are indexed by unit.
-	units    []*execUnit
+	// units are the physical activations from the exec seam's site
+	// binding: one per fragment for unpartitioned plans, one per
+	// surviving partition for scattered fragments. sessions, readers and
+	// activateOff are indexed by unit.
+	units    []*exec.Unit
 	sessions []*dapSession
 	readers  []*fragmentStream
 	// activateOff[i] is reader i's activation offset on the trace
 	// timeline, the start of its stream span.
 	activateOff []int64
-}
-
-// execUnit is one physical activation: a whole fragment, or one shard
-// of a fragment scattered over a partitioned table.
-type execUnit struct {
-	fragIdx int
-	part    int // partition ID; -1 for an unpartitioned fragment
-	of      int // pre-pruning partition count; 0 for unpartitioned
-	// replicas lists the shard's candidate sites in pick order — the
-	// selected primary first, siblings after — so setup and mid-stream
-	// failover walk the same ladder. Unpartitioned units hold only the
-	// fragment's one site.
-	replicas []string
-	// frag is the physical fragment this unit deploys. For a scattered
-	// shard it is a per-unit copy naming the partition's physical table
-	// and chosen replica; mutating its Site during failover is safe. For
-	// an unpartitioned fragment it aliases the shared plan fragment.
-	frag *core.Fragment
-}
-
-// buildUnits expands the plan's fragments into physical activations,
-// choosing each shard's serving replica through the health registry's
-// load balancer.
-func buildUnits(plan *core.Plan, health *HealthRegistry) []*execUnit {
-	var units []*execUnit
-	for i, frag := range plan.Fragments {
-		if frag.PartsTotal == 0 {
-			units = append(units, &execUnit{
-				fragIdx: i, part: -1,
-				replicas: []string{frag.Site}, frag: frag,
-			})
-			continue
-		}
-		for _, pt := range frag.Parts {
-			pf := *frag
-			pf.Table = pt.Table
-			pf.Site = health.PickReplica(pt.Replicas)
-			pf.Parts, pf.PartsTotal, pf.PartKey = nil, 0, ""
-			reps := []string{pf.Site}
-			for _, r := range pt.Replicas {
-				if r != pf.Site {
-					reps = append(reps, r)
-				}
-			}
-			units = append(units, &execUnit{
-				fragIdx: i, part: pt.ID, of: frag.PartsTotal,
-				replicas: reps, frag: &pf,
-			})
-		}
-	}
-	return units
-}
-
-// applyOverrides substitutes canary code refs into the built units'
-// fragments. Each affected fragment is cloned first: unpartitioned
-// units alias the shared plan fragment, and the substitution must stay
-// local to this execution (the prepared plan keeps its active refs, and
-// failover mutating the clone's Site never touches the plan either).
-// staticScratchBytes sums the verifier's static scratch bounds over
-// every class the plan ships (with canary overrides applied — a canary
-// release may bound differently than the active one). Refs without a
-// cost stamp contribute nothing: legacy manifests stay admissible.
-func staticScratchBytes(plan *core.Plan, overrides map[string]core.CodeRef) int64 {
-	var total int64
-	for _, frag := range plan.Fragments {
-		for _, ref := range frag.Code {
-			if over, ok := overrides[strings.ToLower(ref.Name)]; ok {
-				ref = over
-			}
-			if ref.Cost == "" {
-				continue
-			}
-			if ci, err := vm.ParseCostInfo(ref.Cost); err == nil {
-				total += ci.ScratchBytes
-			}
-		}
-	}
-	return total
-}
-
-func (e *planExec) applyOverrides() {
-	if len(e.overrides) == 0 {
-		return
-	}
-	for _, u := range e.units {
-		touched := false
-		for _, ref := range u.frag.Code {
-			if _, ok := e.overrides[strings.ToLower(ref.Name)]; ok {
-				touched = true
-				break
-			}
-		}
-		if !touched {
-			continue
-		}
-		pf := *u.frag
-		pf.Code = make([]core.CodeRef, len(u.frag.Code))
-		copy(pf.Code, u.frag.Code)
-		for i, ref := range pf.Code {
-			if over, ok := e.overrides[strings.ToLower(ref.Name)]; ok {
-				pf.Code[i] = over
-			}
-		}
-		u.frag = &pf
-	}
 }
 
 func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err error) {
@@ -160,7 +55,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	// the query's lifetime so spillable operators size their grants
 	// against what is genuinely left.
 	if e.srv.gov != nil {
-		if need := staticScratchBytes(e.plan, e.overrides); need > 0 {
+		if need := exec.StaticScratchBytes(e.plan, e.overrides); need > 0 {
 			grant := e.srv.gov.Grant("admission:static-scratch")
 			if aerr := grant.Acquire(ctx, need); aerr != nil {
 				grant.Close()
@@ -206,8 +101,9 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	e.ctx = execCtx
 	e.budget = budget
 	err = timedPhase(e.stats, func() error {
-		e.units = buildUnits(e.plan, e.srv.health)
-		e.applyOverrides()
+		sp := exec.BindPlan(e.plan, e.srv.health.PickReplica)
+		sp.ApplyOverrides(e.overrides)
+		e.units = sp.Units
 		e.sessions = make([]*dapSession, len(e.units))
 		partials := make([]QueryStats, len(e.units))
 		errs := make([]error, len(e.units))
@@ -233,12 +129,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	}
 
 	// Phase 2: semi-join key exchange (section 5.4's 2-way semi-join).
-	semiFrags := 0
-	for _, f := range e.plan.Fragments {
-		if f.SemiJoinCol >= 0 {
-			semiFrags++
-		}
-	}
+	semiFrags := len(exec.SemiJoinParticipants(e.plan))
 	if semiFrags > 0 {
 		if semiFrags != 2 || len(e.plan.Fragments) != 2 {
 			return fmt.Errorf("qpc: semi-join requires exactly two participating fragments")
@@ -253,7 +144,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 			kwg.Add(1)
 			go func(i int) {
 				defer kwg.Done()
-				keySets[i], keyES[i], keyErrs[i] = e.srv.runKeyPhase(e.sessions[i], e.units[i].frag, &keyStats[i])
+				keySets[i], keyES[i], keyErrs[i] = e.srv.runKeyPhase(e.sessions[i], e.units[i].Frag, &keyStats[i])
 			}(i)
 		}
 		kwg.Wait()
@@ -263,14 +154,14 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 				e.recordRemoteSpans("keys:recv", e.sessions[i], keyES[i], e.sessions[i].openOff)
 			}
 			if keyErrs[i] != nil {
-				return fmt.Errorf("qpc: key phase at %s: %w", e.units[i].frag.Site, keyErrs[i])
+				return fmt.Errorf("qpc: key phase at %s: %w", e.units[i].Frag.Site, keyErrs[i])
 			}
 		}
 		keys0, keys1 := keySets[0], keySets[1]
 		common := intersectKeys(keys0, keys1)
 		e.srv.cfg.Logf("qpc: semi-join keys: %d ∩ %d = %d", len(keys0), len(keys1), len(common))
 		for i, ds := range e.sessions {
-			if err := ds.deployPlan(e.units[i].frag); err != nil {
+			if err := ds.deployPlan(e.units[i].Frag); err != nil {
 				return err
 			}
 			span := e.trace.Begin("keys:send", ds.site)
@@ -285,7 +176,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	} else {
 		err := timedPhase(e.stats, func() error {
 			for i, ds := range e.sessions {
-				if err := ds.deployPlan(e.units[i].frag); err != nil {
+				if err := ds.deployPlan(e.units[i].Frag); err != nil {
 					return err
 				}
 			}
@@ -307,12 +198,12 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 		if !e.srv.cfg.DisableResume {
 			streamID = fmt.Sprintf("%s/%d", e.trace.ID, i)
 		}
-		r, err := ds.activatePart(u.frag.OutSchema, streamID, u.part, u.of)
+		r, err := ds.activatePart(u.Frag.OutSchema, streamID, u.Part, u.Of)
 		if err != nil {
 			return err
 		}
 		e.readers = append(e.readers, &fragmentStream{
-			e: e, idx: i, frag: u.frag, id: streamID, ds: ds, r: r, unit: u,
+			e: e, idx: i, frag: u.Frag, id: streamID, ds: ds, r: r, unit: u,
 		})
 		e.activateOff = append(e.activateOff, e.trace.Since(time.Now()))
 	}
@@ -333,7 +224,7 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 	// empty stream.
 	pulls := make([][]exec.PullFunc, len(e.plan.Fragments))
 	for i, fs := range e.readers {
-		fi := e.units[i].fragIdx
+		fi := e.units[i].FragIdx
 		pulls[fi] = append(pulls[fi], fs.Next)
 	}
 	countEmit := func(t types.Tuple) error {
@@ -381,15 +272,15 @@ func (e *planExec) run(ctx context.Context, emit func(types.Tuple) error) (err e
 func (e *planExec) setupUnit(execCtx context.Context, i int, partial *QueryStats) error {
 	u := e.units[i]
 	var lastErr error
-	for ci, site := range u.replicas {
+	for ci, site := range u.Replicas {
 		if ci > 0 {
 			if execCtx.Err() != nil {
 				break
 			}
-			u.frag.Site = site
+			u.Frag.Site = site
 			e.srv.met.replicaFailovers.Inc()
 			e.srv.cfg.Logf("qpc: partition %d of %s failing over setup from %s to %s",
-				u.part, e.plan.Fragments[u.fragIdx].Table, u.replicas[ci-1], site)
+				u.Part, e.plan.Fragments[u.FragIdx].Table, u.Replicas[ci-1], site)
 		}
 		what := fmt.Sprintf("qpc: session setup at %s", site)
 		err := retryTransient(execCtx, e.srv.cfg.Retry, e.budget, e.srv.health, site, what, func() error {
@@ -407,7 +298,7 @@ func (e *planExec) setupUnit(execCtx context.Context, i int, partial *QueryStats
 				return err
 			}
 			ds.openOff = e.trace.Since(time.Now())
-			if err := e.srv.deployCode(ds, u.frag.Code, partial); err != nil {
+			if err := e.srv.deployCode(ds, u.Frag.Code, partial); err != nil {
 				ds.close()
 				return err
 			}
@@ -421,10 +312,10 @@ func (e *planExec) setupUnit(execCtx context.Context, i int, partial *QueryStats
 		}
 		lastErr = err
 	}
-	if u.of > 0 {
+	if u.Of > 0 {
 		return &PartitionUnavailableError{
-			Table: e.plan.Fragments[u.fragIdx].Table,
-			Part:  u.part, Sites: u.replicas, Last: lastErr,
+			Table: e.plan.Fragments[u.FragIdx].Table,
+			Part:  u.Part, Sites: u.Replicas, Last: lastErr,
 		}
 	}
 	return lastErr
@@ -441,9 +332,9 @@ func (e *planExec) drainFragment(i int, r *wire.BatchReader, countVolumes bool) 
 	if err != nil {
 		return err
 	}
-	if u := e.units[i]; u.of > 0 && (es.Part != u.part || es.Of != u.of) {
+	if u := e.units[i]; u.Of > 0 && (es.Part != u.Part || es.Of != u.Of) {
 		return fmt.Errorf("qpc: stream from %s reported shard %d/%d, activated as %d/%d",
-			es.Site, es.Part, es.Of, u.part, u.of)
+			es.Site, es.Part, es.Of, u.Part, u.Of)
 	}
 	e.recordRemoteSpans("stream", e.sessions[i], es, e.activateOff[i])
 	return nil

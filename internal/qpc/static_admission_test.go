@@ -92,13 +92,13 @@ func TestStaticScratchBytes(t *testing.T) {
 			{Name: "Overlap", Cost: "instrs=unbounded;fixed=5;pertrip=1;scratch=100;alloc=unbounded;purity=pure"},
 		}},
 	}}
-	if got := staticScratchBytes(plan, nil); got != 548 {
+	if got := exec.StaticScratchBytes(plan, nil); got != 548 {
 		t.Fatalf("staticScratchBytes = %d, want 548", got)
 	}
 	over := map[string]core.CodeRef{
 		"avgenergy": {Name: "AvgEnergy", Cost: "instrs=200;fixed=20;pertrip=4;scratch=960;alloc=0;purity=pure"},
 	}
-	if got := staticScratchBytes(plan, over); got != 1060 {
+	if got := exec.StaticScratchBytes(plan, over); got != 1060 {
 		t.Fatalf("staticScratchBytes with override = %d, want 1060", got)
 	}
 }

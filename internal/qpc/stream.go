@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mocha/internal/core"
+	"mocha/internal/exec"
 	"mocha/internal/obs"
 	"mocha/internal/types"
 	"mocha/internal/wire"
@@ -29,7 +30,7 @@ type fragmentStream struct {
 	// unit is the activation this stream serves; a scattered unit with
 	// sibling replicas can fail over to one when its serving replica
 	// dies or trips its breaker.
-	unit *execUnit
+	unit *exec.Unit
 
 	delivered int64 // tuples handed to the pipeline
 	rxBytes   int64 // payload bytes of delivered tuples
@@ -184,7 +185,7 @@ func (fs *fragmentStream) restart(ds *dapSession) error {
 	newID := fmt.Sprintf("%s~r%d", fs.id, fs.restarts)
 	part, of := 0, 0
 	if fs.unit != nil {
-		part, of = fs.unit.part, fs.unit.of
+		part, of = fs.unit.Part, fs.unit.Of
 	}
 	r, err := ds.activatePart(fs.frag.OutSchema, newID, part, of)
 	if err != nil {
@@ -212,7 +213,7 @@ func carryOver(old, next *wire.BatchReader) {
 // cannot be replayed against a different site — unreachable today, as
 // the optimizer never plans semi-joins over placed tables).
 func (fs *fragmentStream) canFailover() bool {
-	return fs.unit != nil && len(fs.unit.replicas) > 1 &&
+	return fs.unit != nil && len(fs.unit.Replicas) > 1 &&
 		fs.id != "" && fs.frag.SemiJoinCol < 0
 }
 
@@ -228,7 +229,7 @@ func (fs *fragmentStream) failover(cause error) error {
 	u := fs.unit
 	from := fs.frag.Site
 	health := e.srv.health
-	table := e.plan.Fragments[u.fragIdx].Table
+	table := e.plan.Fragments[u.FragIdx].Table
 	span := e.trace.Begin("failover", from)
 	defer span.End()
 	if e.sessions[fs.idx] != nil {
@@ -237,7 +238,7 @@ func (fs *fragmentStream) failover(cause error) error {
 	}
 	fs.baseWait += fs.r.RecvWait
 	lastErr := cause
-	for _, sib := range u.replicas {
+	for _, sib := range u.Replicas {
 		if sib == from || health.FailFast(sib) {
 			continue
 		}
@@ -262,10 +263,10 @@ func (fs *fragmentStream) failover(cause error) error {
 		e.sessions[fs.idx] = ds
 		fs.ds = ds
 		e.srv.met.replicaFailovers.Inc()
-		e.srv.cfg.Logf("qpc: partition %d of %s failed over from %s to %s", u.part, table, from, sib)
+		e.srv.cfg.Logf("qpc: partition %d of %s failed over from %s to %s", u.Part, table, from, sib)
 		return nil
 	}
-	return &PartitionUnavailableError{Table: table, Part: u.part, Sites: u.replicas, Last: lastErr}
+	return &PartitionUnavailableError{Table: table, Part: u.Part, Sites: u.Replicas, Last: lastErr}
 }
 
 // PartitionUnavailableError marks a query that failed because one shard

@@ -6,9 +6,11 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
+	"mocha/internal/core"
 	"mocha/internal/types"
 )
 
@@ -81,6 +83,17 @@ func FuzzFrame(f *testing.F) {
 	f.Add(frame(MsgCodeInvalidate, inval))
 	invalAck, _ := EncodeXML(CodeInvalidateAck{Dropped: 2})
 	f.Add(frame(MsgCodeInvalidateAck, invalAck))
+	// Plan-deployment frames: a cut-annotated fragment (carries the
+	// dag-cut feature gate) and the same document demanding a feature
+	// this build does not implement — the decoder must refuse the
+	// latter with an error, not misread it.
+	cutFrag, _ := core.EncodeFragment(&core.Fragment{
+		Site: "site1", Table: "Rasters", SemiJoinCol: -1,
+		CutPoint: "below=[call AvgEnergy]", CutAlts: 3,
+	})
+	f.Add(frame(MsgDeployPlan, cutFrag))
+	f.Add(frame(MsgDeployPlan, []byte(strings.Replace(string(cutFrag),
+		`requires="dag-cut"`, `requires="dag-cut time-travel"`, 1))))
 	// Malformed: truncated header, truncated body, hostile length prefix,
 	// unknown type, huge tuple count with no tuples, multiple frames,
 	// and seq frames truncated inside the sequence-number prefix.
@@ -152,6 +165,10 @@ func FuzzFrame(f *testing.F) {
 			case MsgCodeInvalidateAck:
 				var ca CodeInvalidateAck
 				_ = DecodeXML(payload, &ca)
+			case MsgDeployPlan:
+				// Fragment decode gate: garbage and unknown-feature
+				// documents must fail with an error, never panic.
+				_, _ = core.DecodeFragment(payload)
 			case MsgResultSchema:
 				var m SchemaMsg
 				if err := DecodeXML(payload, &m); err == nil {

@@ -1,0 +1,157 @@
+package mocha
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"mocha/internal/sequoia"
+	"mocha/internal/storage"
+)
+
+// dagCutLadderQueries is the cut differential's workload: the paper's
+// Q1–Q5, the three-site Q6 multi-join, and composed-expression queries
+// whose operator DAGs admit mid-expression cuts (Diff over AvgEnergy,
+// a two-call arithmetic predicate).
+func dagCutLadderQueries(t *testing.T, cl *Cluster, scale sequoia.Config) []struct{ label, sql string } {
+	t.Helper()
+	cals, err := sequoia.CalibrateQ4(cl.stores["site1"], []float64{0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := cals[0]
+	return []struct{ label, sql string }{
+		{"Q1", sequoia.Q1},
+		{"Q2", sequoia.Q2(scale)},
+		{"Q3", sequoia.Q3},
+		{"Q4", sequoia.Q4(cal.MaxVerts, cal.MaxLength)},
+		{"Q5", sequoia.Q5},
+		{"Q6", sequoia.Q6},
+		{"composed_join", `SELECT R1.time, Diff(AvgEnergy(R1.image), AvgEnergy(R2.image))
+FROM Rasters1 AS R1, Rasters2 AS R2 WHERE R1.location = R2.location`},
+		{"composed_proj", `SELECT time, Diff(AvgEnergy(image), 0.0) FROM Rasters`},
+		{"composed_pred", `SELECT name FROM Graphs
+WHERE NumVertices(graph) + TotalLength(graph) < 100000`},
+	}
+}
+
+// TestDifferentialDagCutLadder is the cut search's oracle differential:
+// two clusters over identical generated data — one planning with the
+// ranked whole-plan DAG-cut search, one with the legacy greedy
+// per-operator policy — must return byte-identical results on every
+// ladder query under every placement strategy. The cut search moves
+// work between sites; it must never change a single byte of output.
+func TestDifferentialDagCutLadder(t *testing.T) {
+	ranked, scale := testCluster(t, ClusterConfig{Search: CutSearchRanked})
+	greedy, _ := testCluster(t, ClusterConfig{Search: CutSearchGreedy})
+	strategies := []Strategy{StrategyAuto, StrategyCodeShip, StrategyDataShip}
+	for _, q := range dagCutLadderQueries(t, ranked, scale) {
+		t.Run(q.label, func(t *testing.T) {
+			for _, strat := range strategies {
+				ranked.SetStrategy(strat)
+				got, err := ranked.Execute(q.sql)
+				if err != nil {
+					t.Fatalf("%s ranked under %v: %v", q.label, strat, err)
+				}
+				greedy.SetStrategy(strat)
+				want, err := greedy.Execute(q.sql)
+				if err != nil {
+					t.Fatalf("%s greedy under %v: %v", q.label, strat, err)
+				}
+				if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+					t.Errorf("%s under %v: ranked cut diverged from greedy (%d vs %d rows)",
+						q.label, strat, len(got.Rows), len(want.Rows))
+				}
+				// The whole point of the ranked search: it never ships
+				// more than the per-operator baseline.
+				if got.Stats.CVDT > want.Stats.CVDT {
+					t.Errorf("%s under %v: ranked CVDT %d exceeds greedy %d",
+						q.label, strat, got.Stats.CVDT, want.Stats.CVDT)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDagCutPartitioned runs the cut differential over 2-
+// and 3-way range-partitioned Rasters: the greedy-planned partitioned
+// cluster must match the default ranked-planned single-site oracle on
+// scatter scans, pruned scans, pushed aggregates and composed-operator
+// queries — cut search × partition-aware planning must compose.
+func TestDifferentialDagCutPartitioned(t *testing.T) {
+	queries := []struct{ label, sql string }{
+		{"scatter_scan", `SELECT time, band FROM Rasters`},
+		{"pruned_range", `SELECT time, band FROM Rasters WHERE time <= 1`},
+		{"shard_agg", `SELECT band, Count(time) FROM Rasters GROUP BY band`},
+		{"composed_call", `SELECT time, Diff(AvgEnergy(image), 0.0) FROM Rasters`},
+		{"call_pred", `SELECT time FROM Rasters WHERE AvgEnergy(image) < 128.0`},
+	}
+	for _, ways := range []int{2, 3} {
+		t.Run(fmt.Sprintf("range%d", ways), func(t *testing.T) {
+			part, oracle, _ := partitionedPair(t, func(src *storage.Table) *PartitionSpec {
+				sets := make([][]string, ways)
+				for i := range sets {
+					sets[i] = partitionSites(i)
+				}
+				return RangePlacement("Rasters", "time", timeCuts(t, src, ways), sets)
+			}, ClusterConfig{Search: CutSearchGreedy})
+			for _, q := range queries {
+				for _, strat := range []Strategy{StrategyCodeShip, StrategyDataShip} {
+					part.SetStrategy(strat)
+					got, err := part.Execute(q.sql)
+					if err != nil {
+						t.Fatalf("%s partitioned/greedy under %v: %v", q.label, strat, err)
+					}
+					oracle.SetStrategy(strat)
+					want, err := oracle.Execute(q.sql)
+					if err != nil {
+						t.Fatalf("%s oracle under %v: %v", q.label, strat, err)
+					}
+					if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+						t.Errorf("%s under %v: partitioned greedy cut diverged from ranked oracle (%d vs %d rows)",
+							q.label, strat, len(got.Rows), len(want.Rows))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialDagCutComposedShipping pins the tentpole's headline
+// end-to-end: Q5's Diff(AvgEnergy, AvgEnergy) splits mid-expression
+// under code shipping — each fragment's EXPLAIN shows a below-join cut
+// pushing AvgEnergy to its DAP — and the shipped plan's results are
+// byte-identical to forced data shipping.
+func TestDifferentialDagCutComposedShipping(t *testing.T) {
+	cl, _ := testCluster(t, ClusterConfig{})
+
+	cl.SetStrategy(StrategyCodeShip)
+	out, err := cl.Explain(sequoia.Q5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(out, "cut: below=[call AvgEnergy]"); n < 1 {
+		t.Errorf("no below-join cut pushing AvgEnergy in the shipped plan:\n%s", out)
+	}
+	code, err := cl.Execute(sequoia.Q5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cl.SetStrategy(StrategyDataShip)
+	data, err := cl.Execute(sequoia.Q5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(code.Rows) != fmt.Sprint(data.Rows) {
+		t.Errorf("mid-expression code shipping changed Q5's results (%d vs %d rows)",
+			len(code.Rows), len(data.Rows))
+	}
+	// The split pays: shipping the inner AvgEnergy calls moves 8-byte
+	// doubles instead of raster images, so shipped CVDT must be below
+	// data shipping's.
+	if code.Stats.CVDT >= data.Stats.CVDT {
+		t.Errorf("shipped composed plan CVDT %d not below data shipping's %d",
+			code.Stats.CVDT, data.Stats.CVDT)
+	}
+}
